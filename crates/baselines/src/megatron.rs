@@ -1,0 +1,338 @@
+//! Megatron-LM-style intra-operator (tensor-parallel) baseline.
+//!
+//! The paper's §I/§II motivation: intra-operator parallelism balances
+//! memory perfectly (every GPU holds `1/t` of each weight matrix) but pays
+//! **per-layer collective communication on the critical path** — two
+//! all-reduces of the full activation in each layer's forward and two more
+//! in its backward. Inter-operator parallelism moves only the boundary
+//! activation once per stage transition, orders of magnitude less traffic,
+//! which is why MPress builds on pipelines and then repairs their memory
+//! imbalance instead.
+//!
+//! Like the ZeRO family in this crate, the model is analytic: closed-form
+//! compute, all-reduce, memory and capacity terms, calibrated against the
+//! same hardware constants the simulator uses (DESIGN.md §6).
+//!
+//! # Example
+//!
+//! ```
+//! use mpress_baselines::MegatronBaseline;
+//! use mpress_hw::Machine;
+//! use mpress_model::zoo;
+//!
+//! let dgx = MegatronBaseline::new(Machine::dgx1(), zoo::gpt_10_3b()).report();
+//! let commodity = MegatronBaseline::new(Machine::commodity(), zoo::gpt_10_3b()).report();
+//! assert!(dgx.fits && commodity.fits); // memory is balanced either way...
+//! assert!(commodity.tflops < 0.5 * dgx.tflops); // ...but PCIe collectives are ruinous
+//! ```
+
+use mpress_hw::{Bytes, Machine, Secs, NVLINK2_LANE_BW};
+use mpress_model::{flops, PrecisionPolicy, TransformerConfig};
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the intra-operator model, exposed for sensitivity
+/// studies. Defaults are documented in DESIGN.md §6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MegatronModel {
+    /// Fraction of all-reduce time hidden behind compute. Megatron's TP
+    /// collectives sit on the critical path between GEMMs, so very little
+    /// hides.
+    pub overlap: f64,
+    /// GEMM efficiency penalty of splitting every matrix `1/t` at small
+    /// microbatches (tile-quantization losses), multiplied onto the GPU's
+    /// achievable FLOPS.
+    pub gemm_efficiency: f64,
+    /// Utilization of the theoretical ring bandwidth an all-reduce
+    /// achieves (protocol overhead, lane scheduling).
+    pub link_utilization: f64,
+}
+
+impl Default for MegatronModel {
+    fn default() -> Self {
+        MegatronModel {
+            overlap: 0.1,
+            gemm_efficiency: 0.85,
+            link_utilization: 0.85,
+        }
+    }
+}
+
+/// The outcome of one modeled tensor-parallel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MegatronReport {
+    /// Whether the (perfectly balanced) per-GPU share fits.
+    pub fits: bool,
+    /// Aggregate achieved model TFLOPS (the Fig. 7/8 metric); zero if the
+    /// configuration does not fit.
+    pub tflops: f64,
+    /// Per-GPU memory demand — identical on every GPU by construction.
+    pub gpu_bytes: Bytes,
+    /// Collective traffic one GPU moves per microbatch.
+    pub comm_bytes_per_microbatch: Bytes,
+    /// Exposed (non-overlapped) collective time per microbatch.
+    pub exposed_comm_per_microbatch: Secs,
+    /// Wall time of the whole training window.
+    pub window_time: Secs,
+}
+
+/// An analytic Megatron-LM tensor-parallel training-run model.
+///
+/// Tensor parallelism spans all GPUs of the machine (`t = gpu_count`); the
+/// microbatches of the window run back-to-back with no pipelining, exactly
+/// one microbatch's activations resident at a time.
+#[derive(Debug, Clone)]
+pub struct MegatronBaseline {
+    machine: Machine,
+    model: TransformerConfig,
+    policy: PrecisionPolicy,
+    microbatch_size: usize,
+    microbatches: usize,
+    constants: MegatronModel,
+}
+
+impl MegatronBaseline {
+    /// Creates a baseline with the paper's GPT defaults (mixed precision,
+    /// microbatch 2, a 16-microbatch window).
+    pub fn new(machine: Machine, model: TransformerConfig) -> Self {
+        MegatronBaseline {
+            machine,
+            model,
+            policy: PrecisionPolicy::mixed(),
+            microbatch_size: 2,
+            microbatches: 16,
+            constants: MegatronModel::default(),
+        }
+    }
+
+    /// Sets samples per microbatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero.
+    pub fn microbatch_size(mut self, b: usize) -> Self {
+        assert!(b > 0, "microbatch size must be positive");
+        self.microbatch_size = b;
+        self
+    }
+
+    /// Sets microbatches per training window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn microbatches(mut self, m: usize) -> Self {
+        assert!(m > 0, "window must contain at least one microbatch");
+        self.microbatches = m;
+        self
+    }
+
+    /// Sets the precision policy.
+    pub fn precision(mut self, policy: PrecisionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the model constants.
+    pub fn constants(mut self, constants: MegatronModel) -> Self {
+        self.constants = constants;
+        self
+    }
+
+    fn t(&self) -> usize {
+        self.machine.gpu_count()
+    }
+
+    /// Effective per-GPU ring bandwidth for collectives: over NVLink,
+    /// half the injection lanes carry each ring direction; without NVLink
+    /// the rings traverse the shared PCIe root complex at half the
+    /// point-to-point rate.
+    pub fn collective_bandwidth(&self) -> f64 {
+        let topo = self.machine.topology();
+        let lanes = topo
+            .devices()
+            .map(|d| topo.total_lanes(d))
+            .min()
+            .unwrap_or(0);
+        let raw = if lanes > 0 {
+            f64::from(lanes) * NVLINK2_LANE_BW * 0.5
+        } else {
+            self.machine.pcie().peak() * 0.5
+        };
+        raw * self.constants.link_utilization
+    }
+
+    /// Ring all-reduce wall time for a buffer of `v` bytes replicated on
+    /// every GPU: each GPU moves `2 (t-1)/t * v` bytes.
+    pub fn allreduce_time(&self, v: Bytes) -> Secs {
+        let t = self.t() as f64;
+        2.0 * (t - 1.0) / t * v.as_u64() as f64 / self.collective_bandwidth()
+    }
+
+    /// All-reduces one microbatch performs: two per layer forward, two per
+    /// layer backward (Megatron's `f`/`g` conjugate operators), plus one
+    /// each way for the vocab-parallel embedding/head.
+    pub fn allreduces_per_microbatch(&self) -> usize {
+        4 * self.model.num_layers() + 2
+    }
+
+    /// The payload of each TP all-reduce: the full `b*s*h` activation.
+    pub fn allreduce_bytes(&self) -> Bytes {
+        self.model
+            .boundary_activation_bytes(self.microbatch_size, &self.policy)
+    }
+
+    /// Collective traffic one GPU moves per microbatch.
+    pub fn comm_bytes_per_microbatch(&self) -> Bytes {
+        let t = self.t() as f64;
+        let per = 2.0 * (t - 1.0) / t * self.allreduce_bytes().as_u64() as f64;
+        Bytes((per * self.allreduces_per_microbatch() as f64).round() as u64)
+    }
+
+    /// Compute time of one microbatch on one GPU (the model's FLOPs split
+    /// `1/t`, discounted by the split-GEMM efficiency).
+    pub fn compute_per_microbatch(&self) -> Secs {
+        let f = flops::model_flops_per_microbatch(&self.model, self.microbatch_size);
+        self.machine
+            .gpu()
+            .compute_time(f / self.t() as f64, self.policy.compute_fp16())
+            / self.constants.gemm_efficiency
+    }
+
+    /// Exposed collective time of one microbatch.
+    pub fn exposed_comm_per_microbatch(&self) -> Secs {
+        let total =
+            self.allreduce_time(self.allreduce_bytes()) * self.allreduces_per_microbatch() as f64;
+        total * (1.0 - self.constants.overlap)
+    }
+
+    /// Per-GPU memory demand: `1/t` of every model/optimizer state plus
+    /// one microbatch's tensor-parallel activations for every layer
+    /// (no pipelining, so exactly one microbatch is in flight).
+    pub fn gpu_bytes(&self) -> Bytes {
+        let pol = &self.policy;
+        let t = self.t() as u64;
+        let state_bytes_per_param = pol.param_bytes_per_param()
+            + pol.grad_bytes_per_param()
+            + pol.optimizer_bytes_per_param();
+        let statics = Bytes(self.model.total_params() * state_bytes_per_param / t);
+        let acts = self
+            .model
+            .activation_bytes_per_layer_tp(self.microbatch_size, pol, self.t())
+            * self.model.num_layers() as u64;
+        let embed = self
+            .model
+            .embedding_activation_bytes(self.microbatch_size, pol);
+        statics + acts + embed
+    }
+
+    /// Evaluates the configuration.
+    pub fn report(&self) -> MegatronReport {
+        let gpu_bytes = self.gpu_bytes();
+        let fits = gpu_bytes <= self.machine.gpu().usable_memory();
+        let per_mb = self.compute_per_microbatch() + self.exposed_comm_per_microbatch();
+        let window_time = per_mb * self.microbatches as f64;
+        let tflops = if fits {
+            flops::model_flops_per_microbatch(&self.model, self.microbatch_size)
+                * self.microbatches as f64
+                / window_time
+                / 1e12
+        } else {
+            0.0
+        };
+        MegatronReport {
+            fits,
+            tflops,
+            gpu_bytes,
+            comm_bytes_per_microbatch: self.comm_bytes_per_microbatch(),
+            exposed_comm_per_microbatch: self.exposed_comm_per_microbatch(),
+            window_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpress_model::zoo;
+
+    fn base(machine: Machine) -> MegatronBaseline {
+        MegatronBaseline::new(machine, zoo::gpt_10_3b())
+    }
+
+    #[test]
+    fn memory_is_balanced_and_fits_10_3b_everywhere() {
+        // The intra-op selling point: 10.3B OOMs DAPPLE on a DGX-1, but
+        // the 1/t sharded footprint fits easily.
+        for m in [Machine::dgx1(), Machine::dgx2(), Machine::commodity()] {
+            let r = base(m).report();
+            assert!(r.fits, "{:?}", r);
+            assert!(r.gpu_bytes < Bytes::gib(32));
+        }
+    }
+
+    #[test]
+    fn collectives_dwarf_interop_boundary_traffic() {
+        // §II motivation: per-layer all-reduces move orders of magnitude
+        // more bytes than a pipeline's once-per-stage boundary send.
+        let b = base(Machine::dgx1());
+        let boundary = b.allreduce_bytes(); // same tensor a pipeline would send
+        let ratio =
+            b.comm_bytes_per_microbatch().as_u64() as f64 / (7 * boundary.as_u64()) as f64;
+        assert!(ratio > 20.0, "intra/inter traffic ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn pcie_only_server_is_ruinous() {
+        let nv = base(Machine::dgx1()).report();
+        let pcie = base(Machine::commodity()).report();
+        assert!(pcie.tflops < 0.5 * nv.tflops, "{} vs {}", pcie.tflops, nv.tflops);
+    }
+
+    #[test]
+    fn nvswitch_is_no_worse_than_cube_mesh() {
+        let mesh = base(Machine::dgx1()).report();
+        let switch = base(Machine::dgx2()).report();
+        assert!(switch.tflops >= mesh.tflops);
+    }
+
+    #[test]
+    fn allreduce_count_matches_megatron_structure() {
+        let b = base(Machine::dgx1());
+        assert_eq!(b.allreduces_per_microbatch(), 4 * 40 + 2);
+    }
+
+    #[test]
+    fn exposed_comm_scales_with_microbatch_size() {
+        let small = base(Machine::dgx1()).microbatch_size(1);
+        let large = base(Machine::dgx1()).microbatch_size(4);
+        assert!(
+            large.exposed_comm_per_microbatch() > 3.9 * small.exposed_comm_per_microbatch()
+        );
+    }
+
+    #[test]
+    fn giant_models_eventually_overflow_even_sharded() {
+        // 1/8 of GPT-3-scale states still exceeds a 32 GB V100.
+        let model = mpress_model::TransformerConfig::builder(mpress_model::ModelFamily::Gpt)
+            .name("GPT-175B")
+            .layers(96)
+            .hidden(12288)
+            .build();
+        let r = MegatronBaseline::new(Machine::dgx1(), model).report();
+        assert!(!r.fits);
+        assert_eq!(r.tflops, 0.0);
+    }
+
+    #[test]
+    fn overlap_reduces_exposed_time() {
+        let none = base(Machine::dgx1()).constants(MegatronModel {
+            overlap: 0.0,
+            ..MegatronModel::default()
+        });
+        let half = base(Machine::dgx1()).constants(MegatronModel {
+            overlap: 0.5,
+            ..MegatronModel::default()
+        });
+        assert!(half.exposed_comm_per_microbatch() < none.exposed_comm_per_microbatch());
+    }
+}

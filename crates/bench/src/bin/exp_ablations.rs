@@ -1,0 +1,4 @@
+//! Runs the design-choice ablations DESIGN.md calls out.
+fn main() {
+    println!("{}", mpress_bench::experiments::ablations());
+}

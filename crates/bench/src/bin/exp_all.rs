@@ -1,0 +1,19 @@
+//! Prints every paper artifact in sequence.
+fn main() {
+    println!("{}", mpress_bench::experiments::fig1());
+    println!("{}", mpress_bench::experiments::table1());
+    println!("{}", mpress_bench::experiments::fig2());
+    println!("{}", mpress_bench::experiments::fig4());
+    println!("{}", mpress_bench::experiments::table2());
+    println!("{}", mpress_bench::experiments::fig7());
+    println!("{}", mpress_bench::experiments::fig8(mpress_hw::Machine::dgx1()));
+    println!("{}", mpress_bench::experiments::fig8(mpress_hw::Machine::dgx2()));
+    println!("{}", mpress_bench::experiments::fig9());
+    println!("{}", mpress_bench::experiments::table3());
+    println!("{}", mpress_bench::experiments::table4());
+    println!("{}", mpress_bench::experiments::motivation());
+    println!("{}", mpress_bench::experiments::sec2d());
+    println!("{}", mpress_bench::experiments::sec5());
+    println!("{}", mpress_bench::experiments::ablations());
+    println!("{}", mpress_bench::experiments::sweeps());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig1 artifact.
+fn main() {
+    println!("{}", mpress_bench::experiments::fig1());
+}

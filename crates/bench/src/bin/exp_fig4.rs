@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4 artifact.
+fn main() {
+    println!("{}", mpress_bench::experiments::fig4());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 8 (both machines).
+fn main() {
+    println!("{}", mpress_bench::experiments::fig8(mpress_hw::Machine::dgx1()));
+    println!("{}", mpress_bench::experiments::fig8(mpress_hw::Machine::dgx2()));
+}

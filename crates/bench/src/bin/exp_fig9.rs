@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9 artifact.
+fn main() {
+    println!("{}", mpress_bench::experiments::fig9());
+}

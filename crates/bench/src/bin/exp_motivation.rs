@@ -1,0 +1,4 @@
+//! Regenerates the §II motivation comparison (intra- vs inter-operator).
+fn main() {
+    println!("{}", mpress_bench::experiments::motivation());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's sec2d artifact.
+fn main() {
+    println!("{}", mpress_bench::experiments::sec2d());
+}

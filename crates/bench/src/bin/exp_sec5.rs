@@ -1,0 +1,4 @@
+//! Regenerates the paper's Sec. V projection.
+fn main() {
+    println!("{}", mpress_bench::experiments::sec5());
+}

@@ -1,0 +1,4 @@
+//! Runs the hardware-sensitivity sweeps.
+fn main() {
+    println!("{}", mpress_bench::experiments::sweeps());
+}

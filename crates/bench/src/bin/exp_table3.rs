@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 artifact.
+fn main() {
+    println!("{}", mpress_bench::experiments::table3());
+}

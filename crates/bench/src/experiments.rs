@@ -1,0 +1,790 @@
+//! One function per paper artifact.
+
+use crate::jobs::{bert_job, gpt_job, tflops_cell, SystemConfig};
+use crate::table::Table;
+use mpress::{
+    GraceHopperNode, GraceHopperProjection, Mpress, OptimizationSet, PlannerConfig, Profile,
+    TensorClassKind,
+};
+use mpress_baselines::{MegatronBaseline, ZeroBaseline, ZeroVariant};
+use mpress_compaction::{CostModel, StripePlan, Technique};
+use mpress_hw::{BandwidthCurve, Bytes, DeviceId, Machine, Topology};
+use mpress_model::{zoo, ModelMemory, PrecisionPolicy, TransformerConfig};
+use mpress_pipeline::{timeline, PartitionGoal, PipelineJob, ScheduleKind, StagePartition};
+
+/// Fig. 1 — PipeDream and DAPPLE schedule timelines with in-flight counts
+/// (3 workers, 6 microbatches, as drawn in the paper).
+pub fn fig1() -> String {
+    let mut out = String::new();
+    for kind in [ScheduleKind::PipeDream, ScheduleKind::Dapple] {
+        out.push_str(&format!("--- {kind} ---\n"));
+        out.push_str(&timeline::render(kind, 3, 6));
+        out.push_str(&timeline::render_in_flight(kind, 3, 6));
+    }
+    out
+}
+
+/// Table I — GPU memory percentage by model-data category.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table I: memory consumption by data type (%)",
+        &["model", "activation", "optimizer", "params+grads"],
+    );
+    // Average in-flight activation sets across an 8-stage 1F1B pipeline:
+    // sum_{i}(8-i)/8 = 4.5. Bert is measured at microbatch 2 — the setting
+    // at which PipeDream actually trains models of this scale (Fig. 2) —
+    // since at microbatch 12 its activations dwarf everything else.
+    let cases: [(TransformerConfig, usize, PrecisionPolicy); 2] = [
+        (zoo::bert_0_64b(), 2, PrecisionPolicy::mixed()),
+        (zoo::gpt_5_3b(), zoo::GPT_MICROBATCH, PrecisionPolicy::mixed()),
+    ];
+    for (model, mb, policy) in cases {
+        let mm = ModelMemory::of(&model, mb, &policy);
+        let (act, opt, pg) = mm.category_percentages(4.5);
+        t.push(vec![
+            model.name().to_owned(),
+            format!("{act:.0}%"),
+            format!("{opt:.0}%"),
+            format!("{pg:.0}%"),
+        ]);
+    }
+    t
+}
+
+/// Fig. 2 — per-device memory when training Bert-1.67B under PipeDream
+/// (microbatch 2) and DAPPLE (microbatch 12).
+pub fn fig2() -> Table {
+    let mut t = Table::new(
+        "Fig. 2: per-device GPU memory, Bert-1.67B (GiB)",
+        &[
+            "system", "GPU0", "GPU1", "GPU2", "GPU3", "GPU4", "GPU5", "GPU6", "GPU7",
+            "max/min",
+        ],
+    );
+    for (kind, mb, policy) in [
+        (ScheduleKind::PipeDream, 2, PrecisionPolicy::full()),
+        (ScheduleKind::Dapple, 12, PrecisionPolicy::mixed()),
+    ] {
+        let job = PipelineJob::builder()
+            .model(zoo::bert_1_67b())
+            .machine(Machine::dgx1())
+            .schedule(kind)
+            .microbatch_size(mb)
+            .microbatches(crate::jobs::WINDOW_MICROBATCHES)
+            .precision(policy)
+            .build()
+            .expect("valid");
+        let demands = job.memory_demands();
+        let mut row = vec![format!("{kind} (mb={mb})")];
+        row.extend(
+            demands
+                .per_stage_peak
+                .iter()
+                .map(|b| format!("{:.1}", b.as_gib_f64())),
+        );
+        row.push(format!("{:.1}x", demands.imbalance_ratio()));
+        t.push(row);
+    }
+    t
+}
+
+/// Fig. 4 — aggregated unidirectional bandwidth vs. transfer size for
+/// PCIe and 2/4/6-lane NVLink aggregates (GB/s).
+pub fn fig4() -> Table {
+    let mut t = Table::new(
+        "Fig. 4: effective unidirectional bandwidth (GB/s)",
+        &["size", "PCIe", "NV2", "NV4", "NV6"],
+    );
+    let channels = [
+        BandwidthCurve::pcie3_x16(),
+        BandwidthCurve::nvlink_lanes(2),
+        BandwidthCurve::nvlink_lanes(4),
+        BandwidthCurve::nvlink_lanes(6),
+    ];
+    for mib in [1u64, 4, 16, 64, 256, 1024] {
+        let n = Bytes::mib(mib);
+        let mut row = vec![format!("{n}")];
+        for c in &channels {
+            row.push(format!("{:.1}", c.effective_bandwidth(n) / 1e9));
+        }
+        t.push(row);
+    }
+    t
+}
+
+/// Table II — memory demands of every model variant (GB): total,
+/// per-stage max, per-stage min.
+pub fn table2() -> Table {
+    let mut t = Table::new(
+        "Table II: GPU memory demands (GiB)",
+        &["job", "config", "total", "per-stage max", "per-stage min"],
+    );
+    for model in zoo::bert_variants() {
+        let job = bert_job(model.clone(), Machine::dgx1());
+        let d = job.memory_demands();
+        t.push(vec![
+            "Bert+PipeDream".into(),
+            model.name().to_owned(),
+            format!("{:.1}", d.total().as_gib_f64()),
+            format!("{:.1}", d.max_stage().as_gib_f64()),
+            format!("{:.1}", d.min_stage().as_gib_f64()),
+        ]);
+    }
+    for model in zoo::gpt_variants() {
+        let job = gpt_job(model.clone(), Machine::dgx1());
+        let d = job.memory_demands();
+        t.push(vec![
+            "GPT+DAPPLE".into(),
+            model.name().to_owned(),
+            format!("{:.1}", d.total().as_gib_f64()),
+            format!("{:.1}", d.max_stage().as_gib_f64()),
+            format!("{:.1}", d.min_stage().as_gib_f64()),
+        ]);
+    }
+    t
+}
+
+/// Fig. 7 — Bert training performance (aggregate TFLOPS, "OOM" marks) of
+/// the five systems on DGX-1.
+pub fn fig7() -> Table {
+    let systems = [
+        SystemConfig::Plain,
+        SystemConfig::GpuCpuSwap,
+        SystemConfig::Recomputation,
+        SystemConfig::MpressD2dOnly,
+        SystemConfig::Mpress,
+    ];
+    let mut t = Table::new(
+        "Fig. 7: Bert on DGX-1, aggregate TFLOPS (PipeDream host)",
+        &[
+            "model",
+            SystemConfig::Plain.label(),
+            SystemConfig::GpuCpuSwap.label(),
+            SystemConfig::Recomputation.label(),
+            SystemConfig::MpressD2dOnly.label(),
+            SystemConfig::Mpress.label(),
+        ],
+    );
+    for model in zoo::bert_variants() {
+        let mut row = vec![model.name().to_owned()];
+        for sys in systems {
+            let job = bert_job(model.clone(), Machine::dgx1());
+            row.push(tflops_cell(sys.run(job)));
+        }
+        t.push(row);
+    }
+    t
+}
+
+/// Fig. 8 — GPT training performance of DAPPLE, DAPPLE+Recomputation, the
+/// ZeRO baselines and MPress, on the chosen machine (8a: DGX-1, 8b:
+/// DGX-2).
+pub fn fig8(machine: Machine) -> Table {
+    let mut t = Table::new(
+        format!("Fig. 8: GPT on {}, aggregate TFLOPS", machine.name()),
+        &[
+            "model",
+            "dapple",
+            "dapple+recomp",
+            "zero-offload",
+            "zero-infinity",
+            "mpress",
+        ],
+    );
+    for model in zoo::gpt_variants() {
+        let mut row = vec![model.name().to_owned()];
+        for sys in [
+            SystemConfig::Plain,
+            SystemConfig::Recomputation,
+        ] {
+            let job = gpt_job(model.clone(), machine.clone());
+            row.push(tflops_cell(sys.run(job)));
+        }
+        for variant in [ZeroVariant::Offload, ZeroVariant::Infinity] {
+            let report = ZeroBaseline::new(machine.clone(), model.clone(), variant)
+                .microbatch_size(zoo::GPT_MICROBATCH)
+                .accumulation(crate::jobs::WINDOW_MICROBATCHES / machine.gpu_count())
+                .report();
+            row.push(tflops_cell(report.fits.then_some(report.tflops)));
+        }
+        let job = gpt_job(model.clone(), machine.clone());
+        row.push(tflops_cell(SystemConfig::Mpress.run(job)));
+        t.push(row);
+    }
+    t
+}
+
+/// Fig. 9 — impact of device mapping and data striping on MPress's D2D
+/// swap (normalized to the no-mapping/no-striping default).
+///
+/// The paper measures GPT-15.4B; in this reproduction's calibration the
+/// emulator-driven planner prefers recomputation there, which would make
+/// the ablation a no-op. We therefore ablate on the job where D2D is
+/// load-bearing — Bert-0.64B, which stand-alone D2D carries (Fig. 7's
+/// "medium size") — and additionally report the paper's GPT-15.4B row.
+pub fn fig9() -> Table {
+    let mut t = Table::new(
+        "Fig. 9: device-mapping & striping ablation (normalized; D2D round trip in ms)",
+        &["job", "machine", "default", "+device mapping", "+data striping", "rt unstriped", "rt striped"],
+    );
+    let mut run_case = |label: &str,
+                        machine: Machine,
+                        job_of: &dyn Fn(Machine) -> PipelineJob,
+                        opts: OptimizationSet| {
+        // Returns (throughput, mean D2D round-trip seconds).
+        let run = |mapping: bool, striping: bool| -> (Option<f64>, Option<f64>) {
+            let cfg = PlannerConfig {
+                optimizations: opts,
+                mapping_search: mapping,
+                striping,
+                ..PlannerConfig::default()
+            };
+            let mpress = Mpress::builder()
+                .job(job_of(machine.clone()))
+                .planner_config(cfg)
+                .build();
+            let report = mpress.train().expect("valid inputs");
+            let (plan, _) = mpress.plan().expect("valid inputs");
+            let rts: Vec<f64> = plan
+                .instrumentation
+                .iter()
+                .filter_map(|(_, d)| match d {
+                    mpress_compaction::MemoryDirective::SwapD2d(stripe) => {
+                        Some(stripe.round_trip_time())
+                    }
+                    _ => None,
+                })
+                .collect();
+            let mean_rt = (!rts.is_empty())
+                .then(|| rts.iter().sum::<f64>() / rts.len() as f64);
+            (report.succeeded().then_some(report.tflops), mean_rt)
+        };
+        let (base, _) = run(false, false);
+        // Round trips are compared under the *same* (mapped) plan so the
+        // two columns isolate striping alone.
+        let (mapped, rt_unstriped) = run(true, false);
+        let (striped, rt_striped) = run(true, true);
+        // Normalize to the first configuration that fits (identity
+        // mapping can outright OOM a D2D-only job — the strongest form of
+        // the mapping effect).
+        let reference = base.or(mapped).or(striped);
+        let norm = |v: Option<f64>| match (v, reference) {
+            (Some(x), Some(b)) => format!("{:.3}", x / b),
+            _ => "OOM".to_owned(),
+        };
+        let rt_cell = |rt: Option<f64>| match rt {
+            Some(v) => format!("{:.1}", v * 1e3),
+            None => "-".to_owned(),
+        };
+        t.push(vec![
+            label.to_owned(),
+            machine.name().to_owned(),
+            norm(base),
+            norm(mapped),
+            norm(striped),
+            rt_cell(rt_unstriped),
+            rt_cell(rt_striped),
+        ]);
+    };
+    for machine in [Machine::dgx1(), Machine::dgx2()] {
+        run_case(
+            "Bert-0.64B (D2D-only)",
+            machine,
+            &|m| bert_job(zoo::bert_0_64b(), m),
+            OptimizationSet::d2d_only(),
+        );
+    }
+    for machine in [Machine::dgx1(), Machine::dgx2()] {
+        run_case(
+            "GPT-15.4B (full)",
+            machine,
+            &|m| gpt_job(zoo::gpt_15_4b(), m),
+            OptimizationSet::all(),
+        );
+    }
+    t
+}
+
+/// Table III — time cost (ms) of the three memory-reduction techniques on
+/// sampled tensors of Bert-1.67B and GPT-10.3B, plus their live intervals.
+pub fn table3() -> Table {
+    let mut t = Table::new(
+        "Table III: technique time costs on sampled tensors (ms)",
+        &[
+            "model",
+            "tensor",
+            "size",
+            "live interval",
+            "recompute",
+            "gpu-cpu swap",
+            "d2d swap (4 lanes)",
+        ],
+    );
+    let machine = Machine::dgx1();
+    let cost = CostModel::new(machine.clone());
+    let mut sample = |name: &str, job: PipelineJob| {
+        let lowered = job.lower().expect("valid");
+        let profile =
+            Profile::collect(&machine, &job, &lowered).expect("profiling succeeds");
+        // The first layer of stage 0 (long interval), a mid-stage layer
+        // (medium) and the final stage's last layer (short — its backward
+        // starts right after its forward), mirroring the paper's t1..t6
+        // spread.
+        let n_stages = lowered.graph.n_stages();
+        let picks = [
+            (0usize, false),
+            (n_stages / 2, false),
+            (n_stages - 1, true),
+        ];
+        for (idx, (stage, last_layer)) in picks.into_iter().enumerate() {
+            let classes: Vec<_> = profile
+                .stage_classes(stage)
+                .filter(|c| matches!(c.kind, TensorClassKind::Activation { layer: Some(_) }))
+                .collect();
+            let class = if last_layer {
+                classes.last().copied()
+            } else {
+                classes.first().copied()
+            };
+            let Some(class) = class else { continue };
+            let bytes = class.bytes_per_instance;
+            // Four NVLink lanes, as the paper's Table III footnote states.
+            let stripe =
+                StripePlan::weighted(bytes, &[(DeviceId(3), 2), (DeviceId(4), 2)]);
+            let (rec, host, d2d) =
+                cost.table3_row(bytes, class.recompute_time, &stripe);
+            t.push(vec![
+                name.to_owned(),
+                format!("t{}", idx + 1),
+                format!("{bytes}"),
+                format!("{:.0}", class.live_interval * 1e3),
+                format!("{:.0}", rec * 1e3),
+                format!("{:.0}", host * 1e3),
+                format!("{:.0}", d2d * 1e3),
+            ]);
+        }
+    };
+    sample("Bert-1.67B", bert_job(zoo::bert_1_67b(), machine.clone()));
+    sample("GPT-10.3B", gpt_job(zoo::gpt_10_3b(), machine.clone()));
+    t
+}
+
+/// Table IV — strategies chosen by MPress and per-technique memory-saving
+/// contributions for four pressured jobs.
+pub fn table4() -> Table {
+    let mut t = Table::new(
+        "Table IV: strategies chosen by MPress (stages; share of savings)",
+        &["job", "recomputation", "gpu-cpu swap", "d2d swap"],
+    );
+    let cases: Vec<(String, PipelineJob)> = vec![
+        (
+            "Bert-1.67B".into(),
+            bert_job(zoo::bert_1_67b(), Machine::dgx1()),
+        ),
+        (
+            "Bert-6.2B".into(),
+            bert_job(zoo::bert_6_2b(), Machine::dgx1()),
+        ),
+        (
+            "GPT-10.3B".into(),
+            gpt_job(zoo::gpt_10_3b(), Machine::dgx1()),
+        ),
+        (
+            "GPT-20.4B".into(),
+            gpt_job(zoo::gpt_20_4b(), Machine::dgx1()),
+        ),
+    ];
+    for (name, job) in cases {
+        let mpress = Mpress::builder().job(job).build();
+        let (plan, lowered) = mpress.plan().expect("planning succeeds");
+        let savings = plan.savings(&lowered);
+        let stages = plan.stages(&lowered);
+        let total: f64 = savings.values().map(|b| b.as_f64()).sum();
+        let cell = |tech: Technique| -> String {
+            let bytes = savings.get(&tech).copied().unwrap_or(Bytes::ZERO);
+            if bytes.is_zero() || total == 0.0 {
+                return "N/A (0%)".to_owned();
+            }
+            let st = stages.get(&tech).cloned().unwrap_or_default();
+            let span = match (st.first(), st.last()) {
+                (Some(a), Some(b)) if a != b => format!("stage {a}-{b}"),
+                (Some(a), _) => format!("stage {a}"),
+                _ => "-".to_owned(),
+            };
+            format!("{span}; {:.1} GiB ({:.0}%)", bytes.as_gib_f64(), 100.0 * bytes.as_f64() / total)
+        };
+        t.push(vec![
+            name,
+            cell(Technique::Recompute),
+            cell(Technique::GpuCpuSwap),
+            cell(Technique::D2dSwap),
+        ]);
+    }
+    t
+}
+
+/// §V — the Grace-Hopper projection, recomputed from this reproduction's
+/// models.
+pub fn sec5() -> Table {
+    let mut t = Table::new(
+        "Sec. V: Grace-Hopper projection (GPT-3 175B)",
+        &["quantity", "paper", "measured"],
+    );
+    let p = GraceHopperProjection::compute(&GraceHopperNode::default(), 2);
+    t.push(vec![
+        "175B still OOMs on 96+512 GB/GPU".into(),
+        "yes".into(),
+        if p.still_oom { "yes" } else { "no" }.into(),
+    ]);
+    t.push(vec![
+        "bandwidth to hide CPU-side swap".into(),
+        ">140 GB/s".into(),
+        format!("{:.0} GB/s", p.bandwidth_to_hide_swap / 1e9),
+    ]);
+    t.push(vec![
+        "recompute waste D2D recovers".into(),
+        "25%".into(),
+        format!("{:.0}%", 100.0 * p.recompute_waste),
+    ]);
+    t.push(vec![
+        "exposed-swap slowdown D2D avoids".into(),
+        "13%".into(),
+        format!("{:.0}%", 100.0 * p.exposed_swap_slowdown),
+    ]);
+    t
+}
+
+/// Extension — design-choice ablations DESIGN.md calls out, all on
+/// GPT-10.3B/DGX-1: emulator-verified refinement, the PCIe channel
+/// budget, and the GPipe vs 1F1B schedule trade-off.
+pub fn ablations() -> Table {
+    let mut t = Table::new(
+        "Ablations: planner & schedule design choices (GPT-10.3B, DGX-1)",
+        &["configuration", "tflops", "note"],
+    );
+    let run_cfg = |cfg: PlannerConfig| -> Option<f64> {
+        let job = gpt_job(zoo::gpt_10_3b(), Machine::dgx1());
+        let report = Mpress::builder()
+            .job(job)
+            .planner_config(cfg)
+            .build()
+            .train()
+            .expect("valid inputs");
+        report.succeeded().then_some(report.tflops)
+    };
+    let full = run_cfg(PlannerConfig::default());
+    t.push(vec![
+        "full planner".into(),
+        tflops_cell(full),
+        "reference".into(),
+    ]);
+    let no_refine = run_cfg(PlannerConfig {
+        refine_iters: 0,
+        ..PlannerConfig::default()
+    });
+    t.push(vec![
+        "no emulator refinement".into(),
+        tflops_cell(no_refine),
+        "greedy initial assignment only".into(),
+    ]);
+    let no_mapping = run_cfg(PlannerConfig {
+        mapping_search: false,
+        ..PlannerConfig::default()
+    });
+    t.push(vec![
+        "no device-mapping search".into(),
+        tflops_cell(no_mapping),
+        "identity stage placement".into(),
+    ]);
+    let no_striping = run_cfg(PlannerConfig {
+        striping: false,
+        ..PlannerConfig::default()
+    });
+    t.push(vec![
+        "no data striping".into(),
+        tflops_cell(no_striping),
+        "single-donor D2D transfers".into(),
+    ]);
+    // Striping policy on the asymmetric fabric: GPU0 exporting the
+    // Table III Bert tensor to its neighbours (lanes 2/1/1).
+    let donors = [(DeviceId(3), 2), (DeviceId(1), 1), (DeviceId(2), 1)];
+    let tensor = Bytes::mib(1444);
+    for (label, plan) in [
+        ("single-donor stripe", StripePlan::single(tensor, DeviceId(3), 2)),
+        ("equal striping", StripePlan::equal_over(tensor, &donors)),
+        ("weighted striping", StripePlan::weighted(tensor, &donors)),
+    ] {
+        t.push(vec![
+            label.into(),
+            "-".into(),
+            format!(
+                "1.41 GiB D2D round trip {:.1} ms",
+                plan.round_trip_time() * 1e3
+            ),
+        ]);
+    }
+    // Schedule trade-off: GPipe holds every microbatch's activations.
+    for kind in [ScheduleKind::Dapple, ScheduleKind::GPipe] {
+        let job = PipelineJob::builder()
+            .model(zoo::gpt_5_3b())
+            .machine(Machine::dgx1())
+            .schedule(kind)
+            .microbatch_size(zoo::GPT_MICROBATCH)
+            .microbatches(crate::jobs::WINDOW_MICROBATCHES)
+            .build()
+            .expect("valid");
+        let demand = job.memory_demands().max_stage();
+        let report = Mpress::builder()
+            .job(job)
+            .build()
+            .train()
+            .expect("valid inputs");
+        t.push(vec![
+            format!("{kind} schedule (GPT-5.3B)"),
+            tflops_cell(report.succeeded().then_some(report.tflops)),
+            format!("hottest stage demands {:.1} GiB", demand.as_gib_f64()),
+        ]);
+    }
+    t
+}
+
+/// Extension — sensitivity sweeps over hardware parameters: how MPress's
+/// throughput on a pressured job responds to PCIe bandwidth (the GPU-CPU
+/// swap channel) and to the NVLink lane budget (the D2D channel), plus
+/// the window-length sweep that shows pipeline-bubble amortization.
+pub fn sweeps() -> Table {
+    let mut t = Table::new(
+        "Sensitivity sweeps (GPT-10.3B on DGX-1-class hardware)",
+        &["sweep", "value", "mpress tflops"],
+    );
+    let run_machine = |machine: Machine, microbatches: usize| -> Option<f64> {
+        let job = PipelineJob::builder()
+            .model(zoo::gpt_10_3b())
+            .machine(machine)
+            .schedule(ScheduleKind::Dapple)
+            .microbatch_size(zoo::GPT_MICROBATCH)
+            .microbatches(microbatches)
+            .build()
+            .expect("valid");
+        let report = Mpress::builder()
+            .job(job)
+            .refine_iters(8)
+            .build()
+            .train()
+            .expect("valid inputs");
+        report.succeeded().then_some(report.tflops)
+    };
+
+    // PCIe bandwidth sweep: the GPU-CPU swap channel.
+    for gbps in [6.0, 12.0, 24.0] {
+        let machine = Machine::builder()
+            .name(format!("dgx1-pcie{gbps:.0}"))
+            .pcie(BandwidthCurve::new(gbps * 1e9, 20e-6))
+            .build();
+        t.push(vec![
+            "PCIe bandwidth".into(),
+            format!("{gbps:.0} GB/s"),
+            tflops_cell(run_machine(machine, crate::jobs::WINDOW_MICROBATCHES)),
+        ]);
+    }
+
+    // Topology sweep: asymmetric cube-mesh vs. switched all-to-all.
+    for (label, topo) in [("DGX-1 cube-mesh", Topology::dgx1()), ("NVSwitch", Topology::dgx2())] {
+        let machine = Machine::builder()
+            .name(format!("dgx1-{label}"))
+            .topology(topo)
+            .build();
+        t.push(vec![
+            "NVLink topology".into(),
+            label.into(),
+            tflops_cell(run_machine(machine, crate::jobs::WINDOW_MICROBATCHES)),
+        ]);
+    }
+
+    // Window length: longer windows amortize the pipeline fill/drain.
+    for m in [8usize, 16, 32] {
+        t.push(vec![
+            "window microbatches".into(),
+            format!("{m}"),
+            tflops_cell(run_machine(Machine::dgx1(), m)),
+        ]);
+    }
+    t
+}
+
+/// §I/§II motivation — intra-operator (Megatron-LM tensor parallel) vs.
+/// inter-operator parallelism across interconnect classes.
+///
+/// Intra-op balances memory perfectly but pays per-layer all-reduces on
+/// the critical path; inter-op moves only boundary tensors but piles
+/// memory onto early stages — which MPress then repairs. The last column
+/// is the aggregate traffic ratio (intra / inter) per microbatch.
+pub fn motivation() -> Table {
+    let mut t = Table::new(
+        "Sec. II motivation: intra-op (Megatron TP-8) vs inter-op (DAPPLE/MPress)",
+        &[
+            "machine",
+            "model",
+            "megatron",
+            "GiB/GPU",
+            "dapple",
+            "mpress",
+            "traffic x",
+        ],
+    );
+    for machine in [Machine::dgx1(), Machine::dgx2(), Machine::commodity()] {
+        for model in [zoo::gpt_5_3b(), zoo::gpt_10_3b()] {
+            let mega = MegatronBaseline::new(machine.clone(), model.clone())
+                .microbatch_size(zoo::GPT_MICROBATCH)
+                .microbatches(16)
+                .report();
+            let dapple = SystemConfig::Plain.run(gpt_job(model.clone(), machine.clone()));
+            let mpress = SystemConfig::Mpress.run(gpt_job(model.clone(), machine.clone()));
+            // Aggregate bytes per microbatch: every GPU's ring traffic vs
+            // the pipeline's once-per-boundary sends.
+            let intra =
+                mega.comm_bytes_per_microbatch.as_u64() as f64 * machine.gpu_count() as f64;
+            let inter = (machine.gpu_count() - 1) as f64
+                * model
+                    .boundary_activation_bytes(zoo::GPT_MICROBATCH, &PrecisionPolicy::mixed())
+                    .as_u64() as f64;
+            t.push(vec![
+                machine.name().to_owned(),
+                model.name().to_owned(),
+                tflops_cell(mega.fits.then_some(mega.tflops)),
+                format!("{:.1}", mega.gpu_bytes.as_u64() as f64 / (1 << 30) as f64),
+                tflops_cell(dapple),
+                tflops_cell(mpress),
+                format!("{:.0}x", intra / inter),
+            ]);
+        }
+    }
+    t
+}
+
+/// §II-D scalar claims: memory-balanced partitioning's throughput loss,
+/// GPU-CPU swap's throughput loss at Bert-0.64B, and recomputation's
+/// added training time.
+pub fn sec2d() -> Table {
+    let mut t = Table::new("Sec. II-D scalar claims", &["claim", "paper", "measured"]);
+
+    // (1) Memory-balanced partitioning loses throughput vs.
+    //     computation-balanced (paper: 34% loss).
+    {
+        let machine = Machine::dgx1();
+        let mk = |goal: PartitionGoal| -> f64 {
+            let model = zoo::bert_0_35b();
+            let policy = PrecisionPolicy::full();
+            let partition = StagePartition::balanced(
+                &model,
+                8,
+                zoo::BERT_MICROBATCH,
+                &policy,
+                goal,
+            );
+            let job = PipelineJob::builder()
+                .model(model)
+                .machine(machine.clone())
+                .schedule(ScheduleKind::PipeDream)
+                .microbatch_size(zoo::BERT_MICROBATCH)
+                .microbatches(crate::jobs::WINDOW_MICROBATCHES)
+                .precision(policy)
+                .partition(partition)
+                .build()
+                .expect("valid");
+            let report = Mpress::builder()
+                .job(job)
+                .optimizations(OptimizationSet::none())
+                .build()
+                .train_unmodified()
+                .expect("valid");
+            report.throughput
+        };
+        let comp = mk(PartitionGoal::Computation);
+        let mem = mk(PartitionGoal::Memory);
+        t.push(vec![
+            "memory-balanced partition throughput loss".into(),
+            "34%".into(),
+            format!("{:.0}%", 100.0 * (1.0 - mem / comp)),
+        ]);
+    }
+
+    // (2) GPU-CPU swap loses throughput vs. no-pressure ideal at
+    //     Bert-0.64B (paper: 67%).
+    {
+        let swap = SystemConfig::GpuCpuSwap
+            .run(bert_job(zoo::bert_0_64b(), Machine::dgx1()))
+            .unwrap_or(0.0);
+        let ideal = SystemConfig::Mpress
+            .run(bert_job(zoo::bert_0_64b(), Machine::dgx1()))
+            .unwrap_or(f64::NAN);
+        t.push(vec![
+            "GPU-CPU swap throughput loss @ Bert-0.64B".into(),
+            "67%".into(),
+            format!("{:.0}%", 100.0 * (1.0 - swap / ideal)),
+        ]);
+    }
+
+    // (3) Recomputation's extra training time (paper: up to 33%).
+    {
+        let rec = SystemConfig::Recomputation
+            .run(bert_job(zoo::bert_0_64b(), Machine::dgx1()))
+            .unwrap_or(0.0);
+        let ideal = SystemConfig::Mpress
+            .run(bert_job(zoo::bert_0_64b(), Machine::dgx1()))
+            .unwrap_or(f64::NAN);
+        t.push(vec![
+            "recomputation extra training time".into(),
+            "up to 33%".into(),
+            format!("{:.0}%", 100.0 * (ideal / rec - 1.0)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_draws_both_schedules() {
+        let art = fig1();
+        assert!(art.contains("PipeDream") && art.contains("DAPPLE"));
+        assert!(art.contains("worker 3"));
+    }
+
+    #[test]
+    fn table1_has_both_models() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 2);
+        // Optimizer states and activations both dominate params+grads.
+        for r in 0..2 {
+            let pg: f64 = t.cell(r, "params+grads").unwrap().trim_end_matches('%').parse().unwrap();
+            let opt: f64 = t.cell(r, "optimizer").unwrap().trim_end_matches('%').parse().unwrap();
+            assert!(opt > pg);
+        }
+    }
+
+    #[test]
+    fn fig4_bandwidth_is_monotone_in_lanes() {
+        let t = fig4();
+        let last = t.rows.last().unwrap();
+        let vals: Vec<f64> = last[1..].iter().map(|s| s.parse().unwrap()).collect();
+        assert!(vals.windows(2).all(|w| w[0] < w[1]), "{vals:?}");
+    }
+
+    #[test]
+    fn table2_covers_all_ten_variants() {
+        let t = table2();
+        assert_eq!(t.rows.len(), 10);
+    }
+
+    #[test]
+    fn fig2_shows_imbalance() {
+        let t = fig2();
+        for row in &t.rows {
+            let ratio: f64 = row.last().unwrap().trim_end_matches('x').parse().unwrap();
+            assert!(ratio > 2.0, "{row:?}");
+        }
+    }
+}

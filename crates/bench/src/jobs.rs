@@ -1,0 +1,112 @@
+//! Standard job configurations shared by all experiments — the paper's
+//! §IV-A setup.
+
+use mpress::{Mpress, OptimizationSet, PlannerConfig};
+use mpress_hw::Machine;
+use mpress_model::{zoo, PrecisionPolicy, TransformerConfig};
+use mpress_pipeline::{PipelineJob, ScheduleKind};
+
+/// Microbatches simulated per window (DAPPLE: per minibatch).
+pub const WINDOW_MICROBATCHES: usize = 16;
+
+/// A Bert job as the paper runs it: PipeDream, microbatch 12, FP32.
+pub fn bert_job(model: TransformerConfig, machine: Machine) -> PipelineJob {
+    PipelineJob::builder()
+        .model(model)
+        .machine(machine)
+        .schedule(ScheduleKind::PipeDream)
+        .microbatch_size(zoo::BERT_MICROBATCH)
+        .microbatches(WINDOW_MICROBATCHES)
+        .precision(PrecisionPolicy::full())
+        .build()
+        .expect("paper Bert configuration is valid")
+}
+
+/// A GPT job as the paper runs it: DAPPLE, microbatch 2, mixed precision.
+pub fn gpt_job(model: TransformerConfig, machine: Machine) -> PipelineJob {
+    PipelineJob::builder()
+        .model(model)
+        .machine(machine)
+        .schedule(ScheduleKind::Dapple)
+        .microbatch_size(zoo::GPT_MICROBATCH)
+        .microbatches(WINDOW_MICROBATCHES)
+        .precision(PrecisionPolicy::mixed())
+        .build()
+        .expect("paper GPT configuration is valid")
+}
+
+/// The five Fig. 7 / Fig. 8 system configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemConfig {
+    /// The unmodified host system (PipeDream or DAPPLE).
+    Plain,
+    /// vDNN-style GPU-CPU swap of every eligible tensor.
+    GpuCpuSwap,
+    /// The recomputation baseline.
+    Recomputation,
+    /// MPress restricted to D2D swap ("MPress (D2D)" in Fig. 7).
+    MpressD2dOnly,
+    /// Full MPress.
+    Mpress,
+}
+
+impl SystemConfig {
+    /// Column label used in the tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemConfig::Plain => "plain",
+            SystemConfig::GpuCpuSwap => "gpu-cpu-swap",
+            SystemConfig::Recomputation => "recompute",
+            SystemConfig::MpressD2dOnly => "mpress(d2d)",
+            SystemConfig::Mpress => "mpress",
+        }
+    }
+
+    /// The planner configuration realizing this system.
+    pub fn planner_config(self) -> PlannerConfig {
+        match self {
+            SystemConfig::Plain => PlannerConfig {
+                optimizations: OptimizationSet::none(),
+                ..PlannerConfig::default()
+            },
+            SystemConfig::GpuCpuSwap => PlannerConfig {
+                optimizations: OptimizationSet::host_swap_only(),
+                exhaustive_swap: true,
+                ..PlannerConfig::default()
+            },
+            SystemConfig::Recomputation => PlannerConfig {
+                optimizations: OptimizationSet::recompute_only(),
+                exhaustive_swap: true,
+                ..PlannerConfig::default()
+            },
+            SystemConfig::MpressD2dOnly => PlannerConfig {
+                optimizations: OptimizationSet::d2d_only(),
+                ..PlannerConfig::default()
+            },
+            SystemConfig::Mpress => PlannerConfig::default(),
+        }
+    }
+
+    /// Runs a job under this system; `Some(tflops)` on success, `None` on
+    /// OOM.
+    pub fn run(self, job: PipelineJob) -> Option<f64> {
+        let mpress = Mpress::builder()
+            .job(job)
+            .planner_config(self.planner_config())
+            .build();
+        let report = match self {
+            SystemConfig::Plain => mpress.train_unmodified(),
+            _ => mpress.train(),
+        }
+        .expect("simulation inputs are valid");
+        report.succeeded().then_some(report.tflops)
+    }
+}
+
+/// Formats an optional TFLOPS value the way the paper's figures mark OOM.
+pub fn tflops_cell(v: Option<f64>) -> String {
+    match v {
+        Some(t) => format!("{t:.1}"),
+        None => "OOM".to_owned(),
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment harness for the MPress reproduction.
+//!
+//! One function per table/figure of the paper's evaluation, each returning
+//! a printable [`Table`] with the same rows/series the paper reports. The
+//! `exp_*` binaries print them; `benches/experiments.rs` times the
+//! underlying machinery with Criterion.
+//!
+//! | paper artifact | function |
+//! |---|---|
+//! | Fig. 1 (schedule timelines)            | [`experiments::fig1`] |
+//! | Table I (memory breakdown %)           | [`experiments::table1`] |
+//! | Fig. 2 (per-device imbalance)          | [`experiments::fig2`] |
+//! | Fig. 4 (link bandwidth vs. size)       | [`experiments::fig4`] |
+//! | Table II (memory demands)              | [`experiments::table2`] |
+//! | Fig. 7 (Bert TFLOPS, 5 systems)        | [`experiments::fig7`] |
+//! | Fig. 8a/8b (GPT TFLOPS, 5 systems)     | [`experiments::fig8`] |
+//! | Fig. 9 (mapping/striping ablation)     | [`experiments::fig9`] |
+//! | Table III (per-tensor technique costs) | [`experiments::table3`] |
+//! | Table IV (chosen strategies)           | [`experiments::table4`] |
+//! | §II-D scalars                          | [`experiments::sec2d`] |
+
+pub mod experiments;
+pub mod jobs;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,94 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// A printable experiment result: title, column headers, string rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Title line (includes the paper artifact id).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells, each row as long as `headers`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Looks up a cell by row index and header name.
+    pub fn cell(&self, row: usize, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows.get(row).map(|r| r[col].as_str())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}")?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_prints_aligned() {
+        let mut t = Table::new("Demo", &["model", "tflops"]);
+        t.push(vec!["Bert-0.64B".into(), "63.3".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("Bert-0.64B"));
+        assert_eq!(t.cell(0, "tflops"), Some("63.3"));
+        assert_eq!(t.cell(0, "missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push(vec!["only-one".into()]);
+    }
+}

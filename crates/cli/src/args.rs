@@ -1,0 +1,121 @@
+//! Minimal `--flag value` argument parsing (no external dependency).
+
+use crate::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed flags: `--key value` pairs plus boolean `--key` switches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["chart", "gantt"];
+// `--trace` takes a path, so it is a value flag, not a switch.
+
+impl Args {
+    /// Parses raw arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] on positional arguments or a flag missing its
+    /// value.
+    pub fn parse(raw: &[String]) -> Result<Self, CliError> {
+        let mut args = Args::default();
+        let mut it = raw.iter();
+        while let Some(token) = it.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(CliError(format!(
+                    "unexpected positional argument `{token}` (flags are --key value)"
+                )));
+            };
+            if SWITCHES.contains(&key) {
+                args.switches.push(key.to_owned());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("flag --{key} expects a value")))?;
+            args.values.insert(key.to_owned(), value.clone());
+        }
+        Ok(args)
+    }
+
+    /// The value of `--key`, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// The value of a required flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] naming the missing flag.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// A `usize` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] when the value does not parse.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("--{key} expects an integer, got `{v}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[&str]) -> Result<Args, CliError> {
+        Args::parse(&raw.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let a = parse(&["--model", "gpt-5.3b", "--chart", "--microbatch", "2"]).unwrap();
+        assert_eq!(a.get("model"), Some("gpt-5.3b"));
+        assert!(a.switch("chart"));
+        assert!(!a.switch("gantt"));
+        assert_eq!(a.usize_or("microbatch", 12).unwrap(), 2);
+        assert_eq!(a.usize_or("microbatches", 16).unwrap(), 16);
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(parse(&["gpt"]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = parse(&["--model"]).unwrap_err();
+        assert!(err.0.contains("expects a value"));
+    }
+
+    #[test]
+    fn require_names_the_flag() {
+        let a = parse(&[]).unwrap();
+        let err = a.require("model").unwrap_err();
+        assert!(err.0.contains("--model"));
+    }
+
+    #[test]
+    fn bad_integer_is_reported() {
+        let a = parse(&["--microbatch", "two"]).unwrap();
+        assert!(a.usize_or("microbatch", 1).is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::names;
+use crate::CliError;
+use mpress::{GraceHopperNode, GraceHopperProjection, Mpress, PlannerConfig};
+use mpress_pipeline::PipelineJob;
+use mpress_sim::viz;
+use std::fmt::Write as _;
+
+/// `zoo`: the model catalog with parameter counts.
+pub fn zoo() -> Result<String, CliError> {
+    let mut out = String::from("model         params\n");
+    for (name, cfg) in names::model_catalog() {
+        let _ = writeln!(
+            out,
+            "{name:<13} {:.2}B  ({} layers, hidden {})",
+            cfg.total_params() as f64 / 1e9,
+            cfg.num_layers(),
+            cfg.hidden()
+        );
+        let _ = name;
+    }
+    // Include display names for greppability.
+    out.push('\n');
+    for (_, cfg) in names::model_catalog() {
+        let _ = writeln!(out, "{}", cfg);
+    }
+    Ok(out)
+}
+
+/// Builds the job shared by `demands`, `plan` and `train`.
+fn job_from(args: &Args) -> Result<PipelineJob, CliError> {
+    let model = names::model(args.require("model")?)?;
+    let machine = names::machine(args.get("machine").unwrap_or("dgx1"))?;
+    let (default_sched, default_mb, default_precision) = names::paper_defaults(&model);
+    let schedule = match args.get("schedule") {
+        Some(s) => names::schedule(s)?,
+        None => default_sched,
+    };
+    let microbatch = args.usize_or("microbatch", default_mb)?;
+    let microbatches = args.usize_or("microbatches", 16)?;
+    PipelineJob::builder()
+        .model(model)
+        .machine(machine)
+        .schedule(schedule)
+        .microbatch_size(microbatch)
+        .microbatches(microbatches)
+        .precision(default_precision)
+        .build()
+        .map_err(|e| CliError(format!("invalid job: {e}")))
+}
+
+fn mpress_from(args: &Args) -> Result<Mpress, CliError> {
+    let job = job_from(args)?;
+    let opts = names::optimizations(args.get("opts").unwrap_or("all"))?;
+    let cfg = PlannerConfig {
+        optimizations: opts,
+        ..PlannerConfig::default()
+    };
+    Ok(Mpress::builder().job(job).planner_config(cfg).build())
+}
+
+/// `demands`: Table-II-style memory summary plus per-stage peaks.
+pub fn demands(args: &Args) -> Result<String, CliError> {
+    let job = job_from(args)?;
+    let d = job.memory_demands();
+    let mut out = format!(
+        "{} on {} ({}, microbatch {})\n\
+         total {:.1} GiB, per-stage max {:.1} GiB, min {:.1} GiB, imbalance {:.1}x\n",
+        job.model().name(),
+        job.machine().name(),
+        job.schedule(),
+        job.microbatch_size(),
+        d.total().as_gib_f64(),
+        d.max_stage().as_gib_f64(),
+        d.min_stage().as_gib_f64(),
+        d.imbalance_ratio(),
+    );
+    let usable = job.machine().gpu().usable_memory();
+    for (stage, peak) in d.per_stage_peak.iter().enumerate() {
+        let flag = if *peak > usable { "OVERFLOW" } else { "fits" };
+        let _ = writeln!(
+            out,
+            "stage {stage}: {:>8.1} GiB  {flag}",
+            peak.as_gib_f64()
+        );
+    }
+    Ok(out)
+}
+
+/// `plan`: run the planner, print the technique breakdown, optionally
+/// persist JSON.
+pub fn plan(args: &Args) -> Result<String, CliError> {
+    let mpress = mpress_from(args)?;
+    let (plan, lowered) = mpress
+        .plan()
+        .map_err(|e| CliError(format!("planning failed: {e}")))?;
+    let mut out = format!(
+        "device map: {}\ndirectives: {} (refinement rounds: {})\n",
+        plan.device_map,
+        plan.instrumentation.len(),
+        plan.refinement_rounds
+    );
+    let savings = plan.savings(&lowered);
+    let total: f64 = savings.values().map(|b| b.as_f64()).sum();
+    for tech in [
+        mpress_compaction::Technique::Recompute,
+        mpress_compaction::Technique::GpuCpuSwap,
+        mpress_compaction::Technique::D2dSwap,
+    ] {
+        let bytes = savings
+            .get(&tech)
+            .copied()
+            .unwrap_or(mpress_hw::Bytes::ZERO);
+        let pct = if total > 0.0 {
+            100.0 * bytes.as_f64() / total
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "{tech:<14} {:>10}  ({pct:.1}%)", bytes.to_string());
+    }
+    if let Some(path) = args.get("out") {
+        let json = serde_json::to_string_pretty(&plan.instrumentation)
+            .map_err(|e| CliError(format!("serializing plan: {e}")))?;
+        std::fs::write(path, json).map_err(|e| CliError(format!("writing {path}: {e}")))?;
+        let _ = writeln!(out, "plan written to {path}");
+    }
+    Ok(out)
+}
+
+/// `train`: plan + simulate, report throughput and optional charts.
+pub fn train(args: &Args) -> Result<String, CliError> {
+    let mpress = mpress_from(args)?;
+    let report = mpress
+        .train()
+        .map_err(|e| CliError(format!("training simulation failed: {e}")))?;
+    let mut out = if report.succeeded() {
+        format!(
+            "ok: {:.1} aggregate TFLOPS, {:.1} samples/s, peak {:.1} GiB/GPU\n\
+             traffic: d2d {}, host {}, nvme {}; recompute time {:.2}s\n",
+            report.tflops,
+            report.throughput,
+            report.max_device_peak().as_gib_f64(),
+            report.sim.d2d_traffic,
+            report.sim.host_traffic,
+            report.sim.nvme_traffic,
+            report.sim.recompute_time,
+        )
+    } else {
+        format!(
+            "OUT OF MEMORY: {}\n",
+            report.sim.oom.expect("failed run has an OOM event")
+        )
+    };
+    if args.switch("chart") || args.switch("gantt") || args.get("trace").is_some() {
+        // Re-simulate with timelines for the charts.
+        let (plan, lowered) = mpress
+            .plan()
+            .map_err(|e| CliError(format!("planning failed: {e}")))?;
+        let sim = mpress_sim::Simulator::new(
+            mpress.machine(),
+            &lowered.graph,
+            &plan.instrumentation,
+            plan.device_map.clone(),
+        )
+        .with_config(mpress_sim::SimConfig {
+            strict_oom: true,
+            track_timeline: true,
+            memory_gate: true,
+            trace: args.get("trace").is_some(),
+        })
+        .run()
+        .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+        if let Some(path) = args.get("trace") {
+            let events = sim.trace.as_deref().unwrap_or(&[]);
+            std::fs::write(path, mpress_sim::trace::to_chrome_trace(events))
+                .map_err(|e| CliError(format!("writing {path}: {e}")))?;
+            let _ = writeln!(out, "chrome trace written to {path} ({} events)", events.len());
+        }
+        if args.switch("chart") {
+            out.push_str("\nper-device memory (full block = usable capacity):\n");
+            out.push_str(&viz::memory_chart(
+                &sim,
+                mpress.machine().gpu().usable_memory(),
+                72,
+            ));
+        }
+        if args.switch("gantt") {
+            out.push_str("\nexecution lanes (F fwd, B bwd, U opt, s send):\n");
+            let stages: Vec<usize> = (0..lowered.graph.n_stages())
+                .map(|dev| {
+                    plan.device_map
+                        .stage_of(mpress_hw::DeviceId(dev))
+                        .expect("bijective map")
+                })
+                .collect();
+            out.push_str(&viz::gantt(&sim, &lowered.graph, &stages, 100));
+        }
+    }
+    Ok(out)
+}
+
+/// `insights`: the §V Grace-Hopper projection.
+pub fn insights(args: &Args) -> Result<String, CliError> {
+    let microbatch = args.usize_or("microbatch", 2)?;
+    let projection = GraceHopperProjection::compute(&GraceHopperNode::default(), microbatch);
+    Ok(format!(
+        "Sec. V projection on a Grace-Hopper node (96 GB HBM + 512 GB CPU/GPU):\n{}\n",
+        projection.summary()
+    ))
+}
+
+/// `compare`: every system of Figs. 7/8 plus the §II baselines on one
+/// job — the whole paper's evaluation for a single (model, machine) cell.
+pub fn compare(args: &Args) -> Result<String, CliError> {
+    use mpress::OptimizationSet;
+    use mpress_baselines::{MegatronBaseline, ZeroBaseline, ZeroVariant};
+
+    let job = job_from(args)?;
+    let mut out = format!(
+        "{} on {} ({}, microbatch {}, {} microbatches)\n\n",
+        job.model().name(),
+        job.machine().name(),
+        job.schedule(),
+        job.microbatch_size(),
+        job.microbatches(),
+    );
+    let cell = |v: Option<f64>| match v {
+        Some(t) => format!("{t:8.1}"),
+        None => format!("{:>8}", "OOM"),
+    };
+
+    let plain = Mpress::builder()
+        .job(job.clone())
+        .optimizations(OptimizationSet::none())
+        .build()
+        .train_unmodified()
+        .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+    let _ = writeln!(
+        out,
+        "  {:<24} {} TFLOPS",
+        format!("plain {}", job.schedule()),
+        cell(plain.succeeded().then_some(plain.tflops))
+    );
+    for (label, opts) in [
+        ("gpu-cpu swap", OptimizationSet::host_swap_only()),
+        ("recomputation", OptimizationSet::recompute_only()),
+        ("mpress (d2d only)", OptimizationSet::d2d_only()),
+        ("mpress", OptimizationSet::all()),
+    ] {
+        let r = Mpress::builder()
+            .job(job.clone())
+            .optimizations(opts)
+            .build()
+            .train()
+            .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+        let _ = writeln!(
+            out,
+            "  {:<24} {} TFLOPS",
+            label,
+            cell(r.succeeded().then_some(r.tflops))
+        );
+    }
+    for variant in [ZeroVariant::Offload, ZeroVariant::Infinity] {
+        let r = ZeroBaseline::new(job.machine().clone(), job.model().clone(), variant)
+            .microbatch_size(job.microbatch_size())
+            .accumulation((job.microbatches() / job.machine().gpu_count()).max(1))
+            .report();
+        let _ = writeln!(
+            out,
+            "  {:<24} {} TFLOPS",
+            variant.to_string().to_lowercase(),
+            cell(r.fits.then_some(r.tflops))
+        );
+    }
+    let mega = MegatronBaseline::new(job.machine().clone(), job.model().clone())
+        .microbatch_size(job.microbatch_size())
+        .microbatches(job.microbatches())
+        .report();
+    let _ = writeln!(
+        out,
+        "  {:<24} {} TFLOPS  ({:.1} GiB/GPU, balanced)",
+        "megatron tp-8",
+        cell(mega.fits.then_some(mega.tflops)),
+        mega.gpu_bytes.as_gib_f64()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Args {
+        Args::parse(&raw.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn demands_flags_overflow_stages() {
+        let out = demands(&args(&["--model", "gpt-10.3b"])).unwrap();
+        assert!(out.contains("OVERFLOW"), "{out}");
+        assert!(out.contains("fits"), "{out}");
+    }
+
+    #[test]
+    fn plan_reports_breakdown_for_pressured_job() {
+        let out = plan(&args(&["--model", "bert-0.64b", "--microbatches", "8"])).unwrap();
+        assert!(out.contains("device map"), "{out}");
+        assert!(out.contains("D2D swap"), "{out}");
+    }
+
+    #[test]
+    fn plan_writes_json_when_asked() {
+        let dir = std::env::temp_dir().join("mpress_cli_test_plan.json");
+        let path = dir.to_str().unwrap();
+        let out = plan(&args(&[
+            "--model",
+            "bert-0.64b",
+            "--microbatches",
+            "8",
+            "--out",
+            path,
+        ]))
+        .unwrap();
+        assert!(out.contains("written"), "{out}");
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("directives"), "{text}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn train_reports_success_for_small_model() {
+        let out = train(&args(&["--model", "bert-0.35b", "--microbatches", "8"])).unwrap();
+        assert!(out.contains("ok:"), "{out}");
+    }
+
+    #[test]
+    fn train_reports_oom_for_unaided_run() {
+        let out = train(&args(&[
+            "--model",
+            "gpt-10.3b",
+            "--opts",
+            "none",
+            "--microbatches",
+            "8",
+        ]))
+        .unwrap();
+        assert!(out.contains("OUT OF MEMORY"), "{out}");
+    }
+
+    #[test]
+    fn train_writes_chrome_trace() {
+        let path = std::env::temp_dir().join("mpress_cli_test_trace.json");
+        let path = path.to_str().unwrap();
+        let out = train(&args(&[
+            "--model",
+            "bert-0.35b",
+            "--microbatches",
+            "6",
+            "--trace",
+            path,
+        ]))
+        .unwrap();
+        assert!(out.contains("chrome trace written"), "{out}");
+        let text = std::fs::read_to_string(path).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(parsed.as_array().unwrap().len() > 100);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn train_charts_render() {
+        let out = train(&args(&[
+            "--model",
+            "bert-0.35b",
+            "--microbatches",
+            "6",
+            "--chart",
+            "--gantt",
+        ]))
+        .unwrap();
+        assert!(out.contains("per-device memory"), "{out}");
+        assert!(out.contains("execution lanes"), "{out}");
+        assert!(out.contains("GPU7"), "{out}");
+    }
+
+    #[test]
+    fn compare_lists_every_system() {
+        let out = compare(&args(&["--model", "gpt-5.3b", "--microbatches", "8"])).unwrap();
+        for label in [
+            "plain",
+            "gpu-cpu swap",
+            "recomputation",
+            "mpress",
+            "zero-offload",
+            "zero-infinity",
+            "megatron tp-8",
+        ] {
+            assert!(out.contains(label), "missing {label} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn compare_on_commodity_machine_resolves() {
+        let out = compare(&args(&[
+            "--model",
+            "gpt-5.3b",
+            "--machine",
+            "commodity",
+            "--microbatches",
+            "8",
+        ]))
+        .unwrap();
+        assert!(out.contains("PCIe-only"), "{out}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Library backing the `mpress-cli` binary.
+//!
+//! All command logic lives here (testable); `main.rs` only forwards
+//! `std::env::args`. Subcommands:
+//!
+//! * `zoo` — list the paper's model variants and their parameter counts;
+//! * `demands` — per-stage memory demands of a job (Table II rows);
+//! * `plan` — run MPress's planner, print the Table-IV-style breakdown,
+//!   optionally persist the plan as JSON;
+//! * `train` — plan and simulate, print throughput/TFLOPS and optional
+//!   memory/Gantt charts;
+//! * `compare` — every Figs. 7/8 system plus Megatron/ZeRO on one job;
+//! * `insights` — the §V Grace-Hopper projection.
+
+pub mod args;
+pub mod commands;
+pub mod names;
+
+use std::fmt;
+
+/// A CLI failure: message for the user, non-zero exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+/// Runs the CLI on pre-split arguments (without the program name),
+/// returning the full stdout text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message for unknown commands,
+/// bad flags or failed runs.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let (command, rest) = argv
+        .split_first()
+        .ok_or_else(|| CliError(usage()))?;
+    let parsed = args::Args::parse(rest)?;
+    match command.as_str() {
+        "zoo" => commands::zoo(),
+        "demands" => commands::demands(&parsed),
+        "plan" => commands::plan(&parsed),
+        "train" => commands::train(&parsed),
+        "compare" => commands::compare(&parsed),
+        "insights" => commands::insights(&parsed),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError(format!(
+            "unknown command `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "mpress-cli — MPress (HPCA 2023) reproduction\n\
+     \n\
+     USAGE: mpress-cli <command> [--flag value]...\n\
+     \n\
+     COMMANDS:\n\
+     \x20 zoo                         list the paper's model variants\n\
+     \x20 demands   --model M         per-stage memory demands (Table II)\n\
+     \x20 plan      --model M         generate a memory-saving plan (Table IV)\n\
+     \x20 train     --model M         plan + simulate a training window\n\
+     \x20 compare   --model M         all systems of Figs. 7/8 on one job\n\
+     \x20 insights                    the Sec. V Grace-Hopper projection\n\
+     \n\
+     COMMON FLAGS:\n\
+     \x20 --model       bert-0.35b|bert-0.64b|bert-1.67b|bert-4.0b|bert-6.2b|\n\
+     \x20               gpt-5.3b|gpt-10.3b|gpt-15.4b|gpt-20.4b|gpt-25.5b\n\
+     \x20 --machine     dgx1|dgx2|commodity (default dgx1)\n\
+     \x20 --schedule    pipedream|dapple|gpipe (default: paper pairing)\n\
+     \x20 --microbatch  samples per microbatch (default: paper value)\n\
+     \x20 --microbatches window length (default 16)\n\
+     \x20 --opts        all|recompute|hostswap|d2d|none (default all)\n\
+     \x20 --out         write the plan as JSON (plan) or report (train)\n\
+     \x20 --chart       render per-device memory lanes (train)\n\
+     \x20 --gantt       render the execution timeline (train)\n\
+     \x20 --trace       write a chrome://tracing JSON (train)\n"
+        .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, CliError> {
+        run(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn no_args_prints_usage_error() {
+        let err = call(&[]).unwrap_err();
+        assert!(err.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = call(&["frobnicate"]).unwrap_err();
+        assert!(err.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = call(&["help"]).unwrap();
+        assert!(out.contains("COMMANDS"));
+    }
+
+    #[test]
+    fn zoo_lists_all_variants() {
+        let out = call(&["zoo"]).unwrap();
+        for name in ["Bert-0.35B", "Bert-6.2B", "GPT-5.3B", "GPT-25.5B"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn demands_matches_table2_shape() {
+        let out = call(&["demands", "--model", "gpt-5.3b"]).unwrap();
+        assert!(out.contains("total"), "{out}");
+        assert!(out.contains("stage 0"), "{out}");
+    }
+
+    #[test]
+    fn demands_requires_model() {
+        let err = call(&["demands"]).unwrap_err();
+        assert!(err.0.contains("--model"), "{err}");
+    }
+
+    #[test]
+    fn bad_flag_is_reported() {
+        let err = call(&["demands", "--model"]).unwrap_err();
+        assert!(err.0.contains("expects a value"), "{err}");
+    }
+
+    #[test]
+    fn insights_reports_projection() {
+        let out = call(&["insights"]).unwrap();
+        assert!(out.contains("GPT-3 175B"), "{out}");
+        assert!(out.contains("GB/s"), "{out}");
+    }
+}

@@ -1,0 +1,185 @@
+//! The D2D swap metadata table (paper §III-C).
+//!
+//! > "We manage a metadata table to keep track of the states of tensors
+//! > that go through our D2D swap. For each tensor, we record ... the
+//! > number of sub-blocks, the sizes of each sub-block, and the indices of
+//! > target GPU devices. This information is used to guide the execution
+//! > of the latter swap-in operator and updated when it completes."
+
+use crate::striping::StripePlan;
+use mpress_graph::TensorId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Where a D2D-swapped tensor currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwapState {
+    /// Resident on its home GPU.
+    Resident,
+    /// Swap-out in progress.
+    SwappingOut,
+    /// Fully exported to its peers.
+    SwappedOut,
+    /// Swap-in in progress.
+    SwappingIn,
+}
+
+/// One tensor's metadata entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapRecord {
+    /// The stripe layout: sub-block count, sizes and target devices.
+    pub plan: StripePlan,
+    /// Current location state.
+    pub state: SwapState,
+    /// How many swap round trips the tensor has completed.
+    pub completed_round_trips: u64,
+}
+
+/// Tracks every D2D-swapped tensor's sub-blocks and state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SwapMetadataTable {
+    records: HashMap<TensorId, SwapRecord>,
+}
+
+impl SwapMetadataTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tensor before its first swap-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is already registered.
+    pub fn register(&mut self, tensor: TensorId, plan: StripePlan) {
+        let prev = self.records.insert(
+            tensor,
+            SwapRecord {
+                plan,
+                state: SwapState::Resident,
+                completed_round_trips: 0,
+            },
+        );
+        assert!(prev.is_none(), "tensor {tensor} registered twice");
+    }
+
+    /// Looks up a record.
+    pub fn get(&self, tensor: TensorId) -> Option<&SwapRecord> {
+        self.records.get(&tensor)
+    }
+
+    /// Number of tracked tensors.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no tensor is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Marks the start of a swap-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is unknown or not resident.
+    pub fn begin_swap_out(&mut self, tensor: TensorId) {
+        let r = self.record_mut(tensor);
+        assert_eq!(r.state, SwapState::Resident, "{tensor} not resident");
+        r.state = SwapState::SwappingOut;
+    }
+
+    /// Marks swap-out completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not mid-swap-out.
+    pub fn finish_swap_out(&mut self, tensor: TensorId) {
+        let r = self.record_mut(tensor);
+        assert_eq!(r.state, SwapState::SwappingOut, "{tensor} not swapping out");
+        r.state = SwapState::SwappedOut;
+    }
+
+    /// Marks the start of a swap-in; the stored plan guides which peers to
+    /// fetch which sub-blocks from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not fully swapped out.
+    pub fn begin_swap_in(&mut self, tensor: TensorId) -> &StripePlan {
+        let r = self.record_mut(tensor);
+        assert_eq!(r.state, SwapState::SwappedOut, "{tensor} not swapped out");
+        r.state = SwapState::SwappingIn;
+        &self.records[&tensor].plan
+    }
+
+    /// Marks swap-in completion, updating the record as §III-C requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not mid-swap-in.
+    pub fn finish_swap_in(&mut self, tensor: TensorId) {
+        let r = self.record_mut(tensor);
+        assert_eq!(r.state, SwapState::SwappingIn, "{tensor} not swapping in");
+        r.state = SwapState::Resident;
+        r.completed_round_trips += 1;
+    }
+
+    fn record_mut(&mut self, tensor: TensorId) -> &mut SwapRecord {
+        self.records
+            .get_mut(&tensor)
+            .unwrap_or_else(|| panic!("tensor {tensor} not registered"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpress_hw::{Bytes, DeviceId};
+
+    fn plan() -> StripePlan {
+        StripePlan::equal(Bytes::mib(64), &[DeviceId(4), DeviceId(5)], 2)
+    }
+
+    #[test]
+    fn full_round_trip_updates_state_machine() {
+        let mut t = SwapMetadataTable::new();
+        let id = TensorId(7);
+        t.register(id, plan());
+        assert_eq!(t.get(id).unwrap().state, SwapState::Resident);
+        t.begin_swap_out(id);
+        t.finish_swap_out(id);
+        assert_eq!(t.get(id).unwrap().state, SwapState::SwappedOut);
+        let p = t.begin_swap_in(id).clone();
+        assert_eq!(p.n_chunks(), 2);
+        t.finish_swap_in(id);
+        let r = t.get(id).unwrap();
+        assert_eq!(r.state, SwapState::Resident);
+        assert_eq!(r.completed_round_trips, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_register_rejected() {
+        let mut t = SwapMetadataTable::new();
+        t.register(TensorId(1), plan());
+        t.register(TensorId(1), plan());
+    }
+
+    #[test]
+    #[should_panic(expected = "not swapped out")]
+    fn swap_in_requires_swapped_out() {
+        let mut t = SwapMetadataTable::new();
+        t.register(TensorId(1), plan());
+        t.begin_swap_in(TensorId(1));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = SwapMetadataTable::new();
+        assert!(t.is_empty());
+        t.register(TensorId(0), plan());
+        assert_eq!(t.len(), 1);
+    }
+}

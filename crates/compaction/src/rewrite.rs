@@ -1,0 +1,249 @@
+//! The rewriter (paper Fig. 5, step 4).
+//!
+//! MPress Static's rewriter "instruments the input data flow graph to
+//! incorporate these assigned strategies in proper places to respect the
+//! operator dependencies". This module materializes an
+//! [`InstrumentationPlan`] into an explicit instrumented
+//! [`TrainingGraph`]: swap-out ops right after each producer, swap-in ops
+//! right before each consumer, and drop markers for recomputed
+//! activations.
+//!
+//! The simulator executes directives directly (same semantics, JIT-style),
+//! so the rewritten graph is an *inspection artifact*: it shows exactly
+//! which operators MPress would splice into the framework's graph, can be
+//! serialized, and its validity is machine-checked by the graph builder.
+
+use crate::directive::{HostTier, InstrumentationPlan, MemoryDirective};
+use crate::striping::StripePlan;
+use mpress_graph::{GraphError, OpId, OpKind, TensorId, TrainingGraph};
+use mpress_hw::{Machine, Secs};
+
+/// Statistics of one rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RewriteStats {
+    /// Swap-out operators inserted.
+    pub swap_outs: usize,
+    /// Swap-in operators inserted.
+    pub swap_ins: usize,
+    /// Drop markers inserted (recomputation).
+    pub drops: usize,
+}
+
+/// Rewrites `graph` according to `plan`, returning the instrumented graph
+/// and insertion statistics.
+///
+/// Swap ops are placed in each stage's program order immediately after
+/// the producer (swap-out) and immediately before the consumer (swap-in),
+/// with durations from the machine's channel models; the runtime executes
+/// them on copy streams, so program order encodes dependency, not
+/// serialization.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] if the instrumented graph fails validation
+/// (indicates an inconsistent plan).
+pub fn instrument(
+    graph: &TrainingGraph,
+    plan: &InstrumentationPlan,
+    machine: &Machine,
+) -> Result<(TrainingGraph, RewriteStats), GraphError> {
+    let mut stats = RewriteStats::default();
+    let mut b = TrainingGraph::builder(graph.n_stages());
+
+    // Tensors copy over 1:1 (ids preserved).
+    for t in graph.tensors() {
+        b.add_tensor(t.kind, t.bytes, t.stage, t.layer, t.microbatch);
+    }
+
+    // Old op id -> new op id, for cross-dep remapping.
+    let mut remap = vec![OpId(0); graph.ops().len()];
+
+    let one_way = |t: TensorId, d: &MemoryDirective| -> Secs {
+        let bytes = graph.tensor(t).bytes;
+        match d {
+            MemoryDirective::SwapToHost(HostTier::Dram) => machine.pcie_transfer_time(bytes),
+            MemoryDirective::SwapToHost(HostTier::Nvme) => machine
+                .pcie_transfer_time(bytes)
+                .max(machine.nvme_transfer_time(bytes, true)),
+            MemoryDirective::SwapD2d(stripe) => stripe.one_way_time(),
+            MemoryDirective::Recompute => 0.0,
+        }
+    };
+
+    for stage in 0..graph.n_stages() {
+        for &op_id in graph.stage_program(stage) {
+            let op = graph.op(op_id);
+
+            // Swap-ins precede any op that reads a swapped tensor it
+            // defined-before; drop markers and swap-outs follow producers.
+            for &r in &op.reads {
+                if let Some(d @ (MemoryDirective::SwapToHost(_) | MemoryDirective::SwapD2d(_))) =
+                    plan.get(r)
+                {
+                    // Only before the first consumer per (tensor, op):
+                    // later consumers of statics get their own legs in the
+                    // runtime; the artifact shows one per read.
+                    b.add_op(OpKind::SwapIn, stage, op.microbatch, one_way(r, d), |o| {
+                        o.writes.push(r);
+                    });
+                    stats.swap_ins += 1;
+                }
+            }
+
+            // The op itself (ids shift as we insert).
+            let new_id = b.add_op(op.kind, op.stage, op.microbatch, op.duration, |o| {
+                o.reads = op.reads.clone();
+                o.writes = op.writes.clone();
+                o.frees = op.frees.clone();
+                o.sub_events = op.sub_events.clone();
+            });
+            remap[op_id.index()] = new_id;
+
+            for &w in &op.writes {
+                match plan.get(w) {
+                    Some(d @ (MemoryDirective::SwapToHost(_) | MemoryDirective::SwapD2d(_))) => {
+                        b.add_op(OpKind::SwapOut, stage, op.microbatch, one_way(w, d), |o| {
+                            o.reads.push(w);
+                            o.frees.push(w);
+                        });
+                        stats.swap_outs += 1;
+                    }
+                    Some(MemoryDirective::Recompute) => {
+                        b.add_op(OpKind::Drop, stage, op.microbatch, 0.0, |o| {
+                            o.reads.push(w);
+                            o.frees.push(w);
+                        });
+                        stats.drops += 1;
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    for &(from, to) in graph.cross_deps() {
+        b.add_dep(remap[from.index()], remap[to.index()]);
+    }
+
+    let rewritten = b.build()?;
+    Ok((rewritten, stats))
+}
+
+/// Convenience: the stripe plan recorded for a tensor, if it is D2D
+/// swapped.
+pub fn stripe_of(plan: &InstrumentationPlan, tensor: TensorId) -> Option<&StripePlan> {
+    match plan.get(tensor) {
+        Some(MemoryDirective::SwapD2d(stripe)) => Some(stripe),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpress_graph::TensorKind;
+    use mpress_hw::{Bytes, DeviceId};
+
+    fn base_graph() -> TrainingGraph {
+        let mut b = TrainingGraph::builder(1);
+        let act = b.add_tensor(TensorKind::Activation, Bytes::mib(64), 0, Some(0), Some(0));
+        let act2 = b.add_tensor(TensorKind::Activation, Bytes::mib(64), 0, Some(1), Some(0));
+        b.add_op(OpKind::Forward, 0, Some(0), 0.01, |o| {
+            o.writes.extend([act, act2]);
+        });
+        b.add_op(OpKind::Backward, 0, Some(0), 0.02, |o| {
+            o.reads.extend([act, act2]);
+            o.frees.extend([act, act2]);
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn instruments_swaps_and_drops() {
+        let g = base_graph();
+        let mut plan = InstrumentationPlan::new();
+        plan.assign(TensorId(0), MemoryDirective::SwapToHost(HostTier::Dram));
+        plan.assign(TensorId(1), MemoryDirective::Recompute);
+        let (rewritten, stats) = instrument(&g, &plan, &Machine::dgx1()).unwrap();
+        assert_eq!(stats.swap_outs, 1);
+        assert_eq!(stats.swap_ins, 1);
+        assert_eq!(stats.drops, 1);
+        // 2 original ops + 3 inserted.
+        assert_eq!(rewritten.ops().len(), 5);
+        // Program order: fwd, swap-out(t0), drop(t1), swap-in(t0), bwd.
+        let kinds: Vec<OpKind> = rewritten
+            .stage_program(0)
+            .iter()
+            .map(|&id| rewritten.op(id).kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                OpKind::Forward,
+                OpKind::SwapOut,
+                OpKind::Drop,
+                OpKind::SwapIn,
+                OpKind::Backward
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_identity_modulo_ids() {
+        let g = base_graph();
+        let (rewritten, stats) = instrument(&g, &InstrumentationPlan::new(), &Machine::dgx1())
+            .unwrap();
+        assert_eq!(stats, RewriteStats::default());
+        assert_eq!(rewritten.ops().len(), g.ops().len());
+    }
+
+    #[test]
+    fn d2d_swap_duration_uses_stripe_time() {
+        let g = base_graph();
+        let mut plan = InstrumentationPlan::new();
+        let stripe = StripePlan::weighted(Bytes::mib(64), &[(DeviceId(3), 2), (DeviceId(4), 2)]);
+        let expect = stripe.one_way_time();
+        plan.assign(TensorId(0), MemoryDirective::SwapD2d(stripe));
+        let (rewritten, _) = instrument(&g, &plan, &Machine::dgx1()).unwrap();
+        let swap_out = rewritten
+            .ops()
+            .iter()
+            .find(|o| o.kind == OpKind::SwapOut)
+            .unwrap();
+        assert!((swap_out.duration - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stripe_of_exposes_layout() {
+        let mut plan = InstrumentationPlan::new();
+        let stripe = StripePlan::single(Bytes::mib(8), DeviceId(1), 1);
+        plan.assign(TensorId(0), MemoryDirective::SwapD2d(stripe));
+        assert!(stripe_of(&plan, TensorId(0)).is_some());
+        assert!(stripe_of(&plan, TensorId(1)).is_none());
+    }
+
+    #[test]
+    fn cross_deps_survive_remapping() {
+        let mut b = TrainingGraph::builder(2);
+        let t = b.add_tensor(TensorKind::Activation, Bytes::mib(8), 0, Some(0), Some(0));
+        let f0 = b.add_op(OpKind::Forward, 0, Some(0), 0.01, |o| o.writes.push(t));
+        let f1 = b.add_op(OpKind::Forward, 1, Some(0), 0.01, |_| {});
+        let b0 = b.add_op(OpKind::Backward, 0, Some(0), 0.01, |o| {
+            o.reads.push(t);
+            o.frees.push(t);
+        });
+        b.add_dep(f0, f1);
+        let _ = b0;
+        let g = b.build().unwrap();
+        let mut plan = InstrumentationPlan::new();
+        plan.assign(TensorId(0), MemoryDirective::SwapToHost(HostTier::Dram));
+        let (rewritten, _) = instrument(&g, &plan, &Machine::dgx1()).unwrap();
+        assert_eq!(rewritten.cross_deps().len(), 1);
+        // The dependency still points from the stage-0 forward to the
+        // stage-1 forward after id remapping.
+        let (from, to) = rewritten.cross_deps()[0];
+        assert_eq!(rewritten.op(from).kind, OpKind::Forward);
+        assert_eq!(rewritten.op(from).stage, 0);
+        assert_eq!(rewritten.op(to).stage, 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! Data striping for D2D swap (paper §III-C).
+//!
+//! A pressured GPU can reach several peers over disjoint NVLink lane sets,
+//! so MPress partitions a tensor into sub-blocks transmitted in parallel:
+//!
+//! * on symmetric fabrics (DGX-2) the sub-blocks are **equally sized**;
+//! * on asymmetric fabrics (DGX-1), sub-block sizes are **proportional to
+//!   the per-peer lane bandwidth** (GPU0→GPU3 has two lanes and receives
+//!   twice the bytes of GPU0→GPU1's single lane).
+
+use mpress_hw::{BandwidthCurve, Bytes, DeviceId, Secs, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One sub-block of a striped transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeChunk {
+    /// Importing peer GPU.
+    pub target: DeviceId,
+    /// NVLink lanes used toward that peer.
+    pub lanes: u32,
+    /// Bytes of the sub-block.
+    pub bytes: Bytes,
+}
+
+/// How one tensor is split across peers for a D2D swap.
+///
+/// # Example
+///
+/// ```
+/// use mpress_compaction::StripePlan;
+/// use mpress_hw::{Topology, DeviceId, Bytes};
+///
+/// let topo = Topology::dgx1();
+/// // GPU0 stripes 300 MiB to its two double-lane neighbours GPU3, GPU4.
+/// let plan = StripePlan::weighted(
+///     Bytes::mib(300),
+///     &[(DeviceId(3), 2), (DeviceId(4), 2)],
+/// );
+/// assert_eq!(plan.total_bytes(), Bytes::mib(300));
+/// assert!(plan.validate(DeviceId(0), &topo).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripePlan {
+    chunks: Vec<StripeChunk>,
+}
+
+impl StripePlan {
+    /// Splits `bytes` equally across `targets`, each using `lanes` lanes
+    /// (the symmetric-topology policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty or `lanes == 0`.
+    pub fn equal(bytes: Bytes, targets: &[DeviceId], lanes: u32) -> Self {
+        assert!(!targets.is_empty(), "need at least one stripe target");
+        assert!(lanes > 0, "need at least one lane per stripe");
+        let shares = bytes.split_even(targets.len());
+        let chunks = targets
+            .iter()
+            .zip(shares)
+            .map(|(&target, bytes)| StripeChunk {
+                target,
+                lanes,
+                bytes,
+            })
+            .collect();
+        StripePlan { chunks }
+    }
+
+    /// Splits `bytes` across `(target, lanes)` pairs proportionally to the
+    /// lane counts (the asymmetric-topology policy). Rounding residue goes
+    /// to the widest pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pair is given or any lane count is zero.
+    pub fn weighted(bytes: Bytes, targets: &[(DeviceId, u32)]) -> Self {
+        assert!(!targets.is_empty(), "need at least one stripe target");
+        let total_lanes: u32 = targets.iter().map(|&(_, l)| l).sum();
+        assert!(
+            targets.iter().all(|&(_, l)| l > 0),
+            "every stripe needs at least one lane"
+        );
+        let mut chunks: Vec<StripeChunk> = targets
+            .iter()
+            .map(|&(target, lanes)| StripeChunk {
+                target,
+                lanes,
+                bytes: bytes.scale(f64::from(lanes) / f64::from(total_lanes)),
+            })
+            .collect();
+        let assigned: Bytes = chunks.iter().map(|c| c.bytes).sum();
+        // Fix rounding drift on the widest chunk so totals match exactly.
+        let widest = chunks
+            .iter_mut()
+            .max_by_key(|c| c.lanes)
+            .expect("non-empty");
+        if assigned > bytes {
+            widest.bytes -= assigned - bytes;
+        } else {
+            widest.bytes += bytes - assigned;
+        }
+        StripePlan { chunks }
+    }
+
+    /// Splits `bytes` equally across `(target, lanes)` pairs, *ignoring*
+    /// the lane counts for the split (each chunk still transfers over its
+    /// own lanes). This is the naive policy the paper's bandwidth-weighted
+    /// striping improves on for asymmetric fabrics: the narrowest donor's
+    /// chunk takes the longest and sets the stripe's completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pair is given or any lane count is zero.
+    pub fn equal_over(bytes: Bytes, targets: &[(DeviceId, u32)]) -> Self {
+        assert!(!targets.is_empty(), "need at least one stripe target");
+        assert!(
+            targets.iter().all(|&(_, l)| l > 0),
+            "every stripe needs at least one lane"
+        );
+        let shares = bytes.split_even(targets.len());
+        let chunks = targets
+            .iter()
+            .zip(shares)
+            .map(|(&(target, lanes), bytes)| StripeChunk {
+                target,
+                lanes,
+                bytes,
+            })
+            .collect();
+        StripePlan { chunks }
+    }
+
+    /// A single-target "stripe" (no striping).
+    pub fn single(bytes: Bytes, target: DeviceId, lanes: u32) -> Self {
+        StripePlan::equal(bytes, &[target], lanes)
+    }
+
+    /// The sub-blocks.
+    pub fn chunks(&self) -> &[StripeChunk] {
+        &self.chunks
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> Bytes {
+        self.chunks.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Number of sub-blocks (the metadata table records this, §III-C).
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// One-way transfer time: sub-blocks move in parallel over disjoint
+    /// lanes, so the slowest chunk dominates.
+    pub fn one_way_time(&self) -> Secs {
+        self.chunks
+            .iter()
+            .map(|c| BandwidthCurve::nvlink_lanes(c.lanes).transfer_time(c.bytes))
+            .fold(0.0, f64::max)
+    }
+
+    /// Round-trip (swap-out + swap-in) time — the cost the planner compares
+    /// against live intervals.
+    pub fn round_trip_time(&self) -> Secs {
+        2.0 * self.one_way_time()
+    }
+
+    /// Checks the plan against a topology: every target must be
+    /// NVLink-reachable from `source` with at least the requested lanes,
+    /// and targets must be distinct and different from the source.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self, source: DeviceId, topology: &Topology) -> Result<(), String> {
+        let mut seen = Vec::new();
+        for c in &self.chunks {
+            if c.target == source {
+                return Err(format!("stripe targets the source {source}"));
+            }
+            if seen.contains(&c.target) {
+                return Err(format!("duplicate stripe target {}", c.target));
+            }
+            seen.push(c.target);
+            let lanes = topology.nvlink_lanes(source, c.target);
+            if lanes == 0 {
+                return Err(format!("{source} cannot reach {} over NVLink", c.target));
+            }
+            if c.lanes > lanes {
+                return Err(format!(
+                    "stripe to {} wants {} lanes but only {} exist",
+                    c.target, c.lanes, lanes
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for StripePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stripe[")?;
+        for (i, c) in self.chunks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}x{} -> {}", c.bytes, c.lanes, c.target)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_conserves_bytes() {
+        let p = StripePlan::equal(Bytes(1001), &[DeviceId(1), DeviceId(2), DeviceId(3)], 2);
+        assert_eq!(p.total_bytes(), Bytes(1001));
+        assert_eq!(p.n_chunks(), 3);
+    }
+
+    #[test]
+    fn weighted_is_proportional_and_exact() {
+        let p = StripePlan::weighted(
+            Bytes::mib(300),
+            &[(DeviceId(3), 2), (DeviceId(1), 1)],
+        );
+        assert_eq!(p.total_bytes(), Bytes::mib(300));
+        let c3 = p.chunks().iter().find(|c| c.target == DeviceId(3)).unwrap();
+        let c1 = p.chunks().iter().find(|c| c.target == DeviceId(1)).unwrap();
+        assert_eq!(c3.bytes, Bytes::mib(200));
+        assert_eq!(c1.bytes, Bytes::mib(100));
+    }
+
+    #[test]
+    fn weighted_stripes_finish_together() {
+        // Proportional sizing equalizes per-chunk times, so the one-way
+        // time of a weighted plan matches a lone chunk's time closely.
+        let p = StripePlan::weighted(
+            Bytes::mib(300),
+            &[(DeviceId(3), 2), (DeviceId(1), 1)],
+        );
+        let t2 = BandwidthCurve::nvlink_lanes(2).transfer_time(Bytes::mib(200));
+        let t1 = BandwidthCurve::nvlink_lanes(1).transfer_time(Bytes::mib(100));
+        assert!((t1 - t2).abs() / t1 < 0.05, "t1 {t1} vs t2 {t2}");
+        assert!((p.one_way_time() - t1.max(t2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn striping_beats_single_link() {
+        let bytes = Bytes::mib(512);
+        let single = StripePlan::single(bytes, DeviceId(3), 2);
+        let striped = StripePlan::weighted(
+            bytes,
+            &[(DeviceId(3), 2), (DeviceId(4), 2), (DeviceId(1), 1)],
+        );
+        assert!(striped.one_way_time() < single.one_way_time());
+    }
+
+    #[test]
+    fn round_trip_is_double() {
+        let p = StripePlan::single(Bytes::mib(64), DeviceId(2), 2);
+        assert!((p.round_trip_time() - 2.0 * p.one_way_time()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validate_accepts_good_dgx1_plan() {
+        let topo = Topology::dgx1();
+        let p = StripePlan::weighted(
+            Bytes::mib(100),
+            &[(DeviceId(3), 2), (DeviceId(4), 2), (DeviceId(1), 1), (DeviceId(2), 1)],
+        );
+        assert!(p.validate(DeviceId(0), &topo).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unreachable_target() {
+        let topo = Topology::dgx1();
+        let p = StripePlan::single(Bytes::mib(1), DeviceId(5), 1);
+        assert!(p.validate(DeviceId(0), &topo).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_excess_lanes() {
+        let topo = Topology::dgx1();
+        let p = StripePlan::single(Bytes::mib(1), DeviceId(1), 2); // only 1 lane exists
+        let err = p.validate(DeviceId(0), &topo).unwrap_err();
+        assert!(err.contains("lanes"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_self_and_duplicates() {
+        let topo = Topology::dgx2();
+        let p = StripePlan::single(Bytes::mib(1), DeviceId(0), 1);
+        assert!(p.validate(DeviceId(0), &topo).is_err());
+        let p2 = StripePlan {
+            chunks: vec![
+                StripeChunk { target: DeviceId(1), lanes: 1, bytes: Bytes::mib(1) },
+                StripeChunk { target: DeviceId(1), lanes: 1, bytes: Bytes::mib(1) },
+            ],
+        };
+        assert!(p2.validate(DeviceId(0), &topo).is_err());
+    }
+
+    #[test]
+    fn paper_table3_d2d_cost_regime() {
+        // Table III: a 216 MB tensor over four NVLink lanes costs ~6 ms
+        // round trip. Our model should land in the single-digit-ms regime.
+        let p = StripePlan::weighted(
+            Bytes::mib(216),
+            &[(DeviceId(3), 2), (DeviceId(4), 2)],
+        );
+        let ms = p.round_trip_time() * 1e3;
+        assert!((3.0..9.0).contains(&ms), "round trip {ms:.1} ms");
+    }
+
+    #[test]
+    fn equal_over_conserves_and_loses_to_weighted_on_asymmetric_donors() {
+        let donors = [(DeviceId(3), 2), (DeviceId(4), 1), (DeviceId(7), 1)];
+        let bytes = Bytes::gib(1);
+        let equal = StripePlan::equal_over(bytes, &donors);
+        let weighted = StripePlan::weighted(bytes, &donors);
+        assert_eq!(equal.total_bytes(), bytes);
+        // Equal shares over unequal lanes: the 1-lane chunk dominates, so
+        // the weighted plan strictly wins.
+        assert!(weighted.one_way_time() < equal.one_way_time());
+        // On a symmetric donor set the two policies coincide.
+        let sym = [(DeviceId(1), 2), (DeviceId(2), 2)];
+        let e = StripePlan::equal_over(bytes, &sym);
+        let w = StripePlan::weighted(bytes, &sym);
+        assert!((e.one_way_time() - w.one_way_time()).abs() < 1e-12);
+    }
+}

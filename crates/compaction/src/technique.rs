@@ -1,0 +1,64 @@
+//! The three memory-reduction techniques.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A memory-saving technique MPress can assign to a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// Drop the activation and re-run its forward computation on demand.
+    Recompute,
+    /// Round-trip the tensor over PCIe to pinned host memory.
+    GpuCpuSwap,
+    /// Stripe the tensor over NVLink lanes to peer GPUs with spare memory.
+    D2dSwap,
+}
+
+impl Technique {
+    /// All techniques, in the paper's presentation order.
+    pub const ALL: [Technique; 3] = [
+        Technique::Recompute,
+        Technique::GpuCpuSwap,
+        Technique::D2dSwap,
+    ];
+
+    /// Whether the technique consumes GPU compute resources (only
+    /// recomputation does — the swaps run on copy engines, paper §II-E).
+    pub fn consumes_compute(self) -> bool {
+        matches!(self, Technique::Recompute)
+    }
+
+    /// Whether the technique consumes spare GPU memory on peers.
+    pub fn consumes_peer_memory(self) -> bool {
+        matches!(self, Technique::D2dSwap)
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Technique::Recompute => write!(f, "Recomputation"),
+            Technique::GpuCpuSwap => write!(f, "GPU-CPU swap"),
+            Technique::D2dSwap => write!(f, "D2D swap"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_flags() {
+        assert!(Technique::Recompute.consumes_compute());
+        assert!(!Technique::GpuCpuSwap.consumes_compute());
+        assert!(!Technique::D2dSwap.consumes_compute());
+        assert!(Technique::D2dSwap.consumes_peer_memory());
+        assert!(!Technique::GpuCpuSwap.consumes_peer_memory());
+    }
+
+    #[test]
+    fn all_lists_three() {
+        assert_eq!(Technique::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,201 @@
+//! Hardware-insights projection (paper §V).
+//!
+//! The paper closes with a back-of-the-envelope analysis of MPress on the
+//! Grace-Hopper generation: each Hopper GPU gets 96 GB of HBM plus a
+//! dedicated 512 GB CPU-side pool over NVLink-C2C, which the paper models
+//! at 64 GB/s per GPU. Its claims:
+//!
+//! 1. even 96 GB + 512 GB per device cannot hold a 175 B GPT-3 pipeline
+//!    stage — the memory wall persists;
+//! 2. *fully hiding* GPU-CPU swap would need well over the superchip's
+//!    CPU-link bandwidth (the paper estimates >140 GB/s);
+//! 3. D2D swap therefore stays valuable: it either recovers the compute
+//!    recomputation wastes (~25% of the forward work) or avoids the
+//!    slowdown of exposed CPU-side swapping (~13%).
+//!
+//! This module recomputes each claim from this reproduction's own models
+//! so the projection updates with the calibration.
+
+use mpress_hw::{Bytes, GpuSpec, Secs};
+use mpress_model::{flops, ModelFamily, PrecisionPolicy, TransformerConfig};
+use mpress_pipeline::{MemoryDemands, PartitionGoal, ScheduleKind, StagePartition};
+use serde::{Deserialize, Serialize};
+
+/// The per-GPU slice of a Grace-Hopper node as §V describes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraceHopperNode {
+    /// The Hopper GPU (96 GB HBM3).
+    pub gpu: GpuSpec,
+    /// Dedicated CPU-side memory per GPU.
+    pub cpu_per_gpu: Bytes,
+    /// Effective per-GPU bandwidth to that pool (paper's figure).
+    pub cpu_link_bw: f64,
+    /// GPUs per node.
+    pub gpus: usize,
+}
+
+impl Default for GraceHopperNode {
+    fn default() -> Self {
+        GraceHopperNode {
+            gpu: GpuSpec::grace_hopper(),
+            cpu_per_gpu: Bytes::gib(512),
+            cpu_link_bw: 64.0e9,
+            gpus: 8,
+        }
+    }
+}
+
+/// GPT-3 175B in this reproduction's model vocabulary (96 layers, hidden
+/// 12288, sequence 2048).
+pub fn gpt3_175b() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Gpt)
+        .name("GPT3-175B")
+        .layers(96)
+        .hidden(12288)
+        .seq_len(2048)
+        .build()
+}
+
+/// The recomputed §V projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraceHopperProjection {
+    /// Per-stage peak demand of the hottest stage for GPT-3 175B.
+    pub hottest_stage_demand: Bytes,
+    /// HBM + CPU pool available per GPU.
+    pub per_gpu_capacity: Bytes,
+    /// Whether the 175B pipeline still overflows (paper: yes).
+    pub still_oom: bool,
+    /// CPU-link bandwidth needed to fully hide the hottest stage's swap
+    /// traffic inside its compute cycle, bytes/s (paper: >140 GB/s).
+    pub bandwidth_to_hide_swap: f64,
+    /// The node's actual CPU-link bandwidth.
+    pub available_bandwidth: f64,
+    /// Fraction of forward compute recomputation would re-execute
+    /// (the waste D2D swap can recover; paper: ~25%).
+    pub recompute_waste: f64,
+    /// Fractional training-time increase from exposed CPU-side swapping
+    /// (the slowdown D2D swap can avoid; paper: ~13%).
+    pub exposed_swap_slowdown: f64,
+}
+
+impl GraceHopperProjection {
+    /// Recomputes the projection for a node and microbatch size.
+    pub fn compute(node: &GraceHopperNode, microbatch: usize) -> Self {
+        let model = gpt3_175b();
+        let policy = PrecisionPolicy::mixed();
+        let partition = StagePartition::balanced(
+            &model,
+            node.gpus,
+            microbatch,
+            &policy,
+            PartitionGoal::Computation,
+        );
+        let demands = MemoryDemands::compute(
+            &model,
+            &partition,
+            ScheduleKind::Dapple,
+            microbatch,
+            2 * node.gpus,
+            &policy,
+        );
+        let hottest = demands.max_stage();
+        let capacity = node.gpu.usable_memory() + node.cpu_per_gpu;
+
+        // Swap traffic the hottest stage must round-trip per microbatch
+        // cycle if everything beyond HBM goes to the CPU pool.
+        let spill = hottest.saturating_sub(node.gpu.usable_memory());
+        let in_flight = ScheduleKind::Dapple.in_flight(0, node.gpus, 2 * node.gpus) as f64;
+        let per_cycle_bytes = spill.as_f64() / in_flight;
+        let layers0 = partition.stage_layers(0).len() as f64;
+        let t_layer: Secs = node.gpu.compute_time(
+            flops::layer_forward_flops(&model, microbatch),
+            policy.compute_fp16(),
+        );
+        let cycle: Secs = 3.0 * layers0 * t_layer;
+        // Both directions share the cycle on separate copy engines.
+        let bandwidth_to_hide = per_cycle_bytes / cycle;
+
+        // Recomputation re-executes the forward pass of dropped layers:
+        // one extra forward per three units of fwd+bwd work.
+        let recompute_waste = 1.0 / 3.0;
+        // Exposed swap slowdown when the link is slower than needed.
+        let exposed: Secs = (per_cycle_bytes / node.cpu_link_bw - cycle).max(0.0);
+        let exposed_swap_slowdown = exposed / cycle;
+
+        GraceHopperProjection {
+            hottest_stage_demand: hottest,
+            per_gpu_capacity: capacity,
+            still_oom: hottest > capacity,
+            bandwidth_to_hide_swap: bandwidth_to_hide,
+            available_bandwidth: node.cpu_link_bw,
+            recompute_waste,
+            exposed_swap_slowdown,
+        }
+    }
+
+    /// Renders the projection as display lines.
+    pub fn summary(&self) -> String {
+        format!(
+            "GPT-3 175B hottest stage: {} vs {} per-GPU capacity -> {}\n\
+             bandwidth to hide CPU-side swap: {:.0} GB/s (available: {:.0} GB/s)\n\
+             recomputation waste D2D can recover: {:.0}% of forward work\n\
+             exposed-swap slowdown D2D can avoid: {:.0}%",
+            self.hottest_stage_demand,
+            self.per_gpu_capacity,
+            if self.still_oom { "still OOM" } else { "fits" },
+            self.bandwidth_to_hide_swap / 1e9,
+            self.available_bandwidth / 1e9,
+            100.0 * self.recompute_waste,
+            100.0 * self.exposed_swap_slowdown,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt3_is_175b() {
+        let p = gpt3_175b().total_params() as f64;
+        assert!((165.0e9..185.0e9).contains(&p), "{p:.3e}");
+    }
+
+    /// §V claim 1: the wall persists even on Grace-Hopper.
+    #[test]
+    fn grace_hopper_still_ooms_on_175b() {
+        let proj = GraceHopperProjection::compute(&GraceHopperNode::default(), 2);
+        assert!(proj.still_oom, "{}", proj.summary());
+    }
+
+    /// §V claim 2: hiding the swap needs more than the superchip link.
+    #[test]
+    fn hiding_swap_needs_more_than_c2c_bandwidth() {
+        let proj = GraceHopperProjection::compute(&GraceHopperNode::default(), 2);
+        assert!(
+            proj.bandwidth_to_hide_swap > proj.available_bandwidth,
+            "needed {:.0} GB/s vs available {:.0} GB/s",
+            proj.bandwidth_to_hide_swap / 1e9,
+            proj.available_bandwidth / 1e9
+        );
+    }
+
+    /// §V claim 3: D2D's recoverable costs are material.
+    #[test]
+    fn d2d_remains_valuable() {
+        let proj = GraceHopperProjection::compute(&GraceHopperNode::default(), 2);
+        assert!(proj.recompute_waste >= 0.25);
+        assert!(proj.exposed_swap_slowdown > 0.0);
+    }
+
+    /// A hypothetical fat link erases the exposed-swap slowdown.
+    #[test]
+    fn fat_link_hides_the_swap() {
+        let node = GraceHopperNode {
+            cpu_link_bw: 1.0e12,
+            ..GraceHopperNode::default()
+        };
+        let proj = GraceHopperProjection::compute(&node, 2);
+        assert_eq!(proj.exposed_swap_slowdown, 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Stage-to-device mapping search (paper §III-C, Fig. 6).
+//!
+//! Inter-operator training makes early stages memory-hungry and late
+//! stages light. On an *asymmetric* fabric (DGX-1) it matters which GPU
+//! hosts which stage: a pressured stage wants its spare-memory donors to
+//! be NVLink neighbours, ideally over double lanes. The search enumerates
+//! stage→device permutations, assigns donor spare memory to reachable
+//! exporters, and scores each candidate by the reciprocal of the slowest
+//! exporter's D2D drain time — exactly the paper's scoring rule.
+//!
+//! On *symmetric* fabrics (DGX-2/NVSwitch) every mapping is equivalent, so
+//! the search degenerates to the identity map (the paper "randomly maps
+//! stages to devices" there).
+
+use mpress_hw::{Bytes, DeviceId, Machine, TopologyKind, NVLINK2_LANE_BW, PCIE3_X16_BW};
+use mpress_sim::DeviceMap;
+use serde::{Deserialize, Serialize};
+
+/// Donated spare capacity, from one stage's point of view: which peer
+/// devices will accept its D2D stripes, over how many lanes, up to how
+/// many bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpareAssignment {
+    /// `per_stage[stage]` = `(donor device, lanes, byte budget)` entries.
+    pub per_stage: Vec<Vec<(DeviceId, u32, Bytes)>>,
+}
+
+impl SpareAssignment {
+    /// Total byte budget donated to one stage.
+    pub fn budget_of(&self, stage: usize) -> Bytes {
+        self.per_stage[stage].iter().map(|&(_, _, b)| b).sum()
+    }
+
+    /// Total lanes serving one stage.
+    pub fn lanes_of(&self, stage: usize) -> u32 {
+        self.per_stage[stage].iter().map(|&(_, l, _)| l).sum()
+    }
+}
+
+/// Searches for the device mapping maximizing D2D drain bandwidth.
+#[derive(Debug, Clone)]
+pub struct MappingSearch<'a> {
+    machine: &'a Machine,
+}
+
+impl<'a> MappingSearch<'a> {
+    /// Creates a search over `machine`'s topology.
+    pub fn new(machine: &'a Machine) -> Self {
+        MappingSearch { machine }
+    }
+
+    /// Finds the best mapping for per-stage `overflow` (bytes that must
+    /// leave each stage) and `spare` (bytes each stage can donate).
+    ///
+    /// Returns the chosen map, the resulting donor assignment and the
+    /// winning score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overflow` and `spare` lengths differ or exceed the GPU
+    /// count.
+    pub fn search(&self, overflow: &[Bytes], spare: &[Bytes]) -> (DeviceMap, SpareAssignment, f64) {
+        assert_eq!(overflow.len(), spare.len(), "per-stage arrays must align");
+        let n = overflow.len();
+        assert!(
+            n <= self.machine.gpu_count(),
+            "more stages than GPUs on {}",
+            self.machine.name()
+        );
+        let identity = DeviceMap::identity(n);
+        if self.machine.topology().kind() == TopologyKind::Symmetric {
+            let assignment = self.assign_spare(&identity, overflow, spare);
+            let score = self.score_assignment(&identity, overflow, &assignment);
+            return (identity, assignment, score);
+        }
+        let mut best_map = identity;
+        let mut best_assignment = self.assign_spare(&best_map, overflow, spare);
+        let mut best_score = self.score_assignment(&best_map, overflow, &best_assignment);
+        let mut perm: Vec<usize> = (0..n).collect();
+        permute(&mut perm, 0, &mut |p| {
+            let map = DeviceMap::from_vec(p.iter().map(|&d| DeviceId(d)).collect())
+                .expect("permutation is bijective");
+            let assignment = self.assign_spare(&map, overflow, spare);
+            let score = self.score_assignment(&map, overflow, &assignment);
+            if score > best_score {
+                best_score = score;
+                best_map = map;
+                best_assignment = assignment;
+            }
+        });
+        (best_map, best_assignment, best_score)
+    }
+
+    /// Donor-side spare distribution (the paper's `assign_mem`): every
+    /// stage with spare memory splits it among NVLink-reachable overflowed
+    /// stages, proportionally to their demand.
+    pub fn assign_spare(
+        &self,
+        map: &DeviceMap,
+        overflow: &[Bytes],
+        spare: &[Bytes],
+    ) -> SpareAssignment {
+        let n = overflow.len();
+        let topo = self.machine.topology();
+        let symmetric = topo.kind() == TopologyKind::Symmetric;
+        let mut per_stage: Vec<Vec<(DeviceId, u32, Bytes)>> = vec![Vec::new(); n];
+        for (donor, &donor_spare) in spare.iter().enumerate() {
+            if donor_spare.is_zero() {
+                continue;
+            }
+            let donor_dev = map.device_of(donor);
+            let reachable: Vec<usize> = (0..n)
+                .filter(|&e| {
+                    e != donor
+                        && !overflow[e].is_zero()
+                        && topo.reachable(map.device_of(e), donor_dev)
+                })
+                .collect();
+            let demand_total: f64 = reachable.iter().map(|&e| overflow[e].as_f64()).sum();
+            if demand_total == 0.0 {
+                continue;
+            }
+            for &e in &reachable {
+                let share = donor_spare.scale(overflow[e].as_f64() / demand_total);
+                if share.is_zero() {
+                    continue;
+                }
+                let lanes = topo.nvlink_lanes(map.device_of(e), donor_dev);
+                per_stage[e].push((donor_dev, lanes, share));
+            }
+        }
+        // On a switched fabric the exporter's six-lane egress budget is
+        // split across its donors.
+        if symmetric {
+            for entries in &mut per_stage {
+                let k = entries.len() as u32;
+                if k == 0 {
+                    continue;
+                }
+                let lanes = (topo.lane_budget() / k).max(1);
+                for entry in entries.iter_mut() {
+                    entry.1 = lanes;
+                }
+            }
+        }
+        per_stage
+            .iter_mut()
+            .for_each(|v| v.sort_by_key(|&(d, _, _)| d));
+        SpareAssignment { per_stage }
+    }
+
+    /// The paper's score: the reciprocal of the slowest exporter's drain
+    /// time. Overflow that no donor can absorb drains over PCIe instead,
+    /// which the score naturally punishes.
+    pub fn score_assignment(
+        &self,
+        _map: &DeviceMap,
+        overflow: &[Bytes],
+        assignment: &SpareAssignment,
+    ) -> f64 {
+        let mut worst: f64 = 0.0;
+        let mut any = false;
+        for (stage, &demand) in overflow.iter().enumerate() {
+            if demand.is_zero() {
+                continue;
+            }
+            any = true;
+            let budget = assignment.budget_of(stage);
+            let served = demand.min(budget);
+            let lanes = assignment.lanes_of(stage).min(
+                self.machine.topology().lane_budget(),
+            );
+            let d2d_bw = f64::from(lanes.max(1)) * NVLINK2_LANE_BW;
+            let mut t = served.as_f64() / d2d_bw;
+            let unserved = demand.saturating_sub(budget);
+            t += unserved.as_f64() / PCIE3_X16_BW;
+            worst = worst.max(t);
+        }
+        if !any {
+            return f64::INFINITY;
+        }
+        1.0 / worst
+    }
+}
+
+/// Heap's-style recursive permutation visitor.
+fn permute(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpress_hw::Machine;
+
+    #[test]
+    fn permute_visits_all_orderings() {
+        let mut seen = 0;
+        let mut v = vec![0, 1, 2, 3];
+        permute(&mut v, 0, &mut |_| seen += 1);
+        assert_eq!(seen, 24);
+    }
+
+    #[test]
+    fn symmetric_topology_skips_search() {
+        let machine = Machine::dgx2();
+        let search = MappingSearch::new(&machine);
+        let overflow = vec![Bytes::gib(10), Bytes::ZERO, Bytes::ZERO, Bytes::ZERO,
+                            Bytes::ZERO, Bytes::ZERO, Bytes::ZERO, Bytes::ZERO];
+        let spare = vec![Bytes::ZERO, Bytes::gib(4), Bytes::gib(4), Bytes::gib(4),
+                         Bytes::gib(4), Bytes::gib(4), Bytes::gib(4), Bytes::gib(4)];
+        let (map, assignment, score) = search.search(&overflow, &spare);
+        assert_eq!(map, DeviceMap::identity(8));
+        // All seven donors reachable; egress lanes split the budget of 6.
+        assert_eq!(assignment.per_stage[0].len(), 7);
+        assert!(assignment.budget_of(0) >= Bytes::gib(27));
+        assert!(score.is_finite() && score > 0.0);
+    }
+
+    #[test]
+    fn asymmetric_search_beats_worst_mapping() {
+        let machine = Machine::dgx1();
+        let search = MappingSearch::new(&machine);
+        // Stage 0 overflows; stages 4-7 have spare.
+        let mut overflow = vec![Bytes::ZERO; 8];
+        overflow[0] = Bytes::gib(8);
+        let mut spare = vec![Bytes::ZERO; 8];
+        spare[4..8].fill(Bytes::gib(8));
+        let (best_map, _, best_score) = search.search(&overflow, &spare);
+        // Compare against a deliberately bad map that puts the donors out
+        // of reach: identity (stage0 on GPU0, donors on GPU4-7; GPU0
+        // reaches only GPU4 of those).
+        let id = DeviceMap::identity(8);
+        let id_assignment = search.assign_spare(&id, &overflow, &spare);
+        let id_score = search.score_assignment(&id, &overflow, &id_assignment);
+        assert!(
+            best_score >= id_score,
+            "search ({best_score}) must beat identity ({id_score})"
+        );
+        assert!(best_map.len() == 8);
+    }
+
+    #[test]
+    fn no_overflow_scores_infinite() {
+        let machine = Machine::dgx1();
+        let search = MappingSearch::new(&machine);
+        let overflow = vec![Bytes::ZERO; 8];
+        let spare = vec![Bytes::gib(1); 8];
+        let (_, _, score) = search.search(&overflow, &spare);
+        assert!(score.is_infinite());
+    }
+
+    #[test]
+    fn donors_split_proportionally_to_demand() {
+        let machine = Machine::dgx2();
+        let search = MappingSearch::new(&machine);
+        let mut overflow = vec![Bytes::ZERO; 4];
+        overflow[0] = Bytes::gib(6);
+        overflow[1] = Bytes::gib(2);
+        let mut spare = vec![Bytes::ZERO; 4];
+        spare[3] = Bytes::gib(4);
+        let map = DeviceMap::identity(4);
+        let a = search.assign_spare(&map, &overflow, &spare);
+        // Donor 3 splits 4 GiB as 3:1.
+        assert_eq!(a.budget_of(0), Bytes::gib(3));
+        assert_eq!(a.budget_of(1), Bytes::gib(1));
+    }
+
+    #[test]
+    fn unservable_overflow_lowers_score() {
+        let machine = Machine::dgx1();
+        let search = MappingSearch::new(&machine);
+        let mut overflow = vec![Bytes::ZERO; 8];
+        overflow[0] = Bytes::gib(8);
+        let plenty = {
+            let mut spare = vec![Bytes::ZERO; 8];
+            spare[3] = Bytes::gib(8);
+            spare
+        };
+        let scarce = {
+            let mut spare = vec![Bytes::ZERO; 8];
+            spare[3] = Bytes::gib(1);
+            spare
+        };
+        let map = DeviceMap::identity(8);
+        let a1 = search.assign_spare(&map, &overflow, &plenty);
+        let a2 = search.assign_spare(&map, &overflow, &scarce);
+        let s1 = search.score_assignment(&map, &overflow, &a1);
+        let s2 = search.score_assignment(&map, &overflow, &a2);
+        assert!(s1 > s2, "served {s1} vs starved {s2}");
+    }
+}

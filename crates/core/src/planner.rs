@@ -1,0 +1,976 @@
+//! The memory-compaction planner (paper §III-D).
+//!
+//! The search follows the paper's approximation:
+//!
+//! 1. **Live-interval analysis** (via the [`Profile`]) yields per-class
+//!    sizes, intervals and layer times.
+//! 2. **Initial assignment**: GPU-CPU swap goes to tensors with extremely
+//!    long live intervals (weight stashes, optimizer states);
+//!    recomputation goes to activations whose re-execution latency beats
+//!    the exposed GPU-CPU swap cost; more GPU-CPU swap fills the gap to
+//!    the memory target.
+//! 3. **D2D coverage + iterative refinement**: leftover overflow and the
+//!    assignments imposing the most overhead are re-tried as D2D swaps
+//!    while spare peer memory lasts; refinement candidates are verified by
+//!    an *emulator* run (one simulated window) and kept only when they
+//!    visibly improve training time.
+
+use crate::mapping::{MappingSearch, SpareAssignment};
+use crate::profiler::{Profile, TensorClass};
+use mpress_compaction::{CostModel, HostTier, InstrumentationPlan, MemoryDirective, StripePlan, Technique};
+use mpress_hw::{Bytes, DeviceId, Machine, Secs};
+use mpress_pipeline::{LoweredJob, PipelineJob};
+use mpress_sim::{DeviceMap, SimError, SimReport, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Which techniques the planner may use. Disabling subsets yields the
+/// paper's baselines (recomputation-only, GPU-CPU-swap-only, D2D-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptimizationSet {
+    /// Allow recomputation.
+    pub recompute: bool,
+    /// Allow GPU-CPU (PCIe) swap.
+    pub host_swap: bool,
+    /// Allow D2D (NVLink) swap.
+    pub d2d: bool,
+}
+
+impl OptimizationSet {
+    /// Everything on — full MPress.
+    pub fn all() -> Self {
+        OptimizationSet {
+            recompute: true,
+            host_swap: true,
+            d2d: true,
+        }
+    }
+
+    /// Nothing on — the unmodified host system.
+    pub fn none() -> Self {
+        OptimizationSet {
+            recompute: false,
+            host_swap: false,
+            d2d: false,
+        }
+    }
+
+    /// The recomputation baseline of Figs. 7-8.
+    pub fn recompute_only() -> Self {
+        OptimizationSet {
+            recompute: true,
+            host_swap: false,
+            d2d: false,
+        }
+    }
+
+    /// The GPU-CPU swap baseline of Fig. 7.
+    pub fn host_swap_only() -> Self {
+        OptimizationSet {
+            recompute: false,
+            host_swap: true,
+            d2d: false,
+        }
+    }
+
+    /// The stand-alone D2D variant of Fig. 7 ("MPress (D2D)").
+    pub fn d2d_only() -> Self {
+        OptimizationSet {
+            recompute: false,
+            host_swap: false,
+            d2d: true,
+        }
+    }
+}
+
+/// Planner tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Which techniques may be used.
+    pub optimizations: OptimizationSet,
+    /// Fraction of GPU memory reserved for workspace/fragmentation.
+    pub headroom: f64,
+    /// Maximum emulator-verified refinement steps.
+    pub refine_iters: usize,
+    /// Per-peer data striping (Fig. 9 ablation: off sends whole tensors to
+    /// the single widest donor).
+    pub striping: bool,
+    /// Device-mapping search (Fig. 9 ablation: off keeps the identity
+    /// map).
+    pub mapping_search: bool,
+    /// Naive baseline behavior: swap *every* eligible tensor of an
+    /// overflowing stage instead of just enough to fit (how vDNN-style
+    /// GPU-CPU swap systems behave — the paper's Fig. 7 baseline).
+    pub exhaustive_swap: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            optimizations: OptimizationSet::all(),
+            headroom: 0.04,
+            refine_iters: 48,
+            striping: true,
+            mapping_search: true,
+            exhaustive_swap: false,
+        }
+    }
+}
+
+/// The planner's output.
+#[derive(Debug, Clone)]
+pub struct MpressPlan {
+    /// The stage→device permutation.
+    pub device_map: DeviceMap,
+    /// Per-tensor directives.
+    pub instrumentation: InstrumentationPlan,
+    /// Donor budgets the D2D assignment drew from.
+    pub spare: SpareAssignment,
+    /// Emulator-verified refinement rounds executed.
+    pub refinement_rounds: usize,
+    /// The profiling baseline (uninstrumented timings and peaks).
+    pub baseline: SimReport,
+}
+
+impl MpressPlan {
+    /// Technique → bytes saved, as in the paper's Table IV.
+    pub fn savings(&self, lowered: &LoweredJob) -> std::collections::HashMap<Technique, Bytes> {
+        self.instrumentation.savings_by_technique(&lowered.graph)
+    }
+
+    /// Technique → stages touched, as in the paper's Table IV.
+    pub fn stages(
+        &self,
+        lowered: &LoweredJob,
+    ) -> std::collections::HashMap<Technique, Vec<usize>> {
+        self.instrumentation.stages_by_technique(&lowered.graph)
+    }
+}
+
+/// Per-class planning state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Choice {
+    None,
+    Recompute {
+        overhead: Secs,
+    },
+    HostSwap {
+        overhead: Secs,
+        tier: HostTier,
+    },
+    /// D2D choice; the stripe is built at emit time from reserved budget.
+    D2d,
+}
+
+impl Choice {
+    fn overhead(self) -> Secs {
+        match self {
+            Choice::None | Choice::D2d => 0.0,
+            Choice::Recompute { overhead } | Choice::HostSwap { overhead, .. } => overhead,
+        }
+    }
+
+    fn is_assigned(self) -> bool {
+        self != Choice::None
+    }
+}
+
+/// Assigns compaction techniques to one job's tensor classes.
+#[derive(Debug)]
+pub struct Planner<'a> {
+    machine: &'a Machine,
+    job: &'a PipelineJob,
+    lowered: &'a LoweredJob,
+    config: PlannerConfig,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner.
+    pub fn new(
+        machine: &'a Machine,
+        job: &'a PipelineJob,
+        lowered: &'a LoweredJob,
+        config: PlannerConfig,
+    ) -> Self {
+        Planner {
+            machine,
+            job,
+            lowered,
+            config,
+        }
+    }
+
+    /// Produces the memory-saving plan.
+    ///
+    /// An infeasible job (not enough savings available) still returns a
+    /// best-effort plan; infeasibility surfaces as an OOM when simulating.
+    ///
+    /// When every technique is allowed, the planner builds a small
+    /// *portfolio* — the full combined plan, a no-D2D variant, and a
+    /// recompute-only variant — and keeps whichever the emulator favors,
+    /// guaranteeing full MPress never loses to its own restricted
+    /// baselines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from profiling or emulator runs.
+    pub fn plan(&self) -> Result<MpressPlan, SimError> {
+        let profile = Profile::collect(self.machine, self.job, self.lowered)?;
+        let opts = self.config.optimizations;
+        let mut variants: Vec<OptimizationSet> = Vec::new();
+        if opts.d2d && (opts.recompute || opts.host_swap) {
+            variants.push(OptimizationSet { d2d: false, ..opts });
+        }
+        if opts.recompute && (opts.host_swap || opts.d2d) {
+            // The recompute-only plan is the strongest antidote to over-
+            // committed host swaps: giant statics often fit outright once
+            // every activation is recomputed, and the initial assignment
+            // only discovers that when host swap is off the table.
+            variants.push(OptimizationSet {
+                host_swap: false,
+                d2d: false,
+                ..opts
+            });
+        }
+        let mut best = self.plan_with(opts, &profile)?;
+        if variants.is_empty() {
+            return Ok(best);
+        }
+        let mut best_metric = self.emulate(&best.instrumentation, &best.device_map)?.0;
+        for variant in variants {
+            let alternative = self.plan_with(variant, &profile)?;
+            let alt_metric = self
+                .emulate(&alternative.instrumentation, &alternative.device_map)?
+                .0;
+            if std::env::var_os("MPRESS_PLAN_DEBUG").is_some() {
+                eprintln!(
+                    "portfolio {variant:?}: oom={} makespan={:.4} vs best oom={} makespan={:.4}",
+                    alt_metric.oom, alt_metric.makespan, best_metric.oom, best_metric.makespan
+                );
+            }
+            if metric_better(alt_metric, best_metric) {
+                best = alternative;
+                best_metric = alt_metric;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Plans with an explicit technique set against a shared profile.
+    fn plan_with(
+        &self,
+        opts: OptimizationSet,
+        profile: &Profile,
+    ) -> Result<MpressPlan, SimError> {
+        let cap = self.capacity_target();
+        let n = self.lowered.graph.n_stages();
+        let peaks = &profile.baseline.device_peak[..n];
+        let overflow: Vec<Bytes> = peaks.iter().map(|&p| p.saturating_sub(cap)).collect();
+
+        let cost = CostModel::new(self.machine.clone());
+        let classes = &profile.classes;
+        let mut choice: Vec<Choice> = vec![Choice::None; classes.len()];
+
+        // --- Initial assignment (§III-D step 1) -------------------------------
+        // The per-tensor cost model hides a swap behind its live interval,
+        // but every host swap also occupies the stage's PCIe copy engine.
+        // Steady-state 1F1B repeats one microbatch cycle per stage, so the
+        // per-cycle copy demand must fit inside the cycle's compute time —
+        // latency hiding needs slack, so utilization is kept near half.
+        let m_count = self.job.microbatches() as f64;
+        #[allow(clippy::needless_range_loop)]
+        for stage in 0..n {
+            if overflow[stage].is_zero() {
+                continue;
+            }
+            let cycle =
+                self.job.stage_forward_time(stage) + self.job.stage_backward_time(stage);
+            let channel_budget = 0.5 * cycle;
+            let mut candidates: Vec<(usize, Choice)> = classes
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.stage == stage)
+                .filter_map(|(i, c)| self.best_static_choice(opts, &cost, c).map(|ch| (i, ch)))
+                .collect();
+            candidates.sort_by(|a, b| {
+                a.1.overhead()
+                    .partial_cmp(&b.1.overhead())
+                    .expect("finite overheads")
+                    .then(classes[b.0].peak_saving().cmp(&classes[a.0].peak_saving()))
+            });
+            let mut remaining = overflow[stage];
+            let mut pcie_load = 0.0;
+            for (i, mut ch) in candidates {
+                if remaining.is_zero() && !self.config.exhaustive_swap {
+                    break;
+                }
+                if let Choice::HostSwap { tier, .. } = ch {
+                    let class = &classes[i];
+                    // Activations round-trip once per microbatch; statics
+                    // amortize their single round trip over the window.
+                    let legs_per_cycle = class.instances.len() as f64 / m_count;
+                    let extra = legs_per_cycle
+                        * self.machine.pcie_transfer_time(class.bytes_per_instance);
+                    if pcie_load + extra > channel_budget {
+                        // The copy engine is saturated: fall back to
+                        // recomputation when allowed, else accept the
+                        // queued swap with its exposure made explicit.
+                        if opts.recompute && class.recomputable() {
+                            ch = Choice::Recompute {
+                                overhead: cost.recompute(class.recompute_time).overhead,
+                            };
+                        } else {
+                            ch = Choice::HostSwap {
+                                overhead: extra.max(ch.overhead()),
+                                tier,
+                            };
+                            pcie_load += extra;
+                        }
+                    } else {
+                        pcie_load += extra;
+                    }
+                }
+                remaining = remaining.saturating_sub(classes[i].peak_saving());
+                choice[i] = ch;
+            }
+        }
+
+        // --- Donor minting -----------------------------------------------------
+        // D2D needs spare peer memory, and a stage sitting exactly at
+        // capacity after compaction donates nothing. Long-lived statics
+        // (optimizer states, weight stashes) swap to the host for free —
+        // one hidden round trip per window — so when D2D is on the table,
+        // offload them everywhere to mint donor space (the paper's
+        // Table IV shows GPU-CPU swap spanning stages 0-7 for this
+        // reason).
+        let mut minted: Vec<usize> = Vec::new();
+        if opts.d2d && opts.host_swap && overflow.iter().any(|o| !o.is_zero()) {
+            for (i, class) in classes.iter().enumerate() {
+                if choice[i].is_assigned() || !class.swappable || class.recomputable() {
+                    continue;
+                }
+                if let Some(ch @ Choice::HostSwap { overhead, .. }) =
+                    self.best_static_choice(opts, &cost, class)
+                {
+                    if overhead <= 1e-9 {
+                        choice[i] = ch;
+                        minted.push(i);
+                    }
+                }
+            }
+        }
+
+        // --- Device mapping (§III-C) with post-compaction spare ---------------
+        // Spare memory for D2D donation is what remains AFTER recompute and
+        // host swap have done their work — at 15B+ every stage's raw peak
+        // overflows, yet compacted late stages donate plenty (that is how
+        // the paper's Table IV shows D2D at 20.4B).
+        let projected: Vec<Bytes> = (0..n)
+            .map(|stage| {
+                let covered: Bytes = classes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| c.stage == stage && choice[*i].is_assigned())
+                    .map(|(_, c)| c.peak_saving())
+                    .sum();
+                peaks[stage].saturating_sub(covered)
+            })
+            .collect();
+        let spare: Vec<Bytes> = projected
+            .iter()
+            .map(|&p| cap.scale(0.97).saturating_sub(p))
+            .collect();
+        let search = MappingSearch::new(self.machine);
+        let (device_map, spare_assignment) = if opts.d2d && self.config.mapping_search {
+            let (m, a, _) = search.search(&overflow, &spare);
+            (m, a)
+        } else {
+            let m = DeviceMap::identity(n);
+            let a = search.assign_spare(&m, &overflow, &spare);
+            (m, a)
+        };
+        let mut budgets = spare_assignment.per_stage.clone();
+
+        // --- D2D coverage of leftover overflow --------------------------------
+        if opts.d2d {
+            for stage in 0..n {
+                let covered: Bytes = classes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| c.stage == stage && choice[*i].is_assigned())
+                    .map(|(_, c)| c.peak_saving())
+                    .sum();
+                let mut remaining = overflow[stage].saturating_sub(covered);
+                if remaining.is_zero() {
+                    continue;
+                }
+                let mut unassigned: Vec<usize> = classes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| c.stage == stage && !choice[*i].is_assigned() && c.swappable)
+                    .map(|(i, _)| i)
+                    .collect();
+                // Short-lived tensors first: D2D is the only technique
+                // whose latency they can hide (§III-A).
+                unassigned.sort_by(|&a, &b| {
+                    classes[a]
+                        .live_interval
+                        .partial_cmp(&classes[b].live_interval)
+                        .expect("finite intervals")
+                });
+                for i in unassigned {
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    if reserve_budget(&classes[i], &mut budgets[stage]) {
+                        choice[i] = Choice::D2d;
+                        remaining = remaining.saturating_sub(classes[i].peak_saving());
+                    }
+                }
+            }
+        }
+
+        // --- Emulator feasibility loop (paper Fig. 5 step 5) -------------------
+        // Static estimates under-predict dynamic residency (swap-out lag,
+        // in-flight copies), so the emulator arbitrates: while the window
+        // still overflows, assign the next-cheapest class on the failing
+        // stage and re-run. The paper's planner/rewriter/emulator loop
+        // "runs throughout a series of iterations to converge".
+        let mut rounds = 0;
+        let any_technique = opts.recompute || opts.host_swap || opts.d2d;
+        if any_technique {
+            for _ in 0..64 {
+                let plan = self.emit(classes, &choice, &budgets, &device_map)?;
+                let (metric, oom) = self.emulate(&plan, &device_map)?;
+                if !metric.oom {
+                    break;
+                }
+                rounds += 1;
+                let Some(stage) = oom
+                    .and_then(|e| e.device)
+                    .and_then(|d| device_map.stage_of(d))
+                else {
+                    break; // host pool exhausted — nothing to reassign
+                };
+                let mut fixed = false;
+                // Cheapest remaining class on the failing stage first.
+                let mut remaining_classes: Vec<usize> = classes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| c.stage == stage && !choice[*i].is_assigned())
+                    .map(|(i, _)| i)
+                    .collect();
+                remaining_classes.sort_by(|&a, &b| {
+                    let oa = self
+                        .best_static_choice(opts, &cost, &classes[a])
+                        .map_or(f64::INFINITY, |c| c.overhead());
+                    let ob = self
+                        .best_static_choice(opts, &cost, &classes[b])
+                        .map_or(f64::INFINITY, |c| c.overhead());
+                    oa.partial_cmp(&ob)
+                        .expect("finite overheads")
+                        .then(classes[b].peak_saving().cmp(&classes[a].peak_saving()))
+                });
+                for i in remaining_classes {
+                    if opts.d2d && reserve_budget(&classes[i], &mut budgets[stage]) {
+                        choice[i] = Choice::D2d;
+                        fixed = true;
+                        break;
+                    }
+                    if let Some(ch) = self.best_static_choice(opts, &cost, &classes[i]) {
+                        choice[i] = ch;
+                        fixed = true;
+                        break;
+                    }
+                }
+                if !fixed {
+                    break; // genuinely infeasible with the allowed techniques
+                }
+            }
+        }
+
+        // --- Emulator-verified refinement (§III-D step 2) ----------------------
+        if (opts.d2d || opts.recompute) && self.config.refine_iters > 0 {
+            let mut best_plan = self.emit(classes, &choice, &budgets, &device_map)?;
+            let (mut best_metric, _) = self.emulate(&best_plan, &device_map)?;
+            // Every assigned class is a replacement candidate: estimated
+            // overheads order them, but queuing delays the estimates miss
+            // are caught by the emulator, so zero-estimate classes are
+            // still worth trying (largest savings first).
+            let mut victims: Vec<usize> = (0..classes.len())
+                .filter(|&i| choice[i].is_assigned() && choice[i] != Choice::D2d)
+                .collect();
+            victims.sort_by(|&a, &b| {
+                choice[b]
+                    .overhead()
+                    .partial_cmp(&choice[a].overhead())
+                    .expect("finite overheads")
+                    .then(classes[b].peak_saving().cmp(&classes[a].peak_saving()))
+            });
+            for i in victims.into_iter().take(self.config.refine_iters) {
+                let stage = classes[i].stage;
+                // Candidate 0: a minted donor offload that turned out to
+                // cost critical-path time can simply be undone (the
+                // emulator rejects the trial if the memory was needed).
+                if minted.contains(&i) {
+                    let mut trial_choice = choice.clone();
+                    trial_choice[i] = Choice::None;
+                    let trial_plan = self.emit(classes, &trial_choice, &budgets, &device_map)?;
+                    let (metric, _) = self.emulate(&trial_plan, &device_map)?;
+                    rounds += 1;
+                    if metric_better(metric, best_metric) {
+                        choice = trial_choice;
+                        best_plan = trial_plan;
+                        best_metric = metric;
+                        continue;
+                    }
+                }
+                // Candidate 1: re-route through NVLink to spare peers.
+                if opts.d2d && classes[i].swappable {
+                    let mut trial_budgets = budgets.clone();
+                    if reserve_budget(&classes[i], &mut trial_budgets[stage]) {
+                        let mut trial_choice = choice.clone();
+                        trial_choice[i] = Choice::D2d;
+                        let trial_plan =
+                            self.emit(classes, &trial_choice, &trial_budgets, &device_map)?;
+                        let (metric, _) = self.emulate(&trial_plan, &device_map)?;
+                        rounds += 1;
+                        if metric_better(metric, best_metric) {
+                            choice = trial_choice;
+                            budgets = trial_budgets;
+                            best_plan = trial_plan;
+                            best_metric = metric;
+                            continue;
+                        }
+                    }
+                }
+                // Candidate 2: a queued host swap may lose to recomputation.
+                if opts.recompute
+                    && classes[i].recomputable()
+                    && matches!(choice[i], Choice::HostSwap { .. })
+                {
+                    let mut trial_choice = choice.clone();
+                    trial_choice[i] = Choice::Recompute {
+                        overhead: cost.recompute(classes[i].recompute_time).overhead,
+                    };
+                    let trial_plan = self.emit(classes, &trial_choice, &budgets, &device_map)?;
+                    let (metric, _) = self.emulate(&trial_plan, &device_map)?;
+                    rounds += 1;
+                    if metric_better(metric, best_metric) {
+                        choice = trial_choice;
+                        best_plan = trial_plan;
+                        best_metric = metric;
+                        continue;
+                    }
+                }
+                // Candidate 3: the reverse — recomputation contending with
+                // backward compute may lose to an overlappable host swap.
+                if opts.host_swap
+                    && classes[i].swappable
+                    && matches!(choice[i], Choice::Recompute { .. })
+                {
+                    let tier = self.host_tier_for(&classes[i]);
+                    let c = match tier {
+                        HostTier::Dram => cost
+                            .gpu_cpu_swap(classes[i].bytes_per_instance, classes[i].live_interval),
+                        HostTier::Nvme => cost
+                            .nvme_swap(classes[i].bytes_per_instance, classes[i].live_interval),
+                    };
+                    let mut trial_choice = choice.clone();
+                    trial_choice[i] = Choice::HostSwap {
+                        overhead: c.overhead,
+                        tier,
+                    };
+                    let trial_plan = self.emit(classes, &trial_choice, &budgets, &device_map)?;
+                    let (metric, _) = self.emulate(&trial_plan, &device_map)?;
+                    rounds += 1;
+                    if metric_better(metric, best_metric) {
+                        choice = trial_choice;
+                        best_plan = trial_plan;
+                        best_metric = metric;
+                    }
+                }
+            }
+            // Portfolio check A: minting donor space may not have paid
+            // off at all — try the plan with every unswitched minted
+            // offload stripped.
+            if !minted.is_empty() {
+                let mut stripped = choice.clone();
+                for &i in &minted {
+                    if matches!(stripped[i], Choice::HostSwap { .. }) {
+                        stripped[i] = Choice::None;
+                    }
+                }
+                if stripped != choice {
+                    let trial_plan = self.emit(classes, &stripped, &budgets, &device_map)?;
+                    let (metric, _) = self.emulate(&trial_plan, &device_map)?;
+                    rounds += 1;
+                    if metric_better(metric, best_metric) {
+                        choice = stripped;
+                        best_plan = trial_plan;
+                        best_metric = metric;
+                    }
+                }
+            }
+            // Portfolio check B: the greedy start can over-commit to host
+            // swaps whose queuing the estimates miss. The recompute-
+            // preferred variant of the same assignment is one emit away —
+            // keep whichever the emulator favors (this also guarantees
+            // full MPress never loses to its own recomputation baseline).
+            if opts.recompute {
+                let mut rec_choice = choice.clone();
+                for (i, class) in classes.iter().enumerate() {
+                    if class.recomputable() && matches!(rec_choice[i], Choice::HostSwap { .. }) {
+                        rec_choice[i] = Choice::Recompute {
+                            overhead: cost.recompute(class.recompute_time).overhead,
+                        };
+                    }
+                }
+                if rec_choice != choice {
+                    let rec_plan = self.emit(classes, &rec_choice, &budgets, &device_map)?;
+                    let (metric, _) = self.emulate(&rec_plan, &device_map)?;
+                    rounds += 1;
+                    if metric_better(metric, best_metric) {
+                        best_plan = rec_plan;
+                        best_metric = metric;
+                    }
+                }
+            }
+            let _ = best_metric;
+            return Ok(MpressPlan {
+                device_map,
+                instrumentation: best_plan,
+                spare: spare_assignment,
+                refinement_rounds: rounds,
+                baseline: profile.baseline.clone(),
+            });
+        }
+
+        let instrumentation = self.emit(classes, &choice, &budgets, &device_map)?;
+        Ok(MpressPlan {
+            device_map,
+            instrumentation,
+            spare: spare_assignment,
+            refinement_rounds: rounds,
+            baseline: profile.baseline.clone(),
+        })
+    }
+
+    /// Memory target per device after workspace headroom.
+    pub fn capacity_target(&self) -> Bytes {
+        self.machine
+            .gpu()
+            .usable_memory()
+            .scale(1.0 - self.config.headroom)
+    }
+
+    /// Best non-D2D technique for a class, or `None` when nothing applies.
+    /// Host swaps land in DRAM while the pinned pool lasts and spill to
+    /// the slower NVMe tier after (the §V hierarchy: slower levels for
+    /// longer-lived data).
+    fn best_static_choice(
+        &self,
+        opts: OptimizationSet,
+        cost: &CostModel,
+        class: &TensorClass,
+    ) -> Option<Choice> {
+        let mut best: Option<Choice> = None;
+        if opts.host_swap && class.swappable {
+            let tier = self.host_tier_for(class);
+            let c = match tier {
+                HostTier::Dram => {
+                    cost.gpu_cpu_swap(class.bytes_per_instance, class.live_interval)
+                }
+                HostTier::Nvme => {
+                    cost.nvme_swap(class.bytes_per_instance, class.live_interval)
+                }
+            };
+            best = Some(Choice::HostSwap {
+                overhead: c.overhead,
+                tier,
+            });
+        }
+        if opts.recompute && class.recomputable() {
+            let o = cost.recompute(class.recompute_time).overhead;
+            if best.is_none_or(|b| o < b.overhead()) {
+                best = Some(Choice::Recompute { overhead: o });
+            }
+        }
+        best
+    }
+
+    /// Picks the off-GPU tier for one class: DRAM while the host pool has
+    /// room for the whole job's projected swap footprint, NVMe beyond.
+    /// The projection is conservative (every instance resident off-GPU at
+    /// once), which is exactly the capacity planners must guarantee.
+    fn host_tier_for(&self, class: &TensorClass) -> HostTier {
+        let projected = class.bytes_per_instance * class.instances.len() as u64;
+        // Keep 10% of host DRAM free for pinned staging buffers.
+        let budget = self.machine.cpu().memory.scale(0.9);
+        if projected <= budget && self.machine.nvme().is_some() {
+            HostTier::Dram
+        } else if self.machine.nvme().is_some() && projected > budget {
+            HostTier::Nvme
+        } else {
+            HostTier::Dram
+        }
+    }
+
+    /// Materializes choices into per-tensor directives. D2D stripes are
+    /// rebuilt deterministically from the (already reserved) budgets.
+    fn emit(
+        &self,
+        classes: &[TensorClass],
+        choice: &[Choice],
+        budgets: &[Vec<(DeviceId, u32, Bytes)>],
+        device_map: &DeviceMap,
+    ) -> Result<InstrumentationPlan, SimError> {
+        let mut plan = InstrumentationPlan::new();
+        for (i, class) in classes.iter().enumerate() {
+            match choice[i] {
+                Choice::None => {}
+                Choice::Recompute { .. } => {
+                    for &t in &class.instances {
+                        plan.assign(t, MemoryDirective::Recompute);
+                    }
+                }
+                Choice::HostSwap { tier, .. } => {
+                    for &t in &class.instances {
+                        plan.assign(t, MemoryDirective::SwapToHost(tier));
+                    }
+                }
+                Choice::D2d => {
+                    let stripe = self
+                        .stripe_over(class.bytes_per_instance, &budgets[class.stage])
+                        .ok_or_else(|| {
+                            SimError::BadPlan(format!(
+                                "no donors available for stage {}",
+                                class.stage
+                            ))
+                        })?;
+                    stripe
+                        .validate(device_map.device_of(class.stage), self.machine.topology())
+                        .map_err(SimError::BadPlan)?;
+                    for &t in &class.instances {
+                        plan.assign(t, MemoryDirective::SwapD2d(stripe.clone()));
+                    }
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Builds the stripe layout for one instance over a stage's donors.
+    fn stripe_over(
+        &self,
+        bytes: Bytes,
+        donors: &[(DeviceId, u32, Bytes)],
+    ) -> Option<StripePlan> {
+        let active: Vec<(DeviceId, u32)> = donors
+            .iter()
+            .filter(|&&(_, _, b)| !b.is_zero())
+            .map(|&(d, l, _)| (d, l))
+            .collect();
+        if active.is_empty() {
+            return None;
+        }
+        if self.config.striping {
+            Some(StripePlan::weighted(bytes, &active))
+        } else {
+            // Ablation: no striping — the whole tensor goes to the widest
+            // single donor.
+            let &(d, l) = active.iter().max_by_key(|&&(_, l)| l).expect("non-empty");
+            Some(StripePlan::single(bytes, d, l))
+        }
+    }
+
+    /// One emulator run (paper Fig. 5 step 5): a single simulated window.
+    fn emulate(
+        &self,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+    ) -> Result<(Metric, Option<mpress_sim::OomEvent>), SimError> {
+        let report = Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())
+            .run()?;
+        Ok((
+            Metric {
+                oom: report.oom.is_some(),
+                makespan: report.makespan,
+                host_traffic: report.host_traffic,
+            },
+            report.oom,
+        ))
+    }
+}
+
+/// Reserves donor budget for a whole class (all peak-resident instances).
+/// Returns false (reserving nothing) when the donors cannot absorb it.
+fn reserve_budget(class: &TensorClass, donors: &mut [(DeviceId, u32, Bytes)]) -> bool {
+    let total: Bytes = donors.iter().map(|&(_, _, b)| b).sum();
+    let need = class.peak_saving();
+    if total < need {
+        return false;
+    }
+    // Drain donors proportionally to their lane width (mirrors the
+    // weighted stripe the emit phase builds).
+    let lane_sum: u32 = donors
+        .iter()
+        .filter(|&&(_, _, b)| !b.is_zero())
+        .map(|&(_, l, _)| l)
+        .sum();
+    if lane_sum == 0 {
+        return false;
+    }
+    let mut left = need;
+    for (_, lanes, budget) in donors.iter_mut() {
+        if budget.is_zero() {
+            continue;
+        }
+        let share = need
+            .scale(f64::from(*lanes) / f64::from(lane_sum))
+            .min(*budget)
+            .min(left);
+        *budget -= share;
+        left = left.saturating_sub(share);
+    }
+    // Any residue (rounding or capped donors) drains from whoever has
+    // budget left.
+    if !left.is_zero() {
+        for (_, _, budget) in donors.iter_mut() {
+            let take = left.min(*budget);
+            *budget -= take;
+            left = left.saturating_sub(take);
+            if left.is_zero() {
+                break;
+            }
+        }
+    }
+    left.is_zero()
+}
+
+/// What one emulator run measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Metric {
+    oom: bool,
+    makespan: Secs,
+    host_traffic: Bytes,
+}
+
+/// Emulator metric comparison: resolving OOM beats everything; a visibly
+/// (>0.1%) shorter makespan wins; at equal speed, relieving the PCIe
+/// channel wins (the paper keeps D2D even when the gain is not yet
+/// visible — it frees the slow path for tensors that need it).
+fn metric_better(candidate: Metric, best: Metric) -> bool {
+    match (candidate.oom, best.oom) {
+        (false, true) => true,
+        (true, false) => false,
+        _ => {
+            if candidate.makespan < best.makespan * 0.999 {
+                return true;
+            }
+            candidate.makespan <= best.makespan * 1.001 && candidate.host_traffic < best.host_traffic
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpress_model::{ModelFamily, PrecisionPolicy, TransformerConfig};
+    use mpress_pipeline::{PipelineJob, ScheduleKind};
+
+    fn small_job() -> PipelineJob {
+        PipelineJob::builder()
+            .model(
+                TransformerConfig::builder(ModelFamily::Gpt)
+                    .layers(16)
+                    .hidden(1024)
+                    .seq_len(512)
+                    .build(),
+            )
+            .schedule(ScheduleKind::Dapple)
+            .stages(8)
+            .microbatch_size(2)
+            .microbatches(8)
+            .precision(PrecisionPolicy::mixed())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn optimization_presets() {
+        assert!(OptimizationSet::all().d2d);
+        assert!(!OptimizationSet::recompute_only().host_swap);
+        assert!(OptimizationSet::d2d_only().d2d);
+        assert!(!OptimizationSet::none().recompute);
+    }
+
+    fn m(oom: bool, makespan: Secs, host_traffic: Bytes) -> Metric {
+        Metric {
+            oom,
+            makespan,
+            host_traffic,
+        }
+    }
+
+    #[test]
+    fn metric_prefers_oom_resolution_then_speed() {
+        let t = Bytes::gib(1);
+        assert!(metric_better(m(false, 10.0, t), m(true, 1.0, t)));
+        assert!(!metric_better(m(true, 1.0, t), m(false, 10.0, t)));
+        assert!(metric_better(m(false, 1.0, t), m(false, 2.0, t)));
+        assert!(!metric_better(m(false, 2.0, t), m(false, 1.0, t)));
+        // Sub-0.1% gains are "non-visible": only accepted when they also
+        // relieve the PCIe channel.
+        assert!(!metric_better(m(false, 0.9999, t), m(false, 1.0, t)));
+        assert!(metric_better(m(false, 0.9999, Bytes::ZERO), m(false, 1.0, t)));
+        assert!(!metric_better(m(false, 1.1, Bytes::ZERO), m(false, 1.0, t)));
+    }
+
+    #[test]
+    fn reserve_budget_drains_proportionally() {
+        let class = TensorClass {
+            stage: 0,
+            kind: crate::profiler::TensorClassKind::Activation { layer: Some(0) },
+            instances: vec![],
+            bytes_per_instance: Bytes::mib(100),
+            resident_at_peak: 3,
+            live_interval: 0.01,
+            recompute_time: 0.001,
+            swappable: true,
+        };
+        let mut donors = vec![
+            (DeviceId(3), 2, Bytes::mib(400)),
+            (DeviceId(1), 1, Bytes::mib(400)),
+        ];
+        assert!(reserve_budget(&class, &mut donors));
+        // 300 MiB drained 2:1.
+        assert_eq!(donors[0].2, Bytes::mib(200));
+        assert_eq!(donors[1].2, Bytes::mib(300));
+    }
+
+    #[test]
+    fn reserve_budget_refuses_when_insufficient() {
+        let class = TensorClass {
+            stage: 0,
+            kind: crate::profiler::TensorClassKind::Stash,
+            instances: vec![],
+            bytes_per_instance: Bytes::gib(10),
+            resident_at_peak: 1,
+            live_interval: 1.0,
+            recompute_time: 0.0,
+            swappable: true,
+        };
+        let mut donors = vec![(DeviceId(3), 2, Bytes::gib(1))];
+        assert!(!reserve_budget(&class, &mut donors));
+    }
+
+    #[test]
+    fn fitting_job_needs_no_directives() {
+        let machine = mpress_hw::Machine::dgx1();
+        let job = small_job();
+        let lowered = job.lower().unwrap();
+        let planner = Planner::new(&machine, &job, &lowered, PlannerConfig::default());
+        let plan = planner.plan().unwrap();
+        assert!(plan.instrumentation.is_empty(), "small model must fit as-is");
+    }
+}

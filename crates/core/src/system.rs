@@ -1,0 +1,377 @@
+//! The MPress system facade: configure, plan, train.
+
+use crate::planner::{MpressPlan, Planner, PlannerConfig};
+use mpress_graph::GraphError;
+use mpress_hw::{Bytes, Machine};
+use mpress_pipeline::{LoweredJob, PipelineJob};
+use mpress_sim::{DeviceMap, SimConfig, SimError, SimReport, Simulator};
+
+pub use crate::planner::OptimizationSet;
+
+/// Errors the facade can raise.
+#[derive(Debug)]
+pub enum MpressError {
+    /// The job could not be lowered into a dataflow graph.
+    Lowering(GraphError),
+    /// The simulator rejected its inputs or deadlocked.
+    Simulation(SimError),
+    /// No job was configured.
+    MissingJob,
+}
+
+impl std::fmt::Display for MpressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpressError::Lowering(e) => write!(f, "lowering failed: {e}"),
+            MpressError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            MpressError::MissingJob => write!(f, "no pipeline job configured"),
+        }
+    }
+}
+
+impl std::error::Error for MpressError {}
+
+impl From<GraphError> for MpressError {
+    fn from(e: GraphError) -> Self {
+        MpressError::Lowering(e)
+    }
+}
+
+impl From<SimError> for MpressError {
+    fn from(e: SimError) -> Self {
+        MpressError::Simulation(e)
+    }
+}
+
+/// The outcome of one planned-and-simulated training window.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// The plan that was executed.
+    pub plan: MpressPlan,
+    /// The instrumented simulation.
+    pub sim: SimReport,
+    /// Samples per second.
+    pub throughput: f64,
+    /// Achieved model TFLOPS (the paper's Figs. 7-8 metric).
+    pub tflops: f64,
+}
+
+impl TrainingReport {
+    /// Whether training fit in memory.
+    pub fn succeeded(&self) -> bool {
+        self.sim.oom.is_none()
+    }
+
+    /// Largest per-device memory peak.
+    pub fn max_device_peak(&self) -> Bytes {
+        self.sim.max_device_peak()
+    }
+}
+
+/// The MPress system: a pipeline job plus a planner configuration.
+///
+/// # Example
+///
+/// ```no_run
+/// use mpress::{Mpress, OptimizationSet};
+/// use mpress_pipeline::PipelineJob;
+/// use mpress_model::zoo;
+///
+/// let job = PipelineJob::builder().model(zoo::bert_1_67b()).build()?;
+/// let mpress = Mpress::builder()
+///     .job(job)
+///     .optimizations(OptimizationSet::all())
+///     .build();
+/// let report = mpress.train()?;
+/// assert!(report.succeeded());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Mpress {
+    job: PipelineJob,
+    planner_config: PlannerConfig,
+}
+
+impl Mpress {
+    /// Starts configuring an MPress instance.
+    pub fn builder() -> MpressBuilder {
+        MpressBuilder::default()
+    }
+
+    /// The configured job.
+    pub fn job(&self) -> &PipelineJob {
+        &self.job
+    }
+
+    /// The machine the job runs on.
+    pub fn machine(&self) -> &Machine {
+        self.job.machine()
+    }
+
+    /// The planner configuration.
+    pub fn planner_config(&self) -> &PlannerConfig {
+        &self.planner_config
+    }
+
+    /// Lowers the job and produces a memory-saving plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpressError`] when lowering or the planner's emulator
+    /// runs fail.
+    pub fn plan(&self) -> Result<(MpressPlan, LoweredJob), MpressError> {
+        let lowered = self.job.lower()?;
+        let planner = Planner::new(self.machine(), &self.job, &lowered, self.planner_config);
+        let plan = planner.plan()?;
+        Ok((plan, lowered))
+    }
+
+    /// Plans, then simulates the instrumented training window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpressError`] on inconsistent inputs. Out-of-memory is a
+    /// *result*, not an error: check [`TrainingReport::succeeded`].
+    pub fn train(&self) -> Result<TrainingReport, MpressError> {
+        let (plan, lowered) = self.plan()?;
+        self.simulate(&plan, &lowered)
+    }
+
+    /// Simulates a (possibly externally supplied) plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpressError::Simulation`] on invalid plans.
+    pub fn simulate(
+        &self,
+        plan: &MpressPlan,
+        lowered: &LoweredJob,
+    ) -> Result<TrainingReport, MpressError> {
+        let report = Simulator::new(
+            self.machine(),
+            &lowered.graph,
+            &plan.instrumentation,
+            plan.device_map.clone(),
+        )
+        .with_config(SimConfig {
+            strict_oom: true,
+            track_timeline: false,
+            memory_gate: true,
+            trace: false,
+        })
+        .run()?;
+        // A job that overflows immediately never processes a sample.
+        let (throughput, tflops) = if report.makespan > 0.0 && report.oom.is_none() {
+            (
+                report.throughput(self.job.window_samples()),
+                report.achieved_tflops(self.job.window_flops()),
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        Ok(TrainingReport {
+            plan: plan.clone(),
+            sim: report,
+            throughput,
+            tflops,
+        })
+    }
+
+    /// Simulates the *uninstrumented* job with an identity mapping — the
+    /// unmodified PipeDream/DAPPLE baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpressError`] on lowering or simulator-input failures.
+    pub fn train_unmodified(&self) -> Result<TrainingReport, MpressError> {
+        let lowered = self.job.lower()?;
+        let plan = MpressPlan {
+            device_map: DeviceMap::identity(lowered.graph.n_stages()),
+            instrumentation: mpress_compaction::InstrumentationPlan::new(),
+            spare: crate::mapping::SpareAssignment {
+                per_stage: vec![Vec::new(); lowered.graph.n_stages()],
+            },
+            refinement_rounds: 0,
+            baseline: SimReport {
+                makespan: 0.0,
+                op_start: Vec::new(),
+                op_end: Vec::new(),
+                device_peak: Vec::new(),
+                host_peak: Bytes::ZERO,
+                nvme_peak: Bytes::ZERO,
+                oom: None,
+                d2d_traffic: Bytes::ZERO,
+                host_traffic: Bytes::ZERO,
+                nvme_traffic: Bytes::ZERO,
+                recompute_time: 0.0,
+                timelines: None,
+                trace: None,
+            },
+        };
+        self.simulate(&plan, &lowered)
+    }
+}
+
+/// Builder for [`Mpress`].
+#[derive(Debug, Default)]
+pub struct MpressBuilder {
+    job: Option<PipelineJob>,
+    planner_config: Option<PlannerConfig>,
+    optimizations: Option<OptimizationSet>,
+    headroom: Option<f64>,
+    refine_iters: Option<usize>,
+    striping: Option<bool>,
+    mapping_search: Option<bool>,
+}
+
+impl MpressBuilder {
+    /// Sets the pipeline job (required).
+    pub fn job(mut self, job: PipelineJob) -> Self {
+        self.job = Some(job);
+        self
+    }
+
+    /// Replaces the whole planner configuration.
+    pub fn planner_config(mut self, config: PlannerConfig) -> Self {
+        self.planner_config = Some(config);
+        self
+    }
+
+    /// Selects the allowed techniques.
+    pub fn optimizations(mut self, opts: OptimizationSet) -> Self {
+        self.optimizations = Some(opts);
+        self
+    }
+
+    /// Sets the workspace headroom fraction.
+    pub fn headroom(mut self, headroom: f64) -> Self {
+        self.headroom = Some(headroom);
+        self
+    }
+
+    /// Caps emulator-verified refinement rounds.
+    pub fn refine_iters(mut self, iters: usize) -> Self {
+        self.refine_iters = Some(iters);
+        self
+    }
+
+    /// Toggles D2D data striping (Fig. 9 ablation).
+    pub fn striping(mut self, on: bool) -> Self {
+        self.striping = Some(on);
+        self
+    }
+
+    /// Toggles the device-mapping search (Fig. 9 ablation).
+    pub fn mapping_search(mut self, on: bool) -> Self {
+        self.mapping_search = Some(on);
+        self
+    }
+
+    /// Finishes the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no job was supplied (use [`MpressBuilder::try_build`]
+    /// for a fallible variant).
+    pub fn build(self) -> Mpress {
+        self.try_build().expect("MpressBuilder requires a job")
+    }
+
+    /// Fallible build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpressError::MissingJob`] when no job was set.
+    pub fn try_build(self) -> Result<Mpress, MpressError> {
+        let job = self.job.ok_or(MpressError::MissingJob)?;
+        let mut config = self.planner_config.unwrap_or_default();
+        if let Some(opts) = self.optimizations {
+            config.optimizations = opts;
+        }
+        if let Some(h) = self.headroom {
+            config.headroom = h;
+        }
+        if let Some(r) = self.refine_iters {
+            config.refine_iters = r;
+        }
+        if let Some(s) = self.striping {
+            config.striping = s;
+        }
+        if let Some(m) = self.mapping_search {
+            config.mapping_search = m;
+        }
+        Ok(Mpress {
+            job,
+            planner_config: config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpress_model::{ModelFamily, PrecisionPolicy, TransformerConfig};
+    use mpress_pipeline::ScheduleKind;
+
+    fn job(layers: usize, hidden: usize) -> PipelineJob {
+        PipelineJob::builder()
+            .model(
+                TransformerConfig::builder(ModelFamily::Gpt)
+                    .layers(layers)
+                    .hidden(hidden)
+                    .seq_len(512)
+                    .build(),
+            )
+            .schedule(ScheduleKind::Dapple)
+            .stages(8)
+            .microbatch_size(2)
+            .microbatches(8)
+            .precision(PrecisionPolicy::mixed())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn missing_job_errors() {
+        assert!(matches!(
+            Mpress::builder().try_build(),
+            Err(MpressError::MissingJob)
+        ));
+    }
+
+    #[test]
+    fn small_model_trains_without_directives() {
+        let m = Mpress::builder().job(job(16, 1024)).build();
+        let report = m.train().unwrap();
+        assert!(report.succeeded());
+        assert!(report.plan.instrumentation.is_empty());
+        assert!(report.tflops > 0.0);
+    }
+
+    #[test]
+    fn baseline_equals_mpress_when_memory_suffices() {
+        // Paper Fig. 7 "small size": all systems report identical numbers.
+        let m = Mpress::builder().job(job(16, 1024)).build();
+        let mpress = m.train().unwrap();
+        let plain = m.train_unmodified().unwrap();
+        assert!((mpress.throughput - plain.throughput).abs() / plain.throughput < 1e-9);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let m = Mpress::builder()
+            .job(job(8, 512))
+            .optimizations(OptimizationSet::recompute_only())
+            .headroom(0.1)
+            .refine_iters(3)
+            .striping(false)
+            .mapping_search(false)
+            .build();
+        let c = m.planner_config();
+        assert_eq!(c.optimizations, OptimizationSet::recompute_only());
+        assert_eq!(c.headroom, 0.1);
+        assert_eq!(c.refine_iters, 3);
+        assert!(!c.striping);
+        assert!(!c.mapping_search);
+    }
+}

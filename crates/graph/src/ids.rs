@@ -1,0 +1,59 @@
+//! Typed identifiers for graph entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a tensor within one [`TrainingGraph`](crate::TrainingGraph).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TensorId(pub u32);
+
+impl TensorId {
+    /// The raw index into the graph's tensor table.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of an operator within one [`TrainingGraph`](crate::TrainingGraph).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The raw index into the graph's op table.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(TensorId(3).to_string(), "t3");
+        assert_eq!(OpId(7).to_string(), "op7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(TensorId(1) < TensorId(2));
+        assert_eq!(OpId(5).index(), 5);
+    }
+}

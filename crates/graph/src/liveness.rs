@@ -1,0 +1,182 @@
+//! Live-interval analysis (paper §III-D).
+//!
+//! > "Live interval of a tensor is the time duration between its generation
+//! > and the subsequent usage. For instance, concerning activation tensors,
+//! > their live interval is computed by the difference between the
+//! > timestamps of its backward and forward passes." — MPress, footnote 1.
+//!
+//! MPress's planner compares each tensor's live interval against the cost
+//! of GPU-CPU swap, D2D swap and recomputation to pick the cheapest
+//! technique whose latency can be hidden.
+
+use crate::graph::TrainingGraph;
+use crate::ids::TensorId;
+use mpress_hw::Secs;
+use serde::{Deserialize, Serialize};
+
+/// When a tensor exists and when it is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiveInterval {
+    /// Time the tensor is materialized (producer sub-event, or producer op
+    /// end when no sub-event is recorded; 0 for static tensors).
+    pub def: Secs,
+    /// Time of the first subsequent use (`f64::INFINITY` when never read).
+    pub first_use: Secs,
+    /// Time of the last use.
+    pub last_use: Secs,
+}
+
+impl LiveInterval {
+    /// The paper's live interval: first use minus generation.
+    pub fn duration(&self) -> Secs {
+        (self.first_use - self.def).max(0.0)
+    }
+
+    /// Whether the tensor is ever consumed.
+    pub fn is_used(&self) -> bool {
+        self.first_use.is_finite()
+    }
+}
+
+/// Per-tensor live intervals for one timed execution of a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LivenessAnalysis {
+    intervals: Vec<LiveInterval>,
+}
+
+impl LivenessAnalysis {
+    /// Computes intervals from op start times (seconds, indexed by op id).
+    ///
+    /// Forward sub-events refine the *def* time of per-layer activations;
+    /// backward sub-events refine their *use* time. Ops without sub-events
+    /// define at op end and use at op start (conservative in both
+    /// directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_times` is shorter than the graph's op table.
+    pub fn compute(graph: &TrainingGraph, start_times: &[Secs]) -> Self {
+        assert!(
+            start_times.len() >= graph.ops().len(),
+            "need a start time for every op"
+        );
+        let mut intervals = vec![
+            LiveInterval {
+                def: 0.0,
+                first_use: f64::INFINITY,
+                last_use: 0.0,
+            };
+            graph.tensors().len()
+        ];
+        for op in graph.ops() {
+            let start = start_times[op.id.index()];
+            let end = start + op.duration;
+            for &t in &op.writes {
+                let def = op.sub_event_offset(t).map_or(end, |off| start + off);
+                intervals[t.index()].def = def;
+            }
+            for &t in &op.reads {
+                let use_time = op.sub_event_offset(t).map_or(start, |off| start + off);
+                let iv = &mut intervals[t.index()];
+                if use_time < iv.first_use {
+                    iv.first_use = use_time;
+                }
+                if use_time > iv.last_use {
+                    iv.last_use = use_time;
+                }
+            }
+        }
+        LivenessAnalysis { intervals }
+    }
+
+    /// The interval of one tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn interval(&self, t: TensorId) -> LiveInterval {
+        self.intervals[t.index()]
+    }
+
+    /// Iterates `(tensor, interval)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TensorId, LiveInterval)> + '_ {
+        self.intervals
+            .iter()
+            .enumerate()
+            .map(|(i, &iv)| (TensorId(i as u32), iv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, SubEvent};
+    use crate::tensor::TensorKind;
+    use mpress_hw::Bytes;
+
+    /// One stage, two layers: layer 0's activation is produced first in the
+    /// forward op and needed last in the backward op, so it must have the
+    /// longer live interval.
+    #[test]
+    fn sub_events_order_layer_intervals() {
+        let mut b = TrainingGraph::builder(1);
+        let a0 = b.add_tensor(TensorKind::Activation, Bytes::mib(1), 0, Some(0), Some(0));
+        let a1 = b.add_tensor(TensorKind::Activation, Bytes::mib(1), 0, Some(1), Some(0));
+        b.add_op(OpKind::Forward, 0, Some(0), 0.010, |op| {
+            op.writes.extend([a0, a1]);
+            op.sub_events.extend([
+                SubEvent { tensor: a0, offset: 0.005 },
+                SubEvent { tensor: a1, offset: 0.010 },
+            ]);
+        });
+        b.add_op(OpKind::Backward, 0, Some(0), 0.020, |op| {
+            op.reads.extend([a0, a1]);
+            op.frees.extend([a0, a1]);
+            op.sub_events.extend([
+                SubEvent { tensor: a1, offset: 0.0 },
+                SubEvent { tensor: a0, offset: 0.010 },
+            ]);
+        });
+        let g = b.build().unwrap();
+        let starts = g.serial_start_times();
+        let live = LivenessAnalysis::compute(&g, &starts);
+        let i0 = live.interval(a0);
+        let i1 = live.interval(a1);
+        assert!(i0.duration() > i1.duration());
+        // a0: def at 5 ms, used at 10 (fwd) + 10 (bwd offset) = 20 ms.
+        assert!((i0.duration() - 0.015).abs() < 1e-9);
+        assert!((i1.duration() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unused_tensor_has_infinite_first_use() {
+        let mut b = TrainingGraph::builder(1);
+        let t = b.add_tensor(TensorKind::Activation, Bytes::mib(1), 0, None, Some(0));
+        b.add_op(OpKind::Forward, 0, Some(0), 0.01, |op| op.writes.push(t));
+        let g = b.build().unwrap();
+        let live = LivenessAnalysis::compute(&g, &g.serial_start_times());
+        assert!(!live.interval(t).is_used());
+    }
+
+    #[test]
+    fn duration_never_negative() {
+        let iv = LiveInterval {
+            def: 5.0,
+            first_use: 1.0,
+            last_use: 1.0,
+        };
+        assert_eq!(iv.duration(), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_every_tensor() {
+        let mut b = TrainingGraph::builder(1);
+        for _ in 0..3 {
+            b.add_tensor(TensorKind::Parameter, Bytes::mib(1), 0, None, None);
+        }
+        b.add_op(OpKind::Forward, 0, Some(0), 0.01, |_| {});
+        let g = b.build().unwrap();
+        let live = LivenessAnalysis::compute(&g, &g.serial_start_times());
+        assert_eq!(live.iter().count(), 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Tensor descriptions.
+
+use crate::ids::TensorId;
+use mpress_hw::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The model-data category a tensor belongs to (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorKind {
+    /// Forward-pass activation kept for the backward pass. The only
+    /// category recomputation applies to.
+    Activation,
+    /// Model weights. Under PipeDream's asynchronous schedule several
+    /// versions may be stashed simultaneously.
+    Parameter,
+    /// Accumulated gradients.
+    Gradient,
+    /// Optimizer state (Adam master weights, momentum, variance).
+    OptimizerState,
+    /// The inter-stage boundary activation transferred between GPUs.
+    Boundary,
+}
+
+impl TensorKind {
+    /// Whether recomputation can regenerate this tensor (activations only,
+    /// paper §II-D).
+    pub fn recomputable(self) -> bool {
+        matches!(self, TensorKind::Activation)
+    }
+
+    /// Whether the tensor persists across microbatches (static model data).
+    pub fn is_static(self) -> bool {
+        matches!(
+            self,
+            TensorKind::Parameter | TensorKind::Gradient | TensorKind::OptimizerState
+        )
+    }
+}
+
+impl fmt::Display for TensorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TensorKind::Activation => "activation",
+            TensorKind::Parameter => "parameter",
+            TensorKind::Gradient => "gradient",
+            TensorKind::OptimizerState => "optimizer-state",
+            TensorKind::Boundary => "boundary",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One tensor of the training job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Graph-unique identifier.
+    pub id: TensorId,
+    /// Data category.
+    pub kind: TensorKind,
+    /// Size in bytes.
+    pub bytes: Bytes,
+    /// Pipeline stage owning the tensor.
+    pub stage: usize,
+    /// Model layer (global index) the tensor belongs to, when applicable.
+    pub layer: Option<usize>,
+    /// Microbatch the tensor belongs to (activations/boundaries only).
+    pub microbatch: Option<u32>,
+}
+
+impl Tensor {
+    /// True when the tensor lives for exactly one forward→backward span of
+    /// one microbatch.
+    pub fn is_per_microbatch(&self) -> bool {
+        self.microbatch.is_some()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ({})", self.id, self.kind, self.bytes)?;
+        if let Some(l) = self.layer {
+            write!(f, " layer {l}")?;
+        }
+        if let Some(m) = self.microbatch {
+            write!(f, " mb {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_activations_are_recomputable() {
+        assert!(TensorKind::Activation.recomputable());
+        for k in [
+            TensorKind::Parameter,
+            TensorKind::Gradient,
+            TensorKind::OptimizerState,
+            TensorKind::Boundary,
+        ] {
+            assert!(!k.recomputable(), "{k} must not be recomputable");
+        }
+    }
+
+    #[test]
+    fn static_kinds() {
+        assert!(TensorKind::Parameter.is_static());
+        assert!(TensorKind::OptimizerState.is_static());
+        assert!(!TensorKind::Activation.is_static());
+        assert!(!TensorKind::Boundary.is_static());
+    }
+
+    #[test]
+    fn display_mentions_location() {
+        let t = Tensor {
+            id: TensorId(1),
+            kind: TensorKind::Activation,
+            bytes: Bytes::mib(216),
+            stage: 0,
+            layer: Some(3),
+            microbatch: Some(2),
+        };
+        let s = t.to_string();
+        assert!(s.contains("layer 3") && s.contains("mb 2"), "{s}");
+        assert!(t.is_per_microbatch());
+    }
+}

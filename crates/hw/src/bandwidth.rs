@@ -1,0 +1,200 @@
+//! Size-dependent effective bandwidth model (paper Fig. 4).
+//!
+//! Real interconnects only reach their peak bandwidth for large transfers;
+//! small messages are dominated by launch latency. The paper's Fig. 4 shows
+//! exactly this ramp for PCIe and 2/4/6-lane NVLink aggregates. We model a
+//! channel as
+//!
+//! ```text
+//! time(n)   = latency + n / peak
+//! bw_eff(n) = n / time(n) = peak * n / (n + peak * latency)
+//! ```
+//!
+//! which is the classic latency/bandwidth ("n-half") model: effective
+//! bandwidth is half the peak when `n = peak * latency`.
+
+use crate::units::{Bytes, Secs};
+use serde::{Deserialize, Serialize};
+
+/// Peak unidirectional bandwidth of one NVLink 2.0 lane, bytes/second.
+pub const NVLINK2_LANE_BW: f64 = 25.0e9;
+
+/// Peak unidirectional bandwidth of a PCIe 3.0 x16 host link, bytes/second.
+/// The paper measures NVLink aggregates at 3.9-12.5x PCIe, putting PCIe near
+/// 12 GB/s achievable.
+pub const PCIE3_X16_BW: f64 = 12.0e9;
+
+/// A latency/peak-bandwidth channel.
+///
+/// # Example
+///
+/// ```
+/// use mpress_hw::{BandwidthCurve, Bytes};
+///
+/// let lane = BandwidthCurve::nvlink_lanes(2);
+/// // Small transfers see far less than peak bandwidth...
+/// assert!(lane.effective_bandwidth(Bytes::kib(64)) < 25.0e9);
+/// // ...large ones approach 2 lanes * 25 GB/s.
+/// assert!(lane.effective_bandwidth(Bytes::gib(1)) > 45.0e9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthCurve {
+    /// Asymptotic peak bandwidth in bytes/second.
+    peak: f64,
+    /// Fixed per-transfer launch latency in seconds.
+    latency: Secs,
+}
+
+impl BandwidthCurve {
+    /// Creates a curve from a peak bandwidth (bytes/s) and launch latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak` is not strictly positive or `latency` is negative.
+    pub fn new(peak: f64, latency: Secs) -> Self {
+        assert!(peak.is_finite() && peak > 0.0, "peak must be positive");
+        assert!(latency.is_finite() && latency >= 0.0, "latency must be >= 0");
+        BandwidthCurve { peak, latency }
+    }
+
+    /// An aggregate of `lanes` NVLink 2.0 lanes used in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn nvlink_lanes(lanes: u32) -> Self {
+        assert!(lanes > 0, "need at least one lane");
+        // Striping across more lanes adds a small coordination overhead,
+        // which is why the paper measures 146 GB/s (not 150) on six lanes.
+        BandwidthCurve::new(NVLINK2_LANE_BW * f64::from(lanes) * 0.975, 15e-6)
+    }
+
+    /// A PCIe 3.0 x16 host link (GPU <-> pinned CPU memory).
+    pub fn pcie3_x16() -> Self {
+        BandwidthCurve::new(PCIE3_X16_BW, 20e-6)
+    }
+
+    /// An NVMe SSD channel with the given sustained bandwidth (bytes/s).
+    pub fn nvme(sustained_bw: f64) -> Self {
+        BandwidthCurve::new(sustained_bw, 100e-6)
+    }
+
+    /// Asymptotic peak bandwidth, bytes/second.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Fixed per-transfer latency, seconds.
+    pub fn latency(&self) -> Secs {
+        self.latency
+    }
+
+    /// Time to move `n` bytes across the channel.
+    pub fn transfer_time(&self, n: Bytes) -> Secs {
+        self.latency + n.as_f64() / self.peak
+    }
+
+    /// Effective (achieved) bandwidth for an `n`-byte transfer, bytes/s.
+    ///
+    /// Returns 0 for an empty transfer.
+    pub fn effective_bandwidth(&self, n: Bytes) -> f64 {
+        if n.is_zero() {
+            return 0.0;
+        }
+        n.as_f64() / self.transfer_time(n)
+    }
+
+    /// The transfer size at which effective bandwidth reaches half the peak.
+    pub fn half_peak_size(&self) -> Bytes {
+        Bytes((self.peak * self.latency).round() as u64)
+    }
+}
+
+/// A named channel of the machine, pairing a curve with its [`LinkKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    /// What medium the channel crosses.
+    pub kind: crate::topology::LinkKind,
+    /// Its latency/bandwidth curve.
+    pub curve: BandwidthCurve,
+}
+
+impl Channel {
+    /// Convenience constructor.
+    pub fn new(kind: crate::topology::LinkKind, curve: BandwidthCurve) -> Self {
+        Channel { kind, curve }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_latency_plus_linear() {
+        let c = BandwidthCurve::new(10.0e9, 10e-6);
+        let t = c.transfer_time(Bytes::gib(1));
+        let expected = 10e-6 + Bytes::gib(1).as_f64() / 10.0e9;
+        assert!((t - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_bandwidth_ramps_with_size() {
+        let c = BandwidthCurve::nvlink_lanes(6);
+        let small = c.effective_bandwidth(Bytes::kib(64));
+        let medium = c.effective_bandwidth(Bytes::mib(16));
+        let large = c.effective_bandwidth(Bytes::gib(1));
+        assert!(small < medium && medium < large);
+        assert!(large <= c.peak());
+    }
+
+    #[test]
+    fn six_lanes_land_near_paper_measurement() {
+        // Paper Fig. 4: six NVLinks aggregate to ~146 GB/s unidirectional.
+        let c = BandwidthCurve::nvlink_lanes(6);
+        let bw = c.effective_bandwidth(Bytes::gib(1));
+        assert!(
+            (140.0e9..150.0e9).contains(&bw),
+            "six-lane bandwidth {bw:.3e} outside paper range"
+        );
+    }
+
+    #[test]
+    fn two_lanes_land_near_paper_measurement() {
+        // Paper Fig. 4: two NVLinks aggregate to ~45-50 GB/s.
+        let c = BandwidthCurve::nvlink_lanes(2);
+        let bw = c.effective_bandwidth(Bytes::gib(1));
+        assert!((44.0e9..50.0e9).contains(&bw));
+    }
+
+    #[test]
+    fn nvlink_beats_pcie_by_paper_factors() {
+        // Paper: NVLink aggregates are 3.9-12.5x PCIe bandwidth.
+        let pcie = BandwidthCurve::pcie3_x16().effective_bandwidth(Bytes::gib(1));
+        let nv2 = BandwidthCurve::nvlink_lanes(2).effective_bandwidth(Bytes::gib(1));
+        let nv6 = BandwidthCurve::nvlink_lanes(6).effective_bandwidth(Bytes::gib(1));
+        assert!(nv2 / pcie >= 3.5, "NV2/PCIe = {}", nv2 / pcie);
+        assert!(nv6 / pcie <= 13.0, "NV6/PCIe = {}", nv6 / pcie);
+        assert!(nv6 / pcie >= 10.0, "NV6/PCIe = {}", nv6 / pcie);
+    }
+
+    #[test]
+    fn half_peak_size_matches_definition() {
+        let c = BandwidthCurve::new(10.0e9, 10e-6);
+        let n = c.half_peak_size();
+        let bw = c.effective_bandwidth(n);
+        assert!((bw / c.peak() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_bytes_zero_bandwidth() {
+        let c = BandwidthCurve::pcie3_x16();
+        assert_eq!(c.effective_bandwidth(Bytes::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak must be positive")]
+    fn rejects_nonpositive_peak() {
+        let _ = BandwidthCurve::new(0.0, 0.0);
+    }
+}

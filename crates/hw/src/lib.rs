@@ -1,0 +1,39 @@
+//! Hardware substrate for the MPress reproduction.
+//!
+//! MPress (HPCA 2023) was evaluated on real DGX-1 (8x V100, asymmetric
+//! NVLink) and DGX-2-class (8x A100, symmetric NVSwitch) servers. This crate
+//! replaces that hardware with an analytic model that captures exactly the
+//! properties MPress's design depends on:
+//!
+//! * per-device memory capacity (the "GPU memory wall"),
+//! * compute throughput (peak FLOP/s scaled by an efficiency factor),
+//! * the interconnect topology between GPUs — how many NVLink lanes connect
+//!   each pair of devices (paper Fig. 3), and
+//! * size-dependent effective bandwidth of NVLink, PCIe and NVMe channels
+//!   (paper Fig. 4).
+//!
+//! # Example
+//!
+//! ```
+//! use mpress_hw::{Machine, DeviceId, Bytes};
+//!
+//! let dgx1 = Machine::dgx1();
+//! assert_eq!(dgx1.gpu_count(), 8);
+//! // GPU0 and GPU3 are connected by two NVLink lanes on DGX-1.
+//! let lanes = dgx1.topology().nvlink_lanes(DeviceId(0), DeviceId(3));
+//! assert_eq!(lanes, 2);
+//! // Transferring 64 MiB over those two lanes is much faster than over PCIe.
+//! let d2d = dgx1.nvlink_transfer_time(Bytes::mib(64), lanes);
+//! let pcie = dgx1.pcie_transfer_time(Bytes::mib(64));
+//! assert!(d2d < pcie / 2.0);
+//! ```
+
+pub mod bandwidth;
+pub mod machine;
+pub mod topology;
+pub mod units;
+
+pub use bandwidth::{BandwidthCurve, Channel, NVLINK2_LANE_BW, PCIE3_X16_BW};
+pub use machine::{CpuSpec, GpuSpec, Machine, MachineBuilder, NvmeSpec};
+pub use topology::{DeviceId, LinkKind, Topology, TopologyKind};
+pub use units::{Bytes, Secs};

@@ -1,0 +1,368 @@
+//! GPU interconnect topologies.
+//!
+//! Reproduces the two server generations evaluated in the paper:
+//!
+//! * **DGX-1** (paper Fig. 3): 8 V100s in a hybrid cube-mesh. Each GPU has
+//!   six NVLink lanes distributed *asymmetrically* over four neighbours —
+//!   e.g. GPU0-GPU3 get two lanes (50 GB/s) while GPU0-GPU1 get one
+//!   (25 GB/s), and some pairs (GPU0-GPU5) have no direct link at all.
+//! * **DGX-2**: 8 A100s behind NVSwitch. Every pair is reachable and a GPU
+//!   can drive its full six-lane bandwidth toward any single peer, limited
+//!   only by its per-device ingress/egress capacity.
+
+use crate::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a GPU device within one server (0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub usize);
+
+impl DeviceId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPU{}", self.0)
+    }
+}
+
+impl From<usize> for DeviceId {
+    fn from(v: usize) -> Self {
+        DeviceId(v)
+    }
+}
+
+/// The kind of channel a transfer crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Direct GPU-to-GPU NVLink lane(s).
+    NvLink,
+    /// Host PCIe link between one GPU and CPU memory.
+    Pcie,
+    /// NVMe SSD behind the host.
+    Nvme,
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkKind::NvLink => write!(f, "NVLink"),
+            LinkKind::Pcie => write!(f, "PCIe"),
+            LinkKind::Nvme => write!(f, "NVMe"),
+        }
+    }
+}
+
+/// Which connection style a [`Topology`] implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Point-to-point lanes, possibly uneven (DGX-1 hybrid cube-mesh).
+    Asymmetric,
+    /// Switched all-to-all (DGX-2 NVSwitch).
+    Symmetric,
+}
+
+/// The NVLink topology of one multi-GPU server.
+///
+/// Stores the number of NVLink lanes between every device pair plus the
+/// per-device lane budget (six on both V100 and A100).
+///
+/// # Example
+///
+/// ```
+/// use mpress_hw::{Topology, DeviceId};
+///
+/// let t = Topology::dgx1();
+/// assert_eq!(t.nvlink_lanes(DeviceId(0), DeviceId(3)), 2);
+/// assert_eq!(t.nvlink_lanes(DeviceId(0), DeviceId(5)), 0);
+/// assert_eq!(t.lane_budget(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    kind: TopologyKind,
+    gpu_count: usize,
+    /// `lanes[a][b]` = number of NVLink lanes between GPUs `a` and `b`.
+    lanes: Vec<Vec<u32>>,
+    /// Max simultaneous lanes a single GPU can drive (in or out).
+    lane_budget: u32,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit symmetric lane matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square, not symmetric, has a non-zero
+    /// diagonal, or if any row exceeds the lane budget.
+    pub fn from_lane_matrix(kind: TopologyKind, lanes: Vec<Vec<u32>>, lane_budget: u32) -> Self {
+        let n = lanes.len();
+        for (i, row) in lanes.iter().enumerate() {
+            assert_eq!(row.len(), n, "lane matrix must be square");
+            assert_eq!(row[i], 0, "diagonal must be zero");
+            let total: u32 = row.iter().sum();
+            assert!(
+                total <= lane_budget,
+                "GPU{i} uses {total} lanes, budget is {lane_budget}"
+            );
+        }
+        for (i, row) in lanes.iter().enumerate() {
+            for (j, &l) in row.iter().enumerate() {
+                assert_eq!(l, lanes[j][i], "lane matrix must be symmetric");
+            }
+        }
+        Topology {
+            kind,
+            gpu_count: n,
+            lanes,
+            lane_budget,
+        }
+    }
+
+    /// The DGX-1 (V100) hybrid cube-mesh of the paper's Fig. 3.
+    ///
+    /// Each GPU has exactly six lanes spread over four neighbours; two
+    /// neighbours get double lanes.
+    pub fn dgx1() -> Self {
+        // (a, b, lanes) edges of the hybrid cube-mesh; 24 lanes in total.
+        const EDGES: &[(usize, usize, u32)] = &[
+            (0, 1, 1),
+            (0, 2, 1),
+            (0, 3, 2),
+            (0, 4, 2),
+            (1, 2, 2),
+            (1, 3, 1),
+            (1, 5, 2),
+            (2, 3, 1),
+            (2, 6, 2),
+            (3, 7, 2),
+            (4, 5, 1),
+            (4, 6, 1),
+            (4, 7, 2),
+            (5, 6, 2),
+            (5, 7, 1),
+            (6, 7, 1),
+        ];
+        let mut lanes = vec![vec![0u32; 8]; 8];
+        for &(a, b, l) in EDGES {
+            lanes[a][b] = l;
+            lanes[b][a] = l;
+        }
+        Topology::from_lane_matrix(TopologyKind::Asymmetric, lanes, 6)
+    }
+
+    /// The DGX-2-class NVSwitch fabric: all-to-all, six lanes of capacity
+    /// per GPU usable toward any subset of peers.
+    pub fn dgx2() -> Self {
+        let n = 8;
+        // Behind NVSwitch the per-pair lane count is not fixed; we record the
+        // full budget for every pair and enforce the per-device budget at
+        // transfer-planning time.
+        let mut lanes = vec![vec![6u32; n]; n];
+        for (i, row) in lanes.iter_mut().enumerate() {
+            row[i] = 0;
+        }
+        Topology {
+            kind: TopologyKind::Symmetric,
+            gpu_count: n,
+            lanes,
+            lane_budget: 6,
+        }
+    }
+
+    /// A commodity server with **no NVLink at all**: every GPU pair talks
+    /// over PCIe only.
+    ///
+    /// This is the "multi-GPU servers" floor of the paper's democratization
+    /// argument (§I): no D2D donors are reachable, and intra-operator
+    /// parallelism's per-layer collectives must cross PCIe. The kind is
+    /// [`TopologyKind::Symmetric`] because every placement is equivalent —
+    /// device-mapping search correctly degenerates to the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn pcie_only(n: usize) -> Self {
+        assert!(n > 0, "a server needs at least one GPU");
+        Topology {
+            kind: TopologyKind::Symmetric,
+            gpu_count: n,
+            lanes: vec![vec![0; n]; n],
+            lane_budget: 0,
+        }
+    }
+
+    /// Which connection style this topology implements.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of GPUs in the server.
+    pub fn gpu_count(&self) -> usize {
+        self.gpu_count
+    }
+
+    /// Per-device simultaneous lane budget.
+    pub fn lane_budget(&self) -> u32 {
+        self.lane_budget
+    }
+
+    /// Number of NVLink lanes between `a` and `b` (0 when unreachable).
+    ///
+    /// For a symmetric (switched) topology this is the per-pair *capacity*,
+    /// i.e. the full lane budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either device index is out of range.
+    pub fn nvlink_lanes(&self, a: DeviceId, b: DeviceId) -> u32 {
+        assert!(a.0 < self.gpu_count && b.0 < self.gpu_count, "bad device id");
+        if a == b {
+            return 0;
+        }
+        self.lanes[a.0][b.0]
+    }
+
+    /// True when `a` and `b` are directly NVLink-reachable.
+    pub fn reachable(&self, a: DeviceId, b: DeviceId) -> bool {
+        a != b && self.nvlink_lanes(a, b) > 0
+    }
+
+    /// All NVLink neighbours of `dev`, with their lane counts.
+    pub fn neighbors(&self, dev: DeviceId) -> Vec<(DeviceId, u32)> {
+        (0..self.gpu_count)
+            .filter(|&j| j != dev.0 && self.lanes[dev.0][j] > 0)
+            .map(|j| (DeviceId(j), self.lanes[dev.0][j]))
+            .collect()
+    }
+
+    /// All device ids in the server.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.gpu_count).map(DeviceId)
+    }
+
+    /// Total lanes a device can drive simultaneously: the sum over its
+    /// neighbours on a point-to-point fabric, the per-device budget behind a
+    /// switch.
+    pub fn total_lanes(&self, dev: DeviceId) -> u32 {
+        match self.kind {
+            TopologyKind::Asymmetric => self.lanes[dev.0].iter().sum(),
+            TopologyKind::Symmetric => self.lane_budget,
+        }
+    }
+}
+
+/// A multi-lane striped route between one exporter GPU and several peers.
+///
+/// Used by D2D swap planning: each entry says how many bytes flow to which
+/// importer over how many lanes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripedRoute {
+    /// Exporting (memory-pressured) device.
+    pub source: DeviceId,
+    /// `(importer, lanes, bytes)` per stripe.
+    pub stripes: Vec<(DeviceId, u32, Bytes)>,
+}
+
+impl StripedRoute {
+    /// Total bytes moved by the route.
+    pub fn total_bytes(&self) -> Bytes {
+        self.stripes.iter().map(|&(_, _, b)| b).sum()
+    }
+
+    /// Total lanes engaged by the route.
+    pub fn total_lanes(&self) -> u32 {
+        self.stripes.iter().map(|&(_, l, _)| l).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgx1_every_gpu_has_six_lanes() {
+        let t = Topology::dgx1();
+        for d in t.devices() {
+            let total: u32 = t.neighbors(d).iter().map(|&(_, l)| l).sum();
+            assert_eq!(total, 6, "{d} should own exactly 6 lanes");
+        }
+    }
+
+    #[test]
+    fn dgx1_matches_paper_figure3_examples() {
+        let t = Topology::dgx1();
+        // Paper: GPU0 -> GPU3 has two NVLinks (50 GB/s), twice GPU0 -> GPU1.
+        assert_eq!(t.nvlink_lanes(DeviceId(0), DeviceId(3)), 2);
+        assert_eq!(t.nvlink_lanes(DeviceId(0), DeviceId(1)), 1);
+        // Cross-cube pairs without a direct link exist on DGX-1.
+        assert!(!t.reachable(DeviceId(0), DeviceId(5)));
+        assert!(!t.reachable(DeviceId(1), DeviceId(4)));
+    }
+
+    #[test]
+    fn dgx1_is_symmetric_matrix() {
+        let t = Topology::dgx1();
+        for a in t.devices() {
+            for b in t.devices() {
+                assert_eq!(t.nvlink_lanes(a, b), t.nvlink_lanes(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn dgx2_all_pairs_reachable() {
+        let t = Topology::dgx2();
+        for a in t.devices() {
+            for b in t.devices() {
+                if a != b {
+                    assert!(t.reachable(a, b));
+                    assert_eq!(t.nvlink_lanes(a, b), 6);
+                }
+            }
+        }
+        assert_eq!(t.kind(), TopologyKind::Symmetric);
+    }
+
+    #[test]
+    fn neighbors_excludes_self_and_unreachable() {
+        let t = Topology::dgx1();
+        let nbhs = t.neighbors(DeviceId(0));
+        assert_eq!(nbhs.len(), 4);
+        assert!(nbhs.iter().all(|&(d, l)| d != DeviceId(0) && l > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn from_lane_matrix_rejects_asymmetric_input() {
+        let lanes = vec![vec![0, 1], vec![2, 0]];
+        let _ = Topology::from_lane_matrix(TopologyKind::Asymmetric, lanes, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn from_lane_matrix_rejects_over_budget_row() {
+        let lanes = vec![vec![0, 7], vec![7, 0]];
+        let _ = Topology::from_lane_matrix(TopologyKind::Asymmetric, lanes, 6);
+    }
+
+    #[test]
+    fn striped_route_totals() {
+        let r = StripedRoute {
+            source: DeviceId(0),
+            stripes: vec![
+                (DeviceId(3), 2, Bytes::mib(100)),
+                (DeviceId(4), 2, Bytes::mib(100)),
+                (DeviceId(1), 1, Bytes::mib(50)),
+            ],
+        };
+        assert_eq!(r.total_bytes(), Bytes::mib(250));
+        assert_eq!(r.total_lanes(), 5);
+    }
+}

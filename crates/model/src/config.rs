@@ -1,0 +1,427 @@
+//! Transformer architecture descriptions.
+
+use crate::memory::LayerFootprint;
+use crate::precision::PrecisionPolicy;
+use mpress_hw::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which model family a configuration belongs to.
+///
+/// The family fixes dataset-style constants: sequence length, vocabulary
+/// and attention head width follow the paper's setups (Bert on SQuAD with
+/// 64-wide heads, GPT on Wikipedia with GPT-3-style 128-wide heads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// Bidirectional encoder (paper: trained with PipeDream on SQuAD v1.1).
+    Bert,
+    /// Autoregressive decoder (paper: trained with DAPPLE on Wikipedia).
+    Gpt,
+}
+
+impl fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelFamily::Bert => write!(f, "Bert"),
+            ModelFamily::Gpt => write!(f, "GPT"),
+        }
+    }
+}
+
+/// Architecture of one transformer model variant.
+///
+/// All memory and FLOP formulas derive from these few integers.
+///
+/// # Example
+///
+/// ```
+/// use mpress_model::{TransformerConfig, ModelFamily};
+///
+/// let cfg = TransformerConfig::builder(ModelFamily::Bert)
+///     .name("Bert-0.35B")
+///     .layers(24)
+///     .hidden(1024)
+///     .build();
+/// assert_eq!(cfg.heads(), 16); // Bert uses 64-wide heads
+/// assert!((0.3e9..0.4e9).contains(&(cfg.total_params() as f64)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    name: String,
+    family: ModelFamily,
+    num_layers: usize,
+    hidden: usize,
+    heads: usize,
+    seq_len: usize,
+    vocab: usize,
+}
+
+impl TransformerConfig {
+    /// Starts building a configuration for the given family.
+    pub fn builder(family: ModelFamily) -> TransformerConfigBuilder {
+        TransformerConfigBuilder::new(family)
+    }
+
+    /// Model variant name, e.g. `"GPT-5.3B"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The family (Bert or GPT).
+    pub fn family(&self) -> ModelFamily {
+        self.family
+    }
+
+    /// Number of transformer layers.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Hidden (embedding) width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Training sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Parameters of one transformer layer:
+    /// attention (4h² + 4h) + MLP (8h² + 5h) + layer norms (4h).
+    pub fn layer_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        12 * h * h + 13 * h
+    }
+
+    /// Parameters of the embedding block (token + position embeddings).
+    /// The GPT LM head shares the token embedding, as in the original model.
+    pub fn embedding_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        (self.vocab as u64 + self.seq_len as u64) * h
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.layer_params() * self.num_layers as u64 + self.embedding_params()
+    }
+
+    /// Activation bytes one microbatch leaves resident in one layer until
+    /// its backward pass, at FP16 baseline precision.
+    ///
+    /// Korthikanti et al. ("Reducing Activation Recomputation in Large
+    /// Transformer Models", which the paper cites as \[39\]):
+    /// `s*b*h*(34 + 5*a*s/h)` bytes.
+    pub fn activation_bytes_per_layer(&self, microbatch: usize, policy: &PrecisionPolicy) -> Bytes {
+        let s = self.seq_len as f64;
+        let b = microbatch as f64;
+        let h = self.hidden as f64;
+        let a = self.heads as f64;
+        let fp16_bytes = s * b * h * (34.0 + 5.0 * a * s / h);
+        Bytes((fp16_bytes * policy.activation_scale()).round() as u64)
+    }
+
+    /// Activation bytes one microbatch leaves resident in one layer when
+    /// the layer is *tensor-parallel* over `tp` GPUs (Megatron-style
+    /// intra-operator parallelism).
+    ///
+    /// Korthikanti et al., same source as
+    /// [`activation_bytes_per_layer`](Self::activation_bytes_per_layer):
+    /// `s*b*h*(10 + 24/t + 5*a*s/(h*t))` bytes at FP16 — the layer-norm /
+    /// dropout terms (the 10) stay replicated on every GPU while the GEMM
+    /// intermediates and attention maps shard `1/t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp` is zero.
+    pub fn activation_bytes_per_layer_tp(
+        &self,
+        microbatch: usize,
+        policy: &PrecisionPolicy,
+        tp: usize,
+    ) -> Bytes {
+        assert!(tp > 0, "tensor-parallel degree must be positive");
+        let s = self.seq_len as f64;
+        let b = microbatch as f64;
+        let h = self.hidden as f64;
+        let a = self.heads as f64;
+        let t = tp as f64;
+        let fp16_bytes = s * b * h * (10.0 + 24.0 / t + 5.0 * a * s / (h * t));
+        Bytes((fp16_bytes * policy.activation_scale()).round() as u64)
+    }
+
+    /// Activation bytes of the embedding/input block per microbatch (token
+    /// ids plus the embedded sequence).
+    pub fn embedding_activation_bytes(&self, microbatch: usize, policy: &PrecisionPolicy) -> Bytes {
+        let s = self.seq_len as f64;
+        let b = microbatch as f64;
+        let h = self.hidden as f64;
+        let fp16_bytes = s * b * h * 2.0;
+        Bytes((fp16_bytes * policy.activation_scale()).round() as u64)
+    }
+
+    /// Bytes exchanged between adjacent pipeline stages per microbatch
+    /// (the boundary activation tensor `s*b*h`).
+    pub fn boundary_activation_bytes(&self, microbatch: usize, policy: &PrecisionPolicy) -> Bytes {
+        let elems = (self.seq_len * microbatch * self.hidden) as u64;
+        let elem_bytes = if policy.compute_fp16() { 2 } else { 4 };
+        Bytes(elems * elem_bytes)
+    }
+
+    /// Static per-layer memory footprint under `policy`.
+    pub fn layer_footprint(&self, policy: &PrecisionPolicy) -> LayerFootprint {
+        LayerFootprint::for_params(self.layer_params(), policy)
+    }
+
+    /// Static footprint of the embedding block under `policy`.
+    pub fn embedding_footprint(&self, policy: &PrecisionPolicy) -> LayerFootprint {
+        LayerFootprint::for_params(self.embedding_params(), policy)
+    }
+}
+
+impl fmt::Display for TransformerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, hidden {}, {:.2}B params)",
+            self.name,
+            self.num_layers,
+            self.hidden,
+            self.total_params() as f64 / 1e9
+        )
+    }
+}
+
+/// Builder for [`TransformerConfig`].
+#[derive(Debug, Clone)]
+pub struct TransformerConfigBuilder {
+    family: ModelFamily,
+    name: Option<String>,
+    num_layers: usize,
+    hidden: usize,
+    heads: Option<usize>,
+    seq_len: Option<usize>,
+    vocab: Option<usize>,
+}
+
+impl TransformerConfigBuilder {
+    fn new(family: ModelFamily) -> Self {
+        TransformerConfigBuilder {
+            family,
+            name: None,
+            num_layers: 24,
+            hidden: 1024,
+            heads: None,
+            seq_len: None,
+            vocab: None,
+        }
+    }
+
+    /// Sets the variant name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets the number of transformer layers.
+    pub fn layers(mut self, n: usize) -> Self {
+        self.num_layers = n;
+        self
+    }
+
+    /// Sets the hidden width.
+    pub fn hidden(mut self, h: usize) -> Self {
+        self.hidden = h;
+        self
+    }
+
+    /// Overrides the attention head count (defaults to the family's head
+    /// width: `hidden/64` for Bert, `hidden/128` for GPT).
+    pub fn heads(mut self, a: usize) -> Self {
+        self.heads = Some(a);
+        self
+    }
+
+    /// Overrides the sequence length (defaults: Bert 512, GPT 1024).
+    pub fn seq_len(mut self, s: usize) -> Self {
+        self.seq_len = Some(s);
+        self
+    }
+
+    /// Overrides the vocabulary size (defaults: Bert 30522, GPT 50257).
+    pub fn vocab(mut self, v: usize) -> Self {
+        self.vocab = Some(v);
+        self
+    }
+
+    /// Finishes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layers or hidden width are zero, or if the hidden width is
+    /// not divisible by the head count.
+    pub fn build(self) -> TransformerConfig {
+        assert!(self.num_layers > 0, "need at least one layer");
+        assert!(self.hidden > 0, "hidden width must be positive");
+        let (def_head_width, def_seq, def_vocab) = match self.family {
+            ModelFamily::Bert => (64, 512, 30522),
+            ModelFamily::Gpt => (128, 1024, 50257),
+        };
+        let heads = self.heads.unwrap_or(self.hidden / def_head_width);
+        assert!(heads > 0, "head count must be positive");
+        assert_eq!(
+            self.hidden % heads,
+            0,
+            "hidden width {} not divisible by {} heads",
+            self.hidden,
+            heads
+        );
+        let name = self.name.unwrap_or_else(|| {
+            format!(
+                "{}-L{}H{}",
+                self.family, self.num_layers, self.hidden
+            )
+        });
+        TransformerConfig {
+            name,
+            family: self.family,
+            num_layers: self.num_layers,
+            hidden: self.hidden,
+            heads,
+            seq_len: self.seq_len.unwrap_or(def_seq),
+            vocab: self.vocab.unwrap_or(def_vocab),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bert_large() -> TransformerConfig {
+        TransformerConfig::builder(ModelFamily::Bert)
+            .name("Bert-0.35B")
+            .layers(24)
+            .hidden(1024)
+            .build()
+    }
+
+    #[test]
+    fn bert_large_param_count_is_canonical() {
+        // Canonical BERT-Large is ~340 M parameters.
+        let p = bert_large().total_params() as f64;
+        assert!((0.3e9..0.4e9).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn family_defaults_apply() {
+        let b = bert_large();
+        assert_eq!(b.seq_len(), 512);
+        assert_eq!(b.vocab(), 30522);
+        assert_eq!(b.heads(), 16);
+
+        let g = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(30)
+            .hidden(3840)
+            .build();
+        assert_eq!(g.seq_len(), 1024);
+        assert_eq!(g.vocab(), 50257);
+        assert_eq!(g.heads(), 30);
+    }
+
+    #[test]
+    fn layer_params_formula() {
+        let cfg = bert_large();
+        let h = 1024u64;
+        assert_eq!(cfg.layer_params(), 12 * h * h + 13 * h);
+    }
+
+    #[test]
+    fn activation_bytes_match_korthikanti() {
+        // GPT-5.3B-like: s=1024, b=2, h=3840, a=30 =>
+        // s*b*h*(34 + 5*30*1024/3840) = s*b*h*74 bytes at fp16.
+        let g = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(30)
+            .hidden(3840)
+            .build();
+        let act = g.activation_bytes_per_layer(2, &PrecisionPolicy::mixed());
+        let expect = 1024u64 * 2 * 3840 * 74;
+        assert_eq!(act.as_u64(), expect);
+    }
+
+    #[test]
+    fn fp32_doubles_activations() {
+        let cfg = bert_large();
+        let a16 = cfg.activation_bytes_per_layer(4, &PrecisionPolicy::mixed());
+        let a32 = cfg.activation_bytes_per_layer(4, &PrecisionPolicy::full());
+        assert_eq!(a32.as_u64(), a16.as_u64() * 2);
+    }
+
+    #[test]
+    fn boundary_bytes_scale_with_microbatch() {
+        let cfg = bert_large();
+        let p = PrecisionPolicy::mixed();
+        let b1 = cfg.boundary_activation_bytes(1, &p);
+        let b12 = cfg.boundary_activation_bytes(12, &p);
+        assert_eq!(b12.as_u64(), 12 * b1.as_u64());
+    }
+
+    #[test]
+    fn default_name_is_descriptive() {
+        let cfg = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(8)
+            .hidden(256)
+            .build();
+        assert_eq!(cfg.name(), "GPT-L8H256");
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn build_rejects_indivisible_heads() {
+        let _ = TransformerConfig::builder(ModelFamily::Bert)
+            .layers(2)
+            .hidden(100)
+            .heads(3)
+            .build();
+    }
+
+    #[test]
+    fn tp_activation_at_degree_one_matches_serial_formula() {
+        let cfg = bert_large();
+        let p = PrecisionPolicy::mixed();
+        assert_eq!(
+            cfg.activation_bytes_per_layer_tp(4, &p, 1),
+            cfg.activation_bytes_per_layer(4, &p)
+        );
+    }
+
+    #[test]
+    fn tp_activation_shrinks_with_degree_but_keeps_replicated_floor() {
+        let cfg = bert_large();
+        let p = PrecisionPolicy::mixed();
+        let t1 = cfg.activation_bytes_per_layer_tp(4, &p, 1);
+        let t4 = cfg.activation_bytes_per_layer_tp(4, &p, 4);
+        let t8 = cfg.activation_bytes_per_layer_tp(4, &p, 8);
+        assert!(t1 > t4 && t4 > t8, "{t1} {t4} {t8}");
+        // The layer-norm/dropout terms never shard: an 8-way split holds
+        // strictly more than 1/8 of the serial footprint.
+        assert!(t8.as_u64() > t1.as_u64() / 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tp_activation_rejects_zero_degree() {
+        let cfg = bert_large();
+        let _ = cfg.activation_bytes_per_layer_tp(1, &PrecisionPolicy::mixed(), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Floating-point operation counts.
+//!
+//! The paper measures forward-pass FLOPs and "estimates the FLOPS of the
+//! corresponding backward pass as two times that of the forward pass"
+//! (§IV-A, Metrics). We follow the same convention.
+
+use crate::config::TransformerConfig;
+
+/// Forward FLOPs of one transformer layer for one microbatch:
+/// matmul work `24*b*s*h^2` plus attention-score work `4*b*s^2*h`
+/// (multiply-accumulate counted as two operations).
+pub fn layer_forward_flops(cfg: &TransformerConfig, microbatch: usize) -> f64 {
+    let b = microbatch as f64;
+    let s = cfg.seq_len() as f64;
+    let h = cfg.hidden() as f64;
+    24.0 * b * s * h * h + 4.0 * b * s * s * h
+}
+
+/// Forward FLOPs of the embedding + output-head block for one microbatch
+/// (dominated by the vocabulary projection `2*b*s*h*V`).
+pub fn embedding_forward_flops(cfg: &TransformerConfig, microbatch: usize) -> f64 {
+    let b = microbatch as f64;
+    let s = cfg.seq_len() as f64;
+    let h = cfg.hidden() as f64;
+    let v = cfg.vocab() as f64;
+    2.0 * b * s * h * v
+}
+
+/// Forward FLOPs of the model's output head for one microbatch. GPT
+/// projects onto the vocabulary (`2*b*s*h*V`); the paper's Bert runs
+/// fine-tune on SQuAD, whose span-classifier head (`2*b*s*h*2`) is
+/// negligible.
+pub fn head_forward_flops(cfg: &TransformerConfig, microbatch: usize) -> f64 {
+    match cfg.family() {
+        crate::ModelFamily::Gpt => embedding_forward_flops(cfg, microbatch),
+        crate::ModelFamily::Bert => {
+            let b = microbatch as f64;
+            let s = cfg.seq_len() as f64;
+            let h = cfg.hidden() as f64;
+            2.0 * b * s * h * 2.0
+        }
+    }
+}
+
+/// Backward FLOPs for any block: the paper's 2x-forward estimate.
+pub fn backward_flops(forward: f64) -> f64 {
+    2.0 * forward
+}
+
+/// Total model FLOPs (forward + backward) for one microbatch — the
+/// numerator of the achieved-TFLOPS metric in Figs. 7 and 8.
+pub fn model_flops_per_microbatch(cfg: &TransformerConfig, microbatch: usize) -> f64 {
+    let fwd = head_forward_flops(cfg, microbatch)
+        + layer_forward_flops(cfg, microbatch) * cfg.num_layers() as f64;
+    fwd + backward_flops(fwd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelFamily;
+
+    fn tiny() -> TransformerConfig {
+        TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(4)
+            .hidden(256)
+            .seq_len(128)
+            .build()
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_microbatch() {
+        let cfg = tiny();
+        let f1 = layer_forward_flops(&cfg, 1);
+        let f4 = layer_forward_flops(&cfg, 4);
+        assert!((f4 / f1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_is_twice_forward() {
+        assert_eq!(backward_flops(10.0), 20.0);
+    }
+
+    #[test]
+    fn total_is_three_times_forward() {
+        let cfg = tiny();
+        let fwd = head_forward_flops(&cfg, 2) + layer_forward_flops(&cfg, 2) * 4.0;
+        let total = model_flops_per_microbatch(&cfg, 2);
+        assert!((total / fwd - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bert_head_is_negligible_gpt_head_is_not() {
+        let bert = TransformerConfig::builder(crate::ModelFamily::Bert)
+            .layers(4)
+            .hidden(256)
+            .seq_len(128)
+            .build();
+        let gpt = tiny();
+        assert!(head_forward_flops(&bert, 2) < layer_forward_flops(&bert, 2) / 100.0);
+        assert!(head_forward_flops(&gpt, 2) > layer_forward_flops(&gpt, 2) / 4.0);
+    }
+
+    #[test]
+    fn six_nd_rule_of_thumb_holds_for_large_models() {
+        // Training FLOPs per token should approximate 6 * params for models
+        // whose layer work dwarfs the attention-score term.
+        let cfg = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(40)
+            .hidden(4608)
+            .build();
+        let tokens = (cfg.seq_len() * 2) as f64;
+        let per_token = model_flops_per_microbatch(&cfg, 2) / tokens;
+        let six_nd = 6.0 * cfg.total_params() as f64;
+        let ratio = per_token / six_nd;
+        assert!((0.8..1.3).contains(&ratio), "ratio {ratio}");
+    }
+}

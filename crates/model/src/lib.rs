@@ -1,0 +1,39 @@
+//! Analytic transformer model substrate for the MPress reproduction.
+//!
+//! The paper trains Bert (on SQuAD, via PipeDream) and GPT (on Wikipedia,
+//! via DAPPLE) variants scaled from 0.35 B to 25.5 B parameters. We replace
+//! PyTorch models with an analytic description that yields, per layer:
+//!
+//! * parameter / gradient / optimizer-state byte counts under a chosen
+//!   [`PrecisionPolicy`],
+//! * activation bytes per microbatch (Korthikanti et al.'s transformer
+//!   activation-memory formula), and
+//! * forward FLOPs per microbatch (backward is modeled as 2x forward, the
+//!   same estimate the paper uses for its FLOPS metric).
+//!
+//! These are the only model properties MPress's planning and the paper's
+//! evaluation depend on.
+//!
+//! # Example
+//!
+//! ```
+//! use mpress_model::{zoo, PrecisionPolicy};
+//!
+//! let gpt = zoo::gpt_5_3b();
+//! assert!((5.0e9..5.6e9).contains(&(gpt.total_params() as f64)));
+//!
+//! let policy = PrecisionPolicy::mixed();
+//! let per_layer = gpt.layer_footprint(&policy);
+//! // Adam optimizer states dominate the static per-layer memory.
+//! assert!(per_layer.optimizer > per_layer.params + per_layer.grads);
+//! ```
+
+pub mod config;
+pub mod flops;
+pub mod memory;
+pub mod precision;
+pub mod zoo;
+
+pub use config::{ModelFamily, TransformerConfig, TransformerConfigBuilder};
+pub use memory::{LayerFootprint, ModelMemory};
+pub use precision::{Dtype, PrecisionPolicy};

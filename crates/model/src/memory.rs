@@ -1,0 +1,175 @@
+//! Static memory footprints of model data.
+//!
+//! The paper's Table I splits GPU memory into four categories: activations,
+//! optimizer states, parameters and gradients. [`LayerFootprint`] carries
+//! the three static categories for a slice of the model; activation memory
+//! is dynamic (schedule-dependent) and computed by the pipeline crate.
+
+use crate::config::TransformerConfig;
+use crate::precision::PrecisionPolicy;
+use mpress_hw::Bytes;
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Static memory of a slice of the model (a layer, a stage, or the whole
+/// network) under some precision policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LayerFootprint {
+    /// Parameter storage.
+    pub params: Bytes,
+    /// Gradient storage.
+    pub grads: Bytes,
+    /// Optimizer state storage (Adam: master weights/momentum/variance).
+    pub optimizer: Bytes,
+}
+
+impl LayerFootprint {
+    /// Footprint of `param_count` parameters under `policy`.
+    pub fn for_params(param_count: u64, policy: &PrecisionPolicy) -> Self {
+        LayerFootprint {
+            params: Bytes(param_count * policy.param_bytes_per_param()),
+            grads: Bytes(param_count * policy.grad_bytes_per_param()),
+            optimizer: Bytes(param_count * policy.optimizer_bytes_per_param()),
+        }
+    }
+
+    /// Total static bytes.
+    pub fn total(&self) -> Bytes {
+        self.params + self.grads + self.optimizer
+    }
+
+    /// Static bytes when the parameter tensor is stashed `versions` times
+    /// (PipeDream keeps one weight version per in-flight minibatch;
+    /// gradients and optimizer states are not versioned).
+    pub fn total_with_weight_versions(&self, versions: u64) -> Bytes {
+        assert!(versions >= 1, "at least one weight version is live");
+        self.params * versions + self.grads + self.optimizer
+    }
+}
+
+impl Add for LayerFootprint {
+    type Output = LayerFootprint;
+    fn add(self, rhs: LayerFootprint) -> LayerFootprint {
+        LayerFootprint {
+            params: self.params + rhs.params,
+            grads: self.grads + rhs.grads,
+            optimizer: self.optimizer + rhs.optimizer,
+        }
+    }
+}
+
+impl Sum for LayerFootprint {
+    fn sum<I: Iterator<Item = LayerFootprint>>(iter: I) -> LayerFootprint {
+        iter.fold(LayerFootprint::default(), Add::add)
+    }
+}
+
+/// Whole-model memory summary (paper Table I input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelMemory {
+    /// Static categories summed over all layers + embedding.
+    pub static_footprint: LayerFootprint,
+    /// Activation bytes resident for ONE microbatch across the whole model.
+    pub activations_per_microbatch: Bytes,
+}
+
+impl ModelMemory {
+    /// Computes the summary for a model under `policy` and microbatch size.
+    pub fn of(cfg: &TransformerConfig, microbatch: usize, policy: &PrecisionPolicy) -> Self {
+        let static_footprint = cfg.embedding_footprint(policy)
+            + (0..cfg.num_layers())
+                .map(|_| cfg.layer_footprint(policy))
+                .sum::<LayerFootprint>();
+        let activations_per_microbatch = cfg.embedding_activation_bytes(microbatch, policy)
+            + cfg.activation_bytes_per_layer(microbatch, policy) * cfg.num_layers() as u64;
+        ModelMemory {
+            static_footprint,
+            activations_per_microbatch,
+        }
+    }
+
+    /// Percentage split `(activations, optimizer, params+grads)` when
+    /// `live_microbatches` activation sets are resident — the quantity the
+    /// paper reports in Table I.
+    pub fn category_percentages(&self, live_microbatches: f64) -> (f64, f64, f64) {
+        assert!(live_microbatches >= 0.0);
+        let act = self.activations_per_microbatch.as_f64() * live_microbatches;
+        let opt = self.static_footprint.optimizer.as_f64();
+        let pg = (self.static_footprint.params + self.static_footprint.grads).as_f64();
+        let total = act + opt + pg;
+        (100.0 * act / total, 100.0 * opt / total, 100.0 * pg / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelFamily;
+    use crate::zoo;
+
+    #[test]
+    fn for_params_uses_policy_bytes() {
+        let fp = LayerFootprint::for_params(1000, &PrecisionPolicy::mixed());
+        assert_eq!(fp.params, Bytes(2000));
+        assert_eq!(fp.grads, Bytes(2000));
+        assert_eq!(fp.optimizer, Bytes(12000));
+        assert_eq!(fp.total(), Bytes(16000));
+    }
+
+    #[test]
+    fn weight_versions_multiply_only_params() {
+        let fp = LayerFootprint::for_params(100, &PrecisionPolicy::full());
+        // fp32: params 400, grads 400, opt 800.
+        assert_eq!(fp.total_with_weight_versions(1), Bytes(1600));
+        assert_eq!(fp.total_with_weight_versions(3), Bytes(400 * 3 + 400 + 800));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_weight_versions_rejected() {
+        let fp = LayerFootprint::for_params(1, &PrecisionPolicy::mixed());
+        let _ = fp.total_with_weight_versions(0);
+    }
+
+    #[test]
+    fn footprints_add_componentwise() {
+        let a = LayerFootprint::for_params(10, &PrecisionPolicy::mixed());
+        let b = LayerFootprint::for_params(20, &PrecisionPolicy::mixed());
+        let c = a + b;
+        assert_eq!(c.params, Bytes(60));
+        assert_eq!(c.optimizer, Bytes(360));
+    }
+
+    #[test]
+    fn gpt_5_3b_table1_shape() {
+        // Paper Table I: GPT-5.3B splits 42% activations / 44% optimizer /
+        // 14% params+grads. Under DAPPLE roughly 4.5 activation sets are
+        // live on average across the pipeline.
+        let cfg = zoo::gpt_5_3b();
+        let mm = ModelMemory::of(&cfg, 2, &PrecisionPolicy::mixed());
+        let (act, opt, pg) = mm.category_percentages(4.5);
+        assert!((35.0..50.0).contains(&act), "activations {act:.1}%");
+        assert!((38.0..50.0).contains(&opt), "optimizer {opt:.1}%");
+        assert!((10.0..18.0).contains(&pg), "params+grads {pg:.1}%");
+        // Ordering: optimizer and activations both dwarf params+grads.
+        assert!(act > pg && opt > pg);
+    }
+
+    #[test]
+    fn model_memory_scales_with_layers() {
+        let small = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(8)
+            .hidden(512)
+            .build();
+        let big = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(16)
+            .hidden(512)
+            .build();
+        let p = PrecisionPolicy::mixed();
+        let ms = ModelMemory::of(&small, 2, &p);
+        let mb = ModelMemory::of(&big, 2, &p);
+        assert!(mb.static_footprint.total() > ms.static_footprint.total());
+        assert!(mb.activations_per_microbatch > ms.activations_per_microbatch);
+    }
+}

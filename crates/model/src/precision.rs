@@ -1,0 +1,172 @@
+//! Numeric precision policies.
+//!
+//! The paper's two host systems run at different precisions: DAPPLE enables
+//! FP16 mixed-precision training by default (paper §IV-C), while the
+//! upgraded PipeDream runs FP32. The precision determines bytes/parameter
+//! for every model-data category in Table I.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element datatype of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dtype {
+    /// IEEE 754 half precision.
+    F16,
+    /// IEEE 754 single precision.
+    F32,
+}
+
+impl Dtype {
+    /// Size of one element in bytes.
+    pub const fn size(self) -> u64 {
+        match self {
+            Dtype::F16 => 2,
+            Dtype::F32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for Dtype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dtype::F16 => write!(f, "fp16"),
+            Dtype::F32 => write!(f, "fp32"),
+        }
+    }
+}
+
+/// How many bytes each model-data category costs per parameter, plus how
+/// activation bytes scale relative to the FP16 baseline formula.
+///
+/// # Example
+///
+/// ```
+/// use mpress_model::PrecisionPolicy;
+///
+/// let mixed = PrecisionPolicy::mixed();
+/// // fp16 params + fp16 grads + fp32 Adam (master copy, momentum, variance)
+/// assert_eq!(mixed.param_bytes_per_param() + mixed.grad_bytes_per_param(), 4);
+/// assert_eq!(mixed.optimizer_bytes_per_param(), 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionPolicy {
+    param_dtype: Dtype,
+    grad_dtype: Dtype,
+    optimizer_bytes_per_param: u64,
+    activation_scale: f64,
+    compute_fp16: bool,
+}
+
+impl PrecisionPolicy {
+    /// FP16 mixed precision with an FP32 Adam optimizer
+    /// (fp32 master weights + momentum + variance = 12 B/param).
+    ///
+    /// This reproduces Table I's category split: params+grads (4 B) ≈ 15%,
+    /// optimizer states (12 B) ≈ 45% of a ~26 B/param total.
+    pub fn mixed() -> Self {
+        PrecisionPolicy {
+            param_dtype: Dtype::F16,
+            grad_dtype: Dtype::F16,
+            optimizer_bytes_per_param: 12,
+            activation_scale: 1.0,
+            compute_fp16: true,
+        }
+    }
+
+    /// Plain FP32 training with Adam (momentum + variance = 8 B/param),
+    /// activations twice the FP16 baseline. Matches the PipeDream setup.
+    pub fn full() -> Self {
+        PrecisionPolicy {
+            param_dtype: Dtype::F32,
+            grad_dtype: Dtype::F32,
+            optimizer_bytes_per_param: 8,
+            activation_scale: 2.0,
+            compute_fp16: false,
+        }
+    }
+
+    /// Parameter dtype.
+    pub fn param_dtype(&self) -> Dtype {
+        self.param_dtype
+    }
+
+    /// Gradient dtype.
+    pub fn grad_dtype(&self) -> Dtype {
+        self.grad_dtype
+    }
+
+    /// Bytes of parameter storage per parameter.
+    pub fn param_bytes_per_param(&self) -> u64 {
+        self.param_dtype.size()
+    }
+
+    /// Bytes of gradient storage per parameter.
+    pub fn grad_bytes_per_param(&self) -> u64 {
+        self.grad_dtype.size()
+    }
+
+    /// Bytes of optimizer state per parameter.
+    pub fn optimizer_bytes_per_param(&self) -> u64 {
+        self.optimizer_bytes_per_param
+    }
+
+    /// Multiplier applied to the FP16 activation-byte formula.
+    pub fn activation_scale(&self) -> f64 {
+        self.activation_scale
+    }
+
+    /// Whether matmuls run on FP16 tensor cores.
+    pub fn compute_fp16(&self) -> bool {
+        self.compute_fp16
+    }
+}
+
+impl Default for PrecisionPolicy {
+    /// Defaults to [`PrecisionPolicy::mixed`], the setup of the stronger
+    /// (DAPPLE) host system.
+    fn default() -> Self {
+        PrecisionPolicy::mixed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(Dtype::F16.size(), 2);
+        assert_eq!(Dtype::F32.size(), 4);
+    }
+
+    #[test]
+    fn mixed_matches_table1_ratios() {
+        // Table I's GPT-5.3B split is 42% activations / 44% optimizer /
+        // 14% params+grads; ignoring activations the static split must be
+        // optimizer : (params+grads) = 12 : 4 = 3.
+        let p = PrecisionPolicy::mixed();
+        let static_total =
+            p.param_bytes_per_param() + p.grad_bytes_per_param() + p.optimizer_bytes_per_param();
+        assert_eq!(static_total, 16);
+        assert_eq!(
+            p.optimizer_bytes_per_param(),
+            3 * (p.param_bytes_per_param() + p.grad_bytes_per_param())
+        );
+    }
+
+    #[test]
+    fn full_precision_uses_fp32_everywhere() {
+        let p = PrecisionPolicy::full();
+        assert_eq!(p.param_dtype(), Dtype::F32);
+        assert_eq!(p.param_bytes_per_param(), 4);
+        assert_eq!(p.optimizer_bytes_per_param(), 8);
+        assert_eq!(p.activation_scale(), 2.0);
+        assert!(!p.compute_fp16());
+    }
+
+    #[test]
+    fn default_is_mixed() {
+        assert_eq!(PrecisionPolicy::default(), PrecisionPolicy::mixed());
+    }
+}

@@ -1,0 +1,174 @@
+//! The paper's model zoo (Table II): five Bert and five GPT variants.
+//!
+//! The paper scales Bert "deeper and wider by adjusting the number of
+//! encoder layers and the value of hidden sizes" and does the same for GPT.
+//! Exact layer/width pairs are not published, so we choose canonical
+//! transformer shapes whose parameter counts land on the paper's labels.
+
+use crate::config::{ModelFamily, TransformerConfig};
+
+/// Microbatch size used for all Bert experiments (paper §IV-A).
+pub const BERT_MICROBATCH: usize = 12;
+
+/// Microbatch size used for all GPT experiments (paper §IV-A).
+pub const GPT_MICROBATCH: usize = 2;
+
+/// Bert-0.35B — canonical BERT-Large; trainable without any memory
+/// optimization (paper Fig. 7 "small size").
+pub fn bert_0_35b() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Bert)
+        .name("Bert-0.35B")
+        .layers(24)
+        .hidden(1024)
+        .build()
+}
+
+/// Bert-0.64B — the "medium" variant whose stage-0 footprint first exceeds
+/// one V100 (paper §IV-B).
+pub fn bert_0_64b() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Bert)
+        .name("Bert-0.64B")
+        .layers(40)
+        .hidden(1152)
+        .build()
+}
+
+/// Bert-1.67B — "large": every stage exceeds single-GPU capacity.
+pub fn bert_1_67b() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Bert)
+        .name("Bert-1.67B")
+        .layers(48)
+        .hidden(1664)
+        .build()
+}
+
+/// Bert-4.0B — beyond the recomputation baseline's reach on DGX-1.
+pub fn bert_4_0b() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Bert)
+        .name("Bert-4.0B")
+        .layers(64)
+        .hidden(2240)
+        .build()
+}
+
+/// Bert-6.2B — "extra-large": total demand ~5x the server's GPU memory.
+pub fn bert_6_2b() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Bert)
+        .name("Bert-6.2B")
+        .layers(72)
+        .hidden(2688)
+        .build()
+}
+
+/// GPT-5.3B — the largest model original DAPPLE sustains on DGX-1.
+pub fn gpt_5_3b() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Gpt)
+        .name("GPT-5.3B")
+        .layers(30)
+        .hidden(3840)
+        .build()
+}
+
+/// GPT-10.3B.
+pub fn gpt_10_3b() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Gpt)
+        .name("GPT-10.3B")
+        .layers(40)
+        .hidden(4608)
+        .build()
+}
+
+/// GPT-15.4B.
+pub fn gpt_15_4b() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Gpt)
+        .name("GPT-15.4B")
+        .layers(48)
+        .hidden(5120)
+        .build()
+}
+
+/// GPT-20.4B.
+pub fn gpt_20_4b() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Gpt)
+        .name("GPT-20.4B")
+        .layers(56)
+        .hidden(5504)
+        .build()
+}
+
+/// GPT-25.5B — the largest variant, sustained only on DGX-2 (Fig. 8b).
+pub fn gpt_25_5b() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Gpt)
+        .name("GPT-25.5B")
+        .layers(64)
+        .hidden(5760)
+        .build()
+}
+
+/// All Bert variants of Table II, smallest first.
+pub fn bert_variants() -> Vec<TransformerConfig> {
+    vec![
+        bert_0_35b(),
+        bert_0_64b(),
+        bert_1_67b(),
+        bert_4_0b(),
+        bert_6_2b(),
+    ]
+}
+
+/// All GPT variants of Table II, smallest first.
+pub fn gpt_variants() -> Vec<TransformerConfig> {
+    vec![
+        gpt_5_3b(),
+        gpt_10_3b(),
+        gpt_15_4b(),
+        gpt_20_4b(),
+        gpt_25_5b(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parameter counts must land near the paper's labels.
+    #[test]
+    fn param_counts_match_labels() {
+        let cases: Vec<(TransformerConfig, f64)> = vec![
+            (bert_0_35b(), 0.35e9),
+            (bert_0_64b(), 0.64e9),
+            (bert_1_67b(), 1.67e9),
+            (bert_4_0b(), 4.0e9),
+            (bert_6_2b(), 6.2e9),
+            (gpt_5_3b(), 5.3e9),
+            (gpt_10_3b(), 10.3e9),
+            (gpt_15_4b(), 15.4e9),
+            (gpt_20_4b(), 20.4e9),
+            (gpt_25_5b(), 25.5e9),
+        ];
+        for (cfg, label) in cases {
+            let p = cfg.total_params() as f64;
+            let rel = (p - label).abs() / label;
+            assert!(
+                rel < 0.08,
+                "{}: {p:.3e} params vs label {label:.3e} ({:.1}% off)",
+                cfg.name(),
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn variants_are_strictly_increasing() {
+        for family in [bert_variants(), gpt_variants()] {
+            let params: Vec<u64> = family.iter().map(|c| c.total_params()).collect();
+            assert!(params.windows(2).all(|w| w[0] < w[1]), "{params:?}");
+        }
+    }
+
+    #[test]
+    fn heads_follow_family_width() {
+        assert_eq!(bert_1_67b().heads(), 1664 / 64);
+        assert_eq!(gpt_15_4b().heads(), 5120 / 128);
+    }
+}

@@ -1,0 +1,466 @@
+//! Lowering a [`PipelineJob`] to a [`TrainingGraph`].
+//!
+//! Compute is lowered at **layer granularity**: one forward and one
+//! backward op per (layer, microbatch), sequenced inside each stage's 1F1B
+//! slot order. This matters for fidelity: a layer's activation becomes
+//! swappable the moment its own forward completes (not when the whole
+//! stage finishes), and the transient working set of a stage is one layer,
+//! not one full microbatch — both properties the paper's runtime relies
+//! on.
+//!
+//! Per stage the graph carries: one parameter/gradient/optimizer tensor
+//! per layer, a stash tensor for PipeDream's extra weight versions, and
+//! per microbatch one activation tensor per layer plus the stage's
+//! boundary output. Cross-stage send dependencies serialize adjacent
+//! stages exactly as in the paper's Fig. 1.
+
+use crate::job::PipelineJob;
+use crate::schedule::StageSlot;
+use mpress_graph::{GraphError, OpId, OpKind, TensorId, TensorKind, TrainingGraph};
+use std::collections::HashMap;
+
+/// A lowered job: the dataflow graph plus convenience lookups.
+#[derive(Debug, Clone)]
+pub struct LoweredJob {
+    /// The validated dataflow graph.
+    pub graph: TrainingGraph,
+    /// `(stage, microbatch) -> first forward op` (the stage's forward
+    /// entry point).
+    pub forward_ops: HashMap<(usize, u32), OpId>,
+    /// `(stage, microbatch) -> last backward op` (the stage's backward
+    /// completion point).
+    pub backward_ops: HashMap<(usize, u32), OpId>,
+    /// Per-stage stashed weight-version tensors (PipeDream keeps one per
+    /// in-flight minibatch beyond the current weights; each version is
+    /// consumed by its own minibatch's backward).
+    pub stash_tensors: Vec<Vec<TensorId>>,
+}
+
+impl PipelineJob {
+    /// Lowers the job into a dataflow graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if lowering produced an inconsistent graph
+    /// (a bug in this builder rather than bad user input).
+    pub fn lower(&self) -> Result<LoweredJob, GraphError> {
+        let s = self.n_stages();
+        let m = self.microbatches() as u32;
+        let policy = self.precision();
+        let model = self.model();
+        let folds_optimizer = !self.schedule().has_optimizer_step();
+        let mut b = TrainingGraph::builder(s);
+
+        // --- Static tensors -------------------------------------------------
+        let layer_fp = model.layer_footprint(policy);
+        // Per stage: tensors indexed by position within the stage.
+        let mut param_tensors: Vec<Vec<TensorId>> = vec![Vec::new(); s];
+        let mut grad_tensors: Vec<Vec<TensorId>> = vec![Vec::new(); s];
+        let mut opt_tensors: Vec<Vec<TensorId>> = vec![Vec::new(); s];
+        let mut stash_tensors: Vec<Vec<TensorId>> = vec![Vec::new(); s];
+        // Embedding block statics live on stage 0.
+        let emb = model.embedding_footprint(policy);
+        let emb_param = b.add_tensor(TensorKind::Parameter, emb.params, 0, None, None);
+        let emb_grad = b.add_tensor(TensorKind::Gradient, emb.grads, 0, None, None);
+        let emb_opt = b.add_tensor(TensorKind::OptimizerState, emb.optimizer, 0, None, None);
+        for stage in 0..s {
+            for layer in self.partition().stage_layers(stage) {
+                param_tensors[stage].push(b.add_tensor(
+                    TensorKind::Parameter,
+                    layer_fp.params,
+                    stage,
+                    Some(layer),
+                    None,
+                ));
+                grad_tensors[stage].push(b.add_tensor(
+                    TensorKind::Gradient,
+                    layer_fp.grads,
+                    stage,
+                    Some(layer),
+                    None,
+                ));
+                opt_tensors[stage].push(b.add_tensor(
+                    TensorKind::OptimizerState,
+                    layer_fp.optimizer,
+                    stage,
+                    Some(layer),
+                    None,
+                ));
+            }
+            let versions = self.schedule().weight_versions(stage, s);
+            if versions > 1 {
+                let mut bytes = layer_fp.params * self.partition().stage_layers(stage).len() as u64;
+                if stage == 0 {
+                    bytes += emb.params;
+                }
+                for _ in 1..versions {
+                    stash_tensors[stage].push(b.add_tensor(
+                        TensorKind::Parameter,
+                        bytes,
+                        stage,
+                        None,
+                        None,
+                    ));
+                }
+            }
+        }
+
+        // --- Dynamic tensors -------------------------------------------------
+        let act_bytes = model.activation_bytes_per_layer(self.microbatch_size(), policy);
+        let boundary_bytes = model.boundary_activation_bytes(self.microbatch_size(), policy);
+        let embed_act_bytes = model.embedding_activation_bytes(self.microbatch_size(), policy);
+        // (stage, mb) -> per-layer activation tensors, in stage-layer order.
+        let mut act_tensors: HashMap<(usize, u32), Vec<TensorId>> = HashMap::new();
+        let mut boundary_tensors: HashMap<(usize, u32), TensorId> = HashMap::new();
+        let mut embed_acts: HashMap<u32, TensorId> = HashMap::new();
+        for stage in 0..s {
+            for mb in 0..m {
+                let acts: Vec<TensorId> = self
+                    .partition()
+                    .stage_layers(stage)
+                    .map(|layer| {
+                        b.add_tensor(TensorKind::Activation, act_bytes, stage, Some(layer), Some(mb))
+                    })
+                    .collect();
+                act_tensors.insert((stage, mb), acts);
+                if stage + 1 < s {
+                    boundary_tensors.insert(
+                        (stage, mb),
+                        b.add_tensor(TensorKind::Boundary, boundary_bytes, stage, None, Some(mb)),
+                    );
+                }
+                if stage == 0 {
+                    embed_acts.insert(
+                        mb,
+                        b.add_tensor(TensorKind::Activation, embed_act_bytes, 0, None, Some(mb)),
+                    );
+                }
+            }
+        }
+
+        // --- Ops in per-stage program order ---------------------------------
+        let t_layer = self.layer_forward_time();
+        // The embedding lookup is a gather, far cheaper than a block.
+        let t_embed = 0.05 * t_layer;
+        let t_head = self.head_forward_time();
+        let comm = self.boundary_comm_time();
+        let mut forward_ops = HashMap::new();
+        let mut backward_ops = HashMap::new();
+        let mut send_f: HashMap<(usize, u32), OpId> = HashMap::new();
+        let mut send_b: HashMap<(usize, u32), OpId> = HashMap::new();
+        for (stage, program) in self.programs().into_iter().enumerate() {
+            let n_layers = self.partition().stage_layers(stage).len();
+            let last_stage = stage == s - 1;
+            for slot in program.slots {
+                match slot {
+                    StageSlot::Forward(mb) => {
+                        let acts = act_tensors[&(stage, mb)].clone();
+                        let mut first_op = None;
+                        let mut last_fwd = None;
+                        if stage == 0 {
+                            let ea = embed_acts[&mb];
+                            let id = b.add_op(OpKind::Forward, 0, Some(mb), t_embed, |op| {
+                                op.reads.push(emb_param);
+                                op.writes.push(ea);
+                            });
+                            first_op = Some(id);
+                        }
+                        for (idx, &a) in acts.iter().enumerate() {
+                            let param = param_tensors[stage][idx];
+                            let writes_boundary = idx + 1 == n_layers && !last_stage;
+                            let bt = boundary_tensors.get(&(stage, mb)).copied();
+                            let reads_boundary =
+                                idx == 0 && stage > 0;
+                            let prev_bt = if reads_boundary {
+                                Some(boundary_tensors[&(stage - 1, mb)])
+                            } else {
+                                None
+                            };
+                            let id = b.add_op(OpKind::Forward, stage, Some(mb), t_layer, |op| {
+                                op.reads.push(param);
+                                if let Some(pbt) = prev_bt {
+                                    op.reads.push(pbt);
+                                }
+                                op.writes.push(a);
+                                if writes_boundary {
+                                    op.writes.push(bt.expect("non-last stage has boundary"));
+                                }
+                            });
+                            if first_op.is_none() {
+                                first_op = Some(id);
+                            }
+                            last_fwd = Some(id);
+                        }
+                        // The vocabulary head runs on the last stage.
+                        if last_stage {
+                            b.add_op(OpKind::Forward, stage, Some(mb), t_head, |_| {});
+                        }
+                        forward_ops.insert((stage, mb), first_op.expect("stage has layers"));
+                        if !last_stage {
+                            let bt = boundary_tensors[&(stage, mb)];
+                            let sid = b.add_op(OpKind::Send, stage, Some(mb), comm, |op| {
+                                op.reads.push(bt);
+                            });
+                            // Sends run on a separate comm stream, so the
+                            // data dependency on the producing forward is
+                            // explicit.
+                            b.add_dep(last_fwd.expect("stage has layers"), sid);
+                            send_f.insert((stage, mb), sid);
+                        }
+                    }
+                    StageSlot::Backward(mb) => {
+                        let acts = act_tensors[&(stage, mb)].clone();
+                        if last_stage {
+                            b.add_op(OpKind::Backward, stage, Some(mb), 2.0 * t_head, |_| {});
+                        }
+                        let mut last_op = None;
+                        // Backward walks the stage's layers in reverse.
+                        for idx in (0..n_layers).rev() {
+                            let a = acts[idx];
+                            let param = param_tensors[stage][idx];
+                            let grad = grad_tensors[stage][idx];
+                            let opt = folds_optimizer.then(|| opt_tensors[stage][idx]);
+                            let bt = boundary_tensors.get(&(stage, mb)).copied();
+                            let frees_own_boundary = idx + 1 == n_layers;
+                            let id = b.add_op(
+                                OpKind::Backward,
+                                stage,
+                                Some(mb),
+                                2.0 * t_layer,
+                                |op| {
+                                    op.reads.extend([a, param]);
+                                    if let Some(o) = opt {
+                                        op.reads.push(o);
+                                    }
+                                    op.writes.push(grad);
+                                    op.frees.push(a);
+                                    // The outbound boundary is last needed
+                                    // by its own layer's backward.
+                                    if frees_own_boundary {
+                                        if let Some(bt) = bt {
+                                            op.reads.push(bt);
+                                            op.frees.push(bt);
+                                        }
+                                    }
+                                },
+                            );
+                            last_op = Some(id);
+                        }
+                        // Each stashed weight version belongs to one
+                        // in-flight minibatch and is last used by that
+                        // minibatch's backward.
+                        let stash = stash_tensors[stage].get(mb as usize).copied();
+                        if stage == 0 {
+                            let ea = embed_acts[&mb];
+                            let id =
+                                b.add_op(OpKind::Backward, 0, Some(mb), 2.0 * t_embed, |op| {
+                                    op.reads.extend([ea, emb_param]);
+                                    if folds_optimizer {
+                                        op.reads.push(emb_opt);
+                                    }
+                                    if let Some(st) = stash {
+                                        op.reads.push(st);
+                                    }
+                                    op.writes.push(emb_grad);
+                                    op.frees.push(ea);
+                                });
+                            last_op = Some(id);
+                        } else if let Some(st) = stash {
+                            // Zero-cost marker: the version's last use at
+                            // this minibatch's final backward.
+                            let id = b.add_op(OpKind::Backward, stage, Some(mb), 0.0, |op| {
+                                op.reads.push(st);
+                            });
+                            last_op = Some(id);
+                        }
+                        backward_ops.insert((stage, mb), last_op.expect("stage has layers"));
+                        if stage > 0 {
+                            let sid = b.add_op(OpKind::Send, stage, Some(mb), comm, |_| {});
+                            b.add_dep(last_op.expect("stage has layers"), sid);
+                            send_b.insert((stage, mb), sid);
+                        }
+                    }
+                    StageSlot::OptimizerStep => {
+                        // Real optimizers stream updates chunk by chunk —
+                        // one op per layer keeps only that layer's states
+                        // resident, which is what makes optimizer-state
+                        // swapping viable at 20B+ scale.
+                        let dur = self.optimizer_time(stage) / n_layers as f64;
+                        for idx in 0..n_layers {
+                            let grad = grad_tensors[stage][idx];
+                            let opt = opt_tensors[stage][idx];
+                            let param = param_tensors[stage][idx];
+                            b.add_op(OpKind::OptimizerStep, stage, None, dur, |op| {
+                                op.reads.extend([grad, opt]);
+                                op.writes.push(param);
+                            });
+                        }
+                        if stage == 0 {
+                            b.add_op(OpKind::OptimizerStep, 0, None, dur, |op| {
+                                op.reads.extend([emb_grad, emb_opt]);
+                                op.writes.push(emb_param);
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Cross-stage dependencies ---------------------------------------
+        for mb in 0..m {
+            for stage in 1..s {
+                b.add_dep(send_f[&(stage - 1, mb)], forward_ops[&(stage, mb)]);
+            }
+            for stage in 0..s.saturating_sub(1) {
+                b.add_dep(send_b[&(stage + 1, mb)], backward_ops[&(stage, mb)]);
+            }
+        }
+
+        let graph = b.build()?;
+        Ok(LoweredJob {
+            graph,
+            forward_ops,
+            backward_ops,
+            stash_tensors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleKind;
+    use mpress_graph::LivenessAnalysis;
+    use mpress_hw::Bytes;
+    use mpress_model::{zoo, PrecisionPolicy};
+
+    fn small_job(kind: ScheduleKind) -> PipelineJob {
+        PipelineJob::builder()
+            .model(
+                mpress_model::TransformerConfig::builder(mpress_model::ModelFamily::Gpt)
+                    .layers(8)
+                    .hidden(512)
+                    .seq_len(256)
+                    .build(),
+            )
+            .schedule(kind)
+            .stages(4)
+            .microbatch_size(2)
+            .microbatches(6)
+            .precision(PrecisionPolicy::mixed())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lowering_validates() {
+        for kind in [ScheduleKind::PipeDream, ScheduleKind::Dapple] {
+            let job = small_job(kind);
+            let lowered = job.lower().expect("lowering must validate");
+            assert_eq!(lowered.graph.n_stages(), 4);
+            assert_eq!(lowered.forward_ops.len(), 4 * 6);
+            assert_eq!(lowered.backward_ops.len(), 4 * 6);
+        }
+    }
+
+    #[test]
+    fn op_counts_match_layer_granularity() {
+        let job = small_job(ScheduleKind::Dapple);
+        let g = job.lower().unwrap().graph;
+        let fwd = g.ops().iter().filter(|o| o.kind == OpKind::Forward).count();
+        let bwd = g.ops().iter().filter(|o| o.kind == OpKind::Backward).count();
+        let opt = g
+            .ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::OptimizerStep)
+            .count();
+        // 8 layers + embedding + head per microbatch per pass.
+        assert_eq!(fwd, (8 + 1 + 1) * 6);
+        assert_eq!(bwd, (8 + 1 + 1) * 6);
+        assert_eq!(opt, 4 * 2 + 1); // 2 layers per stage + embedding on stage 0
+    }
+
+    #[test]
+    fn pipedream_lowers_more_parameter_bytes() {
+        let pd = small_job(ScheduleKind::PipeDream).lower().unwrap().graph;
+        let dp = small_job(ScheduleKind::Dapple).lower().unwrap().graph;
+        let param_bytes = |g: &TrainingGraph| {
+            g.tensors()
+                .iter()
+                .filter(|t| t.kind == TensorKind::Parameter)
+                .map(|t| t.bytes)
+                .sum::<Bytes>()
+        };
+        assert!(param_bytes(&pd) > param_bytes(&dp));
+    }
+
+    #[test]
+    fn early_layer_has_longest_live_interval() {
+        let job = small_job(ScheduleKind::Dapple);
+        let lowered = job.lower().unwrap();
+        let g = &lowered.graph;
+        let starts = g.serial_start_times();
+        let live = LivenessAnalysis::compute(g, &starts);
+        let acts: Vec<_> = g
+            .tensors()
+            .iter()
+            .filter(|t| {
+                t.kind == TensorKind::Activation
+                    && t.stage == 0
+                    && t.microbatch == Some(0)
+                    && t.layer.is_some()
+            })
+            .collect();
+        let first = acts.iter().find(|t| t.layer == Some(0)).unwrap();
+        let last_layer = acts.iter().map(|t| t.layer.unwrap()).max().unwrap();
+        let last = acts.iter().find(|t| t.layer == Some(last_layer)).unwrap();
+        let d_first = live.interval(first.id).duration();
+        let d_last = live.interval(last.id).duration();
+        assert!(
+            d_first > d_last,
+            "layer0 interval {d_first} vs last {d_last}"
+        );
+    }
+
+    #[test]
+    fn serial_times_respect_pipeline_order() {
+        let job = small_job(ScheduleKind::Dapple);
+        let lowered = job.lower().unwrap();
+        let g = &lowered.graph;
+        let starts = g.serial_start_times();
+        let f00 = lowered.forward_ops[&(0, 0)];
+        let f10 = lowered.forward_ops[&(1, 0)];
+        assert!(starts[f10.index()] >= starts[f00.index()] + g.op(f00).duration - 1e-12);
+        let b00 = lowered.backward_ops[&(0, 0)];
+        let b10 = lowered.backward_ops[&(1, 0)];
+        assert!(starts[b00.index()] >= starts[b10.index()] - 1e-12);
+    }
+
+    #[test]
+    fn each_activation_has_one_producer_and_one_backward_consumer() {
+        let job = small_job(ScheduleKind::Dapple);
+        let g = job.lower().unwrap().graph;
+        for t in g.tensors() {
+            if t.kind != TensorKind::Activation || t.layer.is_none() {
+                continue;
+            }
+            assert!(g.producer_of(t.id).is_some(), "{} has no producer", t.id);
+            let consumers = g.consumers_of(t.id);
+            assert_eq!(consumers.len(), 1, "{} consumers: {consumers:?}", t.id);
+            assert_eq!(g.op(consumers[0]).kind, OpKind::Backward);
+        }
+    }
+
+    #[test]
+    fn full_size_model_lowers() {
+        let job = PipelineJob::builder()
+            .model(zoo::gpt_5_3b())
+            .microbatches(8)
+            .build()
+            .unwrap();
+        let lowered = job.lower().unwrap();
+        assert!(lowered.graph.ops().len() > 500);
+        let g = &lowered.graph;
+        assert!(g.stage_bytes(0) > g.stage_bytes(7));
+    }
+}

@@ -1,0 +1,385 @@
+//! A configured inter-operator parallel training job.
+
+use crate::memory::MemoryDemands;
+use crate::partition::{PartitionGoal, StagePartition};
+use crate::schedule::{ScheduleKind, StageProgram};
+use mpress_hw::{BandwidthCurve, Machine, Secs};
+use mpress_model::{flops, PrecisionPolicy, TransformerConfig};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while configuring a [`PipelineJob`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// No model was supplied to the builder.
+    MissingModel,
+    /// More stages than layers were requested.
+    TooManyStages {
+        /// Requested stage count.
+        stages: usize,
+        /// Available layer count.
+        layers: usize,
+    },
+    /// Microbatch size or count was zero.
+    ZeroMicrobatches,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::MissingModel => write!(f, "pipeline job needs a model"),
+            PipelineError::TooManyStages { stages, layers } => {
+                write!(f, "cannot split {layers} layers into {stages} stages")
+            }
+            PipelineError::ZeroMicrobatches => {
+                write!(f, "microbatch size and count must be positive")
+            }
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+/// A fully configured inter-operator parallel training job: model,
+/// machine, schedule, partition and batch geometry.
+///
+/// This is the object MPress's profiler, planner and simulator all consume.
+#[derive(Debug, Clone)]
+pub struct PipelineJob {
+    model: TransformerConfig,
+    machine: Machine,
+    schedule: ScheduleKind,
+    partition: StagePartition,
+    microbatch_size: usize,
+    microbatches: usize,
+    precision: PrecisionPolicy,
+}
+
+impl PipelineJob {
+    /// Starts configuring a job.
+    pub fn builder() -> PipelineJobBuilder {
+        PipelineJobBuilder::default()
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &TransformerConfig {
+        &self.model
+    }
+
+    /// The host machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The inter-minibatch schedule.
+    pub fn schedule(&self) -> ScheduleKind {
+        self.schedule
+    }
+
+    /// The stage partition.
+    pub fn partition(&self) -> &StagePartition {
+        &self.partition
+    }
+
+    /// Samples per microbatch.
+    pub fn microbatch_size(&self) -> usize {
+        self.microbatch_size
+    }
+
+    /// Microbatches per simulated window (DAPPLE: per minibatch).
+    pub fn microbatches(&self) -> usize {
+        self.microbatches
+    }
+
+    /// The precision policy.
+    pub fn precision(&self) -> &PrecisionPolicy {
+        &self.precision
+    }
+
+    /// Number of pipeline stages (== GPUs used).
+    pub fn n_stages(&self) -> usize {
+        self.partition.n_stages()
+    }
+
+    /// Forward time of one transformer layer for one microbatch.
+    pub fn layer_forward_time(&self) -> Secs {
+        let f = flops::layer_forward_flops(&self.model, self.microbatch_size);
+        self.machine
+            .gpu()
+            .compute_time(f, self.precision.compute_fp16())
+    }
+
+    /// Forward time of the output head (runs on the last stage).
+    pub fn head_forward_time(&self) -> Secs {
+        let f = flops::head_forward_flops(&self.model, self.microbatch_size);
+        self.machine
+            .gpu()
+            .compute_time(f, self.precision.compute_fp16())
+    }
+
+    /// Forward time of one whole stage for one microbatch.
+    pub fn stage_forward_time(&self, stage: usize) -> Secs {
+        let n = self.partition.stage_layers(stage).len() as f64;
+        let mut t = n * self.layer_forward_time();
+        if stage == self.n_stages() - 1 {
+            t += self.head_forward_time();
+        }
+        t
+    }
+
+    /// Backward time of one whole stage (paper convention: 2x forward).
+    pub fn stage_backward_time(&self, stage: usize) -> Secs {
+        2.0 * self.stage_forward_time(stage)
+    }
+
+    /// Optimizer-step time of one stage (DAPPLE; ~10 FLOPs/param of
+    /// FP32 vector work).
+    pub fn optimizer_time(&self, stage: usize) -> Secs {
+        let mut params = self.model.layer_params() * self.partition.stage_layers(stage).len() as u64;
+        if stage == 0 {
+            params += self.model.embedding_params();
+        }
+        let flops = params as f64 * 10.0;
+        flops / (self.machine.gpu().peak_flops_fp32 * self.machine.gpu().efficiency_fp32)
+    }
+
+    /// Time to ship one boundary activation between adjacent stages
+    /// (over a single NVLink lane, the common case after device mapping).
+    pub fn boundary_comm_time(&self) -> Secs {
+        let bytes = self
+            .model
+            .boundary_activation_bytes(self.microbatch_size, &self.precision);
+        BandwidthCurve::nvlink_lanes(1).transfer_time(bytes)
+    }
+
+    /// Analytic per-stage memory demands (Table II / Fig. 2).
+    pub fn memory_demands(&self) -> MemoryDemands {
+        MemoryDemands::compute(
+            &self.model,
+            &self.partition,
+            self.schedule,
+            self.microbatch_size,
+            self.microbatches,
+            &self.precision,
+        )
+    }
+
+    /// The 1F1B slot order of every stage.
+    pub fn programs(&self) -> Vec<StageProgram> {
+        (0..self.n_stages())
+            .map(|i| {
+                StageProgram::one_f_one_b(self.schedule, i, self.n_stages(), self.microbatches)
+            })
+            .collect()
+    }
+
+    /// Total model FLOPs executed in the simulated window — the numerator
+    /// of the achieved-TFLOPS metric of Figs. 7 and 8.
+    pub fn window_flops(&self) -> f64 {
+        flops::model_flops_per_microbatch(&self.model, self.microbatch_size)
+            * self.microbatches as f64
+    }
+
+    /// Samples processed in the simulated window.
+    pub fn window_samples(&self) -> usize {
+        self.microbatch_size * self.microbatches
+    }
+}
+
+/// Builder for [`PipelineJob`].
+#[derive(Debug, Clone, Default)]
+pub struct PipelineJobBuilder {
+    model: Option<TransformerConfig>,
+    machine: Option<Machine>,
+    schedule: Option<ScheduleKind>,
+    partition: Option<StagePartition>,
+    partition_goal: Option<PartitionGoal>,
+    n_stages: Option<usize>,
+    microbatch_size: Option<usize>,
+    microbatches: Option<usize>,
+    precision: Option<PrecisionPolicy>,
+}
+
+impl PipelineJobBuilder {
+    /// Sets the model (required).
+    pub fn model(mut self, model: TransformerConfig) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the machine (default: DGX-1).
+    pub fn machine(mut self, machine: Machine) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// Sets the schedule (default: DAPPLE).
+    pub fn schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Supplies an explicit partition (otherwise one is computed).
+    pub fn partition(mut self, partition: StagePartition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Sets the partitioner goal (default: computation-balanced).
+    pub fn partition_goal(mut self, goal: PartitionGoal) -> Self {
+        self.partition_goal = Some(goal);
+        self
+    }
+
+    /// Overrides the stage count (default: the machine's GPU count).
+    pub fn stages(mut self, n: usize) -> Self {
+        self.n_stages = Some(n);
+        self
+    }
+
+    /// Sets samples per microbatch (default: 2).
+    pub fn microbatch_size(mut self, b: usize) -> Self {
+        self.microbatch_size = Some(b);
+        self
+    }
+
+    /// Sets microbatches per window/minibatch (default: 2x stages).
+    pub fn microbatches(mut self, m: usize) -> Self {
+        self.microbatches = Some(m);
+        self
+    }
+
+    /// Sets the precision policy (default: mixed).
+    pub fn precision(mut self, p: PrecisionPolicy) -> Self {
+        self.precision = Some(p);
+        self
+    }
+
+    /// Validates and builds the job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] when the model is missing, the stage count
+    /// exceeds the layer count, or batch geometry is zero.
+    pub fn build(self) -> Result<PipelineJob, PipelineError> {
+        let model = self.model.ok_or(PipelineError::MissingModel)?;
+        let machine = self.machine.unwrap_or_else(Machine::dgx1);
+        let schedule = self.schedule.unwrap_or(ScheduleKind::Dapple);
+        let precision = self.precision.unwrap_or_default();
+        let microbatch_size = self.microbatch_size.unwrap_or(2);
+        let n_stages = self.n_stages.unwrap_or_else(|| machine.gpu_count());
+        let microbatches = self.microbatches.unwrap_or(2 * n_stages);
+        if microbatch_size == 0 || microbatches == 0 {
+            return Err(PipelineError::ZeroMicrobatches);
+        }
+        if n_stages > model.num_layers() {
+            return Err(PipelineError::TooManyStages {
+                stages: n_stages,
+                layers: model.num_layers(),
+            });
+        }
+        let partition = match self.partition {
+            Some(p) => p,
+            None => StagePartition::balanced(
+                &model,
+                n_stages,
+                microbatch_size,
+                &precision,
+                self.partition_goal.unwrap_or(PartitionGoal::Computation),
+            ),
+        };
+        Ok(PipelineJob {
+            model,
+            machine,
+            schedule,
+            partition,
+            microbatch_size,
+            microbatches,
+            precision,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpress_model::zoo;
+
+    fn job() -> PipelineJob {
+        PipelineJob::builder()
+            .model(zoo::gpt_5_3b())
+            .schedule(ScheduleKind::Dapple)
+            .microbatch_size(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let j = job();
+        assert_eq!(j.n_stages(), 8);
+        assert_eq!(j.microbatches(), 16);
+        assert_eq!(j.machine().gpu_count(), 8);
+    }
+
+    #[test]
+    fn missing_model_is_an_error() {
+        assert_eq!(
+            PipelineJob::builder().build().unwrap_err(),
+            PipelineError::MissingModel
+        );
+    }
+
+    #[test]
+    fn zero_microbatch_is_an_error() {
+        let err = PipelineJob::builder()
+            .model(zoo::gpt_5_3b())
+            .microbatch_size(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PipelineError::ZeroMicrobatches);
+    }
+
+    #[test]
+    fn too_many_stages_is_an_error() {
+        let err = PipelineJob::builder()
+            .model(zoo::gpt_5_3b()) // 30 layers
+            .stages(31)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::TooManyStages { .. }));
+    }
+
+    #[test]
+    fn last_stage_carries_the_head() {
+        let j = job();
+        // Same layer count but the head pushes the last stage's time up.
+        let per_layer = j.layer_forward_time();
+        let last = j.n_stages() - 1;
+        let expect = j.partition().stage_layers(last).len() as f64 * per_layer;
+        assert!(j.stage_forward_time(last) > expect);
+    }
+
+    #[test]
+    fn backward_is_twice_forward() {
+        let j = job();
+        for s in 0..j.n_stages() {
+            assert!((j.stage_backward_time(s) - 2.0 * j.stage_forward_time(s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn boundary_comm_is_small_relative_to_compute() {
+        // Paper §II-A: inter-stage traffic is tiny; comm must be well under
+        // a stage's compute time.
+        let j = job();
+        assert!(j.boundary_comm_time() < j.stage_forward_time(0) / 10.0);
+    }
+
+    #[test]
+    fn window_accounting() {
+        let j = job();
+        assert_eq!(j.window_samples(), 2 * 16);
+        assert!(j.window_flops() > 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Inter-operator (pipeline) parallel training substrate.
+//!
+//! The paper integrates MPress into two representative inter-operator
+//! systems: **PipeDream** (asynchronous 1F1B with weight stashing) and
+//! **DAPPLE** (synchronous early-backward scheduling with a pipeline
+//! flush). This crate rebuilds what MPress needs from both:
+//!
+//! * [`partition`] — splitting a transformer into pipeline stages, either
+//!   computation-balanced (the systems' recommendation) or memory-balanced
+//!   (the alternative §II-D rejects for its 34% slowdown),
+//! * [`schedule`] — per-stage 1F1B op orderings, in-flight activation
+//!   counts and weight-version counts (the source of the memory imbalance
+//!   in Figs. 1-2),
+//! * [`build`] — lowering a (model, partition, schedule) triple into a
+//!   [`mpress_graph::TrainingGraph`] with realistic durations, and
+//! * [`memory`] — the closed-form per-stage memory demands behind the
+//!   paper's Table II and Fig. 2.
+//!
+//! # Example
+//!
+//! ```
+//! use mpress_pipeline::{PipelineJob, ScheduleKind};
+//! use mpress_model::{zoo, PrecisionPolicy};
+//! use mpress_hw::Machine;
+//!
+//! let job = PipelineJob::builder()
+//!     .model(zoo::gpt_5_3b())
+//!     .machine(Machine::dgx1())
+//!     .schedule(ScheduleKind::Dapple)
+//!     .microbatch_size(2)
+//!     .precision(PrecisionPolicy::mixed())
+//!     .build()?;
+//! let demands = job.memory_demands();
+//! // Early stages accumulate more in-flight activations: memory decreases
+//! // monotonically from stage 0 to the last stage.
+//! assert!(demands.per_stage_peak[0] > demands.per_stage_peak[7]);
+//! # Ok::<(), mpress_pipeline::PipelineError>(())
+//! ```
+
+pub mod build;
+pub mod job;
+pub mod memory;
+pub mod partition;
+pub mod schedule;
+pub mod timeline;
+
+pub use build::LoweredJob;
+pub use job::{PipelineError, PipelineJob, PipelineJobBuilder};
+pub use memory::{MemoryDemands, StageMemory};
+pub use partition::{PartitionGoal, StagePartition};
+pub use schedule::{ScheduleKind, StageProgram, StageSlot};

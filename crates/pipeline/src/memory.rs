@@ -1,0 +1,249 @@
+//! Closed-form per-stage GPU memory demands (paper Table II, Fig. 2).
+//!
+//! Stage `i` of an `S`-stage 1F1B pipeline keeps:
+//!
+//! * its layers' parameters (times the schedule's weight-version count),
+//!   gradients and optimizer states,
+//! * up to `min(S - i, M)` in-flight activation sets, each holding every
+//!   layer activation of the stage plus the stage's boundary output.
+//!
+//! Early stages therefore dominate: the paper measures up to a 7.9x gap
+//! between the most- and least-loaded GPU.
+
+use crate::partition::StagePartition;
+use crate::schedule::ScheduleKind;
+use mpress_hw::Bytes;
+use mpress_model::{PrecisionPolicy, TransformerConfig};
+use serde::{Deserialize, Serialize};
+
+/// Memory demand breakdown of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageMemory {
+    /// Stage index.
+    pub stage: usize,
+    /// Current parameters of the stage's layers (one version).
+    pub params: Bytes,
+    /// Additional stashed weight versions (PipeDream only).
+    pub stashed_params: Bytes,
+    /// Gradient storage.
+    pub grads: Bytes,
+    /// Optimizer states.
+    pub optimizer: Bytes,
+    /// Activation bytes of ONE microbatch on this stage (incl. boundary).
+    pub activations_per_microbatch: Bytes,
+    /// Peak number of simultaneously resident activation sets.
+    pub peak_in_flight: usize,
+}
+
+impl StageMemory {
+    /// Peak bytes the stage demands.
+    pub fn peak(&self) -> Bytes {
+        self.static_bytes() + self.peak_activation_bytes()
+    }
+
+    /// Static (schedule-independent) bytes.
+    pub fn static_bytes(&self) -> Bytes {
+        self.params + self.stashed_params + self.grads + self.optimizer
+    }
+
+    /// Peak dynamic activation bytes.
+    pub fn peak_activation_bytes(&self) -> Bytes {
+        self.activations_per_microbatch * self.peak_in_flight as u64
+    }
+}
+
+/// Whole-job memory demands: one [`StageMemory`] per stage plus the
+/// aggregates the paper's Table II reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryDemands {
+    /// Per-stage breakdowns.
+    pub stages: Vec<StageMemory>,
+    /// Per-stage peak bytes (same order).
+    pub per_stage_peak: Vec<Bytes>,
+}
+
+impl MemoryDemands {
+    /// Computes analytic demands for a (model, partition, schedule) triple.
+    pub fn compute(
+        model: &TransformerConfig,
+        partition: &StagePartition,
+        schedule: ScheduleKind,
+        microbatch_size: usize,
+        microbatches: usize,
+        policy: &PrecisionPolicy,
+    ) -> Self {
+        let s = partition.n_stages();
+        let act_layer = model.activation_bytes_per_layer(microbatch_size, policy);
+        let boundary = model.boundary_activation_bytes(microbatch_size, policy);
+        let layer_fp = model.layer_footprint(policy);
+        let mut stages = Vec::with_capacity(s);
+        for i in 0..s {
+            let n_layers = partition.stage_layers(i).len() as u64;
+            let mut params = layer_fp.params * n_layers;
+            let mut grads = layer_fp.grads * n_layers;
+            let mut optimizer = layer_fp.optimizer * n_layers;
+            let mut act_mb = act_layer * n_layers + boundary;
+            if i == 0 {
+                let emb = model.embedding_footprint(policy);
+                params += emb.params;
+                grads += emb.grads;
+                optimizer += emb.optimizer;
+                act_mb += model.embedding_activation_bytes(microbatch_size, policy);
+            }
+            let versions = schedule.weight_versions(i, s);
+            let stashed_params = params * (versions - 1);
+            stages.push(StageMemory {
+                stage: i,
+                params,
+                stashed_params,
+                grads,
+                optimizer,
+                activations_per_microbatch: act_mb,
+                peak_in_flight: schedule.in_flight(i, s, microbatches),
+            });
+        }
+        let per_stage_peak = stages.iter().map(StageMemory::peak).collect();
+        MemoryDemands {
+            stages,
+            per_stage_peak,
+        }
+    }
+
+    /// Total GPU memory demand of the whole job (Table II "Total").
+    pub fn total(&self) -> Bytes {
+        self.per_stage_peak.iter().copied().sum()
+    }
+
+    /// Largest per-stage demand (Table II "per-stage Max").
+    pub fn max_stage(&self) -> Bytes {
+        self.per_stage_peak
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Bytes::ZERO)
+    }
+
+    /// Smallest per-stage demand (Table II "per-stage Min").
+    pub fn min_stage(&self) -> Bytes {
+        self.per_stage_peak
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Bytes::ZERO)
+    }
+
+    /// Ratio between the most- and least-loaded stage (Fig. 2's imbalance;
+    /// the paper observes up to 7.9x).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let min = self.min_stage();
+        if min.is_zero() {
+            return f64::INFINITY;
+        }
+        self.max_stage().as_f64() / min.as_f64()
+    }
+
+    /// Spare bytes per stage on a device with `capacity`: how much memory a
+    /// D2D importer could donate (zero for overloaded stages).
+    pub fn spare_per_stage(&self, capacity: Bytes) -> Vec<Bytes> {
+        self.per_stage_peak
+            .iter()
+            .map(|&p| capacity.saturating_sub(p))
+            .collect()
+    }
+
+    /// Bytes each stage overflows a device with `capacity` (zero when it
+    /// fits).
+    pub fn overflow_per_stage(&self, capacity: Bytes) -> Vec<Bytes> {
+        self.per_stage_peak
+            .iter()
+            .map(|&p| p.saturating_sub(capacity))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionGoal;
+    use mpress_model::zoo;
+
+    fn gpt_demands() -> MemoryDemands {
+        let cfg = zoo::gpt_5_3b();
+        let policy = PrecisionPolicy::mixed();
+        let part = StagePartition::balanced(&cfg, 8, 2, &policy, PartitionGoal::Computation);
+        MemoryDemands::compute(&cfg, &part, ScheduleKind::Dapple, 2, 8, &policy)
+    }
+
+    /// Table II row "GPT+DAPPLE 5.3B": total 164.8 GB, max 28.5, min 12.7.
+    /// First-principles sizing should land within ~15% of each.
+    #[test]
+    fn gpt_5_3b_matches_table2() {
+        let d = gpt_demands();
+        let total = d.total().as_gib_f64();
+        let max = d.max_stage().as_gib_f64();
+        let min = d.min_stage().as_gib_f64();
+        assert!((140.0..190.0).contains(&total), "total {total:.1} GB");
+        assert!((24.0..33.0).contains(&max), "max {max:.1} GB");
+        assert!((5.0..15.0).contains(&min), "min {min:.1} GB");
+    }
+
+    #[test]
+    fn memory_decreases_monotonically_along_stages() {
+        let d = gpt_demands();
+        for w in d.per_stage_peak.windows(2) {
+            assert!(w[0] >= w[1], "{:?}", d.per_stage_peak);
+        }
+    }
+
+    /// Fig. 2: PipeDream's weight stashing makes the early-stage imbalance
+    /// even steeper than DAPPLE's.
+    #[test]
+    fn pipedream_stashing_increases_imbalance() {
+        let cfg = zoo::bert_1_67b();
+        let policy = PrecisionPolicy::full();
+        let part = StagePartition::balanced(&cfg, 8, 2, &policy, PartitionGoal::Computation);
+        let pd = MemoryDemands::compute(&cfg, &part, ScheduleKind::PipeDream, 2, 8, &policy);
+        let dp = MemoryDemands::compute(&cfg, &part, ScheduleKind::Dapple, 2, 8, &policy);
+        assert!(pd.imbalance_ratio() > dp.imbalance_ratio());
+        assert!(pd.total() > dp.total());
+        // The paper observes up to a 7.9x most/least gap.
+        assert!(
+            (3.0..12.0).contains(&pd.imbalance_ratio()),
+            "imbalance {:.1}",
+            pd.imbalance_ratio()
+        );
+    }
+
+    #[test]
+    fn spare_and_overflow_partition_capacity() {
+        let d = gpt_demands();
+        let cap = Bytes::gib(32);
+        let spare = d.spare_per_stage(cap);
+        let over = d.overflow_per_stage(cap);
+        for i in 0..8 {
+            // Exactly one of spare/overflow is non-zero per stage.
+            assert!(spare[i].is_zero() || over[i].is_zero());
+            let peak = d.per_stage_peak[i];
+            if peak > cap {
+                assert_eq!(over[i], peak - cap);
+            } else {
+                assert_eq!(spare[i], cap - peak);
+            }
+        }
+    }
+
+    #[test]
+    fn stage_peak_decomposes() {
+        let d = gpt_demands();
+        for s in &d.stages {
+            assert_eq!(s.peak(), s.static_bytes() + s.peak_activation_bytes());
+        }
+    }
+
+    #[test]
+    fn only_stage0_carries_embedding() {
+        let d = gpt_demands();
+        // Stage 0 has embedding params on top of roughly equal layer splits.
+        assert!(d.stages[0].params > d.stages[7].params);
+    }
+}

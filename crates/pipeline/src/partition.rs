@@ -1,0 +1,355 @@
+//! Stage partitioning strategies.
+//!
+//! Both PipeDream and DAPPLE recommend partitions that balance *per-stage
+//! computation time* (paper §II-C). §II-D also examines memory-balanced
+//! partitioning and rejects it: evening out memory makes computation
+//! imbalanced and costs ~34% throughput. We implement both so the trade-off
+//! can be measured.
+
+use mpress_model::{flops, PrecisionPolicy, TransformerConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// What a partitioner balances across stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionGoal {
+    /// Equalize per-stage forward+backward time (the systems' default).
+    Computation,
+    /// Equalize per-stage peak memory (the §II-D alternative).
+    Memory,
+}
+
+/// Assignment of consecutive layer ranges to pipeline stages.
+///
+/// Stage `i` trains layers `ranges[i]`; ranges tile `0..num_layers`
+/// without gaps or overlap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagePartition {
+    ranges: Vec<Range<usize>>,
+}
+
+impl StagePartition {
+    /// Builds a partition from explicit ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges do not tile `0..n` consecutively or any range
+    /// is empty.
+    pub fn from_ranges(ranges: Vec<Range<usize>>) -> Self {
+        assert!(!ranges.is_empty(), "need at least one stage");
+        let mut expect = 0;
+        for r in &ranges {
+            assert_eq!(r.start, expect, "ranges must tile consecutively");
+            assert!(r.end > r.start, "stage ranges must be non-empty");
+            expect = r.end;
+        }
+        StagePartition { ranges }
+    }
+
+    /// Partitions `model` into `n_stages` stages balancing `goal`.
+    ///
+    /// The partitioner walks layers greedily, closing a stage once its
+    /// accumulated weight reaches the ideal per-stage share. Weights are:
+    ///
+    /// * **Computation**: per-layer forward FLOPs, with the vocabulary
+    ///   head (which runs on the last stage) weighted onto the last layer.
+    /// * **Memory**: per-layer peak bytes under the schedule-induced
+    ///   in-flight activation multiplier of the stage the layer would land
+    ///   on; since that is circular, we use the schedule-independent proxy
+    ///   `static + activations` per layer, which is what a memory balancer
+    ///   can actually equalize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_stages` is zero or exceeds the layer count.
+    pub fn balanced(
+        model: &TransformerConfig,
+        n_stages: usize,
+        microbatch: usize,
+        policy: &PrecisionPolicy,
+        goal: PartitionGoal,
+    ) -> Self {
+        let n = model.num_layers();
+        assert!(n_stages > 0, "need at least one stage");
+        assert!(
+            n_stages <= n,
+            "cannot split {n} layers into {n_stages} stages"
+        );
+        let weights: Vec<f64> = (0..n)
+            .map(|l| match goal {
+                PartitionGoal::Computation => {
+                    let mut w = flops::layer_forward_flops(model, microbatch);
+                    // The output head runs on the last stage; weighting it
+                    // onto the last layer keeps per-stage compute even, so
+                    // no stage hides behind pipeline bubbles. (It only
+                    // matters for GPT — Bert's SQuAD head is negligible.)
+                    if l == n - 1 {
+                        w += flops::head_forward_flops(model, microbatch);
+                    }
+                    w
+                }
+                PartitionGoal::Memory => {
+                    // Placeholder weight; the Memory goal takes the
+                    // stage-aware path below.
+                    let _ = l;
+                    0.0
+                }
+            })
+            .collect();
+        if goal == PartitionGoal::Memory {
+            return Self::memory_balanced_split(model, n_stages, microbatch, policy);
+        }
+        Self::greedy_split(&weights, n_stages)
+    }
+
+    /// Optimal contiguous split of `weights` into `k` non-empty groups:
+    /// primary objective minimizes the maximum group sum (the
+    /// linear-partition problem), secondary objective minimizes the sum of
+    /// squared loads so remainders spread evenly, and ties prefer heavier
+    /// groups *earlier* — matching the near-uniform splits the host
+    /// systems' planners produce.
+    fn greedy_split(weights: &[f64], k: usize) -> Self {
+        const EPS: f64 = 1e-9;
+        let n = weights.len();
+        let mut prefix = vec![0.0; n + 1];
+        for (i, &w) in weights.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + w;
+        }
+        let sum = |a: usize, b: usize| prefix[b] - prefix[a]; // weights[a..b]
+        let scale = prefix[n].max(1.0);
+        // dp[j][i]: (max load, sum of squared loads) for the first i layers
+        // split into j groups.
+        let mut dp = vec![vec![(f64::INFINITY, f64::INFINITY); n + 1]; k + 1];
+        let mut cut = vec![vec![0usize; n + 1]; k + 1];
+        dp[0][0] = (0.0, 0.0);
+        for j in 1..=k {
+            for i in j..=n {
+                for p in (j - 1)..i {
+                    let load = sum(p, i);
+                    let (pmax, psq) = dp[j - 1][p];
+                    let cand = (pmax.max(load), psq + load * load);
+                    let best = dp[j][i];
+                    let better = cand.0 < best.0 - EPS * scale
+                        || (cand.0 <= best.0 + EPS * scale && cand.1 < best.1 - EPS * scale
+                            || (cand.0 <= best.0 + EPS * scale
+                                && (cand.1 - best.1).abs() <= EPS * scale
+                                && p > cut[j][i]));
+                    if better {
+                        dp[j][i] = cand;
+                        cut[j][i] = p;
+                    }
+                }
+            }
+        }
+        let mut bounds = vec![n];
+        let mut i = n;
+        for j in (1..=k).rev() {
+            i = cut[j][i];
+            bounds.push(i);
+        }
+        bounds.reverse();
+        let ranges = bounds.windows(2).map(|w| w[0]..w[1]).collect();
+        StagePartition { ranges }
+    }
+
+    /// Stage-aware memory balancing: stage `j` of a 1F1B pipeline holds
+    /// `S - j` in-flight activation sets, so equalizing peaks pushes MORE
+    /// layers onto later stages — the very trade §II-D measures (and
+    /// rejects: it makes computation imbalanced).
+    fn memory_balanced_split(
+        model: &TransformerConfig,
+        n_stages: usize,
+        microbatch: usize,
+        policy: &PrecisionPolicy,
+    ) -> Self {
+        let n = model.num_layers();
+        let static_l = model.layer_footprint(policy).total().as_f64();
+        let act_l = model.activation_bytes_per_layer(microbatch, policy).as_f64();
+        let emb = model.embedding_footprint(policy).total().as_f64()
+            + n_stages as f64
+                * model.embedding_activation_bytes(microbatch, policy).as_f64();
+        // Peak of a group of `c` layers placed on stage j.
+        let cost = |j: usize, c: usize| -> f64 {
+            let in_flight = (n_stages - j) as f64;
+            let mut w = c as f64 * (static_l + in_flight * act_l);
+            if j == 0 {
+                w += emb;
+            }
+            w
+        };
+        // dp[j][i]: minimal max-peak splitting the first i layers onto the
+        // first j stages.
+        let mut dp = vec![vec![f64::INFINITY; n + 1]; n_stages + 1];
+        let mut cut = vec![vec![0usize; n + 1]; n_stages + 1];
+        dp[0][0] = 0.0;
+        for j in 1..=n_stages {
+            for i in j..=n {
+                for p in (j - 1)..i {
+                    let cand = dp[j - 1][p].max(cost(j - 1, i - p));
+                    if cand < dp[j][i] {
+                        dp[j][i] = cand;
+                        cut[j][i] = p;
+                    }
+                }
+            }
+        }
+        let mut bounds = vec![n];
+        let mut i = n;
+        for j in (1..=n_stages).rev() {
+            i = cut[j][i];
+            bounds.push(i);
+        }
+        bounds.reverse();
+        let ranges = bounds.windows(2).map(|w| w[0]..w[1]).collect();
+        StagePartition { ranges }
+    }
+
+    /// Number of stages.
+    pub fn n_stages(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The layer range of one stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn stage_layers(&self, stage: usize) -> Range<usize> {
+        self.ranges[stage].clone()
+    }
+
+    /// Which stage hosts `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` exceeds the partitioned layer count.
+    pub fn stage_of_layer(&self, layer: usize) -> usize {
+        self.ranges
+            .iter()
+            .position(|r| r.contains(&layer))
+            .unwrap_or_else(|| panic!("layer {layer} beyond partition"))
+    }
+
+    /// All ranges.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Total layer count covered.
+    pub fn num_layers(&self) -> usize {
+        self.ranges.last().map_or(0, |r| r.end)
+    }
+}
+
+impl fmt::Display for StagePartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{}..{}", r.start, r.end)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpress_model::zoo;
+
+    #[test]
+    fn from_ranges_accepts_tiling() {
+        let p = StagePartition::from_ranges(vec![0..2, 2..5, 5..6]);
+        assert_eq!(p.n_stages(), 3);
+        assert_eq!(p.num_layers(), 6);
+        assert_eq!(p.stage_of_layer(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile consecutively")]
+    fn from_ranges_rejects_gap() {
+        let _ = StagePartition::from_ranges(vec![0..2, 3..4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn from_ranges_rejects_empty_stage() {
+        let _ = StagePartition::from_ranges(vec![0..2, 2..2]);
+    }
+
+    #[test]
+    fn computation_balance_splits_evenly_for_uniform_layers() {
+        // All transformer layers cost the same, so an 8-way split of the
+        // 40-layer Bert-0.64B gives five layers per stage.
+        let cfg = zoo::bert_0_64b();
+        let p = StagePartition::balanced(
+            &cfg,
+            8,
+            12,
+            &PrecisionPolicy::full(),
+            PartitionGoal::Computation,
+        );
+        assert_eq!(p.n_stages(), 8);
+        assert_eq!(p.num_layers(), 40);
+        let sizes: Vec<usize> = p.ranges().iter().map(|r| r.len()).collect();
+        // The last stage absorbs the vocabulary projection, so it may hold
+        // fewer layers; everything else stays near 40/8 = 5.
+        for (i, s) in sizes.iter().enumerate() {
+            assert!(
+                (4..=6).contains(s) || i == p.n_stages() - 1,
+                "stage {i} has {s} layers: {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_layer_assigned_exactly_once() {
+        let cfg = zoo::gpt_5_3b();
+        for goal in [PartitionGoal::Computation, PartitionGoal::Memory] {
+            let p = StagePartition::balanced(&cfg, 8, 2, &PrecisionPolicy::mixed(), goal);
+            assert_eq!(p.num_layers(), cfg.num_layers());
+            for l in 0..cfg.num_layers() {
+                let s = p.stage_of_layer(l);
+                assert!(p.stage_layers(s).contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn single_stage_partition_holds_everything() {
+        let cfg = zoo::bert_0_35b();
+        let p = StagePartition::balanced(
+            &cfg,
+            1,
+            12,
+            &PrecisionPolicy::full(),
+            PartitionGoal::Computation,
+        );
+        assert_eq!(p.stage_layers(0), 0..cfg.num_layers());
+    }
+
+    #[test]
+    fn stages_equal_layers_gives_singletons() {
+        let cfg = mpress_model::TransformerConfig::builder(mpress_model::ModelFamily::Gpt)
+            .layers(8)
+            .hidden(256)
+            .build();
+        let p = StagePartition::balanced(
+            &cfg,
+            8,
+            2,
+            &PrecisionPolicy::mixed(),
+            PartitionGoal::Computation,
+        );
+        assert!(p.ranges().iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = StagePartition::from_ranges(vec![0..3, 3..6]);
+        assert_eq!(p.to_string(), "[0..3 | 3..6]");
+    }
+}

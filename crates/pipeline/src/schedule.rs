@@ -1,0 +1,323 @@
+//! 1F1B pipeline schedules (paper Fig. 1).
+//!
+//! Both host systems interleave one forward with one backward per stage
+//! ("1F1B") after a warm-up ramp. They differ across minibatches:
+//!
+//! * **PipeDream** (asynchronous): the next minibatch's forwards flow in
+//!   immediately behind the previous one's backwards; convergence is
+//!   preserved by stashing one weight *version* per in-flight minibatch.
+//! * **DAPPLE** (synchronous): minibatches are serialized by a pipeline
+//!   flush; a single weight version exists, and an optimizer step runs at
+//!   the end of each minibatch.
+//!
+//! Stage `i` of an `S`-stage pipeline admits up to `S - i` microbatches
+//! before its first backward, which is exactly the imbalanced-memory
+//! phenomenon of Fig. 2.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which inter-minibatch scheduling a job uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// PipeDream: asynchronous, weight stashing, no flush.
+    PipeDream,
+    /// DAPPLE: synchronous 1F1B, single weights, flush + optimizer per
+    /// minibatch.
+    Dapple,
+    /// GPipe: synchronous all-forward-then-all-backward — every stage
+    /// holds *all* microbatches' activations at the forward/backward
+    /// boundary (the paper names GPipe as MPress's next integration
+    /// target).
+    GPipe,
+}
+
+impl ScheduleKind {
+    /// Number of weight versions stage `i` of `n_stages` keeps resident.
+    pub fn weight_versions(self, stage: usize, n_stages: usize) -> u64 {
+        match self {
+            ScheduleKind::PipeDream => (n_stages - stage) as u64,
+            ScheduleKind::Dapple | ScheduleKind::GPipe => 1,
+        }
+    }
+
+    /// Peak number of in-flight activation sets on stage `i` when a
+    /// minibatch has `microbatches` microbatches.
+    pub fn in_flight(self, stage: usize, n_stages: usize, microbatches: usize) -> usize {
+        match self {
+            // 1F1B drains early: stage i admits S-i microbatches.
+            ScheduleKind::PipeDream | ScheduleKind::Dapple => {
+                (n_stages - stage).min(microbatches)
+            }
+            // All-forward-then-all-backward holds everything.
+            ScheduleKind::GPipe => microbatches,
+        }
+    }
+
+    /// Whether an explicit optimizer step ends each minibatch.
+    pub fn has_optimizer_step(self) -> bool {
+        matches!(self, ScheduleKind::Dapple | ScheduleKind::GPipe)
+    }
+}
+
+impl fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleKind::PipeDream => write!(f, "PipeDream"),
+            ScheduleKind::Dapple => write!(f, "DAPPLE"),
+            ScheduleKind::GPipe => write!(f, "GPipe"),
+        }
+    }
+}
+
+/// One entry of a stage's execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageSlot {
+    /// Forward pass of one microbatch.
+    Forward(u32),
+    /// Backward pass of one microbatch.
+    Backward(u32),
+    /// Weight update (synchronous schedules only).
+    OptimizerStep,
+}
+
+impl fmt::Display for StageSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageSlot::Forward(m) => write!(f, "F{m}"),
+            StageSlot::Backward(m) => write!(f, "B{m}"),
+            StageSlot::OptimizerStep => write!(f, "U"),
+        }
+    }
+}
+
+/// The ordered slot sequence of one stage for one minibatch window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageProgram {
+    /// The stage index.
+    pub stage: usize,
+    /// Slots in execution order.
+    pub slots: Vec<StageSlot>,
+}
+
+impl StageProgram {
+    /// Builds the 1F1B order for `stage` of `n_stages` over `microbatches`
+    /// microbatches.
+    ///
+    /// Warm-up admits `min(S - stage, M)` forwards, then the steady phase
+    /// alternates backward/forward, and the drain phase issues the
+    /// remaining backwards. For DAPPLE an optimizer slot is appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `microbatches == 0` or `stage >= n_stages`.
+    pub fn one_f_one_b(
+        kind: ScheduleKind,
+        stage: usize,
+        n_stages: usize,
+        microbatches: usize,
+    ) -> Self {
+        assert!(microbatches > 0, "need at least one microbatch");
+        assert!(stage < n_stages, "stage out of range");
+        if kind == ScheduleKind::GPipe {
+            return Self::gpipe(stage, microbatches);
+        }
+        let m = microbatches as u32;
+        let warmup = ((n_stages - stage) as u32).min(m);
+        let mut slots = Vec::with_capacity(2 * microbatches + 1);
+        for f in 0..warmup {
+            slots.push(StageSlot::Forward(f));
+        }
+        let mut next_f = warmup;
+        for b in 0..m {
+            slots.push(StageSlot::Backward(b));
+            if next_f < m {
+                slots.push(StageSlot::Forward(next_f));
+                next_f += 1;
+            }
+        }
+        if kind.has_optimizer_step() {
+            slots.push(StageSlot::OptimizerStep);
+        }
+        StageProgram { stage, slots }
+    }
+
+    /// GPipe's order for one stage: all forwards, then all backwards in
+    /// reverse (LIFO, matching autograd), then the optimizer step.
+    fn gpipe(stage: usize, microbatches: usize) -> Self {
+        let m = microbatches as u32;
+        let mut slots = Vec::with_capacity(2 * microbatches + 1);
+        slots.extend((0..m).map(StageSlot::Forward));
+        slots.extend((0..m).rev().map(StageSlot::Backward));
+        slots.push(StageSlot::OptimizerStep);
+        StageProgram { stage, slots }
+    }
+
+    /// Maximum number of microbatches simultaneously holding activations on
+    /// this stage (forwards issued minus backwards completed).
+    pub fn peak_in_flight(&self) -> usize {
+        let mut live = 0i64;
+        let mut peak = 0i64;
+        for s in &self.slots {
+            match s {
+                StageSlot::Forward(_) => {
+                    live += 1;
+                    peak = peak.max(live);
+                }
+                StageSlot::Backward(_) => live -= 1,
+                StageSlot::OptimizerStep => {}
+            }
+        }
+        peak as usize
+    }
+
+    /// The forward slots, in order.
+    pub fn forwards(&self) -> Vec<u32> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                StageSlot::Forward(m) => Some(*m),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The backward slots, in order.
+    pub fn backwards(&self) -> Vec<u32> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                StageSlot::Backward(m) => Some(*m),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for StageProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage {}:", self.stage)?;
+        for s in &self.slots {
+            write!(f, " {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_versions_follow_paper() {
+        // PipeDream stage 0 of 8 keeps 8 versions; the last keeps 1.
+        assert_eq!(ScheduleKind::PipeDream.weight_versions(0, 8), 8);
+        assert_eq!(ScheduleKind::PipeDream.weight_versions(7, 8), 1);
+        assert_eq!(ScheduleKind::Dapple.weight_versions(0, 8), 1);
+    }
+
+    #[test]
+    fn in_flight_decreases_toward_late_stages() {
+        for stage in 0..8 {
+            let f = ScheduleKind::Dapple.in_flight(stage, 8, 16);
+            assert_eq!(f, 8 - stage);
+        }
+        // Fewer microbatches than stages caps the in-flight count.
+        assert_eq!(ScheduleKind::Dapple.in_flight(0, 8, 3), 3);
+    }
+
+    #[test]
+    fn program_contains_each_pass_once() {
+        let p = StageProgram::one_f_one_b(ScheduleKind::PipeDream, 2, 4, 6);
+        let mut fwds = p.forwards();
+        let mut bwds = p.backwards();
+        fwds.sort_unstable();
+        bwds.sort_unstable();
+        assert_eq!(fwds, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(bwds, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn forward_always_precedes_its_backward() {
+        for stage in 0..4 {
+            let p = StageProgram::one_f_one_b(ScheduleKind::Dapple, stage, 4, 6);
+            for m in 0..6u32 {
+                let fpos = p
+                    .slots
+                    .iter()
+                    .position(|s| *s == StageSlot::Forward(m))
+                    .unwrap();
+                let bpos = p
+                    .slots
+                    .iter()
+                    .position(|s| *s == StageSlot::Backward(m))
+                    .unwrap();
+                assert!(fpos < bpos, "stage {stage} mb {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn peak_in_flight_matches_formula() {
+        for stage in 0..8 {
+            for m in [1usize, 4, 8, 16] {
+                let p = StageProgram::one_f_one_b(ScheduleKind::PipeDream, stage, 8, m);
+                assert_eq!(
+                    p.peak_in_flight(),
+                    ScheduleKind::PipeDream.in_flight(stage, 8, m),
+                    "stage {stage}, m {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dapple_ends_with_optimizer() {
+        let p = StageProgram::one_f_one_b(ScheduleKind::Dapple, 0, 4, 4);
+        assert_eq!(p.slots.last(), Some(&StageSlot::OptimizerStep));
+        let q = StageProgram::one_f_one_b(ScheduleKind::PipeDream, 0, 4, 4);
+        assert!(q.slots.iter().all(|s| *s != StageSlot::OptimizerStep));
+    }
+
+    #[test]
+    fn gpipe_holds_everything_then_drains() {
+        let p = StageProgram::one_f_one_b(ScheduleKind::GPipe, 1, 4, 6);
+        assert_eq!(p.peak_in_flight(), 6);
+        assert_eq!(ScheduleKind::GPipe.in_flight(1, 4, 6), 6);
+        // All forwards precede all backwards; backwards run in reverse.
+        let first_bwd = p
+            .slots
+            .iter()
+            .position(|s| matches!(s, StageSlot::Backward(_)))
+            .unwrap();
+        assert!(p.slots[..first_bwd]
+            .iter()
+            .all(|s| matches!(s, StageSlot::Forward(_))));
+        assert_eq!(p.backwards(), vec![5, 4, 3, 2, 1, 0]);
+        assert_eq!(p.slots.last(), Some(&StageSlot::OptimizerStep));
+    }
+
+    #[test]
+    fn gpipe_has_single_weight_version() {
+        assert_eq!(ScheduleKind::GPipe.weight_versions(0, 8), 1);
+        assert!(ScheduleKind::GPipe.has_optimizer_step());
+    }
+
+    #[test]
+    fn last_stage_strictly_alternates() {
+        // Stage S-1 admits one forward then immediately drains it (Fig. 1).
+        let p = StageProgram::one_f_one_b(ScheduleKind::Dapple, 3, 4, 4);
+        let expect: Vec<StageSlot> = vec![
+            StageSlot::Forward(0),
+            StageSlot::Backward(0),
+            StageSlot::Forward(1),
+            StageSlot::Backward(1),
+            StageSlot::Forward(2),
+            StageSlot::Backward(2),
+            StageSlot::Forward(3),
+            StageSlot::Backward(3),
+            StageSlot::OptimizerStep,
+        ];
+        assert_eq!(p.slots, expect);
+    }
+}

@@ -1,0 +1,104 @@
+//! ASCII schedule timelines (paper Fig. 1).
+//!
+//! Renders the per-worker forward/backward interleaving of a small
+//! pipeline, mirroring the paper's Fig. 1 diagrams: black boxes (here `F#`)
+//! are forward passes, white boxes (`B#`) are backward passes, and DAPPLE's
+//! minibatch barrier shows up as the optimizer slot `U`.
+
+use crate::schedule::{ScheduleKind, StageProgram, StageSlot};
+use std::fmt::Write as _;
+
+/// Renders the slot order of every stage as one line per worker.
+///
+/// # Example
+///
+/// ```
+/// use mpress_pipeline::timeline;
+/// use mpress_pipeline::ScheduleKind;
+///
+/// let art = timeline::render(ScheduleKind::Dapple, 3, 6);
+/// assert!(art.contains("worker 1"));
+/// assert!(art.lines().count() == 3);
+/// ```
+pub fn render(kind: ScheduleKind, n_stages: usize, microbatches: usize) -> String {
+    let mut out = String::new();
+    for stage in 0..n_stages {
+        let program = StageProgram::one_f_one_b(kind, stage, n_stages, microbatches);
+        let _ = write!(out, "worker {}:", stage + 1);
+        // Indent by the stage's pipeline fill delay so the ramp is visible.
+        for _ in 0..stage {
+            out.push_str("    ");
+        }
+        for slot in &program.slots {
+            match slot {
+                StageSlot::Forward(m) => {
+                    let _ = write!(out, " F{}", m + 1);
+                }
+                StageSlot::Backward(m) => {
+                    let _ = write!(out, " B{}", m + 1);
+                }
+                StageSlot::OptimizerStep => out.push_str(" U"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the evolution of in-flight activation counts per worker, the
+/// quantity plotted under each timeline in Fig. 1.
+pub fn render_in_flight(kind: ScheduleKind, n_stages: usize, microbatches: usize) -> String {
+    let mut out = String::new();
+    for stage in 0..n_stages {
+        let program = StageProgram::one_f_one_b(kind, stage, n_stages, microbatches);
+        let _ = write!(out, "worker {} live:", stage + 1);
+        let mut live = 0i64;
+        for slot in &program.slots {
+            match slot {
+                StageSlot::Forward(_) => live += 1,
+                StageSlot::Backward(_) => live -= 1,
+                StageSlot::OptimizerStep => {}
+            }
+            let _ = write!(out, " {live}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_has_one_line_per_worker() {
+        let art = render(ScheduleKind::PipeDream, 3, 6);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains("F1") && art.contains("B6"));
+    }
+
+    #[test]
+    fn dapple_timeline_shows_barrier() {
+        let art = render(ScheduleKind::Dapple, 3, 6);
+        assert_eq!(art.matches(" U").count(), 3);
+    }
+
+    #[test]
+    fn figure1_worker1_holds_three_before_first_backward() {
+        // Paper Fig. 1: with 3 workers, worker 1 holds three activation
+        // copies before the first backward starts.
+        let counts = render_in_flight(ScheduleKind::Dapple, 3, 6);
+        let w1 = counts.lines().next().unwrap();
+        assert!(w1.starts_with("worker 1 live: 1 2 3"), "{w1}");
+        let w3 = counts.lines().nth(2).unwrap();
+        assert!(w3.starts_with("worker 3 live: 1 0"), "{w3}");
+    }
+
+    #[test]
+    fn in_flight_returns_to_zero() {
+        let counts = render_in_flight(ScheduleKind::PipeDream, 4, 8);
+        for line in counts.lines() {
+            assert!(line.trim_end().ends_with(" 0"), "{line}");
+        }
+    }
+}

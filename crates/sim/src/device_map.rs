@@ -1,0 +1,135 @@
+//! Stage-to-device mapping.
+//!
+//! MPress's device-mapping search (paper Fig. 6) permutes which GPU hosts
+//! which pipeline stage so that memory-pressured stages sit next to
+//! NVLink-reachable light-loaded peers. The simulator takes the chosen
+//! permutation as input.
+
+use mpress_hw::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bijective assignment of pipeline stages to GPU devices.
+///
+/// # Example
+///
+/// ```
+/// use mpress_sim::DeviceMap;
+/// use mpress_hw::DeviceId;
+///
+/// let id = DeviceMap::identity(8);
+/// assert_eq!(id.device_of(3), DeviceId(3));
+///
+/// let swapped = DeviceMap::from_vec(vec![1, 0].into_iter().map(DeviceId).collect()).unwrap();
+/// assert_eq!(swapped.device_of(0), DeviceId(1));
+/// assert_eq!(swapped.stage_of(DeviceId(1)), Some(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceMap {
+    devices: Vec<DeviceId>,
+}
+
+impl DeviceMap {
+    /// Stage `i` on device `i`.
+    pub fn identity(n: usize) -> Self {
+        DeviceMap {
+            devices: (0..n).map(DeviceId).collect(),
+        }
+    }
+
+    /// Builds a map from an explicit stage-indexed device vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the vector is not a permutation (repeats
+    /// a device).
+    pub fn from_vec(devices: Vec<DeviceId>) -> Result<Self, String> {
+        let mut seen = vec![false; devices.len()];
+        for d in &devices {
+            if d.index() >= devices.len() {
+                return Err(format!("{d} out of range for {} stages", devices.len()));
+            }
+            if seen[d.index()] {
+                return Err(format!("{d} assigned to two stages"));
+            }
+            seen[d.index()] = true;
+        }
+        Ok(DeviceMap { devices })
+    }
+
+    /// Number of stages mapped.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True for an empty map.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The device hosting `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn device_of(&self, stage: usize) -> DeviceId {
+        self.devices[stage]
+    }
+
+    /// The stage hosted by `device`, if mapped.
+    pub fn stage_of(&self, device: DeviceId) -> Option<usize> {
+        self.devices.iter().position(|&d| d == device)
+    }
+
+    /// The stage-indexed device vector.
+    pub fn as_slice(&self) -> &[DeviceId] {
+        &self.devices
+    }
+}
+
+impl fmt::Display for DeviceMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stages->devices [")?;
+        for (i, d) in self.devices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}:{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_straight_through() {
+        let m = DeviceMap::identity(4);
+        for i in 0..4 {
+            assert_eq!(m.device_of(i), DeviceId(i));
+            assert_eq!(m.stage_of(DeviceId(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn from_vec_rejects_duplicates() {
+        let err = DeviceMap::from_vec(vec![DeviceId(0), DeviceId(0)]).unwrap_err();
+        assert!(err.contains("two stages"), "{err}");
+    }
+
+    #[test]
+    fn from_vec_rejects_out_of_range() {
+        let err = DeviceMap::from_vec(vec![DeviceId(5), DeviceId(0)]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn reversed_map_round_trips() {
+        let m = DeviceMap::from_vec((0..8).rev().map(DeviceId).collect()).unwrap();
+        assert_eq!(m.device_of(0), DeviceId(7));
+        assert_eq!(m.stage_of(DeviceId(7)), Some(0));
+        assert_eq!(m.len(), 8);
+    }
+}

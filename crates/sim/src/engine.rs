@@ -1,0 +1,1364 @@
+//! The discrete-event execution engine.
+//!
+//! Models each GPU as four in-flight lanes — a compute stream, a
+//! communication stream and two copy engines (swap-in / swap-out), the
+//! same stream layout the paper's runtime builds with `cudaStreamCreate`
+//! (§III-E). Swap directives expand into copy tasks chained to their
+//! producer/consumer ops; recomputation folds into consumer durations;
+//! memory is tracked per device with OOM detection.
+
+use crate::device_map::DeviceMap;
+use crate::memory::MemoryTracker;
+use crate::report::SimReport;
+use crate::trace::{TraceEvent, TraceKind};
+use mpress_compaction::{HostTier, InstrumentationPlan, MemoryDirective, PlanValidationError};
+use mpress_graph::{OpId, OpKind, TensorId, TrainingGraph};
+use mpress_hw::{Bytes, DeviceId, Machine, Secs};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Stop at the first out-of-memory event (the default). When false the
+    /// run continues so the full overflow magnitude is observable.
+    pub strict_oom: bool,
+    /// Record per-device `(time, bytes)` usage timelines.
+    pub track_timeline: bool,
+    /// Stall tasks whose home-device allocation would overflow (the
+    /// real-runtime behavior). Disable for *profiling* runs that must
+    /// observe the unconstrained memory demand.
+    pub memory_gate: bool,
+    /// Record a [`TraceEvent`] per executed task (exportable to the
+    /// Chrome tracing format via [`crate::trace::to_chrome_trace`]).
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            strict_oom: true,
+            track_timeline: false,
+            memory_gate: true,
+            trace: false,
+        }
+    }
+}
+
+/// Errors that abort a simulation before it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The instrumentation plan failed validation against the graph.
+    PlanInvalid(PlanValidationError),
+    /// The plan is inconsistent with the machine or graph in a way only
+    /// the simulator can see (unreachable stripe targets, swapping a
+    /// multi-writer tensor, ...).
+    BadPlan(String),
+    /// The device map is not a permutation covering every stage.
+    BadDeviceMap(String),
+    /// The task graph stalled — a dependency cycle introduced by
+    /// instrumentation (indicates a planner bug).
+    Deadlock {
+        /// Tasks completed before the stall.
+        completed: usize,
+        /// Total tasks.
+        total: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PlanInvalid(e) => write!(f, "invalid instrumentation plan: {e}"),
+            SimError::BadPlan(msg) => write!(f, "unusable instrumentation plan: {msg}"),
+            SimError::BadDeviceMap(msg) => write!(f, "bad device map: {msg}"),
+            SimError::Deadlock { completed, total } => {
+                write!(f, "simulation deadlock after {completed}/{total} tasks")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<PlanValidationError> for SimError {
+    fn from(e: PlanValidationError) -> Self {
+        SimError::PlanInvalid(e)
+    }
+}
+
+/// Total-ordered wrapper for event times (panics on NaN by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdTime(Secs);
+
+impl Eq for OrdTime {}
+
+impl PartialOrd for OrdTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("event times are finite")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum StreamKind {
+    Compute,
+    Comm,
+    CopyOut,
+    CopyIn,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Payload {
+    Op(OpId),
+    SwapOut(TensorId),
+    SwapIn(TensorId),
+}
+
+#[derive(Debug, Clone)]
+struct Task {
+    payload: Payload,
+    device: DeviceId,
+    stream: StreamKind,
+    duration: Secs,
+    deps: usize,
+    trigger_fired: bool,
+    dependents: Vec<usize>,
+    started: bool,
+    done: bool,
+    /// Whether the task currently sits in its stream's ready list
+    /// (non-FIFO streams only; avoids duplicate entries).
+    in_ready: bool,
+    /// Scheduling priority on non-FIFO streams: swap-ins carry their
+    /// consumer's task id so prefetches land in execution order (fetching
+    /// a later layer's tensor first can deadlock the earlier one out of
+    /// memory). Lower runs first.
+    priority: usize,
+    /// For swap-ins: the (device, position) on the consumer's compute
+    /// stream before which the fetch may not start — demand-window
+    /// admission that stops far-future prefetches from squatting on
+    /// memory the near-term work needs.
+    admit: Option<(usize, usize)>,
+    start: Secs,
+    end: Secs,
+}
+
+impl Task {
+    fn is_ready(&self) -> bool {
+        !self.started && self.deps == 0 && self.trigger_fired
+    }
+}
+
+#[derive(Debug)]
+struct Stream {
+    /// In-order (FIFO) streams model CUDA compute/comm queues; copy
+    /// streams pick any ready task.
+    fifo: bool,
+    queue: Vec<usize>,
+    cursor: usize,
+    busy: bool,
+    /// Dependency-ready, unstarted tasks (non-FIFO streams only) —
+    /// bookkeeping that keeps scheduling O(ready) instead of O(queued).
+    ready: Vec<usize>,
+}
+
+impl Stream {
+    fn new(fifo: bool) -> Self {
+        Stream {
+            fifo,
+            queue: Vec::new(),
+            cursor: 0,
+            busy: false,
+            ready: Vec::new(),
+        }
+    }
+}
+
+/// Where a tensor currently lives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Loc {
+    /// Not materialized yet (dynamic tensors before their producer runs).
+    Unmaterialized,
+    /// On its home GPU.
+    Home,
+    /// In host pinned memory.
+    Host,
+    /// Striped across peer GPUs.
+    Peers,
+    /// Released.
+    Freed,
+}
+
+/// Executes one lowered training window against a machine model.
+///
+/// # Example
+///
+/// ```no_run
+/// use mpress_sim::{Simulator, SimConfig, DeviceMap};
+/// use mpress_compaction::InstrumentationPlan;
+/// # fn demo(machine: &mpress_hw::Machine, graph: &mpress_graph::TrainingGraph) {
+/// let plan = InstrumentationPlan::new();
+/// let sim = Simulator::new(machine, graph, &plan, DeviceMap::identity(graph.n_stages()));
+/// let report = sim.run().expect("consistent inputs");
+/// println!("makespan: {:.3}s", report.makespan);
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    machine: &'a Machine,
+    graph: &'a TrainingGraph,
+    plan: &'a InstrumentationPlan,
+    device_map: DeviceMap,
+    config: SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with default config.
+    pub fn new(
+        machine: &'a Machine,
+        graph: &'a TrainingGraph,
+        plan: &'a InstrumentationPlan,
+        device_map: DeviceMap,
+    ) -> Self {
+        Simulator {
+            machine,
+            graph,
+            plan,
+            device_map,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for inconsistent inputs or instrumentation
+    /// deadlocks. An out-of-memory *model outcome* is NOT an error: it is
+    /// reported via [`SimReport::oom`].
+    pub fn run(&self) -> Result<SimReport, SimError> {
+        self.plan.validate(self.graph)?;
+        self.validate_inputs()?;
+        let mut state = EngineState::build(
+            self.machine,
+            self.graph,
+            self.plan,
+            &self.device_map,
+            self.config,
+        )?;
+        state.run(self.config.strict_oom);
+        state.into_report(self.graph)
+    }
+
+    fn validate_inputs(&self) -> Result<(), SimError> {
+        if self.device_map.len() != self.graph.n_stages() {
+            return Err(SimError::BadDeviceMap(format!(
+                "map covers {} stages, graph has {}",
+                self.device_map.len(),
+                self.graph.n_stages()
+            )));
+        }
+        for stage in 0..self.graph.n_stages() {
+            let d = self.device_map.device_of(stage);
+            if d.index() >= self.machine.gpu_count() {
+                return Err(SimError::BadDeviceMap(format!(
+                    "{d} beyond machine's {} GPUs",
+                    self.machine.gpu_count()
+                )));
+            }
+        }
+        let mut writer_counts = vec![0usize; self.graph.tensors().len()];
+        for op in self.graph.ops() {
+            for w in &op.writes {
+                writer_counts[w.index()] += 1;
+            }
+        }
+        for (t, directive) in self.plan.iter() {
+            let tensor = self.graph.tensor(t);
+            let writers = writer_counts[t.index()];
+            match directive {
+                MemoryDirective::SwapToHost(_) | MemoryDirective::SwapD2d(_) => {
+                    if writers > 1 {
+                        return Err(SimError::BadPlan(format!(
+                            "tensor {t} is written by {writers} ops and cannot swap"
+                        )));
+                    }
+                }
+                MemoryDirective::Recompute => {}
+            }
+            if let MemoryDirective::SwapD2d(stripe) = directive {
+                let home = self.device_map.device_of(tensor.stage);
+                stripe
+                    .validate(home, self.machine.topology())
+                    .map_err(SimError::BadPlan)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// All mutable engine state for one run.
+struct EngineState {
+    tasks: Vec<Task>,
+    streams: BTreeMap<(usize, StreamKind), Stream>,
+    heap: BinaryHeap<Reverse<(OrdTime, usize)>>,
+    clock: Secs,
+    memory: MemoryTracker,
+    residency: Vec<Loc>,
+    /// op task id -> swap-in task ids it triggers on start.
+    triggers: HashMap<usize, Vec<usize>>,
+    /// tensor -> bytes (cached).
+    bytes: Vec<Bytes>,
+    /// tensor home device.
+    home: Vec<DeviceId>,
+    /// directive lookup by tensor index.
+    directive: Vec<Option<MemoryDirective>>,
+    /// recompute compute-time of each tensor (layer forward time).
+    recompute_cost: Vec<Secs>,
+    /// Per-op tensor sets copied out of the graph (tensor indices).
+    op_writes: Vec<Vec<usize>>,
+    op_reads: Vec<Vec<usize>>,
+    op_frees: Vec<Vec<usize>>,
+    d2d_traffic: Bytes,
+    host_traffic: Bytes,
+    nvme_traffic: Bytes,
+    recompute_time: Secs,
+    completed: usize,
+    memory_gate: bool,
+    /// tensor index -> consumer task ids (swap-directive tensors only).
+    swap_consumers: HashMap<usize, Vec<usize>>,
+    /// op task id -> (stage, position) on its stage's compute sequence.
+    seq_pos: HashMap<usize, (usize, usize)>,
+    /// Per-stage ordered compute-op task ids.
+    compute_seq: Vec<Vec<usize>>,
+    /// stage -> hosting device index.
+    stage_device: Vec<usize>,
+    /// tensor index -> number of swap tasks currently *running* (started,
+    /// not done); eviction requires zero — pending-but-unrunnable legs
+    /// (e.g. a trailing export gated on a far-future consumer) must not
+    /// pin a prefetched tensor in memory.
+    active_swaps: Vec<u32>,
+    /// tensor index -> number of swap tasks that are unstarted but already
+    /// runnable (dependencies met). Evicting such a tensor would duplicate
+    /// an imminent export, so eviction also requires zero here.
+    runnable_swaps: Vec<u32>,
+    evictions: usize,
+    pcie_curve: mpress_hw::BandwidthCurve,
+    trace: Option<Vec<TraceEvent>>,
+    op_kinds: Vec<OpKind>,
+}
+
+impl EngineState {
+    fn build(
+        machine: &Machine,
+        graph: &TrainingGraph,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        let n_ops = graph.ops().len();
+        let n_tensors = graph.tensors().len();
+
+        let bytes: Vec<Bytes> = graph.tensors().iter().map(|t| t.bytes).collect();
+        let home: Vec<DeviceId> = graph
+            .tensors()
+            .iter()
+            .map(|t| device_map.device_of(t.stage))
+            .collect();
+        let mut directive: Vec<Option<MemoryDirective>> = vec![None; n_tensors];
+        for (t, d) in plan.iter() {
+            directive[t.index()] = Some(d.clone());
+        }
+
+        // Per-tensor recomputation cost: the producing layer's forward
+        // time, recovered from the producer op's sub-event offsets.
+        let mut recompute_cost = vec![0.0_f64; n_tensors];
+        for op in graph.ops() {
+            if op.kind != OpKind::Forward || op.sub_events.is_empty() {
+                continue;
+            }
+            let mut events = op.sub_events.clone();
+            events.sort_by(|a, b| a.offset.partial_cmp(&b.offset).expect("finite offsets"));
+            let mut prev = 0.0;
+            for e in events {
+                recompute_cost[e.tensor.index()] = (e.offset - prev).max(0.0);
+                prev = e.offset;
+            }
+        }
+        // Tensors without sub-events recompute by re-running their whole
+        // producing op.
+        for op in graph.ops() {
+            if op.kind != OpKind::Forward {
+                continue;
+            }
+            let missing: Vec<TensorId> = op
+                .writes
+                .iter()
+                .copied()
+                .filter(|t| op.sub_event_offset(*t).is_none())
+                .collect();
+            for t in &missing {
+                recompute_cost[t.index()] = op.duration;
+            }
+        }
+
+        // --- Op tasks (task id == op index) ---------------------------------
+        let mut tasks: Vec<Task> = graph
+            .ops()
+            .iter()
+            .map(|op| {
+                let stream = match op.kind {
+                    OpKind::Send | OpKind::Recv => StreamKind::Comm,
+                    OpKind::SwapOut => StreamKind::CopyOut,
+                    OpKind::SwapIn => StreamKind::CopyIn,
+                    _ => StreamKind::Compute,
+                };
+                let mut duration = op.duration;
+                // Recomputation folds into the consumer's compute time.
+                for &r in &op.reads {
+                    if matches!(directive[r.index()], Some(MemoryDirective::Recompute)) {
+                        duration += recompute_cost[r.index()];
+                    }
+                }
+                Task {
+                    payload: Payload::Op(op.id),
+                    device: device_map.device_of(op.stage),
+                    stream,
+                    duration,
+                    deps: 0,
+                    trigger_fired: true,
+                    dependents: Vec::new(),
+                    started: false,
+                    done: false,
+                    in_ready: false,
+                    priority: usize::MAX,
+                    admit: None,
+                    start: 0.0,
+                    end: 0.0,
+                }
+            })
+            .collect();
+        for &(a, b) in graph.cross_deps() {
+            tasks[a.index()].dependents.push(b.index());
+            tasks[b.index()].deps += 1;
+        }
+
+        // Per-stage compute sequences and each op's position in them —
+        // prefetch triggers anchor a few ops upstream of the consumer.
+        let mut compute_seq: Vec<Vec<usize>> = Vec::with_capacity(graph.n_stages());
+        let mut seq_pos: HashMap<usize, (usize, usize)> = HashMap::new();
+        for stage in 0..graph.n_stages() {
+            let seq: Vec<usize> = graph
+                .stage_program(stage)
+                .iter()
+                .map(|id| id.index())
+                .filter(|&i| tasks[i].stream == StreamKind::Compute)
+                .collect();
+            for (pos, &i) in seq.iter().enumerate() {
+                seq_pos.insert(i, (stage, pos));
+            }
+            compute_seq.push(seq);
+        }
+        // The anchor op whose *start* leaves ~1.5x the swap-in time of
+        // compute ahead of `consumer` — enough lead for the copy to land.
+        let prefetch_anchor = |consumer: usize, in_dur: Secs, tasks: &[Task]| -> Option<usize> {
+            let &(stage, pos) = seq_pos.get(&consumer)?;
+            let seq = &compute_seq[stage];
+            let mut lead = 0.0;
+            let mut anchor = None;
+            for j in (0..pos).rev() {
+                anchor = Some(seq[j]);
+                lead += tasks[seq[j]].duration;
+                if lead >= 1.5 * in_dur {
+                    break;
+                }
+            }
+            anchor
+        };
+
+        // --- Swap tasks ------------------------------------------------------
+        // One pass over the ops gives producer/consumer tables; scanning
+        // per directive would be quadratic in graph size.
+        let mut producer_of: Vec<Option<OpId>> = vec![None; n_tensors];
+        let mut consumers_of: Vec<Vec<OpId>> = vec![Vec::new(); n_tensors];
+        for op in graph.ops() {
+            for w in &op.writes {
+                producer_of[w.index()].get_or_insert(op.id);
+            }
+            for r in &op.reads {
+                consumers_of[r.index()].push(op.id);
+            }
+        }
+        let mut triggers: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut swap_consumers: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut swap_legs: Vec<(TensorId, bool /*is_in*/, usize /*task id*/)> = Vec::new();
+        for (t, d) in plan.iter() {
+            let (out_dur, in_dur) = match d {
+                MemoryDirective::Recompute => continue,
+                MemoryDirective::SwapToHost(HostTier::Dram) => {
+                    let one_way = machine.pcie_transfer_time(bytes[t.index()]);
+                    (one_way, one_way)
+                }
+                MemoryDirective::SwapToHost(HostTier::Nvme) => {
+                    // GPU->host->NVMe staging pipelines; the slower leg
+                    // dominates each direction.
+                    let pcie = machine.pcie_transfer_time(bytes[t.index()]);
+                    let out = pcie.max(machine.nvme_transfer_time(bytes[t.index()], true));
+                    let inn = pcie.max(machine.nvme_transfer_time(bytes[t.index()], false));
+                    (out, inn)
+                }
+                MemoryDirective::SwapD2d(stripe) => {
+                    (stripe.one_way_time(), stripe.one_way_time())
+                }
+            };
+            let tensor = graph.tensor(t);
+            let dev = home[t.index()];
+            let producer = producer_of[t.index()];
+            let mut consumers: Vec<OpId> = consumers_of[t.index()].clone();
+            consumers.sort_unstable();
+            swap_consumers.insert(
+                t.index(),
+                consumers.iter().map(|c| c.index()).collect(),
+            );
+            let is_static = tensor.kind.is_static();
+
+            let new_task = |tasks: &mut Vec<Task>,
+                                payload: Payload,
+                                stream: StreamKind,
+                                duration: Secs| {
+                tasks.push(Task {
+                    payload,
+                    device: dev,
+                    stream,
+                    duration,
+                    deps: 0,
+                    trigger_fired: true,
+                    dependents: Vec::new(),
+                    started: false,
+                    done: false,
+                    in_ready: false,
+                    priority: usize::MAX,
+                    admit: None,
+                    start: 0.0,
+                    end: 0.0,
+                });
+                tasks.len() - 1
+            };
+
+            // Static tensors start swapped out; dynamic ones swap out after
+            // their producer.
+            let mut last_out: Option<usize> = if is_static {
+                None
+            } else {
+                let out = new_task(&mut tasks, Payload::SwapOut(t), StreamKind::CopyOut, out_dur);
+                swap_legs.push((t, false, out));
+                if let Some(p) = producer {
+                    tasks[p.index()].dependents.push(out);
+                    tasks[out].deps += 1;
+                }
+                Some(out)
+            };
+
+            for (k, &c) in consumers.iter().enumerate() {
+                let inn = new_task(&mut tasks, Payload::SwapIn(t), StreamKind::CopyIn, in_dur);
+                swap_legs.push((t, true, inn));
+                if let Some(out) = last_out {
+                    tasks[out].dependents.push(inn);
+                    tasks[inn].deps += 1;
+                }
+                // Prefetch trigger: an upstream compute op whose start
+                // leaves enough compute time to hide the copy. The same
+                // position doubles as the admission gate.
+                if let Some(anchor) = prefetch_anchor(c.index(), in_dur, &tasks) {
+                    tasks[inn].trigger_fired = false;
+                    triggers.entry(anchor).or_default().push(inn);
+                    tasks[inn].admit = seq_pos
+                        .get(&anchor)
+                        .map(|&(stage, pos)| (device_map.device_of(stage).index(), pos));
+                }
+                tasks[inn].dependents.push(c.index());
+                tasks[inn].priority = c.index();
+                tasks[c.index()].deps += 1;
+
+                // Re-export after the consumer. Dynamic tensors are freed
+                // by their last consumer, but statics persist — without a
+                // trailing export, consumed optimizer states would pile up
+                // on the device and crowd out the next layer's swap-in.
+                if k + 1 < consumers.len() || is_static {
+                    let out =
+                        new_task(&mut tasks, Payload::SwapOut(t), StreamKind::CopyOut, out_dur);
+                    swap_legs.push((t, false, out));
+                    tasks[c.index()].dependents.push(out);
+                    tasks[out].deps += 1;
+                    last_out = Some(out);
+                } else {
+                    last_out = None;
+                }
+            }
+        }
+        let mut runnable_swaps = vec![0u32; n_tensors];
+        for &(t, _, tid) in &swap_legs {
+            if tasks[tid].deps == 0 {
+                runnable_swaps[t.index()] += 1;
+            }
+        }
+
+        // --- Streams ----------------------------------------------------------
+        let mut streams: BTreeMap<(usize, StreamKind), Stream> = BTreeMap::new();
+        for dev in 0..machine.gpu_count() {
+            streams.insert((dev, StreamKind::Compute), Stream::new(true));
+            streams.insert((dev, StreamKind::Comm), Stream::new(true));
+            streams.insert((dev, StreamKind::CopyOut), Stream::new(false));
+            streams.insert((dev, StreamKind::CopyIn), Stream::new(false));
+        }
+        // Compute/comm queues follow the stage program order; copy queues
+        // follow creation order (scan-ready anyway).
+        for stage in 0..graph.n_stages() {
+            for id in graph.stage_program(stage) {
+                let tid = id.index();
+                let key = (tasks[tid].device.index(), tasks[tid].stream);
+                streams.get_mut(&key).expect("stream exists").queue.push(tid);
+            }
+        }
+        for (tid, task) in tasks.iter().enumerate().skip(n_ops) {
+            let key = (task.device.index(), task.stream);
+            streams.get_mut(&key).expect("stream exists").queue.push(tid);
+        }
+        // Seed the non-FIFO ready lists with already-eligible tasks.
+        for (tid, task) in tasks.iter_mut().enumerate() {
+            if task.is_ready() {
+                let key = (task.device.index(), task.stream);
+                let stream = streams.get_mut(&key).expect("stream exists");
+                if !stream.fifo {
+                    stream.ready.push(tid);
+                    task.in_ready = true;
+                }
+            }
+        }
+
+        // --- Initial memory ----------------------------------------------------
+        let mut memory = MemoryTracker::new(
+            machine.gpu_count(),
+            machine.gpu().usable_memory(),
+            machine.cpu().memory,
+            machine.nvme().map_or(Bytes::ZERO, |nv| nv.capacity),
+            config.track_timeline,
+        );
+        let mut residency = vec![Loc::Unmaterialized; n_tensors];
+        for tensor in graph.tensors() {
+            let i = tensor.id.index();
+            if !tensor.kind.is_static() {
+                continue;
+            }
+            match &directive[i] {
+                None | Some(MemoryDirective::Recompute) => {
+                    memory.alloc(home[i], bytes[i], 0.0);
+                    residency[i] = Loc::Home;
+                }
+                Some(MemoryDirective::SwapToHost(HostTier::Dram)) => {
+                    memory.host_alloc(bytes[i], 0.0);
+                    residency[i] = Loc::Host;
+                }
+                Some(MemoryDirective::SwapToHost(HostTier::Nvme)) => {
+                    memory.nvme_alloc(bytes[i], 0.0);
+                    residency[i] = Loc::Host;
+                }
+                Some(MemoryDirective::SwapD2d(stripe)) => {
+                    for c in stripe.chunks() {
+                        memory.alloc(c.target, c.bytes, 0.0);
+                    }
+                    residency[i] = Loc::Peers;
+                }
+            }
+        }
+
+        let op_writes = graph
+            .ops()
+            .iter()
+            .map(|o| o.writes.iter().map(|t| t.index()).collect())
+            .collect();
+        let op_reads = graph
+            .ops()
+            .iter()
+            .map(|o| o.reads.iter().map(|t| t.index()).collect())
+            .collect();
+        let op_frees = graph
+            .ops()
+            .iter()
+            .map(|o| o.frees.iter().map(|t| t.index()).collect())
+            .collect();
+
+        Ok(EngineState {
+            tasks,
+            streams,
+            heap: BinaryHeap::new(),
+            clock: 0.0,
+            memory,
+            residency,
+            triggers,
+            bytes,
+            home,
+            directive,
+            recompute_cost,
+            op_writes,
+            op_reads,
+            op_frees,
+            d2d_traffic: Bytes::ZERO,
+            host_traffic: Bytes::ZERO,
+            nvme_traffic: Bytes::ZERO,
+            recompute_time: 0.0,
+            completed: 0,
+            memory_gate: config.memory_gate,
+            swap_consumers,
+            seq_pos: seq_pos.clone(),
+            compute_seq: compute_seq.clone(),
+            stage_device: (0..graph.n_stages())
+                .map(|st| device_map.device_of(st).index())
+                .collect(),
+            active_swaps: vec![0; n_tensors],
+            runnable_swaps,
+            evictions: 0,
+            pcie_curve: *machine.pcie(),
+            trace: config.trace.then(Vec::new),
+            op_kinds: graph.ops().iter().map(|o| o.kind).collect(),
+        })
+    }
+
+    fn run(&mut self, strict_oom: bool) {
+        let keys: Vec<(usize, StreamKind)> = self.streams.keys().copied().collect();
+        // Snapshot: evictions append tasks, so a cap computed on the live
+        // length would recede forever and allow an unbounded evict/refetch
+        // loop under hopeless memory pressure.
+        let eviction_cap = 4 * self.tasks.len();
+        loop {
+            // Start everything startable at the current clock. Tasks whose
+            // home-device allocation would not fit stay queued — this is
+            // the back-pressure that makes slow swap-outs *delay* the
+            // computation instead of overflowing it.
+            loop {
+                let mut progress = false;
+                for key in &keys {
+                    if self.streams[key].busy {
+                        continue;
+                    }
+                    // Start immediately so this task's allocations are
+                    // visible to the next stream's memory-fit check.
+                    if let Some(tid) = self.pick_startable(key) {
+                        let stream = self.streams.get_mut(key).expect("stream exists");
+                        stream.busy = true;
+                        if stream.fifo {
+                            stream.cursor += 1;
+                        }
+                        self.start_task(tid);
+                        progress = true;
+                    }
+                }
+                if !progress {
+                    break;
+                }
+            }
+            if strict_oom && self.memory.oom().is_some() {
+                break;
+            }
+            if let Some(Reverse((t, tid))) = self.heap.pop() {
+                self.clock = t.0;
+                self.complete_task(tid);
+                continue;
+            }
+            // Quiescent. Done, or stalled on memory/dependencies.
+            if self.completed >= self.tasks.len() {
+                break;
+            }
+            let blocked = (0..self.tasks.len()).find_map(|tid| {
+                if !self.tasks[tid].is_ready() || !self.admitted(tid) {
+                    return None;
+                }
+                let (dev, need) = self.start_need(tid);
+                (!self.memory.fits(dev, need)).then_some((tid, dev, need))
+            });
+            let Some((blocked_tid, dev, need)) = blocked else {
+                break; // dependency stall — surfaces as Deadlock
+            };
+            // The memory manager's move: evict prefetched/idle swappable
+            // tensors (furthest next use first, vDNN-style) to unblock the
+            // head of the compute queue. If nothing can be evicted the
+            // stall is a genuine OOM.
+            if self.evictions < eviction_cap && self.try_evict(blocked_tid, dev, need) {
+                continue;
+            }
+            if std::env::var_os("MPRESS_SIM_DEBUG").is_some() {
+                let t = &self.tasks[blocked_tid];
+                eprintln!(
+                    "[stall] t={:.3}s dev={} need={} used={} cap={} payload={:?} evictions={} completed={}/{}",
+                    self.clock, dev.index(), need, self.memory.used(dev),
+                    self.memory.capacity(), t.payload, self.evictions,
+                    self.completed, self.tasks.len()
+                );
+                let mut resident: Vec<(usize, Bytes)> = (0..self.residency.len())
+                    .filter(|&i| self.residency[i] == Loc::Home && self.home[i] == dev)
+                    .map(|i| (i, self.bytes[i]))
+                    .collect();
+                resident.sort_by_key(|&(_, b)| std::cmp::Reverse(b));
+                for (i, b) in resident.iter().take(8) {
+                    eprintln!(
+                        "  resident t{i}: {b} directive={:?} pending={}",
+                        self.directive[*i].as_ref().map(|d| d.technique()),
+                        self.active_swaps[*i]
+                    );
+                }
+            }
+            self.memory.record_stall_oom(dev, need, self.clock);
+            break;
+        }
+    }
+
+    /// Re-exports Home-resident swap-directive tensors on `dev` until
+    /// `need` bytes could fit, preferring tensors whose next use is
+    /// furthest away. Returns false when no candidate exists.
+    fn try_evict(&mut self, blocked_tid: usize, dev: DeviceId, need: Bytes) -> bool {
+        // Candidates: swap-directive tensors resident on `dev` with no
+        // started-but-unfinished consumer; keyed by their next unstarted
+        // consumer (None = no future use, evict first).
+        let mut candidates: Vec<(usize, Option<usize>)> = Vec::new();
+        for i in 0..self.residency.len() {
+            if self.residency[i] != Loc::Home || self.home[i] != dev {
+                continue;
+            }
+            let is_swap = matches!(
+                self.directive[i],
+                Some(MemoryDirective::SwapToHost(_)) | Some(MemoryDirective::SwapD2d(_))
+            );
+            if !is_swap {
+                continue;
+            }
+            if self.active_swaps[i] != 0 || self.runnable_swaps[i] != 0 {
+                continue; // a copy is in flight or imminently scheduled
+            }
+            let consumers = match self.swap_consumers.get(&i) {
+                Some(c) => c,
+                None => continue,
+            };
+            if consumers
+                .iter()
+                .any(|&c| self.tasks[c].started && !self.tasks[c].done)
+            {
+                continue; // actively being read
+            }
+            let next = consumers
+                .iter()
+                .copied()
+                .filter(|&c| !self.tasks[c].started)
+                .min();
+            if next == Some(blocked_tid) {
+                continue; // evicting the blocked task's own input livelocks
+            }
+            candidates.push((i, next));
+        }
+        if candidates.is_empty() {
+            return false;
+        }
+        // No future use first, then furthest future use.
+        candidates.sort_by(|a, b| match (a.1, b.1) {
+            (None, None) => std::cmp::Ordering::Equal,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(x), Some(y)) => y.cmp(&x),
+        });
+        let free_now = self
+            .memory
+            .capacity()
+            .saturating_sub(self.memory.used(dev));
+        let mut to_free = need.saturating_sub(free_now);
+        let mut evicted_any = false;
+        for (i, next) in candidates {
+            if to_free.is_zero() {
+                break;
+            }
+            self.evict_tensor(i, next, blocked_tid);
+            to_free = to_free.saturating_sub(self.bytes[i]);
+            evicted_any = true;
+        }
+        evicted_any
+    }
+
+    /// Creates the re-export (and, when a future consumer exists, the
+    /// re-import) tasks for one evicted tensor.
+    fn evict_tensor(&mut self, i: usize, next_consumer: Option<usize>, blocked_tid: usize) {
+        self.evictions += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                kind: TraceKind::Eviction,
+                device: self.home[i].index(),
+                start: self.clock,
+                end: self.clock,
+                bytes: self.bytes[i],
+            });
+        }
+        if std::env::var_os("MPRESS_SIM_DEBUG").is_some() && self.evictions <= 30 || self.evictions.is_multiple_of(500) {
+            eprintln!(
+                "[evict#{}] t={:.3}s tensor=t{i} bytes={} next={:?}",
+                self.evictions, self.clock, self.bytes[i], next_consumer
+            );
+        }
+        let t = TensorId(i as u32);
+        let directive = self.directive[i].as_ref().expect("swap directive");
+        let out_dur = match directive {
+            MemoryDirective::SwapToHost(_) => self.machine_pcie_time(self.bytes[i]),
+            MemoryDirective::SwapD2d(stripe) => stripe.one_way_time(),
+            MemoryDirective::Recompute => unreachable!("not a swap directive"),
+        };
+        let dev = self.home[i];
+        let out = self.push_task(Payload::SwapOut(t), dev, StreamKind::CopyOut, out_dur);
+        self.runnable_swaps[i] += 1;
+        if let Some(consumer) = next_consumer {
+            let inn = self.push_task(Payload::SwapIn(t), dev, StreamKind::CopyIn, out_dur);
+            self.tasks[out].dependents.push(inn);
+            self.tasks[inn].deps += 1;
+            // The refetch is immediately eligible; the memory gate paces
+            // it, and compute streams are scanned before copy-in per
+            // device, so the blocked task claims freed space first.
+            self.tasks[inn].dependents.push(consumer);
+            self.tasks[inn].priority = consumer;
+            // Admitted at the later of its own prefetch anchor and the
+            // position right past the task this eviction unblocks —
+            // otherwise the refetch instantly reclaims the freed bytes
+            // and the run ping-pongs one tensor forever.
+            let anchor = self.refetch_admit(consumer, out_dur);
+            let past_blocked = self.position_of(blocked_tid).map(|(d, p)| (d, p + 1));
+            self.tasks[inn].admit = match (anchor, past_blocked) {
+                (Some((d, a)), Some((d2, b))) if d == d2 => Some((d, a.max(b))),
+                (a, None) => a,
+                (None, b) => b,
+                (a, _) => a, // different devices: keep the anchor
+            };
+            self.tasks[consumer].deps += 1;
+        }
+    }
+
+    /// Appends a dynamically created task and enqueues it on its stream.
+    fn push_task(
+        &mut self,
+        payload: Payload,
+        device: DeviceId,
+        stream: StreamKind,
+        duration: Secs,
+    ) -> usize {
+        let tid = self.tasks.len();
+        self.tasks.push(Task {
+            payload,
+            device,
+            stream,
+            duration,
+            deps: 0,
+            trigger_fired: true,
+            dependents: Vec::new(),
+            started: false,
+            done: false,
+            in_ready: false,
+            priority: usize::MAX,
+            admit: None,
+            start: 0.0,
+            end: 0.0,
+        });
+        self.streams
+            .get_mut(&(device.index(), stream))
+            .expect("stream exists")
+            .queue
+            .push(tid);
+        self.note_ready(tid);
+        tid
+    }
+
+    fn machine_pcie_time(&self, bytes: Bytes) -> Secs {
+        self.pcie_curve.transfer_time(bytes)
+    }
+
+    /// The next task the stream could start right now, honoring FIFO
+    /// order for compute/comm streams and memory back-pressure everywhere.
+    /// Non-FIFO streams consult only their ready list (lazily pruning
+    /// stale entries), keeping scheduling O(ready) per attempt.
+    fn pick_startable(&mut self, key: &(usize, StreamKind)) -> Option<usize> {
+        let gate = self.memory_gate;
+        if self.streams[key].fifo {
+            let stream = &self.streams[key];
+            let &tid = stream.queue.get(stream.cursor)?;
+            if !self.tasks[tid].is_ready() {
+                return None;
+            }
+            if gate {
+                let (dev, need) = self.start_need(tid);
+                if !self.memory.fits(dev, need) {
+                    return None;
+                }
+            }
+            Some(tid)
+        } else {
+            // Prune stale entries, then take the minimum-priority ready
+            // task. A best task that does not fit BLOCKS the stream:
+            // starting a lower-priority one instead would invert prefetch
+            // order and can deadlock the blocked consumer out of memory.
+            let stream = self.streams.get_mut(key).expect("stream exists");
+            let mut j = 0;
+            while j < stream.ready.len() {
+                let tid = stream.ready[j];
+                if self.tasks[tid].is_ready() {
+                    j += 1;
+                } else {
+                    stream.ready.swap_remove(j);
+                    self.tasks[tid].in_ready = false;
+                }
+            }
+            let stream = &self.streams[key];
+            let best = stream
+                .ready
+                .iter()
+                .copied()
+                .filter(|&tid| self.admitted(tid))
+                .min_by_key(|&tid| (self.tasks[tid].priority, tid))?;
+            if gate {
+                let (dev, need) = self.start_need(best);
+                if !self.memory.fits(dev, need) {
+                    return None;
+                }
+            }
+            let stream = self.streams.get_mut(key).expect("stream exists");
+            let pos = stream
+                .ready
+                .iter()
+                .position(|&t| t == best)
+                .expect("best is in ready");
+            stream.ready.swap_remove(pos);
+            self.tasks[best].in_ready = false;
+            Some(best)
+        }
+    }
+
+    /// Registers a task that may have just become dependency-ready with
+    /// its stream's ready list (non-FIFO streams only).
+    fn note_ready(&mut self, tid: usize) {
+        let task = &self.tasks[tid];
+        if task.in_ready || !task.is_ready() {
+            return;
+        }
+        let key = (task.device.index(), task.stream);
+        let stream = self.streams.get_mut(&key).expect("stream exists");
+        if !stream.fifo {
+            stream.ready.push(tid);
+            self.tasks[tid].in_ready = true;
+        }
+    }
+
+    /// The admission gate for a refetch created at eviction time: the same
+    /// anchor rule as build-time prefetches (enough compute upstream of
+    /// the consumer to hide the copy).
+    fn refetch_admit(&self, consumer_tid: usize, in_dur: Secs) -> Option<(usize, usize)> {
+        let &(stage, pos) = self.seq_pos.get(&consumer_tid)?;
+        let seq = &self.compute_seq[stage];
+        let mut lead = 0.0;
+        let mut anchor_pos = None;
+        for j in (0..pos).rev() {
+            anchor_pos = Some(j);
+            lead += self.tasks[seq[j]].duration;
+            if lead >= 1.5 * in_dur {
+                break;
+            }
+        }
+        anchor_pos.map(|p| (self.stage_device[stage], p))
+    }
+
+    /// The compute-stream slot a task occupies (ops directly; swap-ins via
+    /// their consumer).
+    fn position_of(&self, tid: usize) -> Option<(usize, usize)> {
+        let key = match self.tasks[tid].payload {
+            Payload::Op(_) => tid,
+            Payload::SwapIn(_) => self.tasks[tid].priority,
+            Payload::SwapOut(_) => return None,
+        };
+        self.seq_pos
+            .get(&key)
+            .map(|&(stage, pos)| (self.stage_device[stage], pos))
+    }
+
+    /// Whether a task's demand-window admission is satisfied.
+    fn admitted(&self, tid: usize) -> bool {
+        match self.tasks[tid].admit {
+            None => true,
+            Some((dev, pos)) => self.streams[&(dev, StreamKind::Compute)].cursor >= pos,
+        }
+    }
+
+    /// Home-device bytes a task allocates the moment it starts.
+    fn start_need(&self, tid: usize) -> (DeviceId, Bytes) {
+        let task = &self.tasks[tid];
+        match task.payload {
+            Payload::Op(op_id) => {
+                let idx = op_id.index();
+                let mut need = Bytes::ZERO;
+                for &i in &self.op_writes[idx] {
+                    if matches!(self.directive[i], Some(MemoryDirective::Recompute)) {
+                        continue;
+                    }
+                    if self.residency[i] != Loc::Home {
+                        need += self.bytes[i];
+                    }
+                }
+                for &i in &self.op_reads[idx] {
+                    if matches!(self.directive[i], Some(MemoryDirective::Recompute))
+                        && self.residency[i] != Loc::Home
+                    {
+                        need += self.bytes[i];
+                    }
+                }
+                (task.device, need)
+            }
+            Payload::SwapIn(t) => (self.home[t.index()], self.bytes[t.index()]),
+            Payload::SwapOut(_) => (task.device, Bytes::ZERO),
+        }
+    }
+
+    fn start_task(&mut self, tid: usize) {
+        let clock = self.clock;
+        if std::env::var_os("MPRESS_SIM_TRACE").is_some()
+            && (6.4..8.4).contains(&clock)
+            && self.tasks[tid].device.index() == 1
+        {
+            eprintln!(
+                "[start t={clock:.4}] task{tid} {:?} dur={:.4} prio={}",
+                self.tasks[tid].payload, self.tasks[tid].duration, self.tasks[tid].priority
+            );
+        }
+        self.tasks[tid].started = true;
+        self.tasks[tid].start = clock;
+        let end = clock + self.tasks[tid].duration;
+        self.tasks[tid].end = end;
+        self.heap.push(Reverse((OrdTime(end), tid)));
+
+        match self.tasks[tid].payload {
+            Payload::Op(op_id) => {
+                // Fire prefetch triggers anchored on this op.
+                if let Some(fired) = self.triggers.remove(&tid) {
+                    for f in fired {
+                        self.tasks[f].trigger_fired = true;
+                        self.note_ready(f);
+                    }
+                }
+                self.on_op_start(op_id);
+            }
+            Payload::SwapIn(t) => {
+                // The return buffer is allocated when the copy begins.
+                let i = t.index();
+                self.runnable_swaps[i] = self.runnable_swaps[i].saturating_sub(1);
+                self.active_swaps[i] += 1;
+                self.memory.alloc(self.home[i], self.bytes[i], clock);
+            }
+            Payload::SwapOut(t) => {
+                let i = t.index();
+                self.runnable_swaps[i] = self.runnable_swaps[i].saturating_sub(1);
+                self.active_swaps[i] += 1;
+            }
+        }
+    }
+
+    fn on_op_start(&mut self, op_id: OpId) {
+        let clock = self.clock;
+        let idx = op_id.index();
+        let mut to_alloc: Vec<usize> = Vec::new();
+        for &i in &self.op_writes[idx] {
+            if matches!(self.directive[i], Some(MemoryDirective::Recompute)) {
+                continue; // materialized only inside the consumer
+            }
+            if self.residency[i] != Loc::Home {
+                to_alloc.push(i);
+            }
+        }
+        let mut recompute_extra = 0.0;
+        for &i in &self.op_reads[idx] {
+            if matches!(self.directive[i], Some(MemoryDirective::Recompute))
+                && self.residency[i] != Loc::Home
+            {
+                to_alloc.push(i);
+                recompute_extra += self.recompute_cost[i];
+            }
+        }
+        self.recompute_time += recompute_extra;
+        for i in to_alloc {
+            self.memory.alloc(self.home[i], self.bytes[i], clock);
+            self.residency[i] = Loc::Home;
+        }
+    }
+
+    fn complete_task(&mut self, tid: usize) {
+        let clock = self.clock;
+        self.tasks[tid].done = true;
+        self.completed += 1;
+        if self.trace.is_some() {
+            let task = &self.tasks[tid];
+            let (kind, bytes) = match task.payload {
+                Payload::Op(op_id) => (
+                    match self.op_kinds[op_id.index()] {
+                        OpKind::Forward => TraceKind::Forward,
+                        OpKind::Backward | OpKind::Drop => TraceKind::Backward,
+                        OpKind::OptimizerStep => TraceKind::Optimizer,
+                        OpKind::Send | OpKind::Recv => TraceKind::Send,
+                        OpKind::SwapOut => TraceKind::SwapOut,
+                        OpKind::SwapIn => TraceKind::SwapIn,
+                    },
+                    Bytes::ZERO,
+                ),
+                Payload::SwapOut(t) => (TraceKind::SwapOut, self.bytes[t.index()]),
+                Payload::SwapIn(t) => (TraceKind::SwapIn, self.bytes[t.index()]),
+            };
+            let event = TraceEvent {
+                kind,
+                device: task.device.index(),
+                start: task.start,
+                end: task.end,
+                bytes,
+            };
+            if let Some(trace) = &mut self.trace {
+                trace.push(event);
+            }
+        }
+        let key = (self.tasks[tid].device.index(), self.tasks[tid].stream);
+        self.streams.get_mut(&key).expect("stream exists").busy = false;
+
+        match self.tasks[tid].payload {
+            Payload::Op(op_id) => {
+                let frees = std::mem::take(&mut self.op_frees[op_id.index()]);
+                for &i in &frees {
+                    if self.residency[i] == Loc::Home {
+                        self.memory.free(self.home[i], self.bytes[i], clock);
+                        self.residency[i] = Loc::Freed;
+                    }
+                }
+                self.op_frees[op_id.index()] = frees;
+            }
+            Payload::SwapOut(t) => {
+                let i = t.index();
+                self.active_swaps[i] -= 1;
+                self.memory.free(self.home[i], self.bytes[i], clock);
+                match self.directive[i].as_ref().expect("swap task has directive") {
+                    MemoryDirective::SwapToHost(tier) => {
+                        match tier {
+                            HostTier::Dram => self.memory.host_alloc(self.bytes[i], clock),
+                            HostTier::Nvme => {
+                                self.memory.nvme_alloc(self.bytes[i], clock);
+                                self.nvme_traffic += self.bytes[i];
+                            }
+                        }
+                        self.residency[i] = Loc::Host;
+                        self.host_traffic += self.bytes[i];
+                    }
+                    MemoryDirective::SwapD2d(stripe) => {
+                        for c in stripe.chunks().to_vec() {
+                            self.memory.alloc(c.target, c.bytes, clock);
+                        }
+                        self.residency[i] = Loc::Peers;
+                        self.d2d_traffic += self.bytes[i];
+                    }
+                    MemoryDirective::Recompute => unreachable!("recompute has no swap tasks"),
+                }
+            }
+            Payload::SwapIn(t) => {
+                let i = t.index();
+                self.active_swaps[i] -= 1;
+                match self.directive[i].as_ref().expect("swap task has directive") {
+                    MemoryDirective::SwapToHost(tier) => {
+                        match tier {
+                            HostTier::Dram => self.memory.host_free(self.bytes[i]),
+                            HostTier::Nvme => {
+                                self.memory.nvme_free(self.bytes[i]);
+                                self.nvme_traffic += self.bytes[i];
+                            }
+                        }
+                        self.host_traffic += self.bytes[i];
+                    }
+                    MemoryDirective::SwapD2d(stripe) => {
+                        for c in stripe.chunks().to_vec() {
+                            self.memory.free(c.target, c.bytes, clock);
+                        }
+                        self.d2d_traffic += self.bytes[i];
+                    }
+                    MemoryDirective::Recompute => unreachable!("recompute has no swap tasks"),
+                }
+                self.residency[i] = Loc::Home;
+            }
+        }
+
+        let dependents = std::mem::take(&mut self.tasks[tid].dependents);
+        for &d in &dependents {
+            self.tasks[d].deps -= 1;
+            if self.tasks[d].deps == 0 {
+                match self.tasks[d].payload {
+                    Payload::SwapIn(t) | Payload::SwapOut(t) => {
+                        self.runnable_swaps[t.index()] += 1;
+                    }
+                    Payload::Op(_) => {}
+                }
+            }
+            self.note_ready(d);
+        }
+        self.tasks[tid].dependents = dependents;
+    }
+
+    fn into_report(self, graph: &TrainingGraph) -> Result<SimReport, SimError> {
+        let n_ops = graph.ops().len();
+        let total = self.tasks.len();
+        let oom = self.memory.oom().copied();
+        if self.completed < total && oom.is_none() {
+            if std::env::var_os("MPRESS_SIM_DEBUG").is_some() {
+                for (tid, task) in self.tasks.iter().enumerate() {
+                    if !task.done {
+                        eprintln!(
+                            "[deadlock] task {tid}: {:?} dev={} stream={:?} deps={} trig={} started={}",
+                            task.payload, task.device.index(), task.stream,
+                            task.deps, task.trigger_fired, task.started
+                        );
+                    }
+                }
+            }
+            return Err(SimError::Deadlock {
+                completed: self.completed,
+                total,
+            });
+        }
+        let makespan = self
+            .tasks
+            .iter()
+            .filter(|t| t.done)
+            .map(|t| t.end)
+            .fold(0.0, f64::max);
+        let op_start = self.tasks[..n_ops].iter().map(|t| t.start).collect();
+        let op_end = self.tasks[..n_ops].iter().map(|t| t.end).collect();
+        let nvme_peak = self.memory.nvme_peak();
+        let (device_peak, host_peak, oom, timelines) = self.memory.into_parts();
+        Ok(SimReport {
+            makespan,
+            op_start,
+            op_end,
+            device_peak,
+            host_peak,
+            nvme_peak,
+            oom,
+            d2d_traffic: self.d2d_traffic,
+            host_traffic: self.host_traffic,
+            nvme_traffic: self.nvme_traffic,
+            recompute_time: self.recompute_time,
+            timelines,
+            trace: self.trace,
+        })
+    }
+}

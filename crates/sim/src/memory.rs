@@ -1,0 +1,259 @@
+//! Per-device and host memory accounting.
+
+use crate::report::{OomEvent, PoolKind};
+use mpress_hw::{Bytes, DeviceId, Secs};
+
+/// Per-device `(time, used-bytes)` usage samples.
+pub type UsageTimeline = Vec<(Secs, Bytes)>;
+
+/// Tracks used/peak bytes on every GPU plus host pinned memory, recording
+/// the first out-of-memory event and optional usage timelines.
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    capacity: Bytes,
+    host_capacity: Bytes,
+    nvme_capacity: Bytes,
+    used: Vec<Bytes>,
+    peak: Vec<Bytes>,
+    host_used: Bytes,
+    host_peak: Bytes,
+    nvme_used: Bytes,
+    nvme_peak: Bytes,
+    oom: Option<OomEvent>,
+    timelines: Option<Vec<UsageTimeline>>,
+}
+
+impl MemoryTracker {
+    /// A tracker over `n` GPUs of `capacity` bytes each, a host pool of
+    /// `host_capacity` and an NVMe pool of `nvme_capacity`.
+    pub fn new(
+        n: usize,
+        capacity: Bytes,
+        host_capacity: Bytes,
+        nvme_capacity: Bytes,
+        track_timeline: bool,
+    ) -> Self {
+        MemoryTracker {
+            capacity,
+            host_capacity,
+            nvme_capacity,
+            used: vec![Bytes::ZERO; n],
+            peak: vec![Bytes::ZERO; n],
+            host_used: Bytes::ZERO,
+            host_peak: Bytes::ZERO,
+            nvme_used: Bytes::ZERO,
+            nvme_peak: Bytes::ZERO,
+            oom: None,
+            timelines: track_timeline.then(|| vec![Vec::new(); n]),
+        }
+    }
+
+    /// Allocates `bytes` on `dev` at `time`, recording an OOM event if the
+    /// device overflows (usage keeps counting so the overflow magnitude is
+    /// visible).
+    pub fn alloc(&mut self, dev: DeviceId, bytes: Bytes, time: Secs) {
+        let i = dev.index();
+        self.used[i] += bytes;
+        if self.used[i] > self.peak[i] {
+            self.peak[i] = self.used[i];
+        }
+        if self.used[i] > self.capacity && self.oom.is_none() {
+            self.oom = Some(OomEvent {
+                pool: PoolKind::Gpu,
+                device: Some(dev),
+                time,
+                used: self.used[i],
+                capacity: self.capacity,
+            });
+        }
+        self.sample(i, time);
+    }
+
+    /// Frees `bytes` on `dev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a free larger than the device's current usage (a sim
+    /// accounting bug, never a modeled condition).
+    pub fn free(&mut self, dev: DeviceId, bytes: Bytes, time: Secs) {
+        let i = dev.index();
+        self.used[i] = self.used[i]
+            .checked_sub(bytes)
+            .unwrap_or_else(|| panic!("freeing {bytes} with only {} used on {dev}", self.used[i]));
+        self.sample(i, time);
+    }
+
+    /// Allocates host pinned memory.
+    pub fn host_alloc(&mut self, bytes: Bytes, time: Secs) {
+        self.host_used += bytes;
+        if self.host_used > self.host_peak {
+            self.host_peak = self.host_used;
+        }
+        if self.host_used > self.host_capacity && self.oom.is_none() {
+            self.oom = Some(OomEvent {
+                pool: PoolKind::Host,
+                device: None,
+                time,
+                used: self.host_used,
+                capacity: self.host_capacity,
+            });
+        }
+    }
+
+    /// Allocates NVMe space.
+    pub fn nvme_alloc(&mut self, bytes: Bytes, time: Secs) {
+        self.nvme_used += bytes;
+        if self.nvme_used > self.nvme_peak {
+            self.nvme_peak = self.nvme_used;
+        }
+        if self.nvme_used > self.nvme_capacity && self.oom.is_none() {
+            self.oom = Some(OomEvent {
+                pool: PoolKind::Nvme,
+                device: None,
+                time,
+                used: self.nvme_used,
+                capacity: self.nvme_capacity,
+            });
+        }
+    }
+
+    /// Frees NVMe space.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a free larger than current NVMe usage.
+    pub fn nvme_free(&mut self, bytes: Bytes) {
+        self.nvme_used = self
+            .nvme_used
+            .checked_sub(bytes)
+            .expect("nvme free exceeds usage");
+    }
+
+    /// Frees host pinned memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a free larger than current host usage.
+    pub fn host_free(&mut self, bytes: Bytes) {
+        self.host_used = self
+            .host_used
+            .checked_sub(bytes)
+            .expect("host free exceeds usage");
+    }
+
+    fn sample(&mut self, dev: usize, time: Secs) {
+        if let Some(tl) = &mut self.timelines {
+            tl[dev].push((time, self.used[dev]));
+        }
+    }
+
+    /// Current usage on one device.
+    pub fn used(&self, dev: DeviceId) -> Bytes {
+        self.used[dev.index()]
+    }
+
+    /// Whether `bytes` more would still fit on `dev`.
+    pub fn fits(&self, dev: DeviceId, bytes: Bytes) -> bool {
+        self.used[dev.index()] + bytes <= self.capacity
+    }
+
+    /// The per-device capacity.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Records an OOM diagnosed by the engine (a compute stall that can
+    /// never resolve), keeping any earlier tracker-detected event.
+    pub fn record_stall_oom(&mut self, dev: DeviceId, needed: Bytes, time: Secs) {
+        if self.oom.is_none() {
+            self.oom = Some(OomEvent {
+                pool: PoolKind::Gpu,
+                device: Some(dev),
+                time,
+                used: self.used[dev.index()] + needed,
+                capacity: self.capacity,
+            });
+        }
+    }
+
+    /// Peak NVMe usage.
+    pub fn nvme_peak(&self) -> Bytes {
+        self.nvme_peak
+    }
+
+    /// Peak usage per device.
+    pub fn peaks(&self) -> &[Bytes] {
+        &self.peak
+    }
+
+    /// Peak host usage.
+    pub fn host_peak(&self) -> Bytes {
+        self.host_peak
+    }
+
+    /// The first OOM event, if any.
+    pub fn oom(&self) -> Option<&OomEvent> {
+        self.oom.as_ref()
+    }
+
+    /// Consumes the tracker, returning `(peaks, host_peak, oom, timelines)`.
+    pub fn into_parts(
+        self,
+    ) -> (Vec<Bytes>, Bytes, Option<OomEvent>, Option<Vec<UsageTimeline>>) {
+        (self.peak, self.host_peak, self.oom, self.timelines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_tracks_peak() {
+        let mut m = MemoryTracker::new(2, Bytes::gib(1), Bytes::gib(4), Bytes::gib(100), false);
+        m.alloc(DeviceId(0), Bytes::mib(600), 0.0);
+        m.alloc(DeviceId(0), Bytes::mib(300), 1.0);
+        m.free(DeviceId(0), Bytes::mib(500), 2.0);
+        assert_eq!(m.used(DeviceId(0)), Bytes::mib(400));
+        assert_eq!(m.peaks()[0], Bytes::mib(900));
+        assert!(m.oom().is_none());
+    }
+
+    #[test]
+    fn overflow_records_first_oom_only() {
+        let mut m = MemoryTracker::new(1, Bytes::mib(100), Bytes::gib(1), Bytes::gib(100), false);
+        m.alloc(DeviceId(0), Bytes::mib(150), 3.0);
+        m.alloc(DeviceId(0), Bytes::mib(150), 4.0);
+        let oom = m.oom().unwrap();
+        assert_eq!(oom.time, 3.0);
+        assert_eq!(oom.used, Bytes::mib(150));
+        assert_eq!(oom.device, Some(DeviceId(0)));
+    }
+
+    #[test]
+    fn host_overflow_reports_device_none() {
+        let mut m = MemoryTracker::new(1, Bytes::gib(1), Bytes::mib(10), Bytes::gib(100), false);
+        m.host_alloc(Bytes::mib(20), 1.5);
+        assert_eq!(m.oom().unwrap().device, None);
+        m.host_free(Bytes::mib(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut m = MemoryTracker::new(1, Bytes::gib(1), Bytes::gib(1), Bytes::gib(100), false);
+        m.free(DeviceId(0), Bytes::mib(1), 0.0);
+    }
+
+    #[test]
+    fn timeline_records_changes() {
+        let mut m = MemoryTracker::new(1, Bytes::gib(1), Bytes::gib(1), Bytes::gib(100), true);
+        m.alloc(DeviceId(0), Bytes::mib(10), 0.5);
+        m.free(DeviceId(0), Bytes::mib(10), 1.5);
+        let (_, _, _, tl) = m.into_parts();
+        let tl = tl.unwrap();
+        assert_eq!(tl[0].len(), 2);
+        assert_eq!(tl[0][0], (0.5, Bytes::mib(10)));
+        assert_eq!(tl[0][1], (1.5, Bytes::ZERO));
+    }
+}

@@ -1,0 +1,576 @@
+//! Behavioral tests of the discrete-event engine against lowered pipeline
+//! jobs.
+
+use mpress_compaction::{HostTier, InstrumentationPlan, MemoryDirective, StripePlan};
+use mpress_graph::TensorKind;
+use mpress_hw::{Bytes, DeviceId, GpuSpec, Machine, Topology};
+use mpress_model::{ModelFamily, PrecisionPolicy, TransformerConfig};
+use mpress_pipeline::{PipelineJob, ScheduleKind};
+use mpress_sim::{DeviceMap, SimConfig, Simulator};
+
+fn tiny_model() -> TransformerConfig {
+    TransformerConfig::builder(ModelFamily::Gpt)
+        .layers(8)
+        .hidden(512)
+        .seq_len(256)
+        .build()
+}
+
+fn job(kind: ScheduleKind) -> PipelineJob {
+    PipelineJob::builder()
+        .model(tiny_model())
+        .schedule(kind)
+        .stages(4)
+        .microbatch_size(2)
+        .microbatches(8)
+        .precision(PrecisionPolicy::mixed())
+        .build()
+        .unwrap()
+}
+
+fn machine4(gpu_mem: Bytes) -> Machine {
+    let lanes = vec![
+        vec![0, 2, 1, 1],
+        vec![2, 0, 1, 1],
+        vec![1, 1, 0, 2],
+        vec![1, 1, 2, 0],
+    ];
+    let topo = Topology::from_lane_matrix(mpress_hw::TopologyKind::Asymmetric, lanes, 6);
+    let mut gpu = GpuSpec::v100_32gb();
+    gpu.memory = gpu_mem;
+    Machine::builder().name("mini4").gpu(gpu).topology(topo).build()
+}
+
+#[test]
+fn empty_plan_runs_and_orders_ops() {
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::gib(32));
+    let plan = InstrumentationPlan::new();
+    let sim = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4));
+    let report = sim.run().unwrap();
+    assert!(report.succeeded(), "{:?}", report.oom);
+    assert!(report.makespan > 0.0);
+    // Cross-stage order: forward of stage 1 after forward of stage 0.
+    let f0 = lowered.forward_ops[&(0, 0)].index();
+    let f1 = lowered.forward_ops[&(1, 0)].index();
+    assert!(report.op_start[f1] >= report.op_end[f0] - 1e-12);
+    // Backward of stage 0 waits for stage 1's backward completion.
+    let b0 = lowered.backward_ops[&(0, 0)].index();
+    let b1 = lowered.backward_ops[&(1, 0)].index();
+    assert!(report.op_start[b0] >= report.op_end[b1] - 1e-9);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let j = job(ScheduleKind::PipeDream);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::gib(32));
+    let plan = InstrumentationPlan::new();
+    let r1 = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap();
+    let r2 = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap();
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn peaks_track_analytic_demands() {
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::gib(32));
+    let plan = InstrumentationPlan::new();
+    let report = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap();
+    let demands = j.memory_demands();
+    for stage in 0..4 {
+        let analytic = demands.per_stage_peak[stage].as_f64();
+        let simulated = report.device_peak[stage].as_f64();
+        let rel = (simulated - analytic).abs() / analytic;
+        assert!(
+            rel < 0.25,
+            "stage {stage}: sim {simulated:.2e} vs analytic {analytic:.2e}"
+        );
+    }
+    // Imbalance shape: stage 0 peaks strictly above the last stage.
+    assert!(report.device_peak[0] > report.device_peak[3]);
+}
+
+#[test]
+fn oom_detected_on_small_gpu() {
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::mib(512));
+    let plan = InstrumentationPlan::new();
+    let report = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap();
+    assert!(!report.succeeded());
+    let oom = report.oom.unwrap();
+    assert!(oom.used > oom.capacity);
+}
+
+#[test]
+fn recompute_cuts_peak_and_slows_training() {
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::gib(32));
+
+    let baseline = Simulator::new(
+        &machine,
+        &lowered.graph,
+        &InstrumentationPlan::new(),
+        DeviceMap::identity(4),
+    )
+    .run()
+    .unwrap();
+
+    // Recompute every layer activation on every stage (the recomputation
+    // baseline of Fig. 7) — this slows the bottleneck stage too.
+    let plan: InstrumentationPlan = lowered
+        .graph
+        .tensors()
+        .iter()
+        .filter(|t| t.kind == TensorKind::Activation && t.layer.is_some())
+        .map(|t| (t.id, MemoryDirective::Recompute))
+        .collect();
+    let recomp = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap();
+    assert!(recomp.device_peak[0] < baseline.device_peak[0]);
+    assert!(recomp.makespan > baseline.makespan);
+    assert!(recomp.recompute_time > 0.0);
+}
+
+#[test]
+fn host_swap_moves_memory_and_counts_traffic() {
+    // Swapping one layer's activation class keeps at most ~2 copies
+    // transiently resident instead of the full in-flight set, cutting the
+    // stage's peak; every instance round-trips over PCIe. The PCIe round
+    // trip must be well under the stage cycle for the saving to be real,
+    // hence several layers per stage and FP32 compute.
+    let j = PipelineJob::builder()
+        .model(
+            TransformerConfig::builder(ModelFamily::Gpt)
+                .layers(16)
+                .hidden(1024)
+                .seq_len(1024)
+                .build(),
+        )
+        .schedule(ScheduleKind::PipeDream)
+        .stages(4)
+        .microbatch_size(4)
+        .microbatches(12)
+        .precision(PrecisionPolicy::full())
+        .build()
+        .unwrap();
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::gib(32));
+
+    let acts: Vec<_> = lowered
+        .graph
+        .tensors()
+        .iter()
+        .filter(|t| t.kind == TensorKind::Activation && t.layer == Some(0))
+        .collect();
+    assert_eq!(acts.len(), 12, "one instance per microbatch");
+    let mut plan = InstrumentationPlan::new();
+    for t in &acts {
+        plan.assign(t.id, MemoryDirective::SwapToHost(HostTier::Dram));
+    }
+
+    let baseline = Simulator::new(
+        &machine,
+        &lowered.graph,
+        &InstrumentationPlan::new(),
+        DeviceMap::identity(4),
+    )
+    .run()
+    .unwrap();
+    let swapped = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap();
+    assert!(
+        swapped.device_peak[0] < baseline.device_peak[0],
+        "swapped {} vs baseline {}",
+        swapped.device_peak[0],
+        baseline.device_peak[0]
+    );
+    // Every instance swaps out and back at least once.
+    assert!(swapped.host_traffic >= acts[0].bytes * 2 * 12);
+    assert!(swapped.host_peak >= acts[0].bytes);
+}
+
+#[test]
+fn d2d_swap_shifts_bytes_to_peer() {
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::gib(32));
+
+    // Stripe one early-stage activation to the two cross-pair peers.
+    let act = lowered
+        .graph
+        .tensors()
+        .iter()
+        .find(|t| t.kind == TensorKind::Activation && t.stage == 0 && t.layer == Some(0))
+        .unwrap();
+    let stripe = StripePlan::weighted(act.bytes, &[(DeviceId(2), 1), (DeviceId(3), 1)]);
+    let mut plan = InstrumentationPlan::new();
+    plan.assign(act.id, MemoryDirective::SwapD2d(stripe));
+
+    let report = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap();
+    assert!(report.succeeded());
+    // Round trip = 2x tensor bytes of NVLink traffic.
+    assert_eq!(report.d2d_traffic, act.bytes * 2);
+}
+
+#[test]
+fn d2d_to_unreachable_peer_is_rejected() {
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    // DGX-1: GPU0 cannot reach GPU5; build an 8-stage job? Our 4-stage mini
+    // machine is fully connected, so craft an invalid lane request instead.
+    let machine = machine4(Bytes::gib(32));
+    let act = lowered
+        .graph
+        .tensors()
+        .iter()
+        .find(|t| t.kind == TensorKind::Activation && t.stage == 0)
+        .unwrap();
+    // Requesting 5 lanes toward a 1-lane neighbour must fail validation.
+    let stripe = StripePlan::single(act.bytes, DeviceId(2), 5);
+    let mut plan = InstrumentationPlan::new();
+    plan.assign(act.id, MemoryDirective::SwapD2d(stripe));
+    let err = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, mpress_sim::SimError::BadPlan(_)));
+}
+
+#[test]
+fn device_map_permutation_relabels_memory() {
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::gib(32));
+    let plan = InstrumentationPlan::new();
+    let reversed = DeviceMap::from_vec((0..4).rev().map(DeviceId).collect()).unwrap();
+    let r = Simulator::new(&machine, &lowered.graph, &plan, reversed)
+        .run()
+        .unwrap();
+    // Stage 0 (heaviest) now lives on device 3.
+    assert!(r.device_peak[3] > r.device_peak[0]);
+}
+
+#[test]
+fn bad_device_map_is_an_error() {
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::gib(32));
+    let plan = InstrumentationPlan::new();
+    let err = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(3))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, mpress_sim::SimError::BadDeviceMap(_)));
+}
+
+#[test]
+fn swap_on_multiwriter_tensor_rejected() {
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::gib(32));
+    // Gradients are written by every backward op.
+    let grad = lowered
+        .graph
+        .tensors()
+        .iter()
+        .find(|t| t.kind == TensorKind::Gradient)
+        .unwrap();
+    let mut plan = InstrumentationPlan::new();
+    plan.assign(grad.id, MemoryDirective::SwapToHost(HostTier::Dram));
+    let err = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, mpress_sim::SimError::BadPlan(_)));
+}
+
+#[test]
+fn timelines_recorded_when_requested() {
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::gib(32));
+    let plan = InstrumentationPlan::new();
+    let report = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .with_config(SimConfig {
+            strict_oom: true,
+            track_timeline: true,
+            memory_gate: true,
+            trace: false,
+        })
+        .run()
+        .unwrap();
+    let tl = report.timelines.as_ref().unwrap();
+    assert_eq!(tl.len(), 4);
+    assert!(tl[0].len() > 4);
+    // Times are non-decreasing.
+    for dev in tl {
+        for w in dev.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+}
+
+#[test]
+fn pipedream_and_dapple_have_comparable_throughput() {
+    let machine = machine4(Bytes::gib(32));
+    let plan = InstrumentationPlan::new();
+    let mut rates = Vec::new();
+    for kind in [ScheduleKind::PipeDream, ScheduleKind::Dapple] {
+        let j = job(kind);
+        let lowered = j.lower().unwrap();
+        let r = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+            .run()
+            .unwrap();
+        rates.push(r.throughput(j.window_samples()));
+    }
+    // Same 1F1B core: PipeDream (no flush/optimizer) is at least as fast.
+    assert!(rates[0] >= rates[1] * 0.95, "{rates:?}");
+}
+
+#[test]
+fn host_pool_exhaustion_reports_host_oom() {
+    // A machine with almost no host memory cannot absorb swapped tensors:
+    // the OOM event must point at the host pool (device: None).
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let mut machine = machine4(Bytes::gib(32));
+    machine = Machine::builder()
+        .name("tiny-host")
+        .gpu(machine.gpu().clone())
+        .topology(machine.topology().clone())
+        .cpu_memory(Bytes::mib(1))
+        .build();
+    let acts: Vec<_> = lowered
+        .graph
+        .tensors()
+        .iter()
+        .filter(|t| t.kind == TensorKind::Activation && t.stage == 0 && t.layer.is_some())
+        .map(|t| t.id)
+        .collect();
+    let mut plan = InstrumentationPlan::new();
+    for t in acts {
+        plan.assign(t, MemoryDirective::SwapToHost(HostTier::Dram));
+    }
+    let report = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap();
+    assert!(!report.succeeded());
+    assert_eq!(report.oom.unwrap().device, None, "host pool must overflow");
+}
+
+#[test]
+fn eviction_resolves_prefetch_pressure() {
+    // Shrink the GPU so prefetched swap tensors collide with compute
+    // allocations; the engine's eviction path must keep the run alive.
+    let j = PipelineJob::builder()
+        .model(
+            TransformerConfig::builder(ModelFamily::Gpt)
+                .layers(16)
+                .hidden(1024)
+                .seq_len(1024)
+                .build(),
+        )
+        .schedule(ScheduleKind::Dapple)
+        .stages(4)
+        .microbatch_size(4)
+        .microbatches(12)
+        .precision(PrecisionPolicy::full())
+        .build()
+        .unwrap();
+    let lowered = j.lower().unwrap();
+    // Capacity just above the static + working set of stage 0.
+    let machine = machine4(Bytes::gib(9));
+    let plan: InstrumentationPlan = lowered
+        .graph
+        .tensors()
+        .iter()
+        .filter(|t| t.kind == TensorKind::Activation && t.layer.is_some())
+        .map(|t| (t.id, MemoryDirective::SwapToHost(HostTier::Dram)))
+        .collect();
+    let report = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap();
+    // Either it fits thanks to eviction, or it reports a clean OOM — but
+    // it must never deadlock (run() would have returned Err).
+    if report.succeeded() {
+        assert!(report.host_traffic > Bytes::ZERO);
+    }
+}
+
+#[test]
+fn nvme_tier_swap_counts_nvme_traffic_and_is_slower_than_dram() {
+    // The §V hierarchy extension: swapping to the NVMe tier must account
+    // traffic against the NVMe pool and cost more wall time than DRAM.
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = Machine::builder()
+        .name("mini4-nvme")
+        .gpu(machine4(Bytes::gib(32)).gpu().clone())
+        .topology(machine4(Bytes::gib(32)).topology().clone())
+        .nvme(mpress_hw::NvmeSpec {
+            capacity: Bytes::gib(512),
+            read_bw: 3.0e9,
+            write_bw: 2.0e9,
+        })
+        .build();
+    let acts: Vec<_> = lowered
+        .graph
+        .tensors()
+        .iter()
+        .filter(|t| t.kind == TensorKind::Activation && t.stage == 0 && t.layer.is_some())
+        .map(|t| t.id)
+        .collect();
+    let run = |tier: HostTier| {
+        let plan: InstrumentationPlan = acts
+            .iter()
+            .map(|&t| (t, MemoryDirective::SwapToHost(tier)))
+            .collect();
+        Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+            .run()
+            .unwrap()
+    };
+    let dram = run(HostTier::Dram);
+    let nvme = run(HostTier::Nvme);
+    assert!(dram.succeeded() && nvme.succeeded());
+    assert_eq!(dram.nvme_traffic, Bytes::ZERO);
+    assert!(nvme.nvme_traffic > Bytes::ZERO);
+    assert!(nvme.nvme_peak > Bytes::ZERO);
+    assert!(
+        nvme.makespan >= dram.makespan,
+        "NVMe {} vs DRAM {}",
+        nvme.makespan,
+        dram.makespan
+    );
+}
+
+#[test]
+fn ungated_run_observes_demand_gated_run_respects_capacity() {
+    // The profiler's contract: with the memory gate off the engine never
+    // stalls — every op executes and the peaks report the unconstrained
+    // demand (well above capacity). The gated run on the same machine
+    // stops at the first unresolvable stall instead.
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::mib(512)); // far below stage-0 demand
+    let plan = InstrumentationPlan::new();
+    let ungated = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .with_config(SimConfig {
+            memory_gate: false,
+            strict_oom: false, // the profiler's pairing: observe, don't stop
+            ..SimConfig::default()
+        })
+        .run()
+        .unwrap();
+    // The whole window completed despite the overflow (the final ops
+    // executed; zero-duration ops at t=0 legitimately end at 0.0)...
+    assert_eq!(ungated.op_end.len(), lowered.graph.ops().len());
+    assert!(ungated.op_end.iter().cloned().fold(0.0, f64::max) <= ungated.makespan + 1e-9);
+    assert!(ungated.makespan > 0.0);
+    // ...and the true demand is visible in the peaks.
+    assert!(
+        ungated.device_peak.iter().any(|p| *p > machine.gpu().usable_memory()),
+        "ungated run must expose the true (overflowing) demand"
+    );
+    let gated = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(4))
+        .run()
+        .unwrap();
+    assert!(!gated.succeeded(), "the same job must OOM under the gate");
+    // Strict gating stops at the first unresolvable stall, earlier than
+    // the free-running window.
+    assert!(gated.makespan <= ungated.makespan);
+}
+
+#[test]
+fn non_strict_oom_run_completes_and_keeps_first_oom_event() {
+    let j = job(ScheduleKind::Dapple);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::mib(512));
+    let report = Simulator::new(
+        &machine,
+        &lowered.graph,
+        &InstrumentationPlan::new(),
+        DeviceMap::identity(4),
+    )
+    .with_config(SimConfig {
+        strict_oom: false,
+        ..SimConfig::default()
+    })
+    .run()
+    .unwrap();
+    assert!(!report.succeeded());
+    let oom = report.oom.unwrap();
+    assert!(oom.device.is_some());
+    // The overflow magnitude is observable: demand exceeds capacity.
+    assert!(oom.used > oom.capacity);
+}
+
+#[test]
+fn trace_covers_every_executed_op_with_monotone_spans() {
+    let j = job(ScheduleKind::PipeDream);
+    let lowered = j.lower().unwrap();
+    let machine = machine4(Bytes::gib(32));
+    let report = Simulator::new(
+        &machine,
+        &lowered.graph,
+        &InstrumentationPlan::new(),
+        DeviceMap::identity(4),
+    )
+    .with_config(SimConfig {
+        trace: true,
+        ..SimConfig::default()
+    })
+    .run()
+    .unwrap();
+    let events = report.trace.as_deref().expect("trace requested");
+    assert!(events.len() >= lowered.graph.ops().len());
+    for e in events {
+        assert!(e.end >= e.start, "span must be well-formed: {e:?}");
+        assert!(e.end <= report.makespan + 1e-9);
+    }
+    // The export is valid JSON with one entry per event.
+    let json = mpress_sim::trace::to_chrome_trace(events);
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed.as_array().unwrap().len(), events.len());
+}
+
+#[test]
+fn gpipe_demands_more_memory_than_dapple_on_the_engine() {
+    // The schedule ablation's claim, observed by the engine rather than
+    // the analytic model: GPipe's all-forward phase piles up every
+    // microbatch's activations.
+    let run = |kind: ScheduleKind| {
+        let j = job(kind);
+        let lowered = j.lower().unwrap();
+        Simulator::new(
+            &machine4(Bytes::gib(32)),
+            &lowered.graph,
+            &InstrumentationPlan::new(),
+            DeviceMap::identity(4),
+        )
+        .run()
+        .unwrap()
+    };
+    let dapple = run(ScheduleKind::Dapple);
+    let gpipe = run(ScheduleKind::GPipe);
+    assert!(dapple.succeeded() && gpipe.succeeded());
+    assert!(
+        gpipe.device_peak[0] > dapple.device_peak[0],
+        "gpipe {} vs dapple {}",
+        gpipe.device_peak[0],
+        dapple.device_peak[0]
+    );
+}

@@ -1,0 +1,13 @@
+//! The paper's Fig. 7 scenario: scaling Bert under PipeDream on a DGX-1
+//! across five system configurations, watching who OOMs where.
+//!
+//! ```text
+//! cargo run --release --example bert_pipedream
+//! ```
+
+use mpress_bench::experiments;
+
+fn main() {
+    println!("{}", experiments::fig7());
+    println!("(Red-cross OOM marks in the paper appear here as \"OOM\".)");
+}

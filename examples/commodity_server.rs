@@ -1,0 +1,80 @@
+//! The title claim — *democratizing* billion-scale training — on a server
+//! that has no DGX-class interconnect at all.
+//!
+//! Every alternative leans on hardware a commodity server lacks:
+//! Megatron-style tensor parallelism needs NVLink-priced all-reduces in
+//! every layer, and the ZeRO family needs fast host/NVMe staging. MPress
+//! built its D2D swap *for* NVLink — but its planner portfolio degrades
+//! gracefully: with zero reachable donors it falls back to recomputation
+//! and host swap, and keeps pipeline throughput.
+//!
+//! ```text
+//! cargo run --release --example commodity_server
+//! ```
+
+use mpress::{Mpress, OptimizationSet};
+use mpress_baselines::{MegatronBaseline, ZeroBaseline, ZeroVariant};
+use mpress_hw::Machine;
+use mpress_model::zoo;
+use mpress_pipeline::{PipelineJob, ScheduleKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = Machine::commodity();
+    let model = zoo::gpt_10_3b();
+    println!("{} on {}\n", model, machine.name());
+
+    // No GPU pair is NVLink-reachable: D2D swap has no donors here.
+    let topo = machine.topology();
+    let links = topo
+        .devices()
+        .map(|d| topo.neighbors(d).len())
+        .sum::<usize>();
+    println!("NVLink links on this server: {links}");
+
+    // Intra-operator parallelism: memory is balanced, but every layer's
+    // all-reduces now cross PCIe.
+    let megatron = MegatronBaseline::new(machine.clone(), model.clone()).report();
+    println!(
+        "Megatron TP-8     : {:6.1} TFLOPS ({:.1} GiB/GPU, {} moved per microbatch)",
+        megatron.tflops,
+        megatron.gpu_bytes.as_gib_f64(),
+        megatron.comm_bytes_per_microbatch,
+    );
+
+    // The ZeRO family: collectives and staging fall back to PCIe/NVMe.
+    for variant in [ZeroVariant::Offload, ZeroVariant::Infinity] {
+        let r = ZeroBaseline::new(machine.clone(), model.clone(), variant).report();
+        println!("{:<18}: {:6.1} TFLOPS", variant.to_string(), r.tflops);
+    }
+
+    // Inter-operator parallelism: the unmodified pipeline OOMs...
+    let job = PipelineJob::builder()
+        .model(model)
+        .machine(machine)
+        .schedule(ScheduleKind::Dapple)
+        .microbatch_size(2)
+        .microbatches(16)
+        .build()?;
+    let plain = Mpress::builder()
+        .job(job.clone())
+        .optimizations(OptimizationSet::none())
+        .build()
+        .train_unmodified()?;
+    println!(
+        "plain DAPPLE      : {}",
+        if plain.succeeded() { "fits" } else { "OOM" }
+    );
+
+    // ...and MPress repairs it with the techniques that never needed
+    // NVLink, at full pipeline throughput.
+    let report = Mpress::builder().job(job).build().train()?;
+    assert!(report.succeeded());
+    println!(
+        "MPress            : {:6.1} TFLOPS (d2d {}, host {}, recompute {:.2}s)",
+        report.tflops,
+        report.sim.d2d_traffic,
+        report.sim.host_traffic,
+        report.sim.recompute_time,
+    );
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! The paper's Fig. 8 scenario: GPT under DAPPLE against the ZeRO family
+//! on both server generations.
+//!
+//! ```text
+//! cargo run --release --example gpt_dapple
+//! ```
+
+use mpress_bench::experiments;
+use mpress_hw::Machine;
+
+fn main() {
+    println!("{}", experiments::fig8(Machine::dgx1()));
+    println!("{}", experiments::fig8(Machine::dgx2()));
+}

@@ -1,0 +1,57 @@
+//! Render the per-device memory evolution of an MPress-planned run — the
+//! curves sketched under the paper's Fig. 1, at paper scale.
+//!
+//! ```text
+//! cargo run --release --example memory_timeline
+//! ```
+
+use mpress::Mpress;
+use mpress_hw::Machine;
+use mpress_model::zoo;
+use mpress_pipeline::{PipelineJob, ScheduleKind};
+use mpress_sim::{viz, SimConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let job = PipelineJob::builder()
+        .model(zoo::gpt_10_3b())
+        .machine(Machine::dgx1())
+        .schedule(ScheduleKind::Dapple)
+        .microbatch_size(2)
+        .microbatches(16)
+        .build()?;
+    let mpress = Mpress::builder().job(job).build();
+    let (plan, lowered) = mpress.plan()?;
+
+    let report = Simulator::new(
+        mpress.machine(),
+        &lowered.graph,
+        &plan.instrumentation,
+        plan.device_map.clone(),
+    )
+    .with_config(SimConfig {
+        strict_oom: true,
+        track_timeline: true,
+        memory_gate: true,
+        trace: false,
+    })
+    .run()?;
+
+    println!(
+        "GPT-10.3B under MPress on {} — memory per device (full block = 31.5 GiB usable):\n",
+        mpress.machine().name()
+    );
+    print!(
+        "{}",
+        viz::memory_chart(&report, mpress.machine().gpu().usable_memory(), 90)
+    );
+    println!("\nexecution lanes:");
+    let stages: Vec<usize> = (0..lowered.graph.n_stages())
+        .map(|dev| {
+            plan.device_map
+                .stage_of(mpress_hw::DeviceId(dev))
+                .expect("bijective map")
+        })
+        .collect();
+    print!("{}", viz::gantt(&report, &lowered.graph, &stages, 90));
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Inspect the memory-saving plan MPress generates for a pressured job:
+//! which tensors go to which technique, what each saves, and where the
+//! D2D stripes land (paper Table IV, per-tensor view).
+//!
+//! ```text
+//! cargo run --release --example plan_inspection
+//! ```
+
+use mpress::Mpress;
+use mpress_compaction::{MemoryDirective, Technique};
+use mpress_hw::{Bytes, Machine};
+use mpress_model::{zoo, PrecisionPolicy};
+use mpress_pipeline::{PipelineJob, ScheduleKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let job = PipelineJob::builder()
+        .model(zoo::bert_1_67b())
+        .machine(Machine::dgx1())
+        .schedule(ScheduleKind::PipeDream)
+        .microbatch_size(12)
+        .microbatches(16)
+        .precision(PrecisionPolicy::full())
+        .build()?;
+
+    let mpress = Mpress::builder().job(job).build();
+    let (plan, lowered) = mpress.plan()?;
+
+    println!("device map: {}", plan.device_map);
+    println!(
+        "refinement rounds: {}, directives: {}",
+        plan.refinement_rounds,
+        plan.instrumentation.len()
+    );
+
+    let savings = plan.savings(&lowered);
+    let total: f64 = savings.values().map(|b| b.as_f64()).sum();
+    println!("\nper-technique savings (paper Table IV):");
+    for tech in [Technique::Recompute, Technique::GpuCpuSwap, Technique::D2dSwap] {
+        let bytes = savings.get(&tech).copied().unwrap_or(Bytes::ZERO);
+        println!(
+            "  {tech:<14} {:>10}  ({:.1}%)",
+            bytes.to_string(),
+            if total > 0.0 { 100.0 * bytes.as_f64() / total } else { 0.0 }
+        );
+    }
+
+    println!("\nsample directives:");
+    let mut shown = 0;
+    for (tensor_id, directive) in plan.instrumentation.iter() {
+        if shown >= 8 {
+            break;
+        }
+        let tensor = lowered.graph.tensor(tensor_id);
+        match directive {
+            MemoryDirective::SwapD2d(stripe) => {
+                println!("  {tensor} -> D2D {stripe}");
+                shown += 1;
+            }
+            other if shown < 4 => {
+                println!("  {tensor} -> {other}");
+                shown += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let report = mpress.simulate(&plan, &lowered)?;
+    println!(
+        "\nsimulated: ok={} {:.1} TFLOPS, D2D traffic {}, host traffic {}",
+        report.succeeded(),
+        report.tflops,
+        report.sim.d2d_traffic,
+        report.sim.host_traffic
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: break the memory wall for a GPT-10.3B job on a DGX-1.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mpress::{Mpress, OptimizationSet};
+use mpress_hw::Machine;
+use mpress_model::zoo;
+use mpress_pipeline::{PipelineJob, ScheduleKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A training job the way the paper runs GPT: DAPPLE scheduling,
+    // microbatch 2, mixed precision, one stage per GPU.
+    let job = PipelineJob::builder()
+        .model(zoo::gpt_10_3b())
+        .machine(Machine::dgx1())
+        .schedule(ScheduleKind::Dapple)
+        .microbatch_size(2)
+        .microbatches(16)
+        .build()?;
+
+    let demands = job.memory_demands();
+    println!(
+        "GPT-10.3B demands {:.0} GiB total, {:.1} GiB on the hottest GPU \
+         (capacity: 32 GiB per V100)",
+        demands.total().as_gib_f64(),
+        demands.max_stage().as_gib_f64()
+    );
+
+    // Unmodified DAPPLE runs out of memory...
+    let plain = Mpress::builder()
+        .job(job.clone())
+        .optimizations(OptimizationSet::none())
+        .build()
+        .train_unmodified()?;
+    println!(
+        "unmodified DAPPLE: {}",
+        match plain.sim.oom {
+            None => "fits".to_owned(),
+            Some(oom) => oom.to_string(),
+        }
+    );
+
+    // ...MPress combines D2D swap, GPU-CPU swap and recomputation to fit.
+    let report = Mpress::builder().job(job).build().train()?;
+    assert!(report.succeeded(), "MPress must sustain GPT-10.3B");
+    println!(
+        "MPress: {:.1} aggregate TFLOPS, {:.1} samples/s, peak {:.1} GiB/GPU",
+        report.tflops,
+        report.throughput,
+        report.max_device_peak().as_gib_f64()
+    );
+    println!(
+        "plan: {} directives, device map {}",
+        report.plan.instrumentation.len(),
+        report.plan.device_map
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Compare the three pipeline schedules' memory/throughput trade-off on
+//! the same model: PipeDream (async, weight stashing), DAPPLE (sync 1F1B)
+//! and GPipe (all-forward-then-all-backward).
+//!
+//! ```text
+//! cargo run --release --example schedule_comparison
+//! ```
+
+use mpress::{Mpress, OptimizationSet};
+use mpress_hw::Machine;
+use mpress_model::zoo;
+use mpress_pipeline::{PipelineJob, ScheduleKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("GPT-5.3B on DGX-1, microbatch 2, window 16 microbatches\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>10}",
+        "schedule", "total GiB", "hottest GiB", "plain", "mpress"
+    );
+    for kind in [
+        ScheduleKind::PipeDream,
+        ScheduleKind::Dapple,
+        ScheduleKind::GPipe,
+    ] {
+        let job = PipelineJob::builder()
+            .model(zoo::gpt_5_3b())
+            .machine(Machine::dgx1())
+            .schedule(kind)
+            .microbatch_size(2)
+            .microbatches(16)
+            .build()?;
+        let demands = job.memory_demands();
+        let plain = Mpress::builder()
+            .job(job.clone())
+            .optimizations(OptimizationSet::none())
+            .build()
+            .train_unmodified()?;
+        let mpress = Mpress::builder().job(job).build().train()?;
+        let cell = |ok: bool, v: f64| {
+            if ok {
+                format!("{v:.1}")
+            } else {
+                "OOM".to_owned()
+            }
+        };
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>14} {:>10}",
+            kind.to_string(),
+            demands.total().as_gib_f64(),
+            demands.max_stage().as_gib_f64(),
+            cell(plain.succeeded(), plain.tflops),
+            cell(mpress.succeeded(), mpress.tflops),
+        );
+    }
+    println!(
+        "\nGPipe holds every microbatch's activations (no early backward), so its\n\
+         hottest stage demands far more than the 1F1B schedules — exactly why\n\
+         MPress's compaction matters most there."
+    );
+    Ok(())
+}

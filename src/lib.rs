@@ -1,0 +1,24 @@
+//! Umbrella crate for the MPress reproduction workspace.
+//!
+//! Re-exports every member crate so the examples and cross-crate
+//! integration tests have a single dependency root. The real library
+//! surface lives in the member crates:
+//!
+//! * [`mpress`] — the paper's contribution (profiler, planner, device
+//!   mapping, system facade),
+//! * [`mpress_hw`] / [`mpress_model`] / [`mpress_graph`] /
+//!   [`mpress_pipeline`] / [`mpress_sim`] / [`mpress_compaction`] — the
+//!   substrates built from scratch for this reproduction,
+//! * [`mpress_baselines`] — the ZeRO-family comparison points,
+//! * [`mpress_bench`] — the experiment harness regenerating the paper's
+//!   tables and figures.
+
+pub use mpress;
+pub use mpress_baselines;
+pub use mpress_bench;
+pub use mpress_compaction;
+pub use mpress_graph;
+pub use mpress_hw;
+pub use mpress_model;
+pub use mpress_pipeline;
+pub use mpress_sim;

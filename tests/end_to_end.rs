@@ -1,0 +1,197 @@
+//! End-to-end invariants of the plan → simulate pipeline.
+
+use mpress::{Mpress, OptimizationSet, PlannerConfig};
+use mpress_compaction::Technique;
+use mpress_hw::{Bytes, Machine};
+use mpress_model::{ModelFamily, PrecisionPolicy, TransformerConfig};
+use mpress_pipeline::{PipelineJob, ScheduleKind};
+
+fn pressured_job() -> PipelineJob {
+    // Big enough to overflow a V100, small enough to plan quickly.
+    PipelineJob::builder()
+        .model(
+            TransformerConfig::builder(ModelFamily::Gpt)
+                .layers(32)
+                .hidden(4096)
+                .seq_len(1024)
+                .build(),
+        )
+        .machine(Machine::dgx1())
+        .schedule(ScheduleKind::Dapple)
+        .microbatch_size(2)
+        .microbatches(16)
+        .precision(PrecisionPolicy::mixed())
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn plan_validates_against_its_graph() {
+    let mpress = Mpress::builder().job(pressured_job()).build();
+    let (plan, lowered) = mpress.plan().unwrap();
+    assert!(plan.instrumentation.validate(&lowered.graph).is_ok());
+    assert!(!plan.instrumentation.is_empty(), "pressured job needs a plan");
+}
+
+#[test]
+fn planning_is_deterministic() {
+    let mpress = Mpress::builder().job(pressured_job()).build();
+    let (p1, _) = mpress.plan().unwrap();
+    let (p2, _) = mpress.plan().unwrap();
+    assert_eq!(p1.device_map, p2.device_map);
+    assert_eq!(p1.instrumentation, p2.instrumentation);
+}
+
+#[test]
+fn savings_account_for_every_directive() {
+    let mpress = Mpress::builder().job(pressured_job()).build();
+    let (plan, lowered) = mpress.plan().unwrap();
+    let savings = plan.savings(&lowered);
+    let by_sum: Bytes = savings.values().copied().sum();
+    let by_iter: Bytes = plan
+        .instrumentation
+        .iter()
+        .map(|(t, _)| lowered.graph.tensor(t).bytes)
+        .sum();
+    assert_eq!(by_sum, by_iter);
+}
+
+#[test]
+fn simulated_peaks_respect_capacity_when_successful() {
+    let mpress = Mpress::builder().job(pressured_job()).build();
+    let report = mpress.train().unwrap();
+    assert!(report.succeeded());
+    let cap = mpress.machine().gpu().usable_memory();
+    for (dev, peak) in report.sim.device_peak.iter().enumerate() {
+        assert!(*peak <= cap, "device {dev} peaked at {peak} over {cap}");
+    }
+}
+
+#[test]
+fn mpress_never_loses_to_its_own_restricted_variants() {
+    // With every technique available, the emulator-driven planner must do
+    // at least as well as the best single-technique plan it could emit.
+    let all = Mpress::builder()
+        .job(pressured_job())
+        .optimizations(OptimizationSet::all())
+        .build()
+        .train()
+        .unwrap();
+    assert!(all.succeeded());
+    let rec = Mpress::builder()
+        .job(pressured_job())
+        .optimizations(OptimizationSet::recompute_only())
+        .build()
+        .train()
+        .unwrap();
+    if rec.succeeded() {
+        assert!(
+            all.tflops >= rec.tflops * 0.98,
+            "mpress {:.1} vs recompute-only {:.1}",
+            all.tflops,
+            rec.tflops
+        );
+    }
+}
+
+#[test]
+fn d2d_budget_is_respected_by_importers() {
+    // After a successful MPress run, importer devices must stay within
+    // capacity too (their donated spare was budgeted by the planner).
+    let mpress = Mpress::builder().job(pressured_job()).build();
+    let report = mpress.train().unwrap();
+    assert!(report.succeeded());
+    if report
+        .plan
+        .savings_has(Technique::D2dSwap)
+    {
+        assert!(report.sim.d2d_traffic > Bytes::ZERO);
+    }
+}
+
+/// Helper trait so the test reads naturally.
+trait SavingsHas {
+    fn savings_has(&self, tech: Technique) -> bool;
+}
+
+impl SavingsHas for mpress::MpressPlan {
+    fn savings_has(&self, tech: Technique) -> bool {
+        self.instrumentation
+            .iter()
+            .any(|(_, d)| d.technique() == tech)
+    }
+}
+
+#[test]
+fn exhaustive_swap_saves_more_but_runs_slower_or_equal() {
+    let smart = Mpress::builder()
+        .job(pressured_job())
+        .optimizations(OptimizationSet::host_swap_only())
+        .build()
+        .train()
+        .unwrap();
+    let naive = Mpress::builder()
+        .job(pressured_job())
+        .planner_config(PlannerConfig {
+            optimizations: OptimizationSet::host_swap_only(),
+            exhaustive_swap: true,
+            ..PlannerConfig::default()
+        })
+        .build()
+        .train()
+        .unwrap();
+    if smart.succeeded() && naive.succeeded() {
+        assert!(naive.sim.host_traffic >= smart.sim.host_traffic);
+    }
+}
+
+#[test]
+fn restricted_variants_only_use_their_allowed_techniques() {
+    // Regression: `best_static_choice` once read the planner's *configured*
+    // optimization set instead of the portfolio variant being planned, so
+    // a recompute-only plan could silently contain host swaps (and the
+    // portfolio guarantee quietly evaporated).
+    let cases = [
+        (
+            OptimizationSet::recompute_only(),
+            vec![Technique::Recompute],
+        ),
+        (
+            OptimizationSet::host_swap_only(),
+            vec![Technique::GpuCpuSwap],
+        ),
+        (OptimizationSet::d2d_only(), vec![Technique::D2dSwap]),
+        (
+            OptimizationSet {
+                recompute: true,
+                host_swap: true,
+                d2d: false,
+            },
+            vec![Technique::Recompute, Technique::GpuCpuSwap],
+        ),
+    ];
+    for (opts, allowed) in cases {
+        let mpress = Mpress::builder()
+            .job(pressured_job())
+            .optimizations(opts)
+            .build();
+        let (plan, _) = mpress.plan().unwrap();
+        for (t, d) in plan.instrumentation.iter() {
+            assert!(
+                allowed.contains(&d.technique()),
+                "{opts:?} plan assigned {:?} to {t}",
+                d.technique()
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_with_nothing_enabled_is_empty() {
+    let mpress = Mpress::builder()
+        .job(pressured_job())
+        .optimizations(OptimizationSet::none())
+        .build();
+    let (plan, _) = mpress.plan().unwrap();
+    assert!(plan.instrumentation.is_empty());
+}

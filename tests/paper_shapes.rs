@@ -1,0 +1,207 @@
+//! Cross-crate integration tests asserting the paper's *qualitative*
+//! results — who OOMs where and who wins — at full paper scale.
+//!
+//! These exercise the whole stack: model sizing → partitioning →
+//! lowering → profiling → planning → discrete-event simulation.
+
+use mpress::{Mpress, OptimizationSet, PlannerConfig};
+use mpress_hw::Machine;
+use mpress_model::{zoo, PrecisionPolicy};
+use mpress_pipeline::{PipelineJob, ScheduleKind};
+
+fn bert(model: mpress_model::TransformerConfig) -> PipelineJob {
+    PipelineJob::builder()
+        .model(model)
+        .machine(Machine::dgx1())
+        .schedule(ScheduleKind::PipeDream)
+        .microbatch_size(12)
+        .microbatches(16)
+        .precision(PrecisionPolicy::full())
+        .build()
+        .unwrap()
+}
+
+fn gpt(model: mpress_model::TransformerConfig, machine: Machine) -> PipelineJob {
+    PipelineJob::builder()
+        .model(model)
+        .machine(machine)
+        .schedule(ScheduleKind::Dapple)
+        .microbatch_size(2)
+        .microbatches(16)
+        .precision(PrecisionPolicy::mixed())
+        .build()
+        .unwrap()
+}
+
+fn run(job: PipelineJob, opts: OptimizationSet) -> Option<f64> {
+    let r = Mpress::builder().job(job).optimizations(opts).build().train().unwrap();
+    r.succeeded().then_some(r.tflops)
+}
+
+fn run_plain(job: PipelineJob) -> Option<f64> {
+    let r = Mpress::builder()
+        .job(job)
+        .optimizations(OptimizationSet::none())
+        .build()
+        .train_unmodified()
+        .unwrap();
+    r.succeeded().then_some(r.tflops)
+}
+
+/// Fig. 7 "small size": everything fits, every system reports the same
+/// number.
+#[test]
+fn bert_0_35b_all_systems_identical() {
+    let plain = run_plain(bert(zoo::bert_0_35b())).expect("plain fits 0.35B");
+    let mpress = run(bert(zoo::bert_0_35b()), OptimizationSet::all()).expect("mpress fits");
+    assert!((plain - mpress).abs() / plain < 1e-9, "{plain} vs {mpress}");
+}
+
+/// Fig. 7 "medium size": PipeDream OOMs at 0.64B; D2D swap alone rescues
+/// it and beats both recomputation and GPU-CPU swap.
+#[test]
+fn bert_0_64b_medium_size_story() {
+    assert!(run_plain(bert(zoo::bert_0_64b())).is_none(), "0.64B must OOM plain");
+    let d2d = run(bert(zoo::bert_0_64b()), OptimizationSet::d2d_only())
+        .expect("D2D alone sustains 0.64B");
+    let rec = run(bert(zoo::bert_0_64b()), OptimizationSet::recompute_only())
+        .expect("recompute sustains 0.64B");
+    let mpress = run(bert(zoo::bert_0_64b()), OptimizationSet::all()).expect("mpress");
+    assert!(d2d >= rec, "D2D ({d2d}) must beat recomputation ({rec})");
+    assert!(mpress >= rec, "MPress ({mpress}) must beat recomputation ({rec})");
+}
+
+/// Fig. 7 GPU-CPU swap baseline loses badly at 0.64B (paper: 67% below
+/// ideal; recomputation beats it by ~143%).
+#[test]
+fn bert_0_64b_gpu_cpu_swap_is_slow() {
+    let cfg = PlannerConfig {
+        optimizations: OptimizationSet::host_swap_only(),
+        exhaustive_swap: true,
+        ..PlannerConfig::default()
+    };
+    let swap = Mpress::builder()
+        .job(bert(zoo::bert_0_64b()))
+        .planner_config(cfg)
+        .build()
+        .train()
+        .unwrap();
+    assert!(swap.succeeded());
+    let rec = run(bert(zoo::bert_0_64b()), OptimizationSet::recompute_only()).unwrap();
+    assert!(
+        rec > swap.tflops * 1.1,
+        "recompute {rec} must clearly beat naive swap {}",
+        swap.tflops
+    );
+}
+
+/// Fig. 7 "large size": stand-alone D2D runs out of donors at 1.67B, but
+/// full MPress outperforms recomputation.
+#[test]
+fn bert_1_67b_large_size_story() {
+    assert!(
+        run(bert(zoo::bert_1_67b()), OptimizationSet::d2d_only()).is_none(),
+        "D2D alone must fail at 1.67B"
+    );
+    let rec = run(bert(zoo::bert_1_67b()), OptimizationSet::recompute_only())
+        .expect("recompute sustains 1.67B");
+    let mpress = run(bert(zoo::bert_1_67b()), OptimizationSet::all()).expect("mpress");
+    assert!(mpress > rec, "MPress ({mpress}) must beat recomputation ({rec})");
+}
+
+/// Fig. 7 "extra-large": recomputation cannot save non-activation data, so
+/// it dies before GPU-CPU swap and MPress do.
+#[test]
+fn bert_6_2b_only_swapping_systems_survive() {
+    assert!(
+        run(bert(zoo::bert_6_2b()), OptimizationSet::recompute_only()).is_none(),
+        "recomputation must fail at 6.2B"
+    );
+    let mpress = run(bert(zoo::bert_6_2b()), OptimizationSet::all());
+    assert!(mpress.is_some(), "MPress must sustain Bert-6.2B");
+}
+
+/// Fig. 8: DAPPLE alone cannot scale past 5.3B on DGX-1; MPress holds
+/// through 20.4B and beats DAPPLE+Recomputation where both run.
+#[test]
+fn gpt_dgx1_scaling_story() {
+    assert!(run_plain(gpt(zoo::gpt_5_3b(), Machine::dgx1())).is_some());
+    assert!(run_plain(gpt(zoo::gpt_10_3b(), Machine::dgx1())).is_none());
+    let rec = run(
+        gpt(zoo::gpt_10_3b(), Machine::dgx1()),
+        OptimizationSet::recompute_only(),
+    )
+    .expect("recompute sustains 10.3B");
+    let mpress = run(gpt(zoo::gpt_10_3b(), Machine::dgx1()), OptimizationSet::all())
+        .expect("mpress sustains 10.3B");
+    // Both planners are approximate; MPress must at least match the
+    // recomputation baseline to within emulator noise (the paper reports
+    // a 19.2% win on real hardware).
+    assert!(
+        mpress >= rec * 0.98,
+        "mpress {mpress:.1} vs recompute {rec:.1}"
+    );
+    assert!(
+        run(gpt(zoo::gpt_20_4b(), Machine::dgx1()), OptimizationSet::all()).is_some(),
+        "MPress must sustain GPT-20.4B on DGX-1"
+    );
+}
+
+/// Fig. 8b: the A100 server more than doubles DGX-1 throughput and holds
+/// the largest 25.5B variant under MPress.
+#[test]
+fn gpt_dgx2_scaling_story() {
+    let dgx1 = run(gpt(zoo::gpt_5_3b(), Machine::dgx1()), OptimizationSet::all()).unwrap();
+    let dgx2 = run(gpt(zoo::gpt_5_3b(), Machine::dgx2()), OptimizationSet::all()).unwrap();
+    assert!(dgx2 > 2.0 * dgx1, "DGX-2 {dgx2} vs DGX-1 {dgx1}");
+    assert!(
+        run(gpt(zoo::gpt_25_5b(), Machine::dgx2()), OptimizationSet::all()).is_some(),
+        "MPress must sustain GPT-25.5B on DGX-2"
+    );
+}
+
+/// Fig. 2: simulated per-device peaks reproduce the early-stage memory
+/// imbalance.
+#[test]
+fn memory_imbalance_shape() {
+    let job = bert(zoo::bert_1_67b());
+    let lowered = job.lower().unwrap();
+    let profile = mpress::Profile::collect(job.machine(), &job, &lowered).unwrap();
+    let peaks = &profile.baseline.device_peak;
+    assert!(peaks[0] > peaks[7]);
+    let ratio = peaks[0].as_f64() / peaks[7].as_f64();
+    assert!((2.0..12.0).contains(&ratio), "imbalance ratio {ratio:.1}");
+}
+
+#[test]
+fn motivation_story_interop_beats_intraop_off_the_dgx() {
+    // §I/§II: intra-operator parallelism (Megatron TP-8) balances memory
+    // but pays per-layer collectives; on a commodity PCIe-only server
+    // those collectives are ruinous, while inter-op + MPress keeps its
+    // NVLink-free techniques (recompute, host swap) and its throughput.
+    use mpress_baselines::MegatronBaseline;
+
+    let machine = Machine::commodity();
+    let megatron = MegatronBaseline::new(machine.clone(), zoo::gpt_10_3b())
+        .microbatch_size(2)
+        .microbatches(16)
+        .report();
+    assert!(megatron.fits, "TP-8 shards 10.3B fine");
+
+    let mpress = run(gpt(zoo::gpt_10_3b(), machine), OptimizationSet::all())
+        .expect("MPress must survive 10.3B without NVLink");
+    assert!(
+        mpress > 2.0 * megatron.tflops,
+        "inter-op {mpress:.1} vs intra-op {:.1} on PCIe-only",
+        megatron.tflops
+    );
+
+    // On the DGX-1 the gap narrows but inter-op + MPress still leads.
+    let mega_dgx = MegatronBaseline::new(Machine::dgx1(), zoo::gpt_10_3b())
+        .microbatch_size(2)
+        .microbatches(16)
+        .report();
+    let mpress_dgx =
+        run(gpt(zoo::gpt_10_3b(), Machine::dgx1()), OptimizationSet::all()).unwrap();
+    assert!(mpress_dgx > mega_dgx.tflops);
+}

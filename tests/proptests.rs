@@ -1,0 +1,305 @@
+//! Property-based tests over core data structures and invariants.
+
+use mpress_baselines::MegatronBaseline;
+use mpress_compaction::StripePlan;
+use mpress_hw::{Bytes, DeviceId, Topology};
+use mpress_model::{ModelFamily, PrecisionPolicy, TransformerConfig};
+use mpress_pipeline::{
+    MemoryDemands, PartitionGoal, ScheduleKind, StagePartition, StageProgram, StageSlot,
+};
+use mpress_compaction::{HostTier, InstrumentationPlan, MemoryDirective};
+use mpress_graph::TensorKind;
+use mpress_sim::{DeviceMap, Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    /// `Bytes::split_even` conserves the total and balances within 1 byte.
+    #[test]
+    fn bytes_split_even_conserves(total in 0u64..1u64 << 40, n in 1usize..64) {
+        let b = Bytes(total);
+        let parts = b.split_even(n);
+        prop_assert_eq!(parts.len(), n);
+        prop_assert_eq!(parts.iter().copied().sum::<Bytes>(), b);
+        let max = parts.iter().max().unwrap().as_u64();
+        let min = parts.iter().min().unwrap().as_u64();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Weighted striping conserves bytes exactly and respects lane ratios
+    /// approximately.
+    #[test]
+    fn stripe_weighted_conserves(
+        bytes in 1u64..1u64 << 36,
+        lanes in proptest::collection::vec(1u32..4, 1..6),
+    ) {
+        let targets: Vec<(DeviceId, u32)> = lanes
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (DeviceId(i + 1), l))
+            .collect();
+        let plan = StripePlan::weighted(Bytes(bytes), &targets);
+        prop_assert_eq!(plan.total_bytes(), Bytes(bytes));
+        prop_assert_eq!(plan.n_chunks(), targets.len());
+        // One-way time is bounded by the slowest single chunk and is
+        // never slower than sending everything over the widest pair.
+        prop_assert!(plan.one_way_time() > 0.0);
+    }
+
+    /// Equal striping also conserves bytes.
+    #[test]
+    fn stripe_equal_conserves(bytes in 1u64..1u64 << 36, n in 1usize..7) {
+        let targets: Vec<DeviceId> = (1..=n).map(DeviceId).collect();
+        let plan = StripePlan::equal(Bytes(bytes), &targets, 1);
+        prop_assert_eq!(plan.total_bytes(), Bytes(bytes));
+    }
+
+    /// Balanced partitions tile all layers exactly once, for both goals.
+    #[test]
+    fn partition_tiles_layers(
+        layers in 8usize..96,
+        stages in 1usize..9,
+        hidden_mult in 2usize..20,
+    ) {
+        prop_assume!(stages <= layers);
+        let model = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(layers)
+            .hidden(hidden_mult * 128)
+            .build();
+        for goal in [PartitionGoal::Computation, PartitionGoal::Memory] {
+            let p = StagePartition::balanced(&model, stages, 2, &PrecisionPolicy::mixed(), goal);
+            prop_assert_eq!(p.n_stages(), stages);
+            prop_assert_eq!(p.num_layers(), layers);
+            let mut covered = 0;
+            for s in 0..stages {
+                let r = p.stage_layers(s);
+                prop_assert_eq!(r.start, covered);
+                prop_assert!(!r.is_empty());
+                covered = r.end;
+            }
+            prop_assert_eq!(covered, layers);
+        }
+    }
+
+    /// 1F1B programs execute each microbatch's forward exactly once,
+    /// backward exactly once, and forward-before-backward.
+    #[test]
+    fn one_f_one_b_is_complete_and_ordered(
+        stages in 1usize..9,
+        stage_sel in 0usize..8,
+        microbatches in 1usize..33,
+        kind_sel in 0usize..3,
+    ) {
+        let stage = stage_sel % stages;
+        let kind = [ScheduleKind::PipeDream, ScheduleKind::Dapple, ScheduleKind::GPipe][kind_sel];
+        let p = StageProgram::one_f_one_b(kind, stage, stages, microbatches);
+        let mut fwd_seen = vec![false; microbatches];
+        let mut bwd_seen = vec![false; microbatches];
+        for slot in &p.slots {
+            match *slot {
+                StageSlot::Forward(m) => {
+                    prop_assert!(!fwd_seen[m as usize], "duplicate forward {m}");
+                    fwd_seen[m as usize] = true;
+                }
+                StageSlot::Backward(m) => {
+                    prop_assert!(fwd_seen[m as usize], "backward {m} before forward");
+                    prop_assert!(!bwd_seen[m as usize], "duplicate backward {m}");
+                    bwd_seen[m as usize] = true;
+                }
+                StageSlot::OptimizerStep => {}
+            }
+        }
+        prop_assert!(fwd_seen.into_iter().all(|x| x));
+        prop_assert!(bwd_seen.into_iter().all(|x| x));
+        // Peak in-flight never exceeds the schedule's bound.
+        prop_assert!(p.peak_in_flight() <= kind.in_flight(stage, stages, microbatches));
+    }
+
+    /// Analytic memory demands decrease monotonically along the pipeline
+    /// and scale with the microbatch count cap.
+    #[test]
+    fn demands_monotone_along_stages(
+        layers in 16usize..64,
+        hidden_mult in 4usize..16,
+        microbatches in 8usize..32,
+        kind_sel in 0usize..3,
+    ) {
+        let model = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(layers)
+            .hidden(hidden_mult * 128)
+            .build();
+        let kind = [ScheduleKind::PipeDream, ScheduleKind::Dapple, ScheduleKind::GPipe][kind_sel];
+        let policy = PrecisionPolicy::mixed();
+        let part = StagePartition::balanced(&model, 8, 2, &policy, PartitionGoal::Computation);
+        let d = MemoryDemands::compute(&model, &part, kind, 2, microbatches, &policy);
+        for w in d.per_stage_peak.windows(2) {
+            prop_assert!(w[0] >= w[1], "{:?}", d.per_stage_peak);
+        }
+        prop_assert_eq!(d.total(), d.per_stage_peak.iter().copied().sum::<Bytes>());
+    }
+
+    /// Every DGX-1 stripe plan built from actual neighbour lane counts
+    /// validates against the topology.
+    #[test]
+    fn dgx1_neighbor_stripes_validate(src in 0usize..8, bytes in 1u64..1u64 << 32) {
+        let topo = Topology::dgx1();
+        let src = DeviceId(src);
+        let nbhs = topo.neighbors(src);
+        let plan = StripePlan::weighted(Bytes(bytes), &nbhs.iter().map(|&(d, l)| (d, l)).collect::<Vec<_>>());
+        prop_assert!(plan.validate(src, &topo).is_ok());
+    }
+
+    /// Transformer parameter counts are monotone in depth and width.
+    #[test]
+    fn params_monotone(layers in 2usize..64, hidden_mult in 2usize..32) {
+        let base = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(layers)
+            .hidden(hidden_mult * 128)
+            .build();
+        let deeper = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(layers + 1)
+            .hidden(hidden_mult * 128)
+            .build();
+        let wider = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(layers)
+            .hidden((hidden_mult + 1) * 128)
+            .build();
+        prop_assert!(deeper.total_params() > base.total_params());
+        prop_assert!(wider.total_params() > base.total_params());
+    }
+
+    /// A PCIe-only topology has no NVLink edges at any size: no pair is
+    /// reachable, no device has lanes, and the matrix passes the same
+    /// validation as the DGX presets.
+    #[test]
+    fn pcie_only_topology_has_no_links(n in 1usize..16) {
+        let topo = Topology::pcie_only(n);
+        prop_assert_eq!(topo.gpu_count(), n);
+        for a in topo.devices() {
+            prop_assert_eq!(topo.total_lanes(a), 0);
+            for b in topo.devices() {
+                prop_assert!(!topo.reachable(a, b));
+            }
+        }
+    }
+
+    /// The Megatron model's traffic accounting is exactly the ring
+    /// all-reduce volume: (4L + 2) all-reduces of the boundary tensor,
+    /// each moving 2(t-1)/t of its bytes per GPU.
+    #[test]
+    fn megatron_traffic_matches_ring_formula(
+        layers in 2usize..48,
+        hidden_mul in 2usize..20,
+        mb in 1usize..5,
+    ) {
+        let model = TransformerConfig::builder(ModelFamily::Gpt)
+            .layers(layers)
+            .hidden(hidden_mul * 128)
+            .build();
+        let b = MegatronBaseline::new(mpress_hw::Machine::dgx1(), model.clone())
+            .microbatch_size(mb);
+        let v = model
+            .boundary_activation_bytes(mb, &PrecisionPolicy::mixed())
+            .as_u64() as f64;
+        let expect = (4 * layers + 2) as f64 * 2.0 * 7.0 / 8.0 * v;
+        let got = b.comm_bytes_per_microbatch().as_u64() as f64;
+        prop_assert!((got - expect).abs() <= 1.0, "{got} vs {expect}");
+    }
+
+    /// Megatron's per-GPU memory grows monotonically in both layer count
+    /// and microbatch size, and always fits more than the serial model's
+    /// 1/t share (the replicated activation floor).
+    #[test]
+    fn megatron_memory_monotone(layers in 2usize..40, mb in 1usize..6) {
+        let model = |l: usize| {
+            TransformerConfig::builder(ModelFamily::Gpt)
+                .layers(l)
+                .hidden(1024)
+                .build()
+        };
+        let bytes = |l: usize, b: usize| {
+            MegatronBaseline::new(mpress_hw::Machine::dgx1(), model(l))
+                .microbatch_size(b)
+                .report()
+                .gpu_bytes
+        };
+        prop_assert!(bytes(layers + 1, mb) > bytes(layers, mb));
+        prop_assert!(bytes(layers, mb + 1) > bytes(layers, mb));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Fuzzing the full lower→instrument→simulate path: for arbitrary
+    /// small jobs and arbitrary swap/recompute directive subsets the
+    /// engine must terminate (no deadlock), report capacity-respecting
+    /// peaks on success, and be bit-for-bit deterministic.
+    #[test]
+    fn engine_never_deadlocks_on_random_jobs_and_plans(
+        layers in 2usize..10,
+        stages in 2usize..5,
+        mb in 1usize..4,
+        microbatches in 2usize..8,
+        schedule_pick in 0usize..3,
+        gpu_gib in 1u64..8,
+        directive_mask in 0u64..(1 << 12),
+    ) {
+        prop_assume!(layers >= stages);
+        let schedule = [ScheduleKind::PipeDream, ScheduleKind::Dapple, ScheduleKind::GPipe]
+            [schedule_pick];
+        let job = mpress_pipeline::PipelineJob::builder()
+            .model(
+                TransformerConfig::builder(ModelFamily::Gpt)
+                    .layers(layers)
+                    .hidden(256)
+                    .seq_len(128)
+                    .build(),
+            )
+            .schedule(schedule)
+            .stages(stages)
+            .microbatch_size(mb)
+            .microbatches(microbatches)
+            .precision(PrecisionPolicy::mixed())
+            .build()
+            .unwrap();
+        let lowered = job.lower().unwrap();
+        // Assign a pseudo-random directive to every 12th-bucket activation.
+        let mut plan = InstrumentationPlan::new();
+        for t in lowered.graph.tensors() {
+            if t.kind != TensorKind::Activation || t.layer.is_none() {
+                continue;
+            }
+            match (directive_mask >> (t.id.index() % 12)) & 3 {
+                1 => plan.assign(t.id, MemoryDirective::Recompute),
+                2 => plan.assign(t.id, MemoryDirective::SwapToHost(HostTier::Dram)),
+                _ => {}
+            }
+        }
+        let machine = mpress_hw::Machine::builder()
+            .name("fuzz")
+            .gpu({
+                let mut g = mpress_hw::GpuSpec::v100_32gb();
+                g.memory = Bytes::gib(gpu_gib);
+                g
+            })
+            .topology(Topology::dgx2())
+            .build();
+        let run = || {
+            Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(stages))
+                .run()
+                .expect("engine must terminate, not deadlock")
+        };
+        let a = run();
+        if a.succeeded() {
+            for peak in &a.device_peak {
+                prop_assert!(*peak <= machine.gpu().usable_memory());
+            }
+        } else {
+            prop_assert!(a.oom.is_some());
+        }
+        let b = run();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.device_peak, b.device_peak);
+        prop_assert_eq!(a.host_traffic, b.host_traffic);
+    }
+}
