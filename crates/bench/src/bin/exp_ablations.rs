@@ -1,4 +1,5 @@
 //! Runs the design-choice ablations DESIGN.md calls out.
 fn main() {
+    mpress_bench::init_cli("exp_ablations");
     println!("{}", mpress_bench::experiments::ablations());
 }

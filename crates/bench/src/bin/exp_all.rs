@@ -1,19 +1,33 @@
 //! Prints every paper artifact in sequence.
+//!
+//! Artifacts are rendered concurrently through the shared work pool
+//! (`--jobs N` / `MPRESS_JOBS`) but printed in the paper's order —
+//! `par_map` returns results by input index, so the output is byte-for-
+//! byte identical at any worker count.
+use mpress_bench::experiments as exp;
+
 fn main() {
-    println!("{}", mpress_bench::experiments::fig1());
-    println!("{}", mpress_bench::experiments::table1());
-    println!("{}", mpress_bench::experiments::fig2());
-    println!("{}", mpress_bench::experiments::fig4());
-    println!("{}", mpress_bench::experiments::table2());
-    println!("{}", mpress_bench::experiments::fig7());
-    println!("{}", mpress_bench::experiments::fig8(mpress_hw::Machine::dgx1()));
-    println!("{}", mpress_bench::experiments::fig8(mpress_hw::Machine::dgx2()));
-    println!("{}", mpress_bench::experiments::fig9());
-    println!("{}", mpress_bench::experiments::table3());
-    println!("{}", mpress_bench::experiments::table4());
-    println!("{}", mpress_bench::experiments::motivation());
-    println!("{}", mpress_bench::experiments::sec2d());
-    println!("{}", mpress_bench::experiments::sec5());
-    println!("{}", mpress_bench::experiments::ablations());
-    println!("{}", mpress_bench::experiments::sweeps());
+    mpress_bench::init_cli("exp_all");
+    type Artifact = fn() -> String;
+    let artifacts: Vec<Artifact> = vec![
+        || exp::fig1(),
+        || exp::table1().to_string(),
+        || exp::fig2().to_string(),
+        || exp::fig4().to_string(),
+        || exp::table2().to_string(),
+        || exp::fig7().to_string(),
+        || exp::fig8(mpress_hw::Machine::dgx1()).to_string(),
+        || exp::fig8(mpress_hw::Machine::dgx2()).to_string(),
+        || exp::fig9().to_string(),
+        || exp::table3().to_string(),
+        || exp::table4().to_string(),
+        || exp::motivation().to_string(),
+        || exp::sec2d().to_string(),
+        || exp::sec5().to_string(),
+        || exp::ablations().to_string(),
+        || exp::sweeps().to_string(),
+    ];
+    for rendered in mpress_par::par_map(&artifacts, |f| f()) {
+        println!("{rendered}");
+    }
 }

@@ -1,0 +1,74 @@
+//! Times one planner-heavy case and writes `BENCH_planner.json`.
+//!
+//! The case (Bert-1.67B on DGX-1, full MPress) exercises the portfolio
+//! search, emulator-verified refinement and the emulation cache — the
+//! paths the parallel search layer accelerates. Output schema:
+//!
+//! ```json
+//! {"wall_s": 1.23, "jobs": 4, "emulator_runs": 57, "cache_hits": 12}
+//! ```
+//!
+//! Pass `--out PATH` to redirect (default `BENCH_planner.json` in the
+//! working directory); `--jobs N` / `MPRESS_JOBS` select the pool size.
+use mpress::Mpress;
+use mpress_bench::jobs::bert_job;
+use mpress_hw::Machine;
+use mpress_model::zoo;
+
+fn main() {
+    let mut out_path = "BENCH_planner.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let jobs_value = if arg == "--jobs" {
+            Some(args.next().unwrap_or_default())
+        } else {
+            arg.strip_prefix("--jobs=").map(str::to_owned)
+        };
+        if let Some(v) = jobs_value {
+            match v.parse::<usize>() {
+                Ok(n) => mpress_par::set_jobs(n),
+                Err(_) => {
+                    eprintln!("error: --jobs expects a non-negative integer, got {v:?}");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--out" {
+            out_path = args.next().unwrap_or_else(|| {
+                eprintln!("error: --out expects a path");
+                std::process::exit(2);
+            });
+        } else if arg == "--help" || arg == "-h" {
+            println!("usage: exp_bench_planner [--jobs N] [--out PATH]");
+            println!();
+            println!("  --jobs N    worker threads (0 = auto; MPRESS_JOBS equivalent)");
+            println!("  --out PATH  where to write the JSON (default BENCH_planner.json)");
+            std::process::exit(0);
+        } else {
+            eprintln!("error: unknown flag {arg:?} (see --help)");
+            std::process::exit(2);
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let mpress = Mpress::builder()
+        .job(bert_job(zoo::bert_1_67b(), Machine::dgx1()))
+        .build();
+    let (plan, _) = mpress.plan().expect("planning succeeds");
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let json = format!(
+        "{{\"wall_s\": {:.3}, \"jobs\": {}, \"emulator_runs\": {}, \"cache_hits\": {}}}\n",
+        wall_s, plan.search.jobs, plan.search.emulator_runs, plan.search.cache_hits
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: writing {out_path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{json}");
+    eprintln!(
+        "planner wall {wall_s:.3}s at jobs={} (peak {} workers), \
+         {} emulator runs, {} cache hits -> {out_path}",
+        plan.search.jobs, plan.search.peak_workers, plan.search.emulator_runs,
+        plan.search.cache_hits
+    );
+}

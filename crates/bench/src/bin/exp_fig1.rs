@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig1 artifact.
 fn main() {
+    mpress_bench::init_cli("exp_fig1");
     println!("{}", mpress_bench::experiments::fig1());
 }

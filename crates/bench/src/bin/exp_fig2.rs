@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig2 artifact.
 fn main() {
+    mpress_bench::init_cli("exp_fig2");
     println!("{}", mpress_bench::experiments::fig2());
 }

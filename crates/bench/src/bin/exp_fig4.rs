@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig4 artifact.
 fn main() {
+    mpress_bench::init_cli("exp_fig4");
     println!("{}", mpress_bench::experiments::fig4());
 }

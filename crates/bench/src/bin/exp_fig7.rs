@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig7 artifact.
 fn main() {
+    mpress_bench::init_cli("exp_fig7");
     println!("{}", mpress_bench::experiments::fig7());
 }

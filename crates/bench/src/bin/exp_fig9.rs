@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig9 artifact.
 fn main() {
+    mpress_bench::init_cli("exp_fig9");
     println!("{}", mpress_bench::experiments::fig9());
 }

@@ -1,4 +1,5 @@
 //! Regenerates the §II motivation comparison (intra- vs inter-operator).
 fn main() {
+    mpress_bench::init_cli("exp_motivation");
     println!("{}", mpress_bench::experiments::motivation());
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's sec2d artifact.
 fn main() {
+    mpress_bench::init_cli("exp_sec2d");
     println!("{}", mpress_bench::experiments::sec2d());
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Sec. V projection.
 fn main() {
+    mpress_bench::init_cli("exp_sec5");
     println!("{}", mpress_bench::experiments::sec5());
 }

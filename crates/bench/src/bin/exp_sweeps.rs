@@ -1,4 +1,5 @@
 //! Runs the hardware-sensitivity sweeps.
 fn main() {
+    mpress_bench::init_cli("exp_sweeps");
     println!("{}", mpress_bench::experiments::sweeps());
 }

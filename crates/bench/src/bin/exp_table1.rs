@@ -1,4 +1,5 @@
 //! Regenerates the paper's table1 artifact.
 fn main() {
+    mpress_bench::init_cli("exp_table1");
     println!("{}", mpress_bench::experiments::table1());
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's table2 artifact.
 fn main() {
+    mpress_bench::init_cli("exp_table2");
     println!("{}", mpress_bench::experiments::table2());
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's table3 artifact.
 fn main() {
+    mpress_bench::init_cli("exp_table3");
     println!("{}", mpress_bench::experiments::table3());
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's table4 artifact.
 fn main() {
+    mpress_bench::init_cli("exp_table4");
     println!("{}", mpress_bench::experiments::table4());
 }

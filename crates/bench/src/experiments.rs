@@ -165,12 +165,20 @@ pub fn fig7() -> Table {
             SystemConfig::Mpress.label(),
         ],
     );
-    for model in zoo::bert_variants() {
+    // Every (model, system) cell is an independent plan-and-simulate run;
+    // flatten the grid and let the work pool chew through it. Results come
+    // back in input order, so the table is identical at any --jobs.
+    let models = zoo::bert_variants();
+    let cells: Vec<(usize, usize)> = (0..models.len())
+        .flat_map(|m| (0..systems.len()).map(move |s| (m, s)))
+        .collect();
+    let results = mpress_par::par_map(&cells, |&(m, s)| {
+        let job = bert_job(models[m].clone(), Machine::dgx1());
+        tflops_cell(systems[s].run(job))
+    });
+    for (m, model) in models.iter().enumerate() {
         let mut row = vec![model.name().to_owned()];
-        for sys in systems {
-            let job = bert_job(model.clone(), Machine::dgx1());
-            row.push(tflops_cell(sys.run(job)));
-        }
+        row.extend_from_slice(&results[m * systems.len()..(m + 1) * systems.len()]);
         t.push(row);
     }
     t
@@ -191,7 +199,9 @@ pub fn fig8(machine: Machine) -> Table {
             "mpress",
         ],
     );
-    for model in zoo::gpt_variants() {
+    // One parallel task per model row; row order is preserved.
+    let models = zoo::gpt_variants();
+    let rows = mpress_par::par_map(&models, |model| {
         let mut row = vec![model.name().to_owned()];
         for sys in [
             SystemConfig::Plain,
@@ -209,6 +219,9 @@ pub fn fig8(machine: Machine) -> Table {
         }
         let job = gpt_job(model.clone(), machine.clone());
         row.push(tflops_cell(SystemConfig::Mpress.run(job)));
+        row
+    });
+    for row in rows {
         t.push(row);
     }
     t
@@ -227,10 +240,24 @@ pub fn fig9() -> Table {
         "Fig. 9: device-mapping & striping ablation (normalized; D2D round trip in ms)",
         &["job", "machine", "default", "+device mapping", "+data striping", "rt unstriped", "rt striped"],
     );
-    let mut run_case = |label: &str,
-                        machine: Machine,
-                        job_of: &dyn Fn(Machine) -> PipelineJob,
-                        opts: OptimizationSet| {
+    fn bert_d2d(machine: Machine) -> PipelineJob {
+        bert_job(zoo::bert_0_64b(), machine)
+    }
+    fn gpt_full(machine: Machine) -> PipelineJob {
+        gpt_job(zoo::gpt_15_4b(), machine)
+    }
+    type JobOf = fn(Machine) -> PipelineJob;
+    let cases: Vec<(&str, Machine, JobOf, OptimizationSet)> = vec![
+        ("Bert-0.64B (D2D-only)", Machine::dgx1(), bert_d2d, OptimizationSet::d2d_only()),
+        ("Bert-0.64B (D2D-only)", Machine::dgx2(), bert_d2d, OptimizationSet::d2d_only()),
+        ("GPT-15.4B (full)", Machine::dgx1(), gpt_full, OptimizationSet::all()),
+        ("GPT-15.4B (full)", Machine::dgx2(), gpt_full, OptimizationSet::all()),
+    ];
+    let run_case = |label: &str,
+                    machine: &Machine,
+                    job_of: JobOf,
+                    opts: OptimizationSet|
+     -> Vec<String> {
         // Returns (throughput, mean D2D round-trip seconds).
         let run = |mapping: bool, striping: bool| -> (Option<f64>, Option<f64>) {
             let cfg = PlannerConfig {
@@ -276,7 +303,7 @@ pub fn fig9() -> Table {
             Some(v) => format!("{:.1}", v * 1e3),
             None => "-".to_owned(),
         };
-        t.push(vec![
+        vec![
             label.to_owned(),
             machine.name().to_owned(),
             norm(base),
@@ -284,23 +311,13 @@ pub fn fig9() -> Table {
             norm(striped),
             rt_cell(rt_unstriped),
             rt_cell(rt_striped),
-        ]);
+        ]
     };
-    for machine in [Machine::dgx1(), Machine::dgx2()] {
-        run_case(
-            "Bert-0.64B (D2D-only)",
-            machine,
-            &|m| bert_job(zoo::bert_0_64b(), m),
-            OptimizationSet::d2d_only(),
-        );
-    }
-    for machine in [Machine::dgx1(), Machine::dgx2()] {
-        run_case(
-            "GPT-15.4B (full)",
-            machine,
-            &|m| gpt_job(zoo::gpt_15_4b(), m),
-            OptimizationSet::all(),
-        );
+    let rows = mpress_par::par_map(&cases, |(label, machine, job_of, opts)| {
+        run_case(label, machine, *job_of, *opts)
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }
@@ -376,26 +393,15 @@ pub fn table4() -> Table {
         "Table IV: strategies chosen by MPress (stages; share of savings)",
         &["job", "recomputation", "gpu-cpu swap", "d2d swap"],
     );
-    let cases: Vec<(String, PipelineJob)> = vec![
-        (
-            "Bert-1.67B".into(),
-            bert_job(zoo::bert_1_67b(), Machine::dgx1()),
-        ),
-        (
-            "Bert-6.2B".into(),
-            bert_job(zoo::bert_6_2b(), Machine::dgx1()),
-        ),
-        (
-            "GPT-10.3B".into(),
-            gpt_job(zoo::gpt_10_3b(), Machine::dgx1()),
-        ),
-        (
-            "GPT-20.4B".into(),
-            gpt_job(zoo::gpt_20_4b(), Machine::dgx1()),
-        ),
+    type JobThunk = fn() -> PipelineJob;
+    let cases: Vec<(&str, JobThunk)> = vec![
+        ("Bert-1.67B", || bert_job(zoo::bert_1_67b(), Machine::dgx1())),
+        ("Bert-6.2B", || bert_job(zoo::bert_6_2b(), Machine::dgx1())),
+        ("GPT-10.3B", || gpt_job(zoo::gpt_10_3b(), Machine::dgx1())),
+        ("GPT-20.4B", || gpt_job(zoo::gpt_20_4b(), Machine::dgx1())),
     ];
-    for (name, job) in cases {
-        let mpress = Mpress::builder().job(job).build();
+    let rows = mpress_par::par_map(&cases, |&(name, job_of)| {
+        let mpress = Mpress::builder().job(job_of()).build();
         let (plan, lowered) = mpress.plan().expect("planning succeeds");
         let savings = plan.savings(&lowered);
         let stages = plan.stages(&lowered);
@@ -413,12 +419,15 @@ pub fn table4() -> Table {
             };
             format!("{span}; {:.1} GiB ({:.0}%)", bytes.as_gib_f64(), 100.0 * bytes.as_f64() / total)
         };
-        t.push(vec![
-            name,
+        vec![
+            name.to_owned(),
             cell(Technique::Recompute),
             cell(Technique::GpuCpuSwap),
             cell(Technique::D2dSwap),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }
@@ -472,39 +481,37 @@ pub fn ablations() -> Table {
             .expect("valid inputs");
         report.succeeded().then_some(report.tflops)
     };
-    let full = run_cfg(PlannerConfig::default());
-    t.push(vec![
-        "full planner".into(),
-        tflops_cell(full),
-        "reference".into(),
-    ]);
-    let no_refine = run_cfg(PlannerConfig {
-        refine_iters: 0,
-        ..PlannerConfig::default()
-    });
-    t.push(vec![
-        "no emulator refinement".into(),
-        tflops_cell(no_refine),
-        "greedy initial assignment only".into(),
-    ]);
-    let no_mapping = run_cfg(PlannerConfig {
-        mapping_search: false,
-        ..PlannerConfig::default()
-    });
-    t.push(vec![
-        "no device-mapping search".into(),
-        tflops_cell(no_mapping),
-        "identity stage placement".into(),
-    ]);
-    let no_striping = run_cfg(PlannerConfig {
-        striping: false,
-        ..PlannerConfig::default()
-    });
-    t.push(vec![
-        "no data striping".into(),
-        tflops_cell(no_striping),
-        "single-donor D2D transfers".into(),
-    ]);
+    let cfg_cases: [(&str, &str, PlannerConfig); 4] = [
+        ("full planner", "reference", PlannerConfig::default()),
+        (
+            "no emulator refinement",
+            "greedy initial assignment only",
+            PlannerConfig {
+                refine_iters: 0,
+                ..PlannerConfig::default()
+            },
+        ),
+        (
+            "no device-mapping search",
+            "identity stage placement",
+            PlannerConfig {
+                mapping_search: false,
+                ..PlannerConfig::default()
+            },
+        ),
+        (
+            "no data striping",
+            "single-donor D2D transfers",
+            PlannerConfig {
+                striping: false,
+                ..PlannerConfig::default()
+            },
+        ),
+    ];
+    let results = mpress_par::par_map(&cfg_cases, |&(_, _, cfg)| run_cfg(cfg));
+    for ((label, note, _), tflops) in cfg_cases.iter().zip(&results) {
+        t.push(vec![(*label).into(), tflops_cell(*tflops), (*note).into()]);
+    }
     // Striping policy on the asymmetric fabric: GPU0 exporting the
     // Table III Bert tensor to its neighbours (lanes 2/1/1).
     let donors = [(DeviceId(3), 2), (DeviceId(1), 1), (DeviceId(2), 1)];
@@ -524,26 +531,32 @@ pub fn ablations() -> Table {
         ]);
     }
     // Schedule trade-off: GPipe holds every microbatch's activations.
-    for kind in [ScheduleKind::Dapple, ScheduleKind::GPipe] {
-        let job = PipelineJob::builder()
-            .model(zoo::gpt_5_3b())
-            .machine(Machine::dgx1())
-            .schedule(kind)
-            .microbatch_size(zoo::GPT_MICROBATCH)
-            .microbatches(crate::jobs::WINDOW_MICROBATCHES)
-            .build()
-            .expect("valid");
-        let demand = job.memory_demands().max_stage();
-        let report = Mpress::builder()
-            .job(job)
-            .build()
-            .train()
-            .expect("valid inputs");
-        t.push(vec![
-            format!("{kind} schedule (GPT-5.3B)"),
-            tflops_cell(report.succeeded().then_some(report.tflops)),
-            format!("hottest stage demands {:.1} GiB", demand.as_gib_f64()),
-        ]);
+    let sched_rows = mpress_par::par_map(
+        &[ScheduleKind::Dapple, ScheduleKind::GPipe],
+        |&kind| {
+            let job = PipelineJob::builder()
+                .model(zoo::gpt_5_3b())
+                .machine(Machine::dgx1())
+                .schedule(kind)
+                .microbatch_size(zoo::GPT_MICROBATCH)
+                .microbatches(crate::jobs::WINDOW_MICROBATCHES)
+                .build()
+                .expect("valid");
+            let demand = job.memory_demands().max_stage();
+            let report = Mpress::builder()
+                .job(job)
+                .build()
+                .train()
+                .expect("valid inputs");
+            vec![
+                format!("{kind} schedule (GPT-5.3B)"),
+                tflops_cell(report.succeeded().then_some(report.tflops)),
+                format!("hottest stage demands {:.1} GiB", demand.as_gib_f64()),
+            ]
+        },
+    );
+    for row in sched_rows {
+        t.push(row);
     }
     t
 }
@@ -575,39 +588,48 @@ pub fn sweeps() -> Table {
         report.succeeded().then_some(report.tflops)
     };
 
+    // Flatten all three sweeps into one case list so the work pool keeps
+    // every worker busy across sweep boundaries.
+    let mut cases: Vec<(String, String, Machine, usize)> = Vec::new();
     // PCIe bandwidth sweep: the GPU-CPU swap channel.
     for gbps in [6.0, 12.0, 24.0] {
         let machine = Machine::builder()
             .name(format!("dgx1-pcie{gbps:.0}"))
             .pcie(BandwidthCurve::new(gbps * 1e9, 20e-6))
             .build();
-        t.push(vec![
+        cases.push((
             "PCIe bandwidth".into(),
             format!("{gbps:.0} GB/s"),
-            tflops_cell(run_machine(machine, crate::jobs::WINDOW_MICROBATCHES)),
-        ]);
+            machine,
+            crate::jobs::WINDOW_MICROBATCHES,
+        ));
     }
-
     // Topology sweep: asymmetric cube-mesh vs. switched all-to-all.
     for (label, topo) in [("DGX-1 cube-mesh", Topology::dgx1()), ("NVSwitch", Topology::dgx2())] {
         let machine = Machine::builder()
             .name(format!("dgx1-{label}"))
             .topology(topo)
             .build();
-        t.push(vec![
+        cases.push((
             "NVLink topology".into(),
             label.into(),
-            tflops_cell(run_machine(machine, crate::jobs::WINDOW_MICROBATCHES)),
-        ]);
+            machine,
+            crate::jobs::WINDOW_MICROBATCHES,
+        ));
     }
-
     // Window length: longer windows amortize the pipeline fill/drain.
     for m in [8usize, 16, 32] {
-        t.push(vec![
-            "window microbatches".into(),
-            format!("{m}"),
-            tflops_cell(run_machine(Machine::dgx1(), m)),
-        ]);
+        cases.push(("window microbatches".into(), format!("{m}"), Machine::dgx1(), m));
+    }
+    let rows = mpress_par::par_map(&cases, |(sweep, value, machine, microbatches)| {
+        vec![
+            sweep.clone(),
+            value.clone(),
+            tflops_cell(run_machine(machine.clone(), *microbatches)),
+        ]
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }
@@ -632,32 +654,39 @@ pub fn motivation() -> Table {
             "traffic x",
         ],
     );
+    let mut cases: Vec<(Machine, TransformerConfig)> = Vec::new();
     for machine in [Machine::dgx1(), Machine::dgx2(), Machine::commodity()] {
         for model in [zoo::gpt_5_3b(), zoo::gpt_10_3b()] {
-            let mega = MegatronBaseline::new(machine.clone(), model.clone())
-                .microbatch_size(zoo::GPT_MICROBATCH)
-                .microbatches(16)
-                .report();
-            let dapple = SystemConfig::Plain.run(gpt_job(model.clone(), machine.clone()));
-            let mpress = SystemConfig::Mpress.run(gpt_job(model.clone(), machine.clone()));
-            // Aggregate bytes per microbatch: every GPU's ring traffic vs
-            // the pipeline's once-per-boundary sends.
-            let intra =
-                mega.comm_bytes_per_microbatch.as_u64() as f64 * machine.gpu_count() as f64;
-            let inter = (machine.gpu_count() - 1) as f64
-                * model
-                    .boundary_activation_bytes(zoo::GPT_MICROBATCH, &PrecisionPolicy::mixed())
-                    .as_u64() as f64;
-            t.push(vec![
-                machine.name().to_owned(),
-                model.name().to_owned(),
-                tflops_cell(mega.fits.then_some(mega.tflops)),
-                format!("{:.1}", mega.gpu_bytes.as_u64() as f64 / (1 << 30) as f64),
-                tflops_cell(dapple),
-                tflops_cell(mpress),
-                format!("{:.0}x", intra / inter),
-            ]);
+            cases.push((machine.clone(), model));
         }
+    }
+    let rows = mpress_par::par_map(&cases, |(machine, model)| {
+        let mega = MegatronBaseline::new(machine.clone(), model.clone())
+            .microbatch_size(zoo::GPT_MICROBATCH)
+            .microbatches(16)
+            .report();
+        let dapple = SystemConfig::Plain.run(gpt_job(model.clone(), machine.clone()));
+        let mpress = SystemConfig::Mpress.run(gpt_job(model.clone(), machine.clone()));
+        // Aggregate bytes per microbatch: every GPU's ring traffic vs
+        // the pipeline's once-per-boundary sends.
+        let intra =
+            mega.comm_bytes_per_microbatch.as_u64() as f64 * machine.gpu_count() as f64;
+        let inter = (machine.gpu_count() - 1) as f64
+            * model
+                .boundary_activation_bytes(zoo::GPT_MICROBATCH, &PrecisionPolicy::mixed())
+                .as_u64() as f64;
+        vec![
+            machine.name().to_owned(),
+            model.name().to_owned(),
+            tflops_cell(mega.fits.then_some(mega.tflops)),
+            format!("{:.1}", mega.gpu_bytes.as_u64() as f64 / (1 << 30) as f64),
+            tflops_cell(dapple),
+            tflops_cell(mpress),
+            format!("{:.0}x", intra / inter),
+        ]
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }
@@ -700,8 +729,9 @@ pub fn sec2d() -> Table {
                 .expect("valid");
             report.throughput
         };
-        let comp = mk(PartitionGoal::Computation);
-        let mem = mk(PartitionGoal::Memory);
+        let goals = [PartitionGoal::Computation, PartitionGoal::Memory];
+        let thr = mpress_par::par_map(&goals, |&goal| mk(goal));
+        let (comp, mem) = (thr[0], thr[1]);
         t.push(vec![
             "memory-balanced partition throughput loss".into(),
             "34%".into(),
@@ -710,29 +740,27 @@ pub fn sec2d() -> Table {
     }
 
     // (2) GPU-CPU swap loses throughput vs. no-pressure ideal at
-    //     Bert-0.64B (paper: 67%).
+    //     Bert-0.64B (paper: 67%), and
+    // (3) recomputation's extra training time (paper: up to 33%).
+    // Three distinct Bert-0.64B runs feed both claims; run them once,
+    // concurrently.
     {
-        let swap = SystemConfig::GpuCpuSwap
-            .run(bert_job(zoo::bert_0_64b(), Machine::dgx1()))
-            .unwrap_or(0.0);
-        let ideal = SystemConfig::Mpress
-            .run(bert_job(zoo::bert_0_64b(), Machine::dgx1()))
-            .unwrap_or(f64::NAN);
+        let systems = [
+            SystemConfig::GpuCpuSwap,
+            SystemConfig::Mpress,
+            SystemConfig::Recomputation,
+        ];
+        let results = mpress_par::par_map(&systems, |&sys| {
+            sys.run(bert_job(zoo::bert_0_64b(), Machine::dgx1()))
+        });
+        let swap = results[0].unwrap_or(0.0);
+        let ideal = results[1].unwrap_or(f64::NAN);
+        let rec = results[2].unwrap_or(0.0);
         t.push(vec![
             "GPU-CPU swap throughput loss @ Bert-0.64B".into(),
             "67%".into(),
             format!("{:.0}%", 100.0 * (1.0 - swap / ideal)),
         ]);
-    }
-
-    // (3) Recomputation's extra training time (paper: up to 33%).
-    {
-        let rec = SystemConfig::Recomputation
-            .run(bert_job(zoo::bert_0_64b(), Machine::dgx1()))
-            .unwrap_or(0.0);
-        let ideal = SystemConfig::Mpress
-            .run(bert_job(zoo::bert_0_64b(), Machine::dgx1()))
-            .unwrap_or(f64::NAN);
         t.push(vec![
             "recomputation extra training time".into(),
             "up to 33%".into(),

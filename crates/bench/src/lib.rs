@@ -24,3 +24,42 @@ pub mod jobs;
 pub mod table;
 
 pub use table::Table;
+
+/// Parses the flags shared by every `exp_*` binary.
+///
+/// * `--jobs N` (or `--jobs=N`) — worker threads for the parallel sweep
+///   layer; `0` restores auto-detection. The `MPRESS_JOBS` environment
+///   variable is the equivalent knob when no flag is given.
+/// * `--help` / `-h` — prints usage and exits.
+///
+/// Unknown flags abort with exit code 2 so typos don't silently run the
+/// full (expensive) experiment suite.
+pub fn init_cli(bin: &str) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let jobs_value = if arg == "--jobs" {
+            Some(args.next().unwrap_or_default())
+        } else {
+            arg.strip_prefix("--jobs=").map(str::to_owned)
+        };
+        if let Some(v) = jobs_value {
+            match v.parse::<usize>() {
+                Ok(n) => mpress_par::set_jobs(n),
+                Err(_) => {
+                    eprintln!("error: --jobs expects a non-negative integer, got {v:?}");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--help" || arg == "-h" {
+            println!("usage: {bin} [--jobs N]");
+            println!();
+            println!("  --jobs N   worker threads for parallel plan search and sweeps");
+            println!("             (0 = auto). Defaults to the MPRESS_JOBS environment");
+            println!("             variable, else the machine's available cores.");
+            std::process::exit(0);
+        } else {
+            eprintln!("error: unknown flag {arg:?} (see --help)");
+            std::process::exit(2);
+        }
+    }
+}

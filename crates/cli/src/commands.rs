@@ -97,10 +97,17 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
         .plan()
         .map_err(|e| CliError(format!("planning failed: {e}")))?;
     let mut out = format!(
-        "device map: {}\ndirectives: {} (refinement rounds: {})\n",
+        "device map: {}\ndirectives: {} (refinement rounds: {})\n\
+         search: {} emulator runs, {} cache hits ({:.0}% hit rate), \
+         jobs={} (peak {} workers)\n",
         plan.device_map,
         plan.instrumentation.len(),
-        plan.refinement_rounds
+        plan.refinement_rounds,
+        plan.search.emulator_runs,
+        plan.search.cache_hits,
+        100.0 * plan.search.cache_hit_rate(),
+        plan.search.jobs,
+        plan.search.peak_workers,
     );
     let savings = plan.savings(&lowered);
     let total: f64 = savings.values().map(|b| b.as_f64()).sum();

@@ -48,6 +48,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         .split_first()
         .ok_or_else(|| CliError(usage()))?;
     let parsed = args::Args::parse(rest)?;
+    // Worker threads for parallel plan search (0 = auto; MPRESS_JOBS is
+    // the env equivalent). Applies to every planning command.
+    mpress_par::set_jobs(parsed.usize_or("jobs", 0)?);
     match command.as_str() {
         "zoo" => commands::zoo(),
         "demands" => commands::demands(&parsed),
@@ -85,6 +88,8 @@ pub fn usage() -> String {
      \x20 --microbatch  samples per microbatch (default: paper value)\n\
      \x20 --microbatches window length (default 16)\n\
      \x20 --opts        all|recompute|hostswap|d2d|none (default all)\n\
+     \x20 --jobs        worker threads for parallel plan search (0 = auto;\n\
+     \x20               MPRESS_JOBS env var is equivalent)\n\
      \x20 --out         write the plan as JSON (plan) or report (train)\n\
      \x20 --chart       render per-device memory lanes (train)\n\
      \x20 --gantt       render the execution timeline (train)\n\

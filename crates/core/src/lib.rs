@@ -50,6 +50,6 @@ pub mod system;
 
 pub use insights::{GraceHopperNode, GraceHopperProjection};
 pub use mapping::{MappingSearch, SpareAssignment};
-pub use planner::{MpressPlan, Planner, PlannerConfig};
+pub use planner::{Metric, MpressPlan, Planner, PlannerConfig, SearchStats};
 pub use profiler::{Profile, TensorClass, TensorClassKind};
 pub use system::{Mpress, MpressBuilder, MpressError, OptimizationSet, TrainingReport};

@@ -20,8 +20,11 @@ use crate::profiler::{Profile, TensorClass};
 use mpress_compaction::{CostModel, HostTier, InstrumentationPlan, MemoryDirective, StripePlan, Technique};
 use mpress_hw::{Bytes, DeviceId, Machine, Secs};
 use mpress_pipeline::{LoweredJob, PipelineJob};
-use mpress_sim::{DeviceMap, SimError, SimReport, Simulator};
+use mpress_sim::{DeviceMap, OomEvent, SimError, SimReport, Simulator};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Which techniques the planner may use. Disabling subsets yields the
 /// paper's baselines (recomputation-only, GPU-CPU-swap-only, D2D-only).
@@ -116,6 +119,39 @@ impl Default for PlannerConfig {
     }
 }
 
+/// Counters describing one planner search: how much emulator work ran,
+/// how much the memoization cache absorbed, and how parallel the search
+/// was. Surfaced through `Insights`/CLI output so speedups are
+/// observable, not just asserted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Simulator windows actually executed on behalf of `emulate()`.
+    pub emulator_runs: usize,
+    /// `emulate()` calls answered from the memoization cache.
+    pub cache_hits: usize,
+    /// Worker count the parallel sections resolved to.
+    pub jobs: usize,
+    /// Peak concurrently-busy workers observed in the process so far.
+    pub peak_workers: usize,
+}
+
+impl SearchStats {
+    /// Total `emulate()` calls (cached + executed).
+    pub fn emulate_calls(&self) -> usize {
+        self.emulator_runs + self.cache_hits
+    }
+
+    /// Fraction of `emulate()` calls served from cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let calls = self.emulate_calls();
+        if calls == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / calls as f64
+        }
+    }
+}
+
 /// The planner's output.
 #[derive(Debug, Clone)]
 pub struct MpressPlan {
@@ -129,6 +165,8 @@ pub struct MpressPlan {
     pub refinement_rounds: usize,
     /// The profiling baseline (uninstrumented timings and peaks).
     pub baseline: SimReport,
+    /// Emulator/cache/pool counters for this search.
+    pub search: SearchStats,
 }
 
 impl MpressPlan {
@@ -174,6 +212,77 @@ impl Choice {
     }
 }
 
+/// Memoizes emulator outcomes across the search.
+///
+/// Refinement repeatedly re-creates previously-seen plans (rejected
+/// trials revert to the incumbent, portfolio variants re-derive the
+/// same assignment), so whole simulator windows can be skipped. The
+/// key is an **exact** canonical encoding of `(InstrumentationPlan,
+/// DeviceMap)` — not a lossy hash — so a collision can never smuggle
+/// in a wrong metric and break the determinism contract.
+#[derive(Debug, Default)]
+struct EmulationCache {
+    entries: Mutex<HashMap<Vec<u64>, Outcome>>,
+    runs: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+/// What one emulator window reports back to the search.
+type Outcome = (Metric, Option<OomEvent>);
+
+impl EmulationCache {
+    fn lookup(&self, key: &[u64]) -> Option<Outcome> {
+        let found = self.entries.lock().expect("cache lock").get(key).copied();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn insert(&self, key: Vec<u64>, outcome: Outcome) {
+        self.entries.lock().expect("cache lock").insert(key, outcome);
+    }
+}
+
+/// Canonical structural encoding of one emulator input. `BTreeMap`
+/// iteration makes the directive order deterministic; chunk lists are
+/// already ordered inside each `StripePlan`.
+fn cache_key(plan: &InstrumentationPlan, device_map: &DeviceMap) -> Vec<u64> {
+    let mut key = Vec::with_capacity(2 + device_map.len() + 4 * plan.len());
+    key.push(device_map.len() as u64);
+    for stage in 0..device_map.len() {
+        key.push(device_map.device_of(stage).0 as u64);
+    }
+    for (tensor, directive) in plan.iter() {
+        key.push(tensor.index() as u64);
+        match directive {
+            MemoryDirective::Recompute => key.push(0),
+            MemoryDirective::SwapToHost(tier) => {
+                key.push(1);
+                key.push(u64::from(*tier == HostTier::Nvme));
+            }
+            MemoryDirective::SwapD2d(stripe) => {
+                key.push(2);
+                key.push(stripe.chunks().len() as u64);
+                for chunk in stripe.chunks() {
+                    key.push(chunk.target.0 as u64);
+                    key.push(u64::from(chunk.lanes));
+                    key.push(chunk.bytes.as_u64());
+                }
+            }
+        }
+    }
+    key
+}
+
+/// One emulator-verified replacement attempt for a refinement victim:
+/// the full trial choice vector plus (for D2D re-routes) the donor
+/// budgets the trial reserved from.
+struct RefineTrial {
+    choice: Vec<Choice>,
+    budgets: Option<Vec<Vec<(DeviceId, u32, Bytes)>>>,
+}
+
 /// Assigns compaction techniques to one job's tensor classes.
 #[derive(Debug)]
 pub struct Planner<'a> {
@@ -181,6 +290,7 @@ pub struct Planner<'a> {
     job: &'a PipelineJob,
     lowered: &'a LoweredJob,
     config: PlannerConfig,
+    cache: EmulationCache,
 }
 
 impl<'a> Planner<'a> {
@@ -196,6 +306,17 @@ impl<'a> Planner<'a> {
             job,
             lowered,
             config,
+            cache: EmulationCache::default(),
+        }
+    }
+
+    /// Emulator/cache/pool counters accumulated by this planner so far.
+    pub fn search_stats(&self) -> SearchStats {
+        SearchStats {
+            emulator_runs: self.cache.runs.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits.load(Ordering::Relaxed),
+            jobs: mpress_par::jobs(),
+            peak_workers: mpress_par::stats().peak_workers,
         }
     }
 
@@ -233,14 +354,23 @@ impl<'a> Planner<'a> {
         }
         let mut best = self.plan_with(opts, &profile)?;
         if variants.is_empty() {
+            best.search = self.search_stats();
             return Ok(best);
         }
         let mut best_metric = self.emulate(&best.instrumentation, &best.device_map)?.0;
-        for variant in variants {
-            let alternative = self.plan_with(variant, &profile)?;
-            let alt_metric = self
-                .emulate(&alternative.instrumentation, &alternative.device_map)?
-                .0;
+        // The portfolio variants are independent searches: plan and
+        // emulate them concurrently, then fold the winners back in the
+        // fixed variant order so the outcome matches the serial walk.
+        let alternatives: Vec<Result<(MpressPlan, Metric), SimError>> =
+            mpress_par::par_map(&variants, |variant| {
+                let alternative = self.plan_with(*variant, &profile)?;
+                let alt_metric = self
+                    .emulate(&alternative.instrumentation, &alternative.device_map)?
+                    .0;
+                Ok((alternative, alt_metric))
+            });
+        for (variant, outcome) in variants.iter().zip(alternatives) {
+            let (alternative, alt_metric) = outcome?;
             if std::env::var_os("MPRESS_PLAN_DEBUG").is_some() {
                 eprintln!(
                     "portfolio {variant:?}: oom={} makespan={:.4} vs best oom={} makespan={:.4}",
@@ -252,6 +382,7 @@ impl<'a> Planner<'a> {
                 best_metric = alt_metric;
             }
         }
+        best.search = self.search_stats();
         Ok(best)
     }
 
@@ -508,42 +639,36 @@ impl<'a> Planner<'a> {
             });
             for i in victims.into_iter().take(self.config.refine_iters) {
                 let stage = classes[i].stage;
-                // Candidate 0: a minted donor offload that turned out to
+                // The up-to-4 replacement candidates for this victim are
+                // built serially (fixed order) and emulated concurrently.
+                // The winner is the best metric, ties broken by the lowest
+                // candidate index, so `jobs=1` and `jobs=N` accept the
+                // exact same trial.
+                let mut trials: Vec<RefineTrial> = Vec::with_capacity(4);
+                // Candidate: a minted donor offload that turned out to
                 // cost critical-path time can simply be undone (the
                 // emulator rejects the trial if the memory was needed).
                 if minted.contains(&i) {
                     let mut trial_choice = choice.clone();
                     trial_choice[i] = Choice::None;
-                    let trial_plan = self.emit(classes, &trial_choice, &budgets, &device_map)?;
-                    let (metric, _) = self.emulate(&trial_plan, &device_map)?;
-                    rounds += 1;
-                    if metric_better(metric, best_metric) {
-                        choice = trial_choice;
-                        best_plan = trial_plan;
-                        best_metric = metric;
-                        continue;
-                    }
+                    trials.push(RefineTrial {
+                        choice: trial_choice,
+                        budgets: None,
+                    });
                 }
-                // Candidate 1: re-route through NVLink to spare peers.
+                // Candidate: re-route through NVLink to spare peers.
                 if opts.d2d && classes[i].swappable {
                     let mut trial_budgets = budgets.clone();
                     if reserve_budget(&classes[i], &mut trial_budgets[stage]) {
                         let mut trial_choice = choice.clone();
                         trial_choice[i] = Choice::D2d;
-                        let trial_plan =
-                            self.emit(classes, &trial_choice, &trial_budgets, &device_map)?;
-                        let (metric, _) = self.emulate(&trial_plan, &device_map)?;
-                        rounds += 1;
-                        if metric_better(metric, best_metric) {
-                            choice = trial_choice;
-                            budgets = trial_budgets;
-                            best_plan = trial_plan;
-                            best_metric = metric;
-                            continue;
-                        }
+                        trials.push(RefineTrial {
+                            choice: trial_choice,
+                            budgets: Some(trial_budgets),
+                        });
                     }
                 }
-                // Candidate 2: a queued host swap may lose to recomputation.
+                // Candidate: a queued host swap may lose to recomputation.
                 if opts.recompute
                     && classes[i].recomputable()
                     && matches!(choice[i], Choice::HostSwap { .. })
@@ -552,17 +677,12 @@ impl<'a> Planner<'a> {
                     trial_choice[i] = Choice::Recompute {
                         overhead: cost.recompute(classes[i].recompute_time).overhead,
                     };
-                    let trial_plan = self.emit(classes, &trial_choice, &budgets, &device_map)?;
-                    let (metric, _) = self.emulate(&trial_plan, &device_map)?;
-                    rounds += 1;
-                    if metric_better(metric, best_metric) {
-                        choice = trial_choice;
-                        best_plan = trial_plan;
-                        best_metric = metric;
-                        continue;
-                    }
+                    trials.push(RefineTrial {
+                        choice: trial_choice,
+                        budgets: None,
+                    });
                 }
-                // Candidate 3: the reverse — recomputation contending with
+                // Candidate: the reverse — recomputation contending with
                 // backward compute may lose to an overlappable host swap.
                 if opts.host_swap
                     && classes[i].swappable
@@ -580,14 +700,48 @@ impl<'a> Planner<'a> {
                         overhead: c.overhead,
                         tier,
                     };
-                    let trial_plan = self.emit(classes, &trial_choice, &budgets, &device_map)?;
-                    let (metric, _) = self.emulate(&trial_plan, &device_map)?;
-                    rounds += 1;
-                    if metric_better(metric, best_metric) {
-                        choice = trial_choice;
-                        best_plan = trial_plan;
-                        best_metric = metric;
+                    trials.push(RefineTrial {
+                        choice: trial_choice,
+                        budgets: None,
+                    });
+                }
+                if trials.is_empty() {
+                    continue;
+                }
+                let evaluated: Vec<Result<(InstrumentationPlan, Metric), SimError>> =
+                    mpress_par::par_map(&trials, |trial| {
+                        let trial_plan = self.emit(
+                            classes,
+                            &trial.choice,
+                            trial.budgets.as_deref().unwrap_or(&budgets),
+                            &device_map,
+                        )?;
+                        let (metric, _) = self.emulate(&trial_plan, &device_map)?;
+                        Ok((trial_plan, metric))
+                    });
+                rounds += trials.len();
+                let mut results = Vec::with_capacity(evaluated.len());
+                for outcome in evaluated {
+                    results.push(outcome?);
+                }
+                let mut winner: Option<usize> = None;
+                for (idx, (_, metric)) in results.iter().enumerate() {
+                    let incumbent = winner.map_or(best_metric, |w| results[w].1);
+                    if metric_better(*metric, incumbent) {
+                        winner = Some(idx);
                     }
+                }
+                if let Some(w) = winner {
+                    // `swap_remove` is safe: trials/results are dropped
+                    // right after, only the winner survives.
+                    let (trial_plan, metric) = results.swap_remove(w);
+                    let trial = trials.swap_remove(w);
+                    choice = trial.choice;
+                    if let Some(trial_budgets) = trial.budgets {
+                        budgets = trial_budgets;
+                    }
+                    best_plan = trial_plan;
+                    best_metric = metric;
                 }
             }
             // Portfolio check A: minting donor space may not have paid
@@ -642,6 +796,7 @@ impl<'a> Planner<'a> {
                 spare: spare_assignment,
                 refinement_rounds: rounds,
                 baseline: profile.baseline.clone(),
+                search: self.search_stats(),
             });
         }
 
@@ -652,6 +807,7 @@ impl<'a> Planner<'a> {
             spare: spare_assignment,
             refinement_rounds: rounds,
             baseline: profile.baseline.clone(),
+            search: self.search_stats(),
         })
     }
 
@@ -783,12 +939,42 @@ impl<'a> Planner<'a> {
         }
     }
 
-    /// One emulator run (paper Fig. 5 step 5): a single simulated window.
-    fn emulate(
+    /// One emulator run (paper Fig. 5 step 5): a single simulated
+    /// window, memoized on the exact `(plan, device_map)` structure.
+    /// Refinement re-creates previously-seen plans constantly (rejected
+    /// trials revert, portfolio variants converge), so hits skip whole
+    /// simulator windows without changing any outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from the underlying run.
+    pub fn emulate(
         &self,
         plan: &InstrumentationPlan,
         device_map: &DeviceMap,
-    ) -> Result<(Metric, Option<mpress_sim::OomEvent>), SimError> {
+    ) -> Result<(Metric, Option<OomEvent>), SimError> {
+        let key = cache_key(plan, device_map);
+        if let Some(outcome) = self.cache.lookup(&key) {
+            return Ok(outcome);
+        }
+        let outcome = self.emulate_uncached(plan, device_map)?;
+        self.cache.insert(key, outcome);
+        Ok(outcome)
+    }
+
+    /// [`Planner::emulate`] without the memoization layer — one real
+    /// simulator window. Cached and uncached results are asserted equal
+    /// by the property suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from the underlying run.
+    pub fn emulate_uncached(
+        &self,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+    ) -> Result<(Metric, Option<OomEvent>), SimError> {
+        self.cache.runs.fetch_add(1, Ordering::Relaxed);
         let report = Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())
             .run()?;
         Ok((
@@ -849,10 +1035,13 @@ fn reserve_budget(class: &TensorClass, donors: &mut [(DeviceId, u32, Bytes)]) ->
 
 /// What one emulator run measures.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Metric {
-    oom: bool,
-    makespan: Secs,
-    host_traffic: Bytes,
+pub struct Metric {
+    /// Whether the window ran out of memory.
+    pub oom: bool,
+    /// Simulated window wall-clock.
+    pub makespan: Secs,
+    /// Bytes moved over the host (PCIe) channel.
+    pub host_traffic: Bytes,
 }
 
 /// Emulator metric comparison: resolving OOM beats everything; a visibly

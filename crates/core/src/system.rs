@@ -192,6 +192,7 @@ impl Mpress {
                 per_stage: vec![Vec::new(); lowered.graph.n_stages()],
             },
             refinement_rounds: 0,
+            search: crate::planner::SearchStats::default(),
             baseline: SimReport {
                 makespan: 0.0,
                 op_start: Vec::new(),

@@ -1,0 +1,182 @@
+//! Deterministic std-only parallel execution layer.
+//!
+//! MPress's planner is an emulator-in-the-loop search and the paper's
+//! evaluation is a large (model × machine × system) grid — both are
+//! embarrassingly parallel across candidates/cells. This crate provides
+//! the one primitive both need: [`par_map`], a work-stealing-free
+//! fan-out over `std::thread::scope` that returns results **in input
+//! order**, so callers' tie-breaks and table layouts never depend on
+//! thread timing.
+//!
+//! # Determinism contract
+//!
+//! * Results are placed by input index; the output `Vec` is identical
+//!   to what the serial loop would produce (worker panics propagate).
+//! * The worker count changes only *when* work runs, never *what* is
+//!   returned: `jobs=1` and `jobs=N` are byte-identical as long as the
+//!   mapped closure is a pure function of its input.
+//!
+//! # Choosing the worker count
+//!
+//! Resolution order: [`set_jobs`] override (used by `--jobs`), the
+//! `MPRESS_JOBS` environment variable, then
+//! `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Process-wide override installed by `--jobs` (0 = no override).
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cumulative tasks executed through the pool (serial path included).
+static TASKS_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// High-water mark of concurrently busy workers.
+static PEAK_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Currently busy workers (transient; feeds the peak).
+static BUSY_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Snapshot of pool activity counters, for Insights/report output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks executed through `par_map`/`par_run` since the last reset.
+    pub tasks: u64,
+    /// Peak number of workers observed busy at the same instant.
+    pub peak_workers: usize,
+}
+
+/// Current cumulative pool statistics.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        tasks: TASKS_RUN.load(Ordering::Relaxed),
+        peak_workers: PEAK_WORKERS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the cumulative pool statistics (used by benches between runs).
+pub fn reset_stats() {
+    TASKS_RUN.store(0, Ordering::Relaxed);
+    PEAK_WORKERS.store(0, Ordering::Relaxed);
+}
+
+/// Installs a process-wide worker-count override; `0` clears it and
+/// returns resolution to `MPRESS_JOBS` / detected parallelism.
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count parallel sections will use.
+pub fn jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(var) = std::env::var("MPRESS_JOBS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f(0..n)` across the pool and returns the results in index
+/// order. Serial when `jobs() == 1` (or `n <= 1`); panics in `f`
+/// propagate to the caller either way.
+pub fn par_run<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    TASKS_RUN.fetch_add(n as u64, Ordering::Relaxed);
+    let workers = jobs().min(n).max(1);
+    if workers == 1 {
+        PEAK_WORKERS.fetch_max(1, Ordering::Relaxed);
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let busy = BUSY_WORKERS.fetch_add(1, Ordering::Relaxed) + 1;
+                        PEAK_WORKERS.fetch_max(busy, Ordering::Relaxed);
+                        produced.push((i, f(i)));
+                        BUSY_WORKERS.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Re-raise worker panics on the calling thread.
+            for (i, r) in handle.join().expect("pool worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index produced exactly once"))
+        .collect()
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_run(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        set_jobs(4);
+        let out = par_map(&(0..100).collect::<Vec<_>>(), |&x| x * 3);
+        set_jobs(0);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..64).collect();
+        set_jobs(1);
+        let serial = par_map(&items, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7));
+        set_jobs(4);
+        let parallel = par_map(&items, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7));
+        set_jobs(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stats_track_tasks() {
+        reset_stats();
+        set_jobs(2);
+        let _ = par_run(10, |i| i);
+        set_jobs(0);
+        let s = stats();
+        assert_eq!(s.tasks, 10);
+        assert!(s.peak_workers >= 1);
+    }
+}

@@ -15,7 +15,7 @@ use mpress_compaction::{HostTier, InstrumentationPlan, MemoryDirective, PlanVali
 use mpress_graph::{OpId, OpKind, TensorId, TrainingGraph};
 use mpress_hw::{Bytes, DeviceId, Machine, Secs};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::error::Error;
 use std::fmt;
 
@@ -113,6 +113,19 @@ enum StreamKind {
     Comm,
     CopyOut,
     CopyIn,
+}
+
+/// Event-queue ordering for task completions. `BinaryHeap` breaks ties
+/// by whatever order equal keys were pushed, so the key must be a total
+/// order over *all* pending completions: time first, then stream kind
+/// (compute before comm before copies), then task sequence number.
+/// This makes traces and reports stable — a prerequisite for asserting
+/// parallel == serial plan search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CompletionKey {
+    time: OrdTime,
+    stream: StreamKind,
+    seq: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -310,22 +323,25 @@ impl<'a> Simulator<'a> {
     }
 }
 
-/// All mutable engine state for one run.
-struct EngineState {
+/// All mutable engine state for one run. Borrows the instrumentation
+/// plan (`'p`) so directives and stripe layouts are referenced, not
+/// cloned, during task-graph build.
+struct EngineState<'p> {
     tasks: Vec<Task>,
     streams: BTreeMap<(usize, StreamKind), Stream>,
-    heap: BinaryHeap<Reverse<(OrdTime, usize)>>,
+    heap: BinaryHeap<Reverse<CompletionKey>>,
     clock: Secs,
     memory: MemoryTracker,
     residency: Vec<Loc>,
-    /// op task id -> swap-in task ids it triggers on start.
-    triggers: HashMap<usize, Vec<usize>>,
+    /// op task id (dense, `< n_ops`) -> swap-in task ids it triggers on
+    /// start.
+    triggers: Vec<Vec<usize>>,
     /// tensor -> bytes (cached).
     bytes: Vec<Bytes>,
     /// tensor home device.
     home: Vec<DeviceId>,
     /// directive lookup by tensor index.
-    directive: Vec<Option<MemoryDirective>>,
+    directive: Vec<Option<&'p MemoryDirective>>,
     /// recompute compute-time of each tensor (layer forward time).
     recompute_cost: Vec<Secs>,
     /// Per-op tensor sets copied out of the graph (tensor indices).
@@ -338,10 +354,12 @@ struct EngineState {
     recompute_time: Secs,
     completed: usize,
     memory_gate: bool,
-    /// tensor index -> consumer task ids (swap-directive tensors only).
-    swap_consumers: HashMap<usize, Vec<usize>>,
-    /// op task id -> (stage, position) on its stage's compute sequence.
-    seq_pos: HashMap<usize, (usize, usize)>,
+    /// tensor index -> consumer task ids (populated for swap-directive
+    /// tensors; empty elsewhere).
+    swap_consumers: Vec<Vec<usize>>,
+    /// op task id (dense, `< n_ops`) -> (stage, position) on its
+    /// stage's compute sequence; `None` for non-compute ops.
+    seq_pos: Vec<Option<(usize, usize)>>,
     /// Per-stage ordered compute-op task ids.
     compute_seq: Vec<Vec<usize>>,
     /// stage -> hosting device index.
@@ -361,11 +379,11 @@ struct EngineState {
     op_kinds: Vec<OpKind>,
 }
 
-impl EngineState {
+impl<'p> EngineState<'p> {
     fn build(
         machine: &Machine,
         graph: &TrainingGraph,
-        plan: &InstrumentationPlan,
+        plan: &'p InstrumentationPlan,
         device_map: &DeviceMap,
         config: SimConfig,
     ) -> Result<Self, SimError> {
@@ -378,9 +396,9 @@ impl EngineState {
             .iter()
             .map(|t| device_map.device_of(t.stage))
             .collect();
-        let mut directive: Vec<Option<MemoryDirective>> = vec![None; n_tensors];
+        let mut directive: Vec<Option<&'p MemoryDirective>> = vec![None; n_tensors];
         for (t, d) in plan.iter() {
-            directive[t.index()] = Some(d.clone());
+            directive[t.index()] = Some(d);
         }
 
         // Per-tensor recomputation cost: the producing layer's forward
@@ -390,7 +408,7 @@ impl EngineState {
             if op.kind != OpKind::Forward || op.sub_events.is_empty() {
                 continue;
             }
-            let mut events = op.sub_events.clone();
+            let mut events: Vec<_> = op.sub_events.iter().collect();
             events.sort_by(|a, b| a.offset.partial_cmp(&b.offset).expect("finite offsets"));
             let mut prev = 0.0;
             for e in events {
@@ -459,7 +477,7 @@ impl EngineState {
         // Per-stage compute sequences and each op's position in them —
         // prefetch triggers anchor a few ops upstream of the consumer.
         let mut compute_seq: Vec<Vec<usize>> = Vec::with_capacity(graph.n_stages());
-        let mut seq_pos: HashMap<usize, (usize, usize)> = HashMap::new();
+        let mut seq_pos: Vec<Option<(usize, usize)>> = vec![None; n_ops];
         for stage in 0..graph.n_stages() {
             let seq: Vec<usize> = graph
                 .stage_program(stage)
@@ -468,14 +486,14 @@ impl EngineState {
                 .filter(|&i| tasks[i].stream == StreamKind::Compute)
                 .collect();
             for (pos, &i) in seq.iter().enumerate() {
-                seq_pos.insert(i, (stage, pos));
+                seq_pos[i] = Some((stage, pos));
             }
             compute_seq.push(seq);
         }
         // The anchor op whose *start* leaves ~1.5x the swap-in time of
         // compute ahead of `consumer` — enough lead for the copy to land.
         let prefetch_anchor = |consumer: usize, in_dur: Secs, tasks: &[Task]| -> Option<usize> {
-            let &(stage, pos) = seq_pos.get(&consumer)?;
+            let (stage, pos) = seq_pos[consumer]?;
             let seq = &compute_seq[stage];
             let mut lead = 0.0;
             let mut anchor = None;
@@ -502,8 +520,8 @@ impl EngineState {
                 consumers_of[r.index()].push(op.id);
             }
         }
-        let mut triggers: HashMap<usize, Vec<usize>> = HashMap::new();
-        let mut swap_consumers: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut triggers: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
+        let mut swap_consumers: Vec<Vec<usize>> = vec![Vec::new(); n_tensors];
         let mut swap_legs: Vec<(TensorId, bool /*is_in*/, usize /*task id*/)> = Vec::new();
         for (t, d) in plan.iter() {
             let (out_dur, in_dur) = match d {
@@ -527,12 +545,9 @@ impl EngineState {
             let tensor = graph.tensor(t);
             let dev = home[t.index()];
             let producer = producer_of[t.index()];
-            let mut consumers: Vec<OpId> = consumers_of[t.index()].clone();
+            let mut consumers: Vec<OpId> = std::mem::take(&mut consumers_of[t.index()]);
             consumers.sort_unstable();
-            swap_consumers.insert(
-                t.index(),
-                consumers.iter().map(|c| c.index()).collect(),
-            );
+            swap_consumers[t.index()] = consumers.iter().map(|c| c.index()).collect();
             let is_static = tensor.kind.is_static();
 
             let new_task = |tasks: &mut Vec<Task>,
@@ -584,10 +599,9 @@ impl EngineState {
                 // position doubles as the admission gate.
                 if let Some(anchor) = prefetch_anchor(c.index(), in_dur, &tasks) {
                     tasks[inn].trigger_fired = false;
-                    triggers.entry(anchor).or_default().push(inn);
-                    tasks[inn].admit = seq_pos
-                        .get(&anchor)
-                        .map(|&(stage, pos)| (device_map.device_of(stage).index(), pos));
+                    triggers[anchor].push(inn);
+                    tasks[inn].admit = seq_pos[anchor]
+                        .map(|(stage, pos)| (device_map.device_of(stage).index(), pos));
                 }
                 tasks[inn].dependents.push(c.index());
                 tasks[inn].priority = c.index();
@@ -663,7 +677,7 @@ impl EngineState {
             if !tensor.kind.is_static() {
                 continue;
             }
-            match &directive[i] {
+            match directive[i] {
                 None | Some(MemoryDirective::Recompute) => {
                     memory.alloc(home[i], bytes[i], 0.0);
                     residency[i] = Loc::Home;
@@ -723,8 +737,8 @@ impl EngineState {
             completed: 0,
             memory_gate: config.memory_gate,
             swap_consumers,
-            seq_pos: seq_pos.clone(),
-            compute_seq: compute_seq.clone(),
+            seq_pos,
+            compute_seq,
             stage_device: (0..graph.n_stages())
                 .map(|st| device_map.device_of(st).index())
                 .collect(),
@@ -773,9 +787,9 @@ impl EngineState {
             if strict_oom && self.memory.oom().is_some() {
                 break;
             }
-            if let Some(Reverse((t, tid))) = self.heap.pop() {
-                self.clock = t.0;
-                self.complete_task(tid);
+            if let Some(Reverse(key)) = self.heap.pop() {
+                self.clock = key.time.0;
+                self.complete_task(key.seq);
                 continue;
             }
             // Quiescent. Done, or stalled on memory/dependencies.
@@ -815,7 +829,7 @@ impl EngineState {
                 for (i, b) in resident.iter().take(8) {
                     eprintln!(
                         "  resident t{i}: {b} directive={:?} pending={}",
-                        self.directive[*i].as_ref().map(|d| d.technique()),
+                        self.directive[*i].map(|d| d.technique()),
                         self.active_swaps[*i]
                     );
                 }
@@ -847,10 +861,7 @@ impl EngineState {
             if self.active_swaps[i] != 0 || self.runnable_swaps[i] != 0 {
                 continue; // a copy is in flight or imminently scheduled
             }
-            let consumers = match self.swap_consumers.get(&i) {
-                Some(c) => c,
-                None => continue,
-            };
+            let consumers = &self.swap_consumers[i];
             if consumers
                 .iter()
                 .any(|&c| self.tasks[c].started && !self.tasks[c].done)
@@ -914,7 +925,7 @@ impl EngineState {
             );
         }
         let t = TensorId(i as u32);
-        let directive = self.directive[i].as_ref().expect("swap directive");
+        let directive = self.directive[i].expect("swap directive");
         let out_dur = match directive {
             MemoryDirective::SwapToHost(_) => self.machine_pcie_time(self.bytes[i]),
             MemoryDirective::SwapD2d(stripe) => stripe.one_way_time(),
@@ -1065,7 +1076,7 @@ impl EngineState {
     /// anchor rule as build-time prefetches (enough compute upstream of
     /// the consumer to hide the copy).
     fn refetch_admit(&self, consumer_tid: usize, in_dur: Secs) -> Option<(usize, usize)> {
-        let &(stage, pos) = self.seq_pos.get(&consumer_tid)?;
+        let (stage, pos) = self.seq_pos.get(consumer_tid).copied().flatten()?;
         let seq = &self.compute_seq[stage];
         let mut lead = 0.0;
         let mut anchor_pos = None;
@@ -1088,8 +1099,10 @@ impl EngineState {
             Payload::SwapOut(_) => return None,
         };
         self.seq_pos
-            .get(&key)
-            .map(|&(stage, pos)| (self.stage_device[stage], pos))
+            .get(key)
+            .copied()
+            .flatten()
+            .map(|(stage, pos)| (self.stage_device[stage], pos))
     }
 
     /// Whether a task's demand-window admission is satisfied.
@@ -1144,16 +1157,19 @@ impl EngineState {
         self.tasks[tid].start = clock;
         let end = clock + self.tasks[tid].duration;
         self.tasks[tid].end = end;
-        self.heap.push(Reverse((OrdTime(end), tid)));
+        self.heap.push(Reverse(CompletionKey {
+            time: OrdTime(end),
+            stream: self.tasks[tid].stream,
+            seq: tid,
+        }));
 
         match self.tasks[tid].payload {
             Payload::Op(op_id) => {
-                // Fire prefetch triggers anchored on this op.
-                if let Some(fired) = self.triggers.remove(&tid) {
-                    for f in fired {
-                        self.tasks[f].trigger_fired = true;
-                        self.note_ready(f);
-                    }
+                // Fire prefetch triggers anchored on this op (op task ids
+                // are dense, so a Vec indexed by tid replaces the map).
+                for f in std::mem::take(&mut self.triggers[tid]) {
+                    self.tasks[f].trigger_fired = true;
+                    self.note_ready(f);
                 }
                 self.on_op_start(op_id);
             }
@@ -1250,7 +1266,7 @@ impl EngineState {
                 let i = t.index();
                 self.active_swaps[i] -= 1;
                 self.memory.free(self.home[i], self.bytes[i], clock);
-                match self.directive[i].as_ref().expect("swap task has directive") {
+                match self.directive[i].expect("swap task has directive") {
                     MemoryDirective::SwapToHost(tier) => {
                         match tier {
                             HostTier::Dram => self.memory.host_alloc(self.bytes[i], clock),
@@ -1263,7 +1279,7 @@ impl EngineState {
                         self.host_traffic += self.bytes[i];
                     }
                     MemoryDirective::SwapD2d(stripe) => {
-                        for c in stripe.chunks().to_vec() {
+                        for c in stripe.chunks() {
                             self.memory.alloc(c.target, c.bytes, clock);
                         }
                         self.residency[i] = Loc::Peers;
@@ -1275,7 +1291,7 @@ impl EngineState {
             Payload::SwapIn(t) => {
                 let i = t.index();
                 self.active_swaps[i] -= 1;
-                match self.directive[i].as_ref().expect("swap task has directive") {
+                match self.directive[i].expect("swap task has directive") {
                     MemoryDirective::SwapToHost(tier) => {
                         match tier {
                             HostTier::Dram => self.memory.host_free(self.bytes[i]),
@@ -1287,7 +1303,7 @@ impl EngineState {
                         self.host_traffic += self.bytes[i];
                     }
                     MemoryDirective::SwapD2d(stripe) => {
-                        for c in stripe.chunks().to_vec() {
+                        for c in stripe.chunks() {
                             self.memory.free(c.target, c.bytes, clock);
                         }
                         self.d2d_traffic += self.bytes[i];

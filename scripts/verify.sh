@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, test suite, lint, and the
+# planner timing smoke-run (writes BENCH_planner.json at the repo root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== planner timing smoke-run =="
+# jobs from MPRESS_JOBS if set, else auto-detected; the JSON records the
+# effective value alongside wall-clock and cache counters.
+./target/release/exp_bench_planner --out BENCH_planner.json

@@ -1,0 +1,67 @@
+//! Parallel search determinism: the plan and the simulated report must be
+//! byte-identical no matter how many workers the pool uses. `par_map`
+//! places results by input index and every winner is chosen by a fixed
+//! tie-break (best metric, ties to the lowest candidate index), so
+//! `--jobs 1` and `--jobs 4` must agree exactly — this suite is the
+//! contract's regression net.
+//!
+//! The worker-count override is process-global; each check therefore runs
+//! its two configurations back-to-back inside one test body. Even if the
+//! harness interleaves tests, the assertion itself is exactly the claim
+//! that the worker count cannot matter.
+
+use mpress::Mpress;
+use mpress_bench::jobs::{bert_job, SystemConfig};
+use mpress_hw::Machine;
+use mpress_model::zoo;
+
+/// Everything observable about a planned-and-simulated run, except the
+/// pool stats themselves (`search.jobs` legitimately differs).
+fn fingerprint(jobs: usize) -> String {
+    mpress_par::set_jobs(jobs);
+    let mpress = Mpress::builder()
+        .job(bert_job(zoo::bert_1_67b(), Machine::dgx1()))
+        .build();
+    let report = mpress.train().expect("valid inputs");
+    mpress_par::set_jobs(0);
+    format!(
+        "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{}",
+        report.plan.device_map,
+        report.plan.instrumentation,
+        report.plan.refinement_rounds,
+        report.sim.makespan.to_bits(),
+        report.sim.device_peak,
+        report.sim.host_traffic,
+        report.tflops.to_bits(),
+        report.throughput.to_bits(),
+    )
+}
+
+#[test]
+fn full_planner_is_identical_at_jobs_1_and_4() {
+    assert_eq!(fingerprint(1), fingerprint(4));
+}
+
+#[test]
+fn fig7_row_is_identical_at_jobs_1_and_4() {
+    let systems = [
+        SystemConfig::Plain,
+        SystemConfig::GpuCpuSwap,
+        SystemConfig::Recomputation,
+        SystemConfig::MpressD2dOnly,
+        SystemConfig::Mpress,
+    ];
+    let row = |jobs: usize| -> Vec<Option<u64>> {
+        mpress_par::set_jobs(jobs);
+        let cells = systems
+            .iter()
+            .map(|sys| {
+                sys.run(bert_job(zoo::bert_0_64b(), Machine::dgx1()))
+                    .map(f64::to_bits)
+            })
+            .collect();
+        mpress_par::set_jobs(0);
+        cells
+    };
+    assert_eq!(row(1), row(4));
+}

@@ -302,4 +302,62 @@ proptest! {
         prop_assert_eq!(a.device_peak, b.device_peak);
         prop_assert_eq!(a.host_traffic, b.host_traffic);
     }
+
+    /// The planner's emulation cache is pure memoization: for arbitrary
+    /// plans, `emulate` returns exactly what `emulate_uncached` computes,
+    /// and a repeated `emulate` is served from the cache without changing
+    /// the outcome.
+    #[test]
+    fn emulation_cache_is_transparent(
+        layers in 2usize..8,
+        stages in 2usize..5,
+        mb in 1usize..3,
+        microbatches in 2usize..6,
+        directive_mask in 0u64..(1 << 12),
+    ) {
+        prop_assume!(layers >= stages);
+        let job = mpress_pipeline::PipelineJob::builder()
+            .model(
+                TransformerConfig::builder(ModelFamily::Gpt)
+                    .layers(layers)
+                    .hidden(256)
+                    .seq_len(128)
+                    .build(),
+            )
+            .schedule(ScheduleKind::Dapple)
+            .stages(stages)
+            .microbatch_size(mb)
+            .microbatches(microbatches)
+            .precision(PrecisionPolicy::mixed())
+            .build()
+            .unwrap();
+        let lowered = job.lower().unwrap();
+        let mut plan = InstrumentationPlan::new();
+        for t in lowered.graph.tensors() {
+            if t.kind != TensorKind::Activation || t.layer.is_none() {
+                continue;
+            }
+            match (directive_mask >> (t.id.index() % 12)) & 3 {
+                1 => plan.assign(t.id, MemoryDirective::Recompute),
+                2 => plan.assign(t.id, MemoryDirective::SwapToHost(HostTier::Dram)),
+                _ => {}
+            }
+        }
+        let machine = mpress_hw::Machine::dgx1();
+        let planner = mpress::Planner::new(
+            &machine,
+            &job,
+            &lowered,
+            mpress::PlannerConfig::default(),
+        );
+        let map = DeviceMap::identity(stages);
+        let uncached = planner.emulate_uncached(&plan, &map).unwrap();
+        let cached = planner.emulate(&plan, &map).unwrap();
+        let hit = planner.emulate(&plan, &map).unwrap();
+        prop_assert_eq!(cached, uncached);
+        prop_assert_eq!(hit, uncached);
+        let stats = planner.search_stats();
+        prop_assert!(stats.cache_hits >= 1, "expected a cache hit: {stats:?}");
+        prop_assert!(stats.emulator_runs >= 2, "expected real runs: {stats:?}");
+    }
 }

@@ -1,0 +1,299 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace test-suite uses: the
+//! `proptest!` macro over named `#[test]` functions with `arg in
+//! strategy` parameters, integer-range and `collection::vec`
+//! strategies, `prop_assert*` / `prop_assume!`, and `ProptestConfig {
+//! cases }`. Sampling is driven by a deterministic SplitMix64 stream
+//! keyed on (test name, case index), so runs are reproducible; there
+//! is no shrinking.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A source of pseudo-random values for one test argument.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value from `rng`.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_unsigned_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_signed_range!(i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy and length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Configuration for a `proptest!` block (only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test function.
+        pub cases: u32,
+        /// Accepted for source compatibility with real proptest; the
+        /// stub does no shrinking, so the value is ignored.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered this input out; not a failure.
+        Reject(String),
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    /// Deterministic SplitMix64 generator.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A stream keyed on `(seed, case)` so every case is independent
+        /// yet reproducible.
+        pub fn new(seed: u64, case: u32) -> Self {
+            TestRng {
+                state: seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 pseudo-random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Per-test driver: hashes the test name into a base seed and hands
+    /// out one RNG per case.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut seed = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner { config, seed }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        pub fn rng_for(&self, case: u32) -> TestRng {
+            TestRng::new(self.seed, case)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines a block of property tests. Each `fn name(arg in strategy,
+/// ...)` becomes a `#[test]` that runs `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut rng = runner.rng_for(case);
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            ::std::panic!(
+                                "proptest {} failed at case {}: {}",
+                                stringify!($name),
+                                case,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = &($left);
+        let r = &($right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = &($left);
+        let r = &($right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = &($left);
+        let r = &($right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (not a failure) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Samples stay inside the requested range, deterministically.
+        #[test]
+        fn ranges_are_respected(x in 3u64..17, n in 1usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+
+        /// Vec strategy honors length bounds.
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u32..3, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert!(v.iter().all(|&e| e < 3));
+        }
+    }
+
+    #[test]
+    fn same_name_same_samples() {
+        let r1 = crate::test_runner::TestRunner::new(Default::default(), "t");
+        let r2 = crate::test_runner::TestRunner::new(Default::default(), "t");
+        assert_eq!(r1.rng_for(4).next_u64(), r2.rng_for(4).next_u64());
+    }
+}

@@ -1,0 +1,290 @@
+//! Vendored offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the minimal surface it actually uses. This derive
+//! handles exactly the shapes present in the codebase: non-generic
+//! structs (named, tuple/newtype, unit) and enums (unit, newtype,
+//! tuple, struct variants) with no `#[serde(...)]` attributes.
+//!
+//! `Serialize` expands to a `to_json` tree builder over
+//! `serde::Value`; `Deserialize` is a marker impl (the workspace only
+//! ever parses into `serde_json::Value`, never into typed data).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored `to_json` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("items.push(::serde::Serialize::to_json(&self.{i}));"))
+                .collect();
+            format!(
+                "{{ let mut items = ::std::vec::Vec::new(); {} ::serde::Value::Array(items) }}",
+                elems.join(" ")
+            )
+        }
+        ItemKind::NamedStruct(fields) => object_expr(
+            fields
+                .iter()
+                .map(|f| (f.clone(), format!("::serde::Serialize::to_json(&self.{f})"))),
+        ),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&variant_arm(&item.name, v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{ fn to_json(&self) -> ::serde::Value {{ {} }} }}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde_derive: generated impl must parse")
+}
+
+/// Derives `serde::Deserialize` (vendored marker form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Externally-tagged serialization arm for one enum variant, matching
+/// stock serde's JSON representation.
+fn variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.body {
+        VariantBody::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantBody::Tuple(1) => {
+            let inner = "::serde::Serialize::to_json(f0)".to_string();
+            format!(
+                "{enum_name}::{vname}(f0) => {},",
+                tagged_expr(vname, &inner)
+            )
+        }
+        VariantBody::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let pushes: Vec<String> = binds
+                .iter()
+                .map(|b| format!("items.push(::serde::Serialize::to_json({b}));"))
+                .collect();
+            let inner = format!(
+                "{{ let mut items = ::std::vec::Vec::new(); {} ::serde::Value::Array(items) }}",
+                pushes.join(" ")
+            );
+            format!(
+                "{enum_name}::{vname}({}) => {},",
+                binds.join(", "),
+                tagged_expr(vname, &inner)
+            )
+        }
+        VariantBody::Named(fields) => {
+            let inner = object_expr(
+                fields
+                    .iter()
+                    .map(|f| (f.clone(), format!("::serde::Serialize::to_json({f})"))),
+            );
+            format!(
+                "{enum_name}::{vname} {{ {} }} => {},",
+                fields.join(", "),
+                tagged_expr(vname, &inner)
+            )
+        }
+    }
+}
+
+/// `{"<tag>": <inner>}` expression.
+fn tagged_expr(tag: &str, inner: &str) -> String {
+    format!(
+        "{{ let mut pairs = ::std::vec::Vec::new(); \
+         pairs.push((::std::string::String::from(\"{tag}\"), {inner})); \
+         ::serde::Value::Object(pairs) }}"
+    )
+}
+
+/// `Value::Object` expression from (key, value-expression) pairs.
+fn object_expr(fields: impl Iterator<Item = (String, String)>) -> String {
+    let pushes: Vec<String> = fields
+        .map(|(name, expr)| {
+            format!("pairs.push((::std::string::String::from(\"{name}\"), {expr}));")
+        })
+        .collect();
+    format!(
+        "{{ let mut pairs = ::std::vec::Vec::new(); {} ::serde::Value::Object(pairs) }}",
+        pushes.join(" ")
+    )
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+    let keyword = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        t => panic!("serde_derive: expected `struct` or `enum`, got {t:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        t => panic!("serde_derive: expected type name, got {t:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored stub");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            t => panic!("serde_derive: malformed struct body: {t:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            t => panic!("serde_derive: malformed enum body: {t:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes any leading `#[...]` attributes (including doc comments).
+fn skip_attributes(it: &mut TokenIter) {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        it.next(); // the bracketed attribute group
+    }
+}
+
+/// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(it: &mut TokenIter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(
+            it.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            it.next();
+        }
+    }
+}
+
+/// Field names from a `{ ... }` struct body, skipping attrs, vis, and
+/// type annotations (commas inside `<...>` are not field separators).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            None => break,
+            t => panic!("serde_derive: expected field name, got {t:?}"),
+        }
+        skip_past_comma(&mut it);
+    }
+    fields
+}
+
+/// Number of fields in a `( ... )` tuple body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut it = body.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_past_comma(&mut it);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            t => panic!("serde_derive: expected variant name, got {t:?}"),
+        };
+        let body = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantBody::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantBody::Named(fields)
+            }
+            _ => VariantBody::Unit,
+        };
+        variants.push(Variant { name, body });
+        skip_past_comma(&mut it);
+    }
+    variants
+}
+
+/// Advances past the next top-level comma (angle-bracket depth 0);
+/// stops at end of stream.
+fn skip_past_comma(it: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
