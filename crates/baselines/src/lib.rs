@@ -196,14 +196,15 @@ impl ZeroBaseline {
         let p = self.param_count();
         let n = self.n();
         let pol = &self.policy;
-        let shard =
-            Bytes(p * (pol.param_bytes_per_param() + pol.grad_bytes_per_param()) / n);
+        let shard = Bytes(p * (pol.param_bytes_per_param() + pol.grad_bytes_per_param()) / n);
         // One checkpoint boundary per layer plus one layer's working set.
         let ckpt = self
             .model
             .boundary_activation_bytes(self.microbatch_size, pol)
             * self.model.num_layers() as u64;
-        let working = self.model.activation_bytes_per_layer(self.microbatch_size, pol);
+        let working = self
+            .model
+            .activation_bytes_per_layer(self.microbatch_size, pol);
         let act = ckpt + working;
         // Transient gather buffer of the largest layer's parameters.
         let gather = Bytes(self.model.layer_params() * pol.param_bytes_per_param());
@@ -272,8 +273,7 @@ impl ZeroBaseline {
         let expose = |time: Secs, overlap: f64| (time - overlap * compute).max(0.0);
         // Stage-3 sharding all-gathers params on every pass and
         // reduce-scatters gradients — common to all three variants.
-        let nvl =
-            (2.0 * param_bytes + grad_bytes) / nvlink_bw * self.accumulation as f64;
+        let nvl = (2.0 * param_bytes + grad_bytes) / nvlink_bw * self.accumulation as f64;
         let cpu_adam = (p / n) * 40.0 / self.machine.cpu().flops;
         match self.variant {
             ZeroVariant::Three => expose(nvl, self.overlap.nvlink),
@@ -281,8 +281,7 @@ impl ZeroBaseline {
                 // Gradient shard down / updated parameter shard up over
                 // PCIe every microbatch (§II-D: "each microbatch execution
                 // requires transferring parameters and gradients").
-                let pcie = (grad_bytes / n + param_bytes / n) / pcie_bw
-                    * self.accumulation as f64;
+                let pcie = (grad_bytes / n + param_bytes / n) / pcie_bw * self.accumulation as f64;
                 expose(nvl, self.overlap.nvlink)
                     + expose(pcie, self.overlap.pcie_offload)
                     + cpu_adam
@@ -290,9 +289,8 @@ impl ZeroBaseline {
             ZeroVariant::Infinity => {
                 // Parameter shards stream per pass over PCIe; the optimizer
                 // shard round-trips host<->NVMe at the slower of the rates.
-                let pcie = (2.0 * param_bytes / n * self.accumulation as f64
-                    + grad_bytes / n)
-                    / pcie_bw;
+                let pcie =
+                    (2.0 * param_bytes / n * self.accumulation as f64 + grad_bytes / n) / pcie_bw;
                 let nvme = self.machine.nvme().map_or(f64::INFINITY, |nv| {
                     2.0 * (opt_bytes / n) / nv.read_bw.min(nv.write_bw).min(pcie_bw)
                 });
@@ -320,11 +318,7 @@ impl ZeroBaseline {
         let nvme_bytes = self.nvme_bytes();
         let fits = gpu_bytes <= self.machine.gpu().usable_memory()
             && cpu_bytes <= self.machine.cpu().memory
-            && nvme_bytes
-                <= self
-                    .machine
-                    .nvme()
-                    .map_or(Bytes::ZERO, |nv| nv.capacity);
+            && nvme_bytes <= self.machine.nvme().map_or(Bytes::ZERO, |nv| nv.capacity);
         let step_time = self.step_time();
         let (tflops, throughput) = if fits {
             let samples =
@@ -361,7 +355,11 @@ mod tests {
 
     #[test]
     fn all_variants_fit_10_3b_on_dgx1() {
-        for v in [ZeroVariant::Three, ZeroVariant::Offload, ZeroVariant::Infinity] {
+        for v in [
+            ZeroVariant::Three,
+            ZeroVariant::Offload,
+            ZeroVariant::Infinity,
+        ] {
             let r = base(v, Machine::dgx1()).report();
             assert!(r.fits, "{v} should fit 10.3B: {:?}", r);
             assert!(r.tflops > 0.0);
@@ -399,8 +397,7 @@ mod tests {
         // Paper Fig. 8b: the rented DGX-2's slow SSDs invert the order on
         // larger models.
         let model = zoo::gpt_20_4b();
-        let off = ZeroBaseline::new(Machine::dgx2(), model.clone(), ZeroVariant::Offload)
-            .report();
+        let off = ZeroBaseline::new(Machine::dgx2(), model.clone(), ZeroVariant::Offload).report();
         let inf = ZeroBaseline::new(Machine::dgx2(), model, ZeroVariant::Infinity).report();
         assert!(
             inf.tflops < off.tflops,
@@ -424,14 +421,17 @@ mod tests {
     #[test]
     fn zero3_alone_cannot_hold_giant_states() {
         // 25.5B: shard = 25.5e9 * 16 / 8 = 51 GB > 40 GB A100.
-        let r = ZeroBaseline::new(Machine::dgx2(), zoo::gpt_25_5b(), ZeroVariant::Three)
-            .report();
+        let r = ZeroBaseline::new(Machine::dgx2(), zoo::gpt_25_5b(), ZeroVariant::Three).report();
         assert!(!r.fits);
     }
 
     #[test]
     fn exposed_comm_is_nonnegative_and_step_decomposes() {
-        for v in [ZeroVariant::Three, ZeroVariant::Offload, ZeroVariant::Infinity] {
+        for v in [
+            ZeroVariant::Three,
+            ZeroVariant::Offload,
+            ZeroVariant::Infinity,
+        ] {
             let b = base(v, Machine::dgx1());
             assert!(b.exposed_comm_time() >= 0.0);
             assert!(b.step_time() >= b.compute_time() + b.exposed_comm_time() - 1e-12);

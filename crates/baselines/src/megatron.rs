@@ -276,8 +276,7 @@ mod tests {
         // more bytes than a pipeline's once-per-stage boundary send.
         let b = base(Machine::dgx1());
         let boundary = b.allreduce_bytes(); // same tensor a pipeline would send
-        let ratio =
-            b.comm_bytes_per_microbatch().as_u64() as f64 / (7 * boundary.as_u64()) as f64;
+        let ratio = b.comm_bytes_per_microbatch().as_u64() as f64 / (7 * boundary.as_u64()) as f64;
         assert!(ratio > 20.0, "intra/inter traffic ratio {ratio:.1}");
     }
 
@@ -285,7 +284,12 @@ mod tests {
     fn pcie_only_server_is_ruinous() {
         let nv = base(Machine::dgx1()).report();
         let pcie = base(Machine::commodity()).report();
-        assert!(pcie.tflops < 0.5 * nv.tflops, "{} vs {}", pcie.tflops, nv.tflops);
+        assert!(
+            pcie.tflops < 0.5 * nv.tflops,
+            "{} vs {}",
+            pcie.tflops,
+            nv.tflops
+        );
     }
 
     #[test]
@@ -305,9 +309,7 @@ mod tests {
     fn exposed_comm_scales_with_microbatch_size() {
         let small = base(Machine::dgx1()).microbatch_size(1);
         let large = base(Machine::dgx1()).microbatch_size(4);
-        assert!(
-            large.exposed_comm_per_microbatch() > 3.9 * small.exposed_comm_per_microbatch()
-        );
+        assert!(large.exposed_comm_per_microbatch() > 3.9 * small.exposed_comm_per_microbatch());
     }
 
     #[test]

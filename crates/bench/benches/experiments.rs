@@ -31,15 +31,11 @@ fn small_job() -> PipelineJob {
 }
 
 fn bench_fig1_schedules(c: &mut Criterion) {
-    c.bench_function("fig1_schedule_timelines", |b| {
-        b.iter(experiments::fig1)
-    });
+    c.bench_function("fig1_schedule_timelines", |b| b.iter(experiments::fig1));
 }
 
 fn bench_table1_breakdown(c: &mut Criterion) {
-    c.bench_function("table1_memory_breakdown", |b| {
-        b.iter(experiments::table1)
-    });
+    c.bench_function("table1_memory_breakdown", |b| b.iter(experiments::table1));
 }
 
 fn bench_fig2_imbalance(c: &mut Criterion) {
@@ -51,8 +47,7 @@ fn bench_fig4_bandwidth(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for lanes in [2u32, 4, 6] {
-                acc += BandwidthCurve::nvlink_lanes(lanes)
-                    .effective_bandwidth(Bytes::mib(256));
+                acc += BandwidthCurve::nvlink_lanes(lanes).effective_bandwidth(Bytes::mib(256));
             }
             acc
         })
@@ -85,10 +80,7 @@ fn bench_fig8_mpress_plan(c: &mut Criterion) {
     // One representative Fig. 8 cell: MPress planning + simulation on a
     // reduced job.
     c.bench_function("fig8_mpress_plan_and_train", |b| {
-        let mpress = Mpress::builder()
-            .job(small_job())
-            .refine_iters(2)
-            .build();
+        let mpress = Mpress::builder().job(small_job()).refine_iters(2).build();
         b.iter(|| mpress.train().expect("valid").tflops)
     });
 }
@@ -108,18 +100,13 @@ fn bench_fig9_mapping_search(c: &mut Criterion) {
 }
 
 fn bench_table3_costs(c: &mut Criterion) {
-    c.bench_function("table3_profile_and_costs", |b| {
-        b.iter(experiments::table3)
-    });
+    c.bench_function("table3_profile_and_costs", |b| b.iter(experiments::table3));
 }
 
 fn bench_table4_planner(c: &mut Criterion) {
     // The full planner on a reduced job (Table IV machinery).
     c.bench_function("table4_planner", |b| {
-        let mpress = Mpress::builder()
-            .job(small_job())
-            .refine_iters(2)
-            .build();
+        let mpress = Mpress::builder().job(small_job()).refine_iters(2).build();
         b.iter(|| mpress.plan().expect("valid").0.instrumentation.len())
     });
 }

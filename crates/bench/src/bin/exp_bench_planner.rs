@@ -5,7 +5,9 @@
 //! paths the parallel search layer accelerates. Output schema:
 //!
 //! ```json
-//! {"wall_s": 1.23, "jobs": 4, "emulator_runs": 57, "cache_hits": 12}
+//! {"wall_s": 1.23, "jobs": 4, "emulator_runs": 57, "cache_hits": 12,
+//!  "cache_hit_rate": 0.174, "peak_workers": 4, "refinement_rounds": 9,
+//!  "refine_candidates": [4, 4, 1]}
 //! ```
 //!
 //! Pass `--out PATH` to redirect (default `BENCH_planner.json` in the
@@ -56,9 +58,24 @@ fn main() {
     let (plan, _) = mpress.plan().expect("planning succeeds");
     let wall_s = start.elapsed().as_secs_f64();
 
+    let candidates = plan
+        .refine_candidates
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\"wall_s\": {:.3}, \"jobs\": {}, \"emulator_runs\": {}, \"cache_hits\": {}}}\n",
-        wall_s, plan.search.jobs, plan.search.emulator_runs, plan.search.cache_hits
+        "{{\"wall_s\": {:.3}, \"jobs\": {}, \"emulator_runs\": {}, \"cache_hits\": {}, \
+         \"cache_hit_rate\": {:.4}, \"peak_workers\": {}, \"refinement_rounds\": {}, \
+         \"refine_candidates\": [{}]}}\n",
+        wall_s,
+        plan.search.jobs,
+        plan.search.emulator_runs,
+        plan.search.cache_hits,
+        plan.search.cache_hit_rate(),
+        plan.search.peak_workers,
+        plan.refinement_rounds,
+        candidates
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("error: writing {out_path}: {e}");
@@ -68,7 +85,9 @@ fn main() {
     eprintln!(
         "planner wall {wall_s:.3}s at jobs={} (peak {} workers), \
          {} emulator runs, {} cache hits -> {out_path}",
-        plan.search.jobs, plan.search.peak_workers, plan.search.emulator_runs,
+        plan.search.jobs,
+        plan.search.peak_workers,
+        plan.search.emulator_runs,
         plan.search.cache_hits
     );
 }

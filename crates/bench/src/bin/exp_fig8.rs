@@ -1,6 +1,12 @@
 //! Regenerates the paper's Fig. 8 (both machines).
 fn main() {
     mpress_bench::init_cli("exp_fig8");
-    println!("{}", mpress_bench::experiments::fig8(mpress_hw::Machine::dgx1()));
-    println!("{}", mpress_bench::experiments::fig8(mpress_hw::Machine::dgx2()));
+    println!(
+        "{}",
+        mpress_bench::experiments::fig8(mpress_hw::Machine::dgx1())
+    );
+    println!(
+        "{}",
+        mpress_bench::experiments::fig8(mpress_hw::Machine::dgx2())
+    );
 }

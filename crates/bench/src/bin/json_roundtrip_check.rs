@@ -1,0 +1,42 @@
+//! Checks that stdin is a JSON document that survives a parse →
+//! serialize → parse round trip (`scripts/verify.sh` pipes
+//! `mpress-cli train --metrics=json` through this).
+//!
+//! Exit status: 0 when the round trip is lossless, 1 on a parse failure
+//! or a mismatch, 2 when stdin cannot be read.
+
+use std::io::Read as _;
+
+fn main() {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("error: reading stdin: {e}");
+        std::process::exit(2);
+    }
+    let first: serde_json::Value = match serde_json::from_str(&input) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: stdin is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let reserialized = match serde_json::to_string(&first) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: re-serializing parsed document: {e}");
+            std::process::exit(1);
+        }
+    };
+    let second: serde_json::Value = match serde_json::from_str(&reserialized) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: re-parsing serialized document: {e}");
+            std::process::exit(1);
+        }
+    };
+    if first != second {
+        eprintln!("error: document changed across the round trip");
+        std::process::exit(1);
+    }
+    println!("json round trip ok ({} bytes)", input.len());
+}

@@ -36,7 +36,11 @@ pub fn table1() -> Table {
     // since at microbatch 12 its activations dwarf everything else.
     let cases: [(TransformerConfig, usize, PrecisionPolicy); 2] = [
         (zoo::bert_0_64b(), 2, PrecisionPolicy::mixed()),
-        (zoo::gpt_5_3b(), zoo::GPT_MICROBATCH, PrecisionPolicy::mixed()),
+        (
+            zoo::gpt_5_3b(),
+            zoo::GPT_MICROBATCH,
+            PrecisionPolicy::mixed(),
+        ),
     ];
     for (model, mb, policy) in cases {
         let mm = ModelMemory::of(&model, mb, &policy);
@@ -57,8 +61,7 @@ pub fn fig2() -> Table {
     let mut t = Table::new(
         "Fig. 2: per-device GPU memory, Bert-1.67B (GiB)",
         &[
-            "system", "GPU0", "GPU1", "GPU2", "GPU3", "GPU4", "GPU5", "GPU6", "GPU7",
-            "max/min",
+            "system", "GPU0", "GPU1", "GPU2", "GPU3", "GPU4", "GPU5", "GPU6", "GPU7", "max/min",
         ],
     );
     for (kind, mb, policy) in [
@@ -203,10 +206,7 @@ pub fn fig8(machine: Machine) -> Table {
     let models = zoo::gpt_variants();
     let rows = mpress_par::par_map(&models, |model| {
         let mut row = vec![model.name().to_owned()];
-        for sys in [
-            SystemConfig::Plain,
-            SystemConfig::Recomputation,
-        ] {
+        for sys in [SystemConfig::Plain, SystemConfig::Recomputation] {
             let job = gpt_job(model.clone(), machine.clone());
             row.push(tflops_cell(sys.run(job)));
         }
@@ -238,7 +238,15 @@ pub fn fig8(machine: Machine) -> Table {
 pub fn fig9() -> Table {
     let mut t = Table::new(
         "Fig. 9: device-mapping & striping ablation (normalized; D2D round trip in ms)",
-        &["job", "machine", "default", "+device mapping", "+data striping", "rt unstriped", "rt striped"],
+        &[
+            "job",
+            "machine",
+            "default",
+            "+device mapping",
+            "+data striping",
+            "rt unstriped",
+            "rt striped",
+        ],
     );
     fn bert_d2d(machine: Machine) -> PipelineJob {
         bert_job(zoo::bert_0_64b(), machine)
@@ -248,71 +256,85 @@ pub fn fig9() -> Table {
     }
     type JobOf = fn(Machine) -> PipelineJob;
     let cases: Vec<(&str, Machine, JobOf, OptimizationSet)> = vec![
-        ("Bert-0.64B (D2D-only)", Machine::dgx1(), bert_d2d, OptimizationSet::d2d_only()),
-        ("Bert-0.64B (D2D-only)", Machine::dgx2(), bert_d2d, OptimizationSet::d2d_only()),
-        ("GPT-15.4B (full)", Machine::dgx1(), gpt_full, OptimizationSet::all()),
-        ("GPT-15.4B (full)", Machine::dgx2(), gpt_full, OptimizationSet::all()),
+        (
+            "Bert-0.64B (D2D-only)",
+            Machine::dgx1(),
+            bert_d2d,
+            OptimizationSet::d2d_only(),
+        ),
+        (
+            "Bert-0.64B (D2D-only)",
+            Machine::dgx2(),
+            bert_d2d,
+            OptimizationSet::d2d_only(),
+        ),
+        (
+            "GPT-15.4B (full)",
+            Machine::dgx1(),
+            gpt_full,
+            OptimizationSet::all(),
+        ),
+        (
+            "GPT-15.4B (full)",
+            Machine::dgx2(),
+            gpt_full,
+            OptimizationSet::all(),
+        ),
     ];
-    let run_case = |label: &str,
-                    machine: &Machine,
-                    job_of: JobOf,
-                    opts: OptimizationSet|
-     -> Vec<String> {
-        // Returns (throughput, mean D2D round-trip seconds).
-        let run = |mapping: bool, striping: bool| -> (Option<f64>, Option<f64>) {
-            let cfg = PlannerConfig {
-                optimizations: opts,
-                mapping_search: mapping,
-                striping,
-                ..PlannerConfig::default()
+    let run_case =
+        |label: &str, machine: &Machine, job_of: JobOf, opts: OptimizationSet| -> Vec<String> {
+            // Returns (throughput, mean D2D round-trip seconds).
+            let run = |mapping: bool, striping: bool| -> (Option<f64>, Option<f64>) {
+                let mut cfg = PlannerConfig::default();
+                cfg.optimizations = opts;
+                cfg.mapping_search = mapping;
+                cfg.striping = striping;
+                let mpress = Mpress::builder()
+                    .job(job_of(machine.clone()))
+                    .planner_config(cfg)
+                    .build();
+                let report = mpress.train().expect("valid inputs");
+                let (plan, _) = mpress.plan().expect("valid inputs");
+                let rts: Vec<f64> = plan
+                    .instrumentation
+                    .iter()
+                    .filter_map(|(_, d)| match d {
+                        mpress_compaction::MemoryDirective::SwapD2d(stripe) => {
+                            Some(stripe.round_trip_time())
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                let mean_rt = (!rts.is_empty()).then(|| rts.iter().sum::<f64>() / rts.len() as f64);
+                (report.succeeded().then_some(report.tflops), mean_rt)
             };
-            let mpress = Mpress::builder()
-                .job(job_of(machine.clone()))
-                .planner_config(cfg)
-                .build();
-            let report = mpress.train().expect("valid inputs");
-            let (plan, _) = mpress.plan().expect("valid inputs");
-            let rts: Vec<f64> = plan
-                .instrumentation
-                .iter()
-                .filter_map(|(_, d)| match d {
-                    mpress_compaction::MemoryDirective::SwapD2d(stripe) => {
-                        Some(stripe.round_trip_time())
-                    }
-                    _ => None,
-                })
-                .collect();
-            let mean_rt = (!rts.is_empty())
-                .then(|| rts.iter().sum::<f64>() / rts.len() as f64);
-            (report.succeeded().then_some(report.tflops), mean_rt)
+            let (base, _) = run(false, false);
+            // Round trips are compared under the *same* (mapped) plan so the
+            // two columns isolate striping alone.
+            let (mapped, rt_unstriped) = run(true, false);
+            let (striped, rt_striped) = run(true, true);
+            // Normalize to the first configuration that fits (identity
+            // mapping can outright OOM a D2D-only job — the strongest form of
+            // the mapping effect).
+            let reference = base.or(mapped).or(striped);
+            let norm = |v: Option<f64>| match (v, reference) {
+                (Some(x), Some(b)) => format!("{:.3}", x / b),
+                _ => "OOM".to_owned(),
+            };
+            let rt_cell = |rt: Option<f64>| match rt {
+                Some(v) => format!("{:.1}", v * 1e3),
+                None => "-".to_owned(),
+            };
+            vec![
+                label.to_owned(),
+                machine.name().to_owned(),
+                norm(base),
+                norm(mapped),
+                norm(striped),
+                rt_cell(rt_unstriped),
+                rt_cell(rt_striped),
+            ]
         };
-        let (base, _) = run(false, false);
-        // Round trips are compared under the *same* (mapped) plan so the
-        // two columns isolate striping alone.
-        let (mapped, rt_unstriped) = run(true, false);
-        let (striped, rt_striped) = run(true, true);
-        // Normalize to the first configuration that fits (identity
-        // mapping can outright OOM a D2D-only job — the strongest form of
-        // the mapping effect).
-        let reference = base.or(mapped).or(striped);
-        let norm = |v: Option<f64>| match (v, reference) {
-            (Some(x), Some(b)) => format!("{:.3}", x / b),
-            _ => "OOM".to_owned(),
-        };
-        let rt_cell = |rt: Option<f64>| match rt {
-            Some(v) => format!("{:.1}", v * 1e3),
-            None => "-".to_owned(),
-        };
-        vec![
-            label.to_owned(),
-            machine.name().to_owned(),
-            norm(base),
-            norm(mapped),
-            norm(striped),
-            rt_cell(rt_unstriped),
-            rt_cell(rt_striped),
-        ]
-    };
     let rows = mpress_par::par_map(&cases, |(label, machine, job_of, opts)| {
         run_case(label, machine, *job_of, *opts)
     });
@@ -341,18 +363,13 @@ pub fn table3() -> Table {
     let cost = CostModel::new(machine.clone());
     let mut sample = |name: &str, job: PipelineJob| {
         let lowered = job.lower().expect("valid");
-        let profile =
-            Profile::collect(&machine, &job, &lowered).expect("profiling succeeds");
+        let profile = Profile::collect(&machine, &job, &lowered).expect("profiling succeeds");
         // The first layer of stage 0 (long interval), a mid-stage layer
         // (medium) and the final stage's last layer (short — its backward
         // starts right after its forward), mirroring the paper's t1..t6
         // spread.
         let n_stages = lowered.graph.n_stages();
-        let picks = [
-            (0usize, false),
-            (n_stages / 2, false),
-            (n_stages - 1, true),
-        ];
+        let picks = [(0usize, false), (n_stages / 2, false), (n_stages - 1, true)];
         for (idx, (stage, last_layer)) in picks.into_iter().enumerate() {
             let classes: Vec<_> = profile
                 .stage_classes(stage)
@@ -366,10 +383,8 @@ pub fn table3() -> Table {
             let Some(class) = class else { continue };
             let bytes = class.bytes_per_instance;
             // Four NVLink lanes, as the paper's Table III footnote states.
-            let stripe =
-                StripePlan::weighted(bytes, &[(DeviceId(3), 2), (DeviceId(4), 2)]);
-            let (rec, host, d2d) =
-                cost.table3_row(bytes, class.recompute_time, &stripe);
+            let stripe = StripePlan::weighted(bytes, &[(DeviceId(3), 2), (DeviceId(4), 2)]);
+            let (rec, host, d2d) = cost.table3_row(bytes, class.recompute_time, &stripe);
             t.push(vec![
                 name.to_owned(),
                 format!("t{}", idx + 1),
@@ -395,7 +410,9 @@ pub fn table4() -> Table {
     );
     type JobThunk = fn() -> PipelineJob;
     let cases: Vec<(&str, JobThunk)> = vec![
-        ("Bert-1.67B", || bert_job(zoo::bert_1_67b(), Machine::dgx1())),
+        ("Bert-1.67B", || {
+            bert_job(zoo::bert_1_67b(), Machine::dgx1())
+        }),
         ("Bert-6.2B", || bert_job(zoo::bert_6_2b(), Machine::dgx1())),
         ("GPT-10.3B", || gpt_job(zoo::gpt_10_3b(), Machine::dgx1())),
         ("GPT-20.4B", || gpt_job(zoo::gpt_20_4b(), Machine::dgx1())),
@@ -417,7 +434,11 @@ pub fn table4() -> Table {
                 (Some(a), _) => format!("stage {a}"),
                 _ => "-".to_owned(),
             };
-            format!("{span}; {:.1} GiB ({:.0}%)", bytes.as_gib_f64(), 100.0 * bytes.as_f64() / total)
+            format!(
+                "{span}; {:.1} GiB ({:.0}%)",
+                bytes.as_gib_f64(),
+                100.0 * bytes.as_f64() / total
+            )
         };
         vec![
             name.to_owned(),
@@ -481,31 +502,27 @@ pub fn ablations() -> Table {
             .expect("valid inputs");
         report.succeeded().then_some(report.tflops)
     };
+    let with = |tweak: fn(&mut PlannerConfig)| {
+        let mut cfg = PlannerConfig::default();
+        tweak(&mut cfg);
+        cfg
+    };
     let cfg_cases: [(&str, &str, PlannerConfig); 4] = [
         ("full planner", "reference", PlannerConfig::default()),
         (
             "no emulator refinement",
             "greedy initial assignment only",
-            PlannerConfig {
-                refine_iters: 0,
-                ..PlannerConfig::default()
-            },
+            with(|c| c.refine_iters = 0),
         ),
         (
             "no device-mapping search",
             "identity stage placement",
-            PlannerConfig {
-                mapping_search: false,
-                ..PlannerConfig::default()
-            },
+            with(|c| c.mapping_search = false),
         ),
         (
             "no data striping",
             "single-donor D2D transfers",
-            PlannerConfig {
-                striping: false,
-                ..PlannerConfig::default()
-            },
+            with(|c| c.striping = false),
         ),
     ];
     let results = mpress_par::par_map(&cfg_cases, |&(_, _, cfg)| run_cfg(cfg));
@@ -517,7 +534,10 @@ pub fn ablations() -> Table {
     let donors = [(DeviceId(3), 2), (DeviceId(1), 1), (DeviceId(2), 1)];
     let tensor = Bytes::mib(1444);
     for (label, plan) in [
-        ("single-donor stripe", StripePlan::single(tensor, DeviceId(3), 2)),
+        (
+            "single-donor stripe",
+            StripePlan::single(tensor, DeviceId(3), 2),
+        ),
         ("equal striping", StripePlan::equal_over(tensor, &donors)),
         ("weighted striping", StripePlan::weighted(tensor, &donors)),
     ] {
@@ -531,30 +551,27 @@ pub fn ablations() -> Table {
         ]);
     }
     // Schedule trade-off: GPipe holds every microbatch's activations.
-    let sched_rows = mpress_par::par_map(
-        &[ScheduleKind::Dapple, ScheduleKind::GPipe],
-        |&kind| {
-            let job = PipelineJob::builder()
-                .model(zoo::gpt_5_3b())
-                .machine(Machine::dgx1())
-                .schedule(kind)
-                .microbatch_size(zoo::GPT_MICROBATCH)
-                .microbatches(crate::jobs::WINDOW_MICROBATCHES)
-                .build()
-                .expect("valid");
-            let demand = job.memory_demands().max_stage();
-            let report = Mpress::builder()
-                .job(job)
-                .build()
-                .train()
-                .expect("valid inputs");
-            vec![
-                format!("{kind} schedule (GPT-5.3B)"),
-                tflops_cell(report.succeeded().then_some(report.tflops)),
-                format!("hottest stage demands {:.1} GiB", demand.as_gib_f64()),
-            ]
-        },
-    );
+    let sched_rows = mpress_par::par_map(&[ScheduleKind::Dapple, ScheduleKind::GPipe], |&kind| {
+        let job = PipelineJob::builder()
+            .model(zoo::gpt_5_3b())
+            .machine(Machine::dgx1())
+            .schedule(kind)
+            .microbatch_size(zoo::GPT_MICROBATCH)
+            .microbatches(crate::jobs::WINDOW_MICROBATCHES)
+            .build()
+            .expect("valid");
+        let demand = job.memory_demands().max_stage();
+        let report = Mpress::builder()
+            .job(job)
+            .build()
+            .train()
+            .expect("valid inputs");
+        vec![
+            format!("{kind} schedule (GPT-5.3B)"),
+            tflops_cell(report.succeeded().then_some(report.tflops)),
+            format!("hottest stage demands {:.1} GiB", demand.as_gib_f64()),
+        ]
+    });
     for row in sched_rows {
         t.push(row);
     }
@@ -605,7 +622,10 @@ pub fn sweeps() -> Table {
         ));
     }
     // Topology sweep: asymmetric cube-mesh vs. switched all-to-all.
-    for (label, topo) in [("DGX-1 cube-mesh", Topology::dgx1()), ("NVSwitch", Topology::dgx2())] {
+    for (label, topo) in [
+        ("DGX-1 cube-mesh", Topology::dgx1()),
+        ("NVSwitch", Topology::dgx2()),
+    ] {
         let machine = Machine::builder()
             .name(format!("dgx1-{label}"))
             .topology(topo)
@@ -619,7 +639,12 @@ pub fn sweeps() -> Table {
     }
     // Window length: longer windows amortize the pipeline fill/drain.
     for m in [8usize, 16, 32] {
-        cases.push(("window microbatches".into(), format!("{m}"), Machine::dgx1(), m));
+        cases.push((
+            "window microbatches".into(),
+            format!("{m}"),
+            Machine::dgx1(),
+            m,
+        ));
     }
     let rows = mpress_par::par_map(&cases, |(sweep, value, machine, microbatches)| {
         vec![
@@ -669,8 +694,7 @@ pub fn motivation() -> Table {
         let mpress = SystemConfig::Mpress.run(gpt_job(model.clone(), machine.clone()));
         // Aggregate bytes per microbatch: every GPU's ring traffic vs
         // the pipeline's once-per-boundary sends.
-        let intra =
-            mega.comm_bytes_per_microbatch.as_u64() as f64 * machine.gpu_count() as f64;
+        let intra = mega.comm_bytes_per_microbatch.as_u64() as f64 * machine.gpu_count() as f64;
         let inter = (machine.gpu_count() - 1) as f64
             * model
                 .boundary_activation_bytes(zoo::GPT_MICROBATCH, &PrecisionPolicy::mixed())
@@ -704,13 +728,8 @@ pub fn sec2d() -> Table {
         let mk = |goal: PartitionGoal| -> f64 {
             let model = zoo::bert_0_35b();
             let policy = PrecisionPolicy::full();
-            let partition = StagePartition::balanced(
-                &model,
-                8,
-                zoo::BERT_MICROBATCH,
-                &policy,
-                goal,
-            );
+            let partition =
+                StagePartition::balanced(&model, 8, zoo::BERT_MICROBATCH, &policy, goal);
             let job = PipelineJob::builder()
                 .model(model)
                 .machine(machine.clone())
@@ -787,8 +806,18 @@ mod tests {
         assert_eq!(t.rows.len(), 2);
         // Optimizer states and activations both dominate params+grads.
         for r in 0..2 {
-            let pg: f64 = t.cell(r, "params+grads").unwrap().trim_end_matches('%').parse().unwrap();
-            let opt: f64 = t.cell(r, "optimizer").unwrap().trim_end_matches('%').parse().unwrap();
+            let pg: f64 = t
+                .cell(r, "params+grads")
+                .unwrap()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap();
+            let opt: f64 = t
+                .cell(r, "optimizer")
+                .unwrap()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap();
             assert!(opt > pg);
         }
     }

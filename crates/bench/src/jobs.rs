@@ -64,27 +64,21 @@ impl SystemConfig {
 
     /// The planner configuration realizing this system.
     pub fn planner_config(self) -> PlannerConfig {
+        let mut cfg = PlannerConfig::default();
         match self {
-            SystemConfig::Plain => PlannerConfig {
-                optimizations: OptimizationSet::none(),
-                ..PlannerConfig::default()
-            },
-            SystemConfig::GpuCpuSwap => PlannerConfig {
-                optimizations: OptimizationSet::host_swap_only(),
-                exhaustive_swap: true,
-                ..PlannerConfig::default()
-            },
-            SystemConfig::Recomputation => PlannerConfig {
-                optimizations: OptimizationSet::recompute_only(),
-                exhaustive_swap: true,
-                ..PlannerConfig::default()
-            },
-            SystemConfig::MpressD2dOnly => PlannerConfig {
-                optimizations: OptimizationSet::d2d_only(),
-                ..PlannerConfig::default()
-            },
-            SystemConfig::Mpress => PlannerConfig::default(),
+            SystemConfig::Plain => cfg.optimizations = OptimizationSet::none(),
+            SystemConfig::GpuCpuSwap => {
+                cfg.optimizations = OptimizationSet::host_swap_only();
+                cfg.exhaustive_swap = true;
+            }
+            SystemConfig::Recomputation => {
+                cfg.optimizations = OptimizationSet::recompute_only();
+                cfg.exhaustive_swap = true;
+            }
+            SystemConfig::MpressD2dOnly => cfg.optimizations = OptimizationSet::d2d_only(),
+            SystemConfig::Mpress => {}
         }
+        cfg
     }
 
     /// Runs a job under this system; `Some(tflops)` on success, `None` on

@@ -14,6 +14,11 @@ pub struct Args {
 const SWITCHES: &[&str] = &["chart", "gantt"];
 // `--trace` takes a path, so it is a value flag, not a switch.
 
+/// Flags whose value is optional: bare `--key` means `--key=DEFAULT`.
+/// A value must be attached with `=` (`--metrics=json`), never as the
+/// next token, so `--metrics --chart` parses unambiguously.
+const OPTIONAL_VALUE: &[(&str, &str)] = &[("metrics", "table")];
+
 impl Args {
     /// Parses raw arguments.
     ///
@@ -26,17 +31,26 @@ impl Args {
         let mut it = raw.iter();
         while let Some(token) = it.next() {
             let Some(key) = token.strip_prefix("--") else {
-                return Err(CliError(format!(
+                return Err(CliError::BadFlag(format!(
                     "unexpected positional argument `{token}` (flags are --key value)"
                 )));
             };
+            // `--key=value` binds inline, for any flag.
+            if let Some((k, v)) = key.split_once('=') {
+                args.values.insert(k.to_owned(), v.to_owned());
+                continue;
+            }
             if SWITCHES.contains(&key) {
                 args.switches.push(key.to_owned());
                 continue;
             }
+            if let Some((_, default)) = OPTIONAL_VALUE.iter().find(|(k, _)| *k == key) {
+                args.values.insert(key.to_owned(), (*default).to_owned());
+                continue;
+            }
             let value = it
                 .next()
-                .ok_or_else(|| CliError(format!("flag --{key} expects a value")))?;
+                .ok_or_else(|| CliError::BadFlag(format!("flag --{key} expects a value")))?;
             args.values.insert(key.to_owned(), value.clone());
         }
         Ok(args)
@@ -54,7 +68,7 @@ impl Args {
     /// Returns [`CliError`] naming the missing flag.
     pub fn require(&self, key: &str) -> Result<&str, CliError> {
         self.get(key)
-            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+            .ok_or_else(|| CliError::MissingArg(key.to_owned()))
     }
 
     /// Whether a boolean switch was given.
@@ -72,7 +86,7 @@ impl Args {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| CliError(format!("--{key} expects an integer, got `{v}`"))),
+                .map_err(|_| CliError::BadFlag(format!("--{key} expects an integer, got `{v}`"))),
         }
     }
 }
@@ -103,14 +117,28 @@ mod tests {
     #[test]
     fn rejects_missing_value() {
         let err = parse(&["--model"]).unwrap_err();
-        assert!(err.0.contains("expects a value"));
+        assert!(err.to_string().contains("expects a value"));
     }
 
     #[test]
     fn require_names_the_flag() {
         let a = parse(&[]).unwrap();
         let err = a.require("model").unwrap_err();
-        assert!(err.0.contains("--model"));
+        assert!(err.to_string().contains("--model"));
+    }
+
+    #[test]
+    fn equals_binds_inline_values() {
+        let a = parse(&["--model=gpt-5.3b", "--metrics=json"]).unwrap();
+        assert_eq!(a.get("model"), Some("gpt-5.3b"));
+        assert_eq!(a.get("metrics"), Some("json"));
+    }
+
+    #[test]
+    fn bare_optional_value_flag_takes_its_default() {
+        let a = parse(&["--metrics", "--chart"]).unwrap();
+        assert_eq!(a.get("metrics"), Some("table"));
+        assert!(a.switch("chart"));
     }
 
     #[test]

@@ -3,10 +3,98 @@
 use crate::args::Args;
 use crate::names;
 use crate::CliError;
-use mpress::{GraceHopperNode, GraceHopperProjection, Mpress, PlannerConfig};
+use mpress::{GraceHopperNode, GraceHopperProjection, Mpress, PlannerConfig, TelemetryReport};
 use mpress_pipeline::PipelineJob;
 use mpress_sim::viz;
 use std::fmt::Write as _;
+
+/// How `--metrics` was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsMode {
+    Off,
+    Table,
+    Json,
+}
+
+fn metrics_mode(args: &Args) -> Result<MetricsMode, CliError> {
+    match args.get("metrics") {
+        None => Ok(MetricsMode::Off),
+        Some("table") => Ok(MetricsMode::Table),
+        Some("json") => Ok(MetricsMode::Json),
+        Some(other) => Err(CliError::BadFlag(format!(
+            "--metrics expects `table` or `json`, got `{other}`"
+        ))),
+    }
+}
+
+/// Serializes a telemetry payload as the command's *entire* output —
+/// `--metrics=json` promises machine-readable stdout.
+fn telemetry_json<T: serde::Serialize>(payload: &T) -> Result<String, CliError> {
+    serde_json::to_string_pretty(payload)
+        .map(|mut s| {
+            s.push('\n');
+            s
+        })
+        .map_err(|e| CliError::Output(format!("serializing telemetry: {e}")))
+}
+
+/// The human-readable `--metrics` section.
+fn telemetry_table(t: &TelemetryReport) -> String {
+    let mut out = String::from("\ntelemetry:\n");
+    let s = &t.search;
+    let _ = writeln!(
+        out,
+        "  search: {} emulator runs, {} cache hits ({:.0}% hit rate), \
+         jobs={} (peak {} workers), candidates/round {:?}",
+        s.emulator_runs,
+        s.cache_hits,
+        100.0 * s.cache_hit_rate(),
+        s.jobs,
+        s.peak_workers,
+        t.refine_candidates,
+    );
+    let Some(sim) = &t.sim else {
+        return out;
+    };
+    let _ = writeln!(
+        out,
+        "  sim: makespan {:.3}s, {} evictions, {} refetches",
+        sim.total_time, sim.evictions, sim.refetches
+    );
+    let _ = writeln!(
+        out,
+        "  device   compute     comm copy-out  copy-in | mem-wait  copy-in dep-wait  drained"
+    );
+    for d in &sim.devices {
+        let _ = writeln!(
+            out,
+            "  GPU{:<4} {:>8.3} {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            d.device.index(),
+            d.busy.compute,
+            d.busy.comm,
+            d.busy.copy_out,
+            d.busy.copy_in,
+            d.stalls.waiting_on_memory,
+            d.stalls.waiting_on_copy_in,
+            d.stalls.waiting_on_dependency,
+            d.stalls.drained,
+        );
+    }
+    if !sim.links.is_empty() {
+        let _ = writeln!(out, "  links:");
+        for l in &sim.links {
+            let _ = writeln!(
+                out,
+                "    {:<14} {:>10}  busy {:>7.3}s  occupancy {:>4.0}%",
+                l.link.to_string(),
+                l.bytes.to_string(),
+                l.busy,
+                100.0 * l.occupancy,
+            );
+        }
+    }
+    out
+}
 
 /// `zoo`: the model catalog with parameter counts.
 pub fn zoo() -> Result<String, CliError> {
@@ -48,17 +136,19 @@ fn job_from(args: &Args) -> Result<PipelineJob, CliError> {
         .microbatches(microbatches)
         .precision(default_precision)
         .build()
-        .map_err(|e| CliError(format!("invalid job: {e}")))
+        .map_err(|e| CliError::BadFlag(format!("invalid job: {e}")))
 }
 
-fn mpress_from(args: &Args) -> Result<Mpress, CliError> {
+fn mpress_from(args: &Args, metrics: bool) -> Result<Mpress, CliError> {
     let job = job_from(args)?;
     let opts = names::optimizations(args.get("opts").unwrap_or("all"))?;
-    let cfg = PlannerConfig {
-        optimizations: opts,
-        ..PlannerConfig::default()
-    };
-    Ok(Mpress::builder().job(job).planner_config(cfg).build())
+    let mut cfg = PlannerConfig::default();
+    cfg.optimizations = opts;
+    Ok(Mpress::builder()
+        .job(job)
+        .planner_config(cfg)
+        .metrics(metrics)
+        .build())
 }
 
 /// `demands`: Table-II-style memory summary plus per-stage peaks.
@@ -80,11 +170,7 @@ pub fn demands(args: &Args) -> Result<String, CliError> {
     let usable = job.machine().gpu().usable_memory();
     for (stage, peak) in d.per_stage_peak.iter().enumerate() {
         let flag = if *peak > usable { "OVERFLOW" } else { "fits" };
-        let _ = writeln!(
-            out,
-            "stage {stage}: {:>8.1} GiB  {flag}",
-            peak.as_gib_f64()
-        );
+        let _ = writeln!(out, "stage {stage}: {:>8.1} GiB  {flag}", peak.as_gib_f64());
     }
     Ok(out)
 }
@@ -92,10 +178,9 @@ pub fn demands(args: &Args) -> Result<String, CliError> {
 /// `plan`: run the planner, print the technique breakdown, optionally
 /// persist JSON.
 pub fn plan(args: &Args) -> Result<String, CliError> {
-    let mpress = mpress_from(args)?;
-    let (plan, lowered) = mpress
-        .plan()
-        .map_err(|e| CliError(format!("planning failed: {e}")))?;
+    let mode = metrics_mode(args)?;
+    let mpress = mpress_from(args, mode != MetricsMode::Off)?;
+    let (plan, lowered) = mpress.plan()?;
     let mut out = format!(
         "device map: {}\ndirectives: {} (refinement rounds: {})\n\
          search: {} emulator runs, {} cache hits ({:.0}% hit rate), \
@@ -129,19 +214,39 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
     }
     if let Some(path) = args.get("out") {
         let json = serde_json::to_string_pretty(&plan.instrumentation)
-            .map_err(|e| CliError(format!("serializing plan: {e}")))?;
-        std::fs::write(path, json).map_err(|e| CliError(format!("writing {path}: {e}")))?;
+            .map_err(|e| CliError::Output(format!("serializing plan: {e}")))?;
+        std::fs::write(path, json).map_err(|e| CliError::Output(format!("writing {path}: {e}")))?;
         let _ = writeln!(out, "plan written to {path}");
     }
-    Ok(out)
+    // No final simulation in `plan`, so only search telemetry exists.
+    let telemetry = TelemetryReport {
+        sim: None,
+        search: plan.search,
+        refine_candidates: plan.refine_candidates.clone(),
+    };
+    match mode {
+        MetricsMode::Off => Ok(out),
+        MetricsMode::Json => telemetry_json(&telemetry),
+        MetricsMode::Table => {
+            out.push_str(&telemetry_table(&telemetry));
+            Ok(out)
+        }
+    }
 }
 
 /// `train`: plan + simulate, report throughput and optional charts.
 pub fn train(args: &Args) -> Result<String, CliError> {
-    let mpress = mpress_from(args)?;
-    let report = mpress
-        .train()
-        .map_err(|e| CliError(format!("training simulation failed: {e}")))?;
+    let mode = metrics_mode(args)?;
+    let mpress = mpress_from(args, mode != MetricsMode::Off)?;
+    let report = mpress.train()?;
+    if mode == MetricsMode::Json {
+        // Machine-readable stdout: the telemetry document and nothing else.
+        let telemetry = report
+            .metrics
+            .as_ref()
+            .expect("metrics were enabled for this run");
+        return telemetry_json(telemetry);
+    }
     let mut out = if report.succeeded() {
         format!(
             "ok: {:.1} aggregate TFLOPS, {:.1} samples/s, peak {:.1} GiB/GPU\n\
@@ -162,28 +267,29 @@ pub fn train(args: &Args) -> Result<String, CliError> {
     };
     if args.switch("chart") || args.switch("gantt") || args.get("trace").is_some() {
         // Re-simulate with timelines for the charts.
-        let (plan, lowered) = mpress
-            .plan()
-            .map_err(|e| CliError(format!("planning failed: {e}")))?;
+        let (plan, lowered) = mpress.plan()?;
         let sim = mpress_sim::Simulator::new(
             mpress.machine(),
             &lowered.graph,
             &plan.instrumentation,
             plan.device_map.clone(),
         )
-        .with_config(mpress_sim::SimConfig {
-            strict_oom: true,
-            track_timeline: true,
-            memory_gate: true,
-            trace: args.get("trace").is_some(),
-        })
+        .with_config(
+            mpress_sim::SimConfig::default()
+                .track_timeline(true)
+                .trace(args.get("trace").is_some()),
+        )
         .run()
-        .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+        .map_err(|e| CliError::Run(e.into()))?;
         if let Some(path) = args.get("trace") {
             let events = sim.trace.as_deref().unwrap_or(&[]);
             std::fs::write(path, mpress_sim::trace::to_chrome_trace(events))
-                .map_err(|e| CliError(format!("writing {path}: {e}")))?;
-            let _ = writeln!(out, "chrome trace written to {path} ({} events)", events.len());
+                .map_err(|e| CliError::Output(format!("writing {path}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "chrome trace written to {path} ({} events)",
+                events.len()
+            );
         }
         if args.switch("chart") {
             out.push_str("\nper-device memory (full block = usable capacity):\n");
@@ -205,6 +311,13 @@ pub fn train(args: &Args) -> Result<String, CliError> {
             out.push_str(&viz::gantt(&sim, &lowered.graph, &stages, 100));
         }
     }
+    if mode == MetricsMode::Table {
+        let telemetry = report
+            .metrics
+            .as_ref()
+            .expect("metrics were enabled for this run");
+        out.push_str(&telemetry_table(telemetry));
+    }
     Ok(out)
 }
 
@@ -223,6 +336,13 @@ pub fn insights(args: &Args) -> Result<String, CliError> {
 pub fn compare(args: &Args) -> Result<String, CliError> {
     use mpress::OptimizationSet;
     use mpress_baselines::{MegatronBaseline, ZeroBaseline, ZeroVariant};
+    use std::collections::BTreeMap;
+
+    let mode = metrics_mode(args)?;
+    let metrics_on = mode != MetricsMode::Off;
+    // Telemetry per simulated system (analytic ZeRO/Megatron baselines
+    // have none).
+    let mut telemetry: BTreeMap<String, TelemetryReport> = BTreeMap::new();
 
     let job = job_from(args)?;
     let mut out = format!(
@@ -241,15 +361,18 @@ pub fn compare(args: &Args) -> Result<String, CliError> {
     let plain = Mpress::builder()
         .job(job.clone())
         .optimizations(OptimizationSet::none())
+        .metrics(metrics_on)
         .build()
-        .train_unmodified()
-        .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+        .train_unmodified()?;
     let _ = writeln!(
         out,
         "  {:<24} {} TFLOPS",
         format!("plain {}", job.schedule()),
         cell(plain.succeeded().then_some(plain.tflops))
     );
+    if let Some(t) = plain.metrics {
+        telemetry.insert(format!("plain {}", job.schedule()), t);
+    }
     for (label, opts) in [
         ("gpu-cpu swap", OptimizationSet::host_swap_only()),
         ("recomputation", OptimizationSet::recompute_only()),
@@ -259,15 +382,18 @@ pub fn compare(args: &Args) -> Result<String, CliError> {
         let r = Mpress::builder()
             .job(job.clone())
             .optimizations(opts)
+            .metrics(metrics_on)
             .build()
-            .train()
-            .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+            .train()?;
         let _ = writeln!(
             out,
             "  {:<24} {} TFLOPS",
             label,
             cell(r.succeeded().then_some(r.tflops))
         );
+        if let Some(t) = r.metrics {
+            telemetry.insert(label.to_owned(), t);
+        }
     }
     for variant in [ZeroVariant::Offload, ZeroVariant::Infinity] {
         let r = ZeroBaseline::new(job.machine().clone(), job.model().clone(), variant)
@@ -292,7 +418,16 @@ pub fn compare(args: &Args) -> Result<String, CliError> {
         cell(mega.fits.then_some(mega.tflops)),
         mega.gpu_bytes.as_gib_f64()
     );
-    Ok(out)
+    match mode {
+        MetricsMode::Off => Ok(out),
+        MetricsMode::Json => telemetry_json(&telemetry),
+        MetricsMode::Table => {
+            for (label, t) in &telemetry {
+                let _ = write!(out, "\n[{label}]{}", telemetry_table(t));
+            }
+            Ok(out)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +525,43 @@ mod tests {
         assert!(out.contains("per-device memory"), "{out}");
         assert!(out.contains("execution lanes"), "{out}");
         assert!(out.contains("GPU7"), "{out}");
+    }
+
+    #[test]
+    fn train_metrics_json_is_a_parseable_document() {
+        let out = train(&args(&[
+            "--model",
+            "bert-0.35b",
+            "--microbatches",
+            "6",
+            "--metrics=json",
+        ]))
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(parsed.get("sim").is_some(), "{out}");
+        assert!(parsed.get("search").is_some(), "{out}");
+    }
+
+    #[test]
+    fn train_metrics_table_renders_stall_columns() {
+        let out = train(&args(&[
+            "--model",
+            "bert-0.35b",
+            "--microbatches",
+            "6",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("ok:"), "{out}");
+        assert!(out.contains("telemetry:"), "{out}");
+        assert!(out.contains("mem-wait"), "{out}");
+    }
+
+    #[test]
+    fn metrics_rejects_unknown_mode() {
+        let err = train(&args(&["--model", "bert-0.35b", "--metrics=csv"])).unwrap_err();
+        assert!(matches!(err, CliError::BadFlag(_)));
+        assert!(err.to_string().contains("csv"), "{err}");
     }
 
     #[test]

@@ -18,21 +18,51 @@ pub mod names;
 
 use std::fmt;
 
-/// A CLI failure: message for the user, non-zero exit.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(pub String);
+/// A CLI failure: a structured reason, rendered as a user-facing message
+/// by `Display`, non-zero exit.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Invoked without a command — the message is the usage text.
+    Usage,
+    /// Unrecognized subcommand.
+    UnknownCommand(String),
+    /// A flag failed to parse or carried an invalid value (full message).
+    BadFlag(String),
+    /// A required flag was absent (the flag name, without `--`).
+    MissingArg(String),
+    /// Writing or serializing an output artifact failed (full message).
+    Output(String),
+    /// The underlying plan/train run failed.
+    Run(mpress::MpressError),
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        match self {
+            CliError::Usage => write!(f, "{}", usage()),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command `{c}`\n\n{}", usage())
+            }
+            CliError::BadFlag(msg) | CliError::Output(msg) => write!(f, "{msg}"),
+            CliError::MissingArg(flag) => write!(f, "missing required flag --{flag}"),
+            CliError::Run(e) => write!(f, "{e}"),
+        }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl From<String> for CliError {
-    fn from(s: String) -> Self {
-        CliError(s)
+impl From<mpress::MpressError> for CliError {
+    fn from(e: mpress::MpressError) -> Self {
+        CliError::Run(e)
     }
 }
 
@@ -44,9 +74,7 @@ impl From<String> for CliError {
 /// Returns [`CliError`] with a user-facing message for unknown commands,
 /// bad flags or failed runs.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
-    let (command, rest) = argv
-        .split_first()
-        .ok_or_else(|| CliError(usage()))?;
+    let (command, rest) = argv.split_first().ok_or(CliError::Usage)?;
     let parsed = args::Args::parse(rest)?;
     // Worker threads for parallel plan search (0 = auto; MPRESS_JOBS is
     // the env equivalent). Applies to every planning command.
@@ -59,10 +87,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "compare" => commands::compare(&parsed),
         "insights" => commands::insights(&parsed),
         "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(CliError(format!(
-            "unknown command `{other}`\n\n{}",
-            usage()
-        ))),
+        other => Err(CliError::UnknownCommand(other.to_owned())),
     }
 }
 
@@ -93,7 +118,11 @@ pub fn usage() -> String {
      \x20 --out         write the plan as JSON (plan) or report (train)\n\
      \x20 --chart       render per-device memory lanes (train)\n\
      \x20 --gantt       render the execution timeline (train)\n\
-     \x20 --trace       write a chrome://tracing JSON (train)\n"
+     \x20 --trace       write a chrome://tracing JSON (train)\n\
+     \x20 --metrics[=table|json]\n\
+     \x20               collect telemetry (stall attribution, link traffic,\n\
+     \x20               search counters); json mode prints only the JSON\n\
+     \x20               document (plan/train/compare)\n"
         .to_owned()
 }
 
@@ -108,13 +137,15 @@ mod tests {
     #[test]
     fn no_args_prints_usage_error() {
         let err = call(&[]).unwrap_err();
-        assert!(err.0.contains("USAGE"));
+        assert!(matches!(err, CliError::Usage));
+        assert!(err.to_string().contains("USAGE"));
     }
 
     #[test]
     fn unknown_command_is_an_error() {
         let err = call(&["frobnicate"]).unwrap_err();
-        assert!(err.0.contains("unknown command"));
+        assert!(matches!(&err, CliError::UnknownCommand(c) if c == "frobnicate"));
+        assert!(err.to_string().contains("unknown command"));
     }
 
     #[test]
@@ -141,13 +172,15 @@ mod tests {
     #[test]
     fn demands_requires_model() {
         let err = call(&["demands"]).unwrap_err();
-        assert!(err.0.contains("--model"), "{err}");
+        assert!(matches!(&err, CliError::MissingArg(flag) if flag == "model"));
+        assert!(err.to_string().contains("--model"), "{err}");
     }
 
     #[test]
     fn bad_flag_is_reported() {
         let err = call(&["demands", "--model"]).unwrap_err();
-        assert!(err.0.contains("expects a value"), "{err}");
+        assert!(matches!(err, CliError::BadFlag(_)));
+        assert!(err.to_string().contains("expects a value"), "{err}");
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub fn model(name: &str) -> Result<TransformerConfig, CliError> {
         .map(|(_, m)| m)
         .ok_or_else(|| {
             let names: Vec<&str> = model_catalog().iter().map(|(n, _)| *n).collect();
-            CliError(format!(
+            CliError::BadFlag(format!(
                 "unknown model `{name}`; expected one of: {}",
                 names.join(", ")
             ))
@@ -51,7 +51,7 @@ pub fn machine(name: &str) -> Result<Machine, CliError> {
         "dgx1" => Ok(Machine::dgx1()),
         "dgx2" => Ok(Machine::dgx2()),
         "commodity" => Ok(Machine::commodity()),
-        other => Err(CliError(format!(
+        other => Err(CliError::BadFlag(format!(
             "unknown machine `{other}`; expected dgx1, dgx2 or commodity"
         ))),
     }
@@ -67,7 +67,7 @@ pub fn schedule(name: &str) -> Result<ScheduleKind, CliError> {
         "pipedream" => Ok(ScheduleKind::PipeDream),
         "dapple" => Ok(ScheduleKind::Dapple),
         "gpipe" => Ok(ScheduleKind::GPipe),
-        other => Err(CliError(format!(
+        other => Err(CliError::BadFlag(format!(
             "unknown schedule `{other}`; expected pipedream, dapple or gpipe"
         ))),
     }
@@ -85,7 +85,7 @@ pub fn optimizations(name: &str) -> Result<OptimizationSet, CliError> {
         "hostswap" => Ok(OptimizationSet::host_swap_only()),
         "d2d" => Ok(OptimizationSet::d2d_only()),
         "none" => Ok(OptimizationSet::none()),
-        other => Err(CliError(format!(
+        other => Err(CliError::BadFlag(format!(
             "unknown optimization set `{other}`; expected all, recompute, hostswap, d2d or none"
         ))),
     }
@@ -121,10 +121,16 @@ mod tests {
 
     #[test]
     fn unknown_names_list_options() {
-        assert!(model("gpt-99b").unwrap_err().0.contains("gpt-25.5b"));
-        assert!(machine("dgx9").unwrap_err().0.contains("dgx2"));
-        assert!(schedule("fifo").unwrap_err().0.contains("gpipe"));
-        assert!(optimizations("max").unwrap_err().0.contains("recompute"));
+        assert!(model("gpt-99b")
+            .unwrap_err()
+            .to_string()
+            .contains("gpt-25.5b"));
+        assert!(machine("dgx9").unwrap_err().to_string().contains("dgx2"));
+        assert!(schedule("fifo").unwrap_err().to_string().contains("gpipe"));
+        assert!(optimizations("max")
+            .unwrap_err()
+            .to_string()
+            .contains("recompute"));
     }
 
     #[test]

@@ -137,7 +137,11 @@ impl CostModel {
         }
         candidates
             .into_iter()
-            .min_by(|a, b| a.overhead.partial_cmp(&b.overhead).expect("finite overheads"))
+            .min_by(|a, b| {
+                a.overhead
+                    .partial_cmp(&b.overhead)
+                    .expect("finite overheads")
+            })
             .expect("at least one candidate")
     }
 }

@@ -99,7 +99,11 @@ impl fmt::Display for PlanValidationError {
             PlanValidationError::BoundaryTensor(t) => {
                 write!(f, "directive assigned to boundary tensor {t}")
             }
-            PlanValidationError::StripeSizeMismatch { tensor, expected, got } => write!(
+            PlanValidationError::StripeSizeMismatch {
+                tensor,
+                expected,
+                got,
+            } => write!(
                 f,
                 "stripe plan for {tensor} moves {got} but the tensor is {expected}"
             ),
@@ -329,8 +333,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let p: InstrumentationPlan =
-            [(TensorId(0), MemoryDirective::Recompute)].into_iter().collect();
+        let p: InstrumentationPlan = [(TensorId(0), MemoryDirective::Recompute)]
+            .into_iter()
+            .collect();
         assert_eq!(p.len(), 1);
     }
 }

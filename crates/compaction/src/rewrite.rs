@@ -191,8 +191,8 @@ mod tests {
     #[test]
     fn empty_plan_is_identity_modulo_ids() {
         let g = base_graph();
-        let (rewritten, stats) = instrument(&g, &InstrumentationPlan::new(), &Machine::dgx1())
-            .unwrap();
+        let (rewritten, stats) =
+            instrument(&g, &InstrumentationPlan::new(), &Machine::dgx1()).unwrap();
         assert_eq!(stats, RewriteStats::default());
         assert_eq!(rewritten.ops().len(), g.ops().len());
     }

@@ -225,10 +225,7 @@ mod tests {
 
     #[test]
     fn weighted_is_proportional_and_exact() {
-        let p = StripePlan::weighted(
-            Bytes::mib(300),
-            &[(DeviceId(3), 2), (DeviceId(1), 1)],
-        );
+        let p = StripePlan::weighted(Bytes::mib(300), &[(DeviceId(3), 2), (DeviceId(1), 1)]);
         assert_eq!(p.total_bytes(), Bytes::mib(300));
         let c3 = p.chunks().iter().find(|c| c.target == DeviceId(3)).unwrap();
         let c1 = p.chunks().iter().find(|c| c.target == DeviceId(1)).unwrap();
@@ -240,10 +237,7 @@ mod tests {
     fn weighted_stripes_finish_together() {
         // Proportional sizing equalizes per-chunk times, so the one-way
         // time of a weighted plan matches a lone chunk's time closely.
-        let p = StripePlan::weighted(
-            Bytes::mib(300),
-            &[(DeviceId(3), 2), (DeviceId(1), 1)],
-        );
+        let p = StripePlan::weighted(Bytes::mib(300), &[(DeviceId(3), 2), (DeviceId(1), 1)]);
         let t2 = BandwidthCurve::nvlink_lanes(2).transfer_time(Bytes::mib(200));
         let t1 = BandwidthCurve::nvlink_lanes(1).transfer_time(Bytes::mib(100));
         assert!((t1 - t2).abs() / t1 < 0.05, "t1 {t1} vs t2 {t2}");
@@ -272,7 +266,12 @@ mod tests {
         let topo = Topology::dgx1();
         let p = StripePlan::weighted(
             Bytes::mib(100),
-            &[(DeviceId(3), 2), (DeviceId(4), 2), (DeviceId(1), 1), (DeviceId(2), 1)],
+            &[
+                (DeviceId(3), 2),
+                (DeviceId(4), 2),
+                (DeviceId(1), 1),
+                (DeviceId(2), 1),
+            ],
         );
         assert!(p.validate(DeviceId(0), &topo).is_ok());
     }
@@ -299,8 +298,16 @@ mod tests {
         assert!(p.validate(DeviceId(0), &topo).is_err());
         let p2 = StripePlan {
             chunks: vec![
-                StripeChunk { target: DeviceId(1), lanes: 1, bytes: Bytes::mib(1) },
-                StripeChunk { target: DeviceId(1), lanes: 1, bytes: Bytes::mib(1) },
+                StripeChunk {
+                    target: DeviceId(1),
+                    lanes: 1,
+                    bytes: Bytes::mib(1),
+                },
+                StripeChunk {
+                    target: DeviceId(1),
+                    lanes: 1,
+                    bytes: Bytes::mib(1),
+                },
             ],
         };
         assert!(p2.validate(DeviceId(0), &topo).is_err());
@@ -310,10 +317,7 @@ mod tests {
     fn paper_table3_d2d_cost_regime() {
         // Table III: a 216 MB tensor over four NVLink lanes costs ~6 ms
         // round trip. Our model should land in the single-digit-ms regime.
-        let p = StripePlan::weighted(
-            Bytes::mib(216),
-            &[(DeviceId(3), 2), (DeviceId(4), 2)],
-        );
+        let p = StripePlan::weighted(Bytes::mib(216), &[(DeviceId(3), 2), (DeviceId(4), 2)]);
         let ms = p.round_trip_time() * 1e3;
         assert!((3.0..9.0).contains(&ms), "round trip {ms:.1} ms");
     }

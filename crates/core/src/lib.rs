@@ -47,9 +47,11 @@ pub mod mapping;
 pub mod planner;
 pub mod profiler;
 pub mod system;
+pub mod telemetry;
 
 pub use insights::{GraceHopperNode, GraceHopperProjection};
 pub use mapping::{MappingSearch, SpareAssignment};
 pub use planner::{Metric, MpressPlan, Planner, PlannerConfig, SearchStats};
 pub use profiler::{Profile, TensorClass, TensorClassKind};
 pub use system::{Mpress, MpressBuilder, MpressError, OptimizationSet, TrainingReport};
+pub use telemetry::TelemetryReport;

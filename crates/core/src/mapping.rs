@@ -167,9 +167,9 @@ impl<'a> MappingSearch<'a> {
             any = true;
             let budget = assignment.budget_of(stage);
             let served = demand.min(budget);
-            let lanes = assignment.lanes_of(stage).min(
-                self.machine.topology().lane_budget(),
-            );
+            let lanes = assignment
+                .lanes_of(stage)
+                .min(self.machine.topology().lane_budget());
             let d2d_bw = f64::from(lanes.max(1)) * NVLINK2_LANE_BW;
             let mut t = served.as_f64() / d2d_bw;
             let unserved = demand.saturating_sub(budget);
@@ -213,10 +213,26 @@ mod tests {
     fn symmetric_topology_skips_search() {
         let machine = Machine::dgx2();
         let search = MappingSearch::new(&machine);
-        let overflow = vec![Bytes::gib(10), Bytes::ZERO, Bytes::ZERO, Bytes::ZERO,
-                            Bytes::ZERO, Bytes::ZERO, Bytes::ZERO, Bytes::ZERO];
-        let spare = vec![Bytes::ZERO, Bytes::gib(4), Bytes::gib(4), Bytes::gib(4),
-                         Bytes::gib(4), Bytes::gib(4), Bytes::gib(4), Bytes::gib(4)];
+        let overflow = vec![
+            Bytes::gib(10),
+            Bytes::ZERO,
+            Bytes::ZERO,
+            Bytes::ZERO,
+            Bytes::ZERO,
+            Bytes::ZERO,
+            Bytes::ZERO,
+            Bytes::ZERO,
+        ];
+        let spare = vec![
+            Bytes::ZERO,
+            Bytes::gib(4),
+            Bytes::gib(4),
+            Bytes::gib(4),
+            Bytes::gib(4),
+            Bytes::gib(4),
+            Bytes::gib(4),
+            Bytes::gib(4),
+        ];
         let (map, assignment, score) = search.search(&overflow, &spare);
         assert_eq!(map, DeviceMap::identity(8));
         // All seven donors reachable; egress lanes split the budget of 6.

@@ -17,7 +17,9 @@
 
 use crate::mapping::{MappingSearch, SpareAssignment};
 use crate::profiler::{Profile, TensorClass};
-use mpress_compaction::{CostModel, HostTier, InstrumentationPlan, MemoryDirective, StripePlan, Technique};
+use mpress_compaction::{
+    CostModel, HostTier, InstrumentationPlan, MemoryDirective, StripePlan, Technique,
+};
 use mpress_hw::{Bytes, DeviceId, Machine, Secs};
 use mpress_pipeline::{LoweredJob, PipelineJob};
 use mpress_sim::{DeviceMap, OomEvent, SimError, SimReport, Simulator};
@@ -86,7 +88,12 @@ impl OptimizationSet {
 }
 
 /// Planner tunables.
+///
+/// Marked `#[non_exhaustive]`: start from [`PlannerConfig::default`] and
+/// override fields so new tunables can be added without breaking
+/// downstream crates.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct PlannerConfig {
     /// Which techniques may be used.
     pub optimizations: OptimizationSet,
@@ -167,6 +174,11 @@ pub struct MpressPlan {
     pub baseline: SimReport,
     /// Emulator/cache/pool counters for this search.
     pub search: SearchStats,
+    /// Candidate plans emulated per refinement round, in round order
+    /// (victim rounds first, then the portfolio checks). Feasibility
+    /// iterations are not included, so the sum is at most
+    /// `refinement_rounds`.
+    pub refine_candidates: Vec<usize>,
 }
 
 impl MpressPlan {
@@ -176,10 +188,7 @@ impl MpressPlan {
     }
 
     /// Technique → stages touched, as in the paper's Table IV.
-    pub fn stages(
-        &self,
-        lowered: &LoweredJob,
-    ) -> std::collections::HashMap<Technique, Vec<usize>> {
+    pub fn stages(&self, lowered: &LoweredJob) -> std::collections::HashMap<Technique, Vec<usize>> {
         self.instrumentation.stages_by_technique(&lowered.graph)
     }
 }
@@ -240,7 +249,10 @@ impl EmulationCache {
     }
 
     fn insert(&self, key: Vec<u64>, outcome: Outcome) {
-        self.entries.lock().expect("cache lock").insert(key, outcome);
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key, outcome);
     }
 }
 
@@ -371,7 +383,7 @@ impl<'a> Planner<'a> {
             });
         for (variant, outcome) in variants.iter().zip(alternatives) {
             let (alternative, alt_metric) = outcome?;
-            if std::env::var_os("MPRESS_PLAN_DEBUG").is_some() {
+            if mpress_obs::verbosity().plan_debug {
                 eprintln!(
                     "portfolio {variant:?}: oom={} makespan={:.4} vs best oom={} makespan={:.4}",
                     alt_metric.oom, alt_metric.makespan, best_metric.oom, best_metric.makespan
@@ -387,11 +399,7 @@ impl<'a> Planner<'a> {
     }
 
     /// Plans with an explicit technique set against a shared profile.
-    fn plan_with(
-        &self,
-        opts: OptimizationSet,
-        profile: &Profile,
-    ) -> Result<MpressPlan, SimError> {
+    fn plan_with(&self, opts: OptimizationSet, profile: &Profile) -> Result<MpressPlan, SimError> {
         let cap = self.capacity_target();
         let n = self.lowered.graph.n_stages();
         let peaks = &profile.baseline.device_peak[..n];
@@ -413,8 +421,7 @@ impl<'a> Planner<'a> {
             if overflow[stage].is_zero() {
                 continue;
             }
-            let cycle =
-                self.job.stage_forward_time(stage) + self.job.stage_backward_time(stage);
+            let cycle = self.job.stage_forward_time(stage) + self.job.stage_backward_time(stage);
             let channel_budget = 0.5 * cycle;
             let mut candidates: Vec<(usize, Choice)> = classes
                 .iter()
@@ -439,8 +446,8 @@ impl<'a> Planner<'a> {
                     // Activations round-trip once per microbatch; statics
                     // amortize their single round trip over the window.
                     let legs_per_cycle = class.instances.len() as f64 / m_count;
-                    let extra = legs_per_cycle
-                        * self.machine.pcie_transfer_time(class.bytes_per_instance);
+                    let extra =
+                        legs_per_cycle * self.machine.pcie_transfer_time(class.bytes_per_instance);
                     if pcie_load + extra > channel_budget {
                         // The copy engine is saturated: fall back to
                         // recomputation when allowed, else accept the
@@ -620,6 +627,7 @@ impl<'a> Planner<'a> {
         }
 
         // --- Emulator-verified refinement (§III-D step 2) ----------------------
+        let mut refine_candidates: Vec<usize> = Vec::new();
         if (opts.d2d || opts.recompute) && self.config.refine_iters > 0 {
             let mut best_plan = self.emit(classes, &choice, &budgets, &device_map)?;
             let (mut best_metric, _) = self.emulate(&best_plan, &device_map)?;
@@ -692,8 +700,9 @@ impl<'a> Planner<'a> {
                     let c = match tier {
                         HostTier::Dram => cost
                             .gpu_cpu_swap(classes[i].bytes_per_instance, classes[i].live_interval),
-                        HostTier::Nvme => cost
-                            .nvme_swap(classes[i].bytes_per_instance, classes[i].live_interval),
+                        HostTier::Nvme => {
+                            cost.nvme_swap(classes[i].bytes_per_instance, classes[i].live_interval)
+                        }
                     };
                     let mut trial_choice = choice.clone();
                     trial_choice[i] = Choice::HostSwap {
@@ -720,6 +729,7 @@ impl<'a> Planner<'a> {
                         Ok((trial_plan, metric))
                     });
                 rounds += trials.len();
+                refine_candidates.push(trials.len());
                 let mut results = Vec::with_capacity(evaluated.len());
                 for outcome in evaluated {
                     results.push(outcome?);
@@ -758,6 +768,7 @@ impl<'a> Planner<'a> {
                     let trial_plan = self.emit(classes, &stripped, &budgets, &device_map)?;
                     let (metric, _) = self.emulate(&trial_plan, &device_map)?;
                     rounds += 1;
+                    refine_candidates.push(1);
                     if metric_better(metric, best_metric) {
                         choice = stripped;
                         best_plan = trial_plan;
@@ -783,6 +794,7 @@ impl<'a> Planner<'a> {
                     let rec_plan = self.emit(classes, &rec_choice, &budgets, &device_map)?;
                     let (metric, _) = self.emulate(&rec_plan, &device_map)?;
                     rounds += 1;
+                    refine_candidates.push(1);
                     if metric_better(metric, best_metric) {
                         best_plan = rec_plan;
                         best_metric = metric;
@@ -797,6 +809,7 @@ impl<'a> Planner<'a> {
                 refinement_rounds: rounds,
                 baseline: profile.baseline.clone(),
                 search: self.search_stats(),
+                refine_candidates,
             });
         }
 
@@ -808,6 +821,7 @@ impl<'a> Planner<'a> {
             refinement_rounds: rounds,
             baseline: profile.baseline.clone(),
             search: self.search_stats(),
+            refine_candidates,
         })
     }
 
@@ -833,12 +847,8 @@ impl<'a> Planner<'a> {
         if opts.host_swap && class.swappable {
             let tier = self.host_tier_for(class);
             let c = match tier {
-                HostTier::Dram => {
-                    cost.gpu_cpu_swap(class.bytes_per_instance, class.live_interval)
-                }
-                HostTier::Nvme => {
-                    cost.nvme_swap(class.bytes_per_instance, class.live_interval)
-                }
+                HostTier::Dram => cost.gpu_cpu_swap(class.bytes_per_instance, class.live_interval),
+                HostTier::Nvme => cost.nvme_swap(class.bytes_per_instance, class.live_interval),
             };
             best = Some(Choice::HostSwap {
                 overhead: c.overhead,
@@ -916,11 +926,7 @@ impl<'a> Planner<'a> {
     }
 
     /// Builds the stripe layout for one instance over a stage's donors.
-    fn stripe_over(
-        &self,
-        bytes: Bytes,
-        donors: &[(DeviceId, u32, Bytes)],
-    ) -> Option<StripePlan> {
+    fn stripe_over(&self, bytes: Bytes, donors: &[(DeviceId, u32, Bytes)]) -> Option<StripePlan> {
         let active: Vec<(DeviceId, u32)> = donors
             .iter()
             .filter(|&&(_, _, b)| !b.is_zero())
@@ -975,8 +981,8 @@ impl<'a> Planner<'a> {
         device_map: &DeviceMap,
     ) -> Result<(Metric, Option<OomEvent>), SimError> {
         self.cache.runs.fetch_add(1, Ordering::Relaxed);
-        let report = Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())
-            .run()?;
+        let report =
+            Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone()).run()?;
         Ok((
             Metric {
                 oom: report.oom.is_some(),
@@ -1056,7 +1062,8 @@ fn metric_better(candidate: Metric, best: Metric) -> bool {
             if candidate.makespan < best.makespan * 0.999 {
                 return true;
             }
-            candidate.makespan <= best.makespan * 1.001 && candidate.host_traffic < best.host_traffic
+            candidate.makespan <= best.makespan * 1.001
+                && candidate.host_traffic < best.host_traffic
         }
     }
 }
@@ -1111,7 +1118,10 @@ mod tests {
         // Sub-0.1% gains are "non-visible": only accepted when they also
         // relieve the PCIe channel.
         assert!(!metric_better(m(false, 0.9999, t), m(false, 1.0, t)));
-        assert!(metric_better(m(false, 0.9999, Bytes::ZERO), m(false, 1.0, t)));
+        assert!(metric_better(
+            m(false, 0.9999, Bytes::ZERO),
+            m(false, 1.0, t)
+        ));
         assert!(!metric_better(m(false, 1.1, Bytes::ZERO), m(false, 1.0, t)));
     }
 
@@ -1160,6 +1170,9 @@ mod tests {
         let lowered = job.lower().unwrap();
         let planner = Planner::new(&machine, &job, &lowered, PlannerConfig::default());
         let plan = planner.plan().unwrap();
-        assert!(plan.instrumentation.is_empty(), "small model must fit as-is");
+        assert!(
+            plan.instrumentation.is_empty(),
+            "small model must fit as-is"
+        );
     }
 }

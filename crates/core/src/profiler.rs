@@ -7,11 +7,11 @@
 //! and recomputation (layer forward) times — the contents of the paper's
 //! Table III.
 
+use mpress_compaction::InstrumentationPlan;
 use mpress_graph::{LivenessAnalysis, OpKind, TensorId, TensorKind};
 use mpress_hw::{Bytes, Machine, Secs};
 use mpress_pipeline::{LoweredJob, PipelineJob};
 use mpress_sim::{DeviceMap, SimConfig, SimError, SimReport, Simulator};
-use mpress_compaction::InstrumentationPlan;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -101,12 +101,7 @@ impl Profile {
             &plan,
             DeviceMap::identity(lowered.graph.n_stages()),
         )
-        .with_config(SimConfig {
-            strict_oom: false,
-            track_timeline: false,
-            memory_gate: false,
-            trace: false,
-        })
+        .with_config(SimConfig::default().strict_oom(false).memory_gate(false))
         .run()?;
         let liveness = LivenessAnalysis::compute(&lowered.graph, &baseline.op_start);
         let classes = build_classes(job, lowered, &liveness, &baseline);

@@ -1,6 +1,7 @@
 //! The MPress system facade: configure, plan, train.
 
 use crate::planner::{MpressPlan, Planner, PlannerConfig};
+use crate::telemetry::TelemetryReport;
 use mpress_graph::GraphError;
 use mpress_hw::{Bytes, Machine};
 use mpress_pipeline::{LoweredJob, PipelineJob};
@@ -9,7 +10,11 @@ use mpress_sim::{DeviceMap, SimConfig, SimError, SimReport, Simulator};
 pub use crate::planner::OptimizationSet;
 
 /// Errors the facade can raise.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm so
+/// new error kinds can be added compatibly.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum MpressError {
     /// The job could not be lowered into a dataflow graph.
     Lowering(GraphError),
@@ -54,6 +59,9 @@ pub struct TrainingReport {
     pub throughput: f64,
     /// Achieved model TFLOPS (the paper's Figs. 7-8 metric).
     pub tflops: f64,
+    /// Structured telemetry when the system was built with
+    /// [`MpressBuilder::metrics`].
+    pub metrics: Option<TelemetryReport>,
 }
 
 impl TrainingReport {
@@ -90,6 +98,7 @@ impl TrainingReport {
 pub struct Mpress {
     job: PipelineJob,
     planner_config: PlannerConfig,
+    metrics: bool,
 }
 
 impl Mpress {
@@ -153,12 +162,7 @@ impl Mpress {
             &plan.instrumentation,
             plan.device_map.clone(),
         )
-        .with_config(SimConfig {
-            strict_oom: true,
-            track_timeline: false,
-            memory_gate: true,
-            trace: false,
-        })
+        .with_config(SimConfig::default().metrics(self.metrics))
         .run()?;
         // A job that overflows immediately never processes a sample.
         let (throughput, tflops) = if report.makespan > 0.0 && report.oom.is_none() {
@@ -169,11 +173,17 @@ impl Mpress {
         } else {
             (0.0, 0.0)
         };
+        let metrics = self.metrics.then(|| TelemetryReport {
+            sim: report.metrics.clone(),
+            search: plan.search,
+            refine_candidates: plan.refine_candidates.clone(),
+        });
         Ok(TrainingReport {
             plan: plan.clone(),
             sim: report,
             throughput,
             tflops,
+            metrics,
         })
     }
 
@@ -193,6 +203,7 @@ impl Mpress {
             },
             refinement_rounds: 0,
             search: crate::planner::SearchStats::default(),
+            refine_candidates: Vec::new(),
             baseline: SimReport {
                 makespan: 0.0,
                 op_start: Vec::new(),
@@ -207,6 +218,7 @@ impl Mpress {
                 recompute_time: 0.0,
                 timelines: None,
                 trace: None,
+                metrics: None,
             },
         };
         self.simulate(&plan, &lowered)
@@ -223,6 +235,7 @@ pub struct MpressBuilder {
     refine_iters: Option<usize>,
     striping: Option<bool>,
     mapping_search: Option<bool>,
+    metrics: bool,
 }
 
 impl MpressBuilder {
@@ -268,14 +281,24 @@ impl MpressBuilder {
         self
     }
 
+    /// Collects structured telemetry ([`TrainingReport::metrics`]) during
+    /// `train`/`simulate`. Off by default — disabled runs skip all metric
+    /// assembly and their reports are byte-identical to pre-metrics runs.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
     /// Finishes the system.
     ///
     /// # Panics
     ///
-    /// Panics when no job was supplied (use [`MpressBuilder::try_build`]
-    /// for a fallible variant).
+    /// Panics when the required `job` was never supplied — the one
+    /// invariant [`MpressBuilder::try_build`] checks. Use `try_build` to
+    /// handle the violation as a value instead.
     pub fn build(self) -> Mpress {
-        self.try_build().expect("MpressBuilder requires a job")
+        self.try_build()
+            .expect("MpressBuilder invariant violated: a pipeline job must be set via .job(...) before build()")
     }
 
     /// Fallible build.
@@ -304,6 +327,7 @@ impl MpressBuilder {
         Ok(Mpress {
             job,
             planner_config: config,
+            metrics: self.metrics,
         })
     }
 }

@@ -1,0 +1,48 @@
+//! The structured telemetry surfaced by a metrics-enabled run.
+//!
+//! [`TelemetryReport`] joins the two halves of the observability story:
+//! the simulator's time/traffic accounting ([`SimMetrics`]) and the
+//! planner's search-cost counters ([`SearchStats`] plus the per-round
+//! candidate counts). One JSON document — with stable key order, so
+//! identical runs emit identical bytes — answers both "where did the
+//! simulated time go" and "what did finding the plan cost".
+
+use crate::planner::SearchStats;
+use mpress_sim::SimMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Everything a metrics-enabled `train`/`plan` run reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Simulator metrics for the instrumented window (absent when only
+    /// planning, or when the simulation never ran).
+    pub sim: Option<SimMetrics>,
+    /// Planner search counters (emulator runs, cache hits, worker pool).
+    pub search: SearchStats,
+    /// Candidate plans emulated per refinement round.
+    pub refine_candidates: Vec<usize>,
+}
+
+impl TelemetryReport {
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sim.is_none()
+            && self.search == SearchStats::default()
+            && self.refine_candidates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_report_is_empty() {
+        assert!(TelemetryReport::default().is_empty());
+        let t = TelemetryReport {
+            refine_candidates: vec![3],
+            ..TelemetryReport::default()
+        };
+        assert!(!t.is_empty());
+    }
+}

@@ -30,7 +30,9 @@ impl fmt::Display for GraphError {
             GraphError::UnknownTensor(t, o) => write!(f, "op {o} references unknown tensor {t}"),
             GraphError::UnknownOp(o) => write!(f, "dependency references unknown op {o}"),
             GraphError::Cycle => write!(f, "dependency cycle in training graph"),
-            GraphError::StageOutOfRange(o, s) => write!(f, "op {o} placed on out-of-range stage {s}"),
+            GraphError::StageOutOfRange(o, s) => {
+                write!(f, "op {o} placed on out-of-range stage {s}")
+            }
             GraphError::ReadBeforeWrite(t, o) => {
                 write!(f, "op {o} reads tensor {t} before any producer runs")
             }
@@ -316,7 +318,11 @@ impl TrainingGraphBuilder {
         }
         for &(a, b) in &self.cross_deps {
             if a.index() >= n_ops || b.index() >= n_ops {
-                return Err(GraphError::UnknownOp(if a.index() >= n_ops { a } else { b }));
+                return Err(GraphError::UnknownOp(if a.index() >= n_ops {
+                    a
+                } else {
+                    b
+                }));
             }
         }
         let mut written = vec![false; n_tensors];
@@ -447,10 +453,7 @@ mod tests {
     fn stage_out_of_range_detected() {
         let mut b = TrainingGraph::builder(1);
         b.add_op(OpKind::Forward, 5, Some(0), 0.01, |_| {});
-        assert!(matches!(
-            b.build(),
-            Err(GraphError::StageOutOfRange(_, 5))
-        ));
+        assert!(matches!(b.build(), Err(GraphError::StageOutOfRange(_, 5))));
     }
 
     #[test]

@@ -125,16 +125,28 @@ mod tests {
         b.add_op(OpKind::Forward, 0, Some(0), 0.010, |op| {
             op.writes.extend([a0, a1]);
             op.sub_events.extend([
-                SubEvent { tensor: a0, offset: 0.005 },
-                SubEvent { tensor: a1, offset: 0.010 },
+                SubEvent {
+                    tensor: a0,
+                    offset: 0.005,
+                },
+                SubEvent {
+                    tensor: a1,
+                    offset: 0.010,
+                },
             ]);
         });
         b.add_op(OpKind::Backward, 0, Some(0), 0.020, |op| {
             op.reads.extend([a0, a1]);
             op.frees.extend([a0, a1]);
             op.sub_events.extend([
-                SubEvent { tensor: a1, offset: 0.0 },
-                SubEvent { tensor: a0, offset: 0.010 },
+                SubEvent {
+                    tensor: a1,
+                    offset: 0.0,
+                },
+                SubEvent {
+                    tensor: a0,
+                    offset: 0.010,
+                },
             ]);
         });
         let g = b.build().unwrap();

@@ -86,7 +86,13 @@ pub struct Op {
 
 impl Op {
     /// Creates an op with empty read/write/free sets.
-    pub fn new(id: OpId, kind: OpKind, stage: usize, microbatch: Option<u32>, duration: Secs) -> Self {
+    pub fn new(
+        id: OpId,
+        kind: OpKind,
+        stage: usize,
+        microbatch: Option<u32>,
+        duration: Secs,
+    ) -> Self {
         assert!(duration >= 0.0, "duration must be non-negative");
         Op {
             id,

@@ -53,7 +53,10 @@ impl BandwidthCurve {
     /// Panics if `peak` is not strictly positive or `latency` is negative.
     pub fn new(peak: f64, latency: Secs) -> Self {
         assert!(peak.is_finite() && peak > 0.0, "peak must be positive");
-        assert!(latency.is_finite() && latency >= 0.0, "latency must be >= 0");
+        assert!(
+            latency.is_finite() && latency >= 0.0,
+            "latency must be >= 0"
+        );
         BandwidthCurve { peak, latency }
     }
 

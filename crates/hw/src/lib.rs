@@ -29,11 +29,13 @@
 //! ```
 
 pub mod bandwidth;
+pub mod link;
 pub mod machine;
 pub mod topology;
 pub mod units;
 
 pub use bandwidth::{BandwidthCurve, Channel, NVLINK2_LANE_BW, PCIE3_X16_BW};
+pub use link::LinkKey;
 pub use machine::{CpuSpec, GpuSpec, Machine, MachineBuilder, NvmeSpec};
 pub use topology::{DeviceId, LinkKind, Topology, TopologyKind};
 pub use units::{Bytes, Secs};

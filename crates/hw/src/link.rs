@@ -1,0 +1,90 @@
+//! Identity of a physical transfer channel, for per-link accounting.
+//!
+//! The simulator attributes every swap's traffic to the channel that
+//! carried it: an NVLink pair for D2D swaps, a device's PCIe lane for
+//! host swaps, and the shared NVMe drive for the SSD tier. [`LinkKey`]
+//! is the map key that accounting uses; its `Ord` makes per-link tables
+//! iterate in a stable order (all NVLink pairs, then PCIe by device,
+//! then NVMe).
+
+use crate::topology::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One physical channel of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LinkKey {
+    /// The NVLink lanes between a device pair (undirected; construct via
+    /// [`LinkKey::nvlink`] so `{a, b}` and `{b, a}` collapse to one key).
+    Nvlink {
+        /// Lower-numbered endpoint.
+        a: DeviceId,
+        /// Higher-numbered endpoint.
+        b: DeviceId,
+    },
+    /// One device's PCIe connection to host memory.
+    Pcie(DeviceId),
+    /// The shared NVMe drive behind the host.
+    Nvme,
+}
+
+impl LinkKey {
+    /// The canonical key for the NVLink pair `{a, b}` regardless of
+    /// argument order.
+    pub fn nvlink(a: DeviceId, b: DeviceId) -> Self {
+        if a <= b {
+            LinkKey::Nvlink { a, b }
+        } else {
+            LinkKey::Nvlink { a: b, b: a }
+        }
+    }
+}
+
+impl fmt::Display for LinkKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkKey::Nvlink { a, b } => write!(f, "nvlink:{}-{}", a.0, b.0),
+            LinkKey::Pcie(dev) => write!(f, "pcie:{}", dev.0),
+            LinkKey::Nvme => write!(f, "nvme"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvlink_key_is_order_independent() {
+        let ab = LinkKey::nvlink(DeviceId(3), DeviceId(0));
+        let ba = LinkKey::nvlink(DeviceId(0), DeviceId(3));
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_string(), "nvlink:0-3");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(LinkKey::Pcie(DeviceId(2)).to_string(), "pcie:2");
+        assert_eq!(LinkKey::Nvme.to_string(), "nvme");
+    }
+
+    #[test]
+    fn ordering_groups_by_kind() {
+        let mut keys = vec![
+            LinkKey::Nvme,
+            LinkKey::Pcie(DeviceId(0)),
+            LinkKey::nvlink(DeviceId(1), DeviceId(2)),
+            LinkKey::nvlink(DeviceId(0), DeviceId(3)),
+        ];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![
+                LinkKey::nvlink(DeviceId(0), DeviceId(3)),
+                LinkKey::nvlink(DeviceId(1), DeviceId(2)),
+                LinkKey::Pcie(DeviceId(0)),
+                LinkKey::Nvme,
+            ]
+        );
+    }
+}

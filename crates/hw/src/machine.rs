@@ -482,7 +482,10 @@ mod tests {
 
     #[test]
     fn builder_defaults_and_overrides() {
-        let m = Machine::builder().name("x").cpu_memory(Bytes::gib(64)).build();
+        let m = Machine::builder()
+            .name("x")
+            .cpu_memory(Bytes::gib(64))
+            .build();
         assert_eq!(m.name(), "x");
         assert_eq!(m.cpu().memory, Bytes::gib(64));
         assert_eq!(m.gpu().name, "V100-32GB");

@@ -222,7 +222,10 @@ impl Topology {
     ///
     /// Panics if either device index is out of range.
     pub fn nvlink_lanes(&self, a: DeviceId, b: DeviceId) -> u32 {
-        assert!(a.0 < self.gpu_count && b.0 < self.gpu_count, "bad device id");
+        assert!(
+            a.0 < self.gpu_count && b.0 < self.gpu_count,
+            "bad device id"
+        );
         if a == b {
             return 0;
         }

@@ -110,9 +110,7 @@ impl Bytes {
         }
         let base = self.0 / n as u64;
         let rem = (self.0 % n as u64) as usize;
-        (0..n)
-            .map(|i| Bytes(base + u64::from(i < rem)))
-            .collect()
+        (0..n).map(|i| Bytes(base + u64::from(i < rem))).collect()
     }
 
     /// Minimum of two byte counts.

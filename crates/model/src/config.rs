@@ -286,12 +286,9 @@ impl TransformerConfigBuilder {
             self.hidden,
             heads
         );
-        let name = self.name.unwrap_or_else(|| {
-            format!(
-                "{}-L{}H{}",
-                self.family, self.num_layers, self.hidden
-            )
-        });
+        let name = self
+            .name
+            .unwrap_or_else(|| format!("{}-L{}H{}", self.family, self.num_layers, self.hidden));
         TransformerConfig {
             name,
             family: self.family,

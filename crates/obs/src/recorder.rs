@@ -1,0 +1,294 @@
+//! The metrics recorder: counters, gauges and fixed-bucket log2
+//! duration histograms, snapshotted into a JSON-serializable report.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of fixed histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// The power-of-two exponent the first bucket starts at: bucket `i`
+/// covers `[2^(i + MIN_EXPONENT), 2^(i + MIN_EXPONENT + 1))` seconds, so
+/// bucket 0 starts at ~2.3e-10 s and bucket 63 at ~2.1e9 s — far wider
+/// than any simulated window.
+pub const MIN_EXPONENT: i32 = -32;
+
+/// A fixed-layout log2 histogram of simulated durations.
+///
+/// Bucket edges are powers of two computed from the IEEE-754 exponent
+/// (exact, no float log), so bucketing is bit-deterministic across runs
+/// and worker counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// The bucket index a value falls into. Values at or below the first
+/// bucket's lower edge (including zero and negatives) clamp to bucket 0;
+/// values past the last edge clamp to the final bucket.
+pub fn bucket_index(value: f64) -> usize {
+    // NaN and anything at or below zero land in bucket 0.
+    if value <= 0.0 || value.is_nan() || !value.is_finite() {
+        return 0;
+    }
+    // floor(log2(v)) from the IEEE-754 biased exponent — exact for
+    // normal numbers; subnormals are below bucket 0 anyway.
+    let biased = ((value.to_bits() >> 52) & 0x7ff) as i32;
+    if biased == 0 {
+        return 0;
+    }
+    let exponent = biased - 1023;
+    (exponent - MIN_EXPONENT).clamp(0, HISTOGRAM_BUCKETS as i32 - 1) as usize
+}
+
+/// The lower edge (inclusive) of bucket `i`, in seconds.
+pub fn bucket_lower_edge(i: usize) -> f64 {
+    (2.0_f64).powi(i as i32 + MIN_EXPONENT)
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.buckets[bucket_index(value)] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Snapshot with only the non-empty buckets materialized.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (i as u32, n))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable histogram snapshot. `buckets` holds `(index, count)`
+/// pairs for non-empty buckets only; the fixed edge layout is given by
+/// [`bucket_lower_edge`]. `min`/`max` are zero when `count` is zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// `(bucket index, count)` for each non-empty bucket, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Collects named counters, gauges and histograms during one run.
+///
+/// All families are keyed by `&'static`-style dotted names (owned
+/// strings, e.g. `"sim.tasks.completed"`); insertion order never
+/// matters because storage is sorted by key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRecorder {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Sets a gauge to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records one duration observation into a histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The current value of a counter (zero when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Freezes the recorder into a serializable report.
+    pub fn snapshot(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable snapshot of one recorder. Keys serialize sorted (the
+/// maps are `BTreeMap`s), so two identical runs emit byte-identical
+/// JSON.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time values (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Duration distributions.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_exact_powers_of_two() {
+        // Exactly at a lower edge lands in that bucket, just below lands
+        // in the previous one.
+        for i in [0usize, 1, 31, 32, 33, 63] {
+            let edge = bucket_lower_edge(i);
+            assert_eq!(bucket_index(edge), i, "edge of bucket {i}");
+        }
+        // 1.0 s = 2^0 sits exactly at the lower edge of bucket 32.
+        assert_eq!(bucket_index(1.0), 32);
+        assert_eq!(bucket_index(0.999_999), 31);
+        assert_eq!(bucket_index(2.0), 33);
+        assert_eq!(bucket_index(1.5), 32);
+    }
+
+    #[test]
+    fn bucket_index_clamps_degenerate_values() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), 0);
+        assert_eq!(bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(1e-300), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut h = Histogram::default();
+        h.observe(0.5);
+        h.observe(2.0);
+        h.observe(0.25);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert!((s.sum - 2.75).abs() < 1e-12);
+        assert_eq!(s.min, 0.25);
+        assert_eq!(s.max, 2.0);
+        assert!((s.mean() - 2.75 / 3.0).abs() < 1e-12);
+        // 0.25 -> bucket 30, 0.5 -> 31, 2.0 -> 33.
+        assert_eq!(s.buckets, vec![(30, 1), (31, 1), (33, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_finite() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+        // Serializes without non-finite floats.
+        serde_json::to_string(&s).expect("finite JSON");
+    }
+
+    #[test]
+    fn recorder_snapshot_orders_keys_and_round_trips() {
+        let mut r = MetricsRecorder::new();
+        r.inc("z.last");
+        r.add("a.first", 41);
+        r.inc("a.first");
+        r.set_gauge("makespan", 1.5);
+        r.observe("dur", 0.125);
+        assert_eq!(r.counter("a.first"), 42);
+        assert_eq!(r.counter("never"), 0);
+        let report = r.snapshot();
+        let json = serde_json::to_string(&report).expect("serializes");
+        // Sorted keys: "a.first" precedes "z.last" in the output text.
+        let a = json.find("a.first").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < z, "{json}");
+        // JSON round-trips through the parser.
+        let v = serde_json::from_str(&json).expect("parses");
+        assert_eq!(
+            serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap(),
+            v
+        );
+    }
+}

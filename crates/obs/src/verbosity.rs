@@ -1,0 +1,60 @@
+//! Consolidated debug-verbosity switches.
+//!
+//! The engine and planner used to parse the environment independently on
+//! every debug site. This module is the single documented entry point:
+//! the same variables are honored, read **once** per process, and cached
+//! for every later call.
+
+use std::sync::OnceLock;
+
+/// Enables the engine's stall/eviction/deadlock diagnostics on stderr.
+pub const ENV_SIM_DEBUG: &str = "MPRESS_SIM_DEBUG";
+
+/// Enables the engine's per-task start event log on stderr.
+pub const ENV_SIM_TRACE: &str = "MPRESS_SIM_TRACE";
+
+/// Enables the planner's portfolio scoring log on stderr.
+pub const ENV_PLAN_DEBUG: &str = "MPRESS_PLAN_DEBUG";
+
+/// Which debug channels are enabled for this process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Verbosity {
+    /// [`ENV_SIM_DEBUG`] was set.
+    pub sim_debug: bool,
+    /// [`ENV_SIM_TRACE`] was set.
+    pub sim_trace: bool,
+    /// [`ENV_PLAN_DEBUG`] was set.
+    pub plan_debug: bool,
+}
+
+/// The process's debug verbosity. The environment is read on the first
+/// call only; changes to the variables after that are ignored (all
+/// debug output is opt-in at process launch).
+pub fn verbosity() -> Verbosity {
+    static VERBOSITY: OnceLock<Verbosity> = OnceLock::new();
+    *VERBOSITY.get_or_init(|| Verbosity {
+        sim_debug: std::env::var_os(ENV_SIM_DEBUG).is_some(),
+        sim_trace: std::env::var_os(ENV_SIM_TRACE).is_some(),
+        plan_debug: std::env::var_os(ENV_PLAN_DEBUG).is_some(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_is_cached_and_consistent() {
+        // Whatever the environment says, repeated calls agree (the
+        // OnceLock makes later env mutations invisible).
+        let first = verbosity();
+        assert_eq!(first, verbosity());
+    }
+
+    #[test]
+    fn env_names_are_stable() {
+        assert_eq!(ENV_SIM_DEBUG, "MPRESS_SIM_DEBUG");
+        assert_eq!(ENV_SIM_TRACE, "MPRESS_SIM_TRACE");
+        assert_eq!(ENV_PLAN_DEBUG, "MPRESS_PLAN_DEBUG");
+    }
+}

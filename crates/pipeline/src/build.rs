@@ -119,7 +119,13 @@ impl PipelineJob {
                     .partition()
                     .stage_layers(stage)
                     .map(|layer| {
-                        b.add_tensor(TensorKind::Activation, act_bytes, stage, Some(layer), Some(mb))
+                        b.add_tensor(
+                            TensorKind::Activation,
+                            act_bytes,
+                            stage,
+                            Some(layer),
+                            Some(mb),
+                        )
                     })
                     .collect();
                 act_tensors.insert((stage, mb), acts);
@@ -169,8 +175,7 @@ impl PipelineJob {
                             let param = param_tensors[stage][idx];
                             let writes_boundary = idx + 1 == n_layers && !last_stage;
                             let bt = boundary_tensors.get(&(stage, mb)).copied();
-                            let reads_boundary =
-                                idx == 0 && stage > 0;
+                            let reads_boundary = idx == 0 && stage > 0;
                             let prev_bt = if reads_boundary {
                                 Some(boundary_tensors[&(stage - 1, mb)])
                             } else {
@@ -222,12 +227,8 @@ impl PipelineJob {
                             let opt = folds_optimizer.then(|| opt_tensors[stage][idx]);
                             let bt = boundary_tensors.get(&(stage, mb)).copied();
                             let frees_own_boundary = idx + 1 == n_layers;
-                            let id = b.add_op(
-                                OpKind::Backward,
-                                stage,
-                                Some(mb),
-                                2.0 * t_layer,
-                                |op| {
+                            let id =
+                                b.add_op(OpKind::Backward, stage, Some(mb), 2.0 * t_layer, |op| {
                                     op.reads.extend([a, param]);
                                     if let Some(o) = opt {
                                         op.reads.push(o);
@@ -242,8 +243,7 @@ impl PipelineJob {
                                             op.frees.push(bt);
                                         }
                                     }
-                                },
-                            );
+                                });
                             last_op = Some(id);
                         }
                         // Each stashed weight version belongs to one
@@ -252,18 +252,17 @@ impl PipelineJob {
                         let stash = stash_tensors[stage].get(mb as usize).copied();
                         if stage == 0 {
                             let ea = embed_acts[&mb];
-                            let id =
-                                b.add_op(OpKind::Backward, 0, Some(mb), 2.0 * t_embed, |op| {
-                                    op.reads.extend([ea, emb_param]);
-                                    if folds_optimizer {
-                                        op.reads.push(emb_opt);
-                                    }
-                                    if let Some(st) = stash {
-                                        op.reads.push(st);
-                                    }
-                                    op.writes.push(emb_grad);
-                                    op.frees.push(ea);
-                                });
+                            let id = b.add_op(OpKind::Backward, 0, Some(mb), 2.0 * t_embed, |op| {
+                                op.reads.extend([ea, emb_param]);
+                                if folds_optimizer {
+                                    op.reads.push(emb_opt);
+                                }
+                                if let Some(st) = stash {
+                                    op.reads.push(st);
+                                }
+                                op.writes.push(emb_grad);
+                                op.frees.push(ea);
+                            });
                             last_op = Some(id);
                         } else if let Some(st) = stash {
                             // Zero-cost marker: the version's last use at
@@ -368,7 +367,11 @@ mod tests {
         let job = small_job(ScheduleKind::Dapple);
         let g = job.lower().unwrap().graph;
         let fwd = g.ops().iter().filter(|o| o.kind == OpKind::Forward).count();
-        let bwd = g.ops().iter().filter(|o| o.kind == OpKind::Backward).count();
+        let bwd = g
+            .ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::Backward)
+            .count();
         let opt = g
             .ops()
             .iter()

@@ -135,7 +135,8 @@ impl PipelineJob {
     /// Optimizer-step time of one stage (DAPPLE; ~10 FLOPs/param of
     /// FP32 vector work).
     pub fn optimizer_time(&self, stage: usize) -> Secs {
-        let mut params = self.model.layer_params() * self.partition.stage_layers(stage).len() as u64;
+        let mut params =
+            self.model.layer_params() * self.partition.stage_layers(stage).len() as u64;
         if stage == 0 {
             params += self.model.embedding_params();
         }

@@ -165,10 +165,14 @@ impl StagePartition {
     ) -> Self {
         let n = model.num_layers();
         let static_l = model.layer_footprint(policy).total().as_f64();
-        let act_l = model.activation_bytes_per_layer(microbatch, policy).as_f64();
+        let act_l = model
+            .activation_bytes_per_layer(microbatch, policy)
+            .as_f64();
         let emb = model.embedding_footprint(policy).total().as_f64()
             + n_stages as f64
-                * model.embedding_activation_bytes(microbatch, policy).as_f64();
+                * model
+                    .embedding_activation_bytes(microbatch, policy)
+                    .as_f64();
         // Peak of a group of `c` layers placed on stage j.
         let cost = |j: usize, c: usize| -> f64 {
             let in_flight = (n_stages - j) as f64;

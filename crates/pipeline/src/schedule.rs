@@ -46,9 +46,7 @@ impl ScheduleKind {
     pub fn in_flight(self, stage: usize, n_stages: usize, microbatches: usize) -> usize {
         match self {
             // 1F1B drains early: stage i admits S-i microbatches.
-            ScheduleKind::PipeDream | ScheduleKind::Dapple => {
-                (n_stages - stage).min(microbatches)
-            }
+            ScheduleKind::PipeDream | ScheduleKind::Dapple => (n_stages - stage).min(microbatches),
             // All-forward-then-all-backward holds everything.
             ScheduleKind::GPipe => microbatches,
         }

@@ -9,18 +9,25 @@
 
 use crate::device_map::DeviceMap;
 use crate::memory::MemoryTracker;
+use crate::metrics::{DeviceMetrics, LinkMetrics, SimMetrics, StreamBusy};
 use crate::report::SimReport;
 use crate::trace::{TraceEvent, TraceKind};
 use mpress_compaction::{HostTier, InstrumentationPlan, MemoryDirective, PlanValidationError};
 use mpress_graph::{OpId, OpKind, TensorId, TrainingGraph};
-use mpress_hw::{Bytes, DeviceId, Machine, Secs};
+use mpress_hw::{Bytes, DeviceId, LinkKey, Machine, Secs};
+use mpress_obs::{verbosity, MetricsRecorder, StallBreakdown, StallCause};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::error::Error;
 use std::fmt;
 
 /// Simulation options.
+///
+/// Marked `#[non_exhaustive]`: construct via [`SimConfig::default`] and
+/// the chainable setters so new options can be added without breaking
+/// downstream crates.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Stop at the first out-of-memory event (the default). When false the
     /// run continues so the full overflow magnitude is observable.
@@ -34,6 +41,10 @@ pub struct SimConfig {
     /// Record a [`TraceEvent`] per executed task (exportable to the
     /// Chrome tracing format via [`crate::trace::to_chrome_trace`]).
     pub trace: bool,
+    /// Collect [`SimMetrics`] (per-stream busy time, stall attribution,
+    /// per-link traffic) into [`SimReport::metrics`]. Off by default:
+    /// disabled runs skip all metric assembly.
+    pub metrics: bool,
 }
 
 impl Default for SimConfig {
@@ -43,7 +54,40 @@ impl Default for SimConfig {
             track_timeline: false,
             memory_gate: true,
             trace: false,
+            metrics: false,
         }
+    }
+}
+
+impl SimConfig {
+    /// Sets [`strict_oom`](Self::strict_oom).
+    pub fn strict_oom(mut self, on: bool) -> Self {
+        self.strict_oom = on;
+        self
+    }
+
+    /// Sets [`track_timeline`](Self::track_timeline).
+    pub fn track_timeline(mut self, on: bool) -> Self {
+        self.track_timeline = on;
+        self
+    }
+
+    /// Sets [`memory_gate`](Self::memory_gate).
+    pub fn memory_gate(mut self, on: bool) -> Self {
+        self.memory_gate = on;
+        self
+    }
+
+    /// Sets [`trace`](Self::trace).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Sets [`metrics`](Self::metrics).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
     }
 }
 
@@ -103,7 +147,9 @@ impl PartialOrd for OrdTime {
 
 impl Ord for OrdTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("event times are finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("event times are finite")
     }
 }
 
@@ -161,6 +207,13 @@ struct Task {
     admit: Option<(usize, usize)>,
     start: Secs,
     end: Secs,
+    /// When the last dependency resolved (0 for tasks born ready). Feeds
+    /// stall attribution: the gap before `ready_at` is dependency wait,
+    /// the gap after is memory/back-pressure wait.
+    ready_at: Secs,
+    /// Whether the dependency that resolved last was a swap-in copy —
+    /// splits dependency wait into exposed-copy vs pipeline stall.
+    dep_wait_is_copy: bool,
 }
 
 impl Task {
@@ -374,9 +427,15 @@ struct EngineState<'p> {
     /// an imminent export, so eviction also requires zero here.
     runnable_swaps: Vec<u32>,
     evictions: usize,
+    /// Refetch copies scheduled for evicted tensors with a future reader.
+    refetches: usize,
     pcie_curve: mpress_hw::BandwidthCurve,
     trace: Option<Vec<TraceEvent>>,
     op_kinds: Vec<OpKind>,
+    /// Assemble [`SimMetrics`] at report time (post-hoc; the hot loop only
+    /// pays the two per-task stores `ready_at`/`dep_wait_is_copy`).
+    metrics: bool,
+    gpu_count: usize,
 }
 
 impl<'p> EngineState<'p> {
@@ -466,6 +525,8 @@ impl<'p> EngineState<'p> {
                     admit: None,
                     start: 0.0,
                     end: 0.0,
+                    ready_at: 0.0,
+                    dep_wait_is_copy: false,
                 }
             })
             .collect();
@@ -538,9 +599,7 @@ impl<'p> EngineState<'p> {
                     let inn = pcie.max(machine.nvme_transfer_time(bytes[t.index()], false));
                     (out, inn)
                 }
-                MemoryDirective::SwapD2d(stripe) => {
-                    (stripe.one_way_time(), stripe.one_way_time())
-                }
+                MemoryDirective::SwapD2d(stripe) => (stripe.one_way_time(), stripe.one_way_time()),
             };
             let tensor = graph.tensor(t);
             let dev = home[t.index()];
@@ -550,35 +609,40 @@ impl<'p> EngineState<'p> {
             swap_consumers[t.index()] = consumers.iter().map(|c| c.index()).collect();
             let is_static = tensor.kind.is_static();
 
-            let new_task = |tasks: &mut Vec<Task>,
-                                payload: Payload,
-                                stream: StreamKind,
-                                duration: Secs| {
-                tasks.push(Task {
-                    payload,
-                    device: dev,
-                    stream,
-                    duration,
-                    deps: 0,
-                    trigger_fired: true,
-                    dependents: Vec::new(),
-                    started: false,
-                    done: false,
-                    in_ready: false,
-                    priority: usize::MAX,
-                    admit: None,
-                    start: 0.0,
-                    end: 0.0,
-                });
-                tasks.len() - 1
-            };
+            let new_task =
+                |tasks: &mut Vec<Task>, payload: Payload, stream: StreamKind, duration: Secs| {
+                    tasks.push(Task {
+                        payload,
+                        device: dev,
+                        stream,
+                        duration,
+                        deps: 0,
+                        trigger_fired: true,
+                        dependents: Vec::new(),
+                        started: false,
+                        done: false,
+                        in_ready: false,
+                        priority: usize::MAX,
+                        admit: None,
+                        start: 0.0,
+                        end: 0.0,
+                        ready_at: 0.0,
+                        dep_wait_is_copy: false,
+                    });
+                    tasks.len() - 1
+                };
 
             // Static tensors start swapped out; dynamic ones swap out after
             // their producer.
             let mut last_out: Option<usize> = if is_static {
                 None
             } else {
-                let out = new_task(&mut tasks, Payload::SwapOut(t), StreamKind::CopyOut, out_dur);
+                let out = new_task(
+                    &mut tasks,
+                    Payload::SwapOut(t),
+                    StreamKind::CopyOut,
+                    out_dur,
+                );
                 swap_legs.push((t, false, out));
                 if let Some(p) = producer {
                     tasks[p.index()].dependents.push(out);
@@ -612,8 +676,12 @@ impl<'p> EngineState<'p> {
                 // trailing export, consumed optimizer states would pile up
                 // on the device and crowd out the next layer's swap-in.
                 if k + 1 < consumers.len() || is_static {
-                    let out =
-                        new_task(&mut tasks, Payload::SwapOut(t), StreamKind::CopyOut, out_dur);
+                    let out = new_task(
+                        &mut tasks,
+                        Payload::SwapOut(t),
+                        StreamKind::CopyOut,
+                        out_dur,
+                    );
                     swap_legs.push((t, false, out));
                     tasks[c.index()].dependents.push(out);
                     tasks[out].deps += 1;
@@ -644,12 +712,20 @@ impl<'p> EngineState<'p> {
             for id in graph.stage_program(stage) {
                 let tid = id.index();
                 let key = (tasks[tid].device.index(), tasks[tid].stream);
-                streams.get_mut(&key).expect("stream exists").queue.push(tid);
+                streams
+                    .get_mut(&key)
+                    .expect("stream exists")
+                    .queue
+                    .push(tid);
             }
         }
         for (tid, task) in tasks.iter().enumerate().skip(n_ops) {
             let key = (task.device.index(), task.stream);
-            streams.get_mut(&key).expect("stream exists").queue.push(tid);
+            streams
+                .get_mut(&key)
+                .expect("stream exists")
+                .queue
+                .push(tid);
         }
         // Seed the non-FIFO ready lists with already-eligible tasks.
         for (tid, task) in tasks.iter_mut().enumerate() {
@@ -745,9 +821,12 @@ impl<'p> EngineState<'p> {
             active_swaps: vec![0; n_tensors],
             runnable_swaps,
             evictions: 0,
+            refetches: 0,
             pcie_curve: *machine.pcie(),
             trace: config.trace.then(Vec::new),
             op_kinds: graph.ops().iter().map(|o| o.kind).collect(),
+            metrics: config.metrics,
+            gpu_count: machine.gpu_count(),
         })
     }
 
@@ -813,7 +892,7 @@ impl<'p> EngineState<'p> {
             if self.evictions < eviction_cap && self.try_evict(blocked_tid, dev, need) {
                 continue;
             }
-            if std::env::var_os("MPRESS_SIM_DEBUG").is_some() {
+            if verbosity().sim_debug {
                 let t = &self.tasks[blocked_tid];
                 eprintln!(
                     "[stall] t={:.3}s dev={} need={} used={} cap={} payload={:?} evictions={} completed={}/{}",
@@ -888,10 +967,7 @@ impl<'p> EngineState<'p> {
             (Some(_), None) => std::cmp::Ordering::Greater,
             (Some(x), Some(y)) => y.cmp(&x),
         });
-        let free_now = self
-            .memory
-            .capacity()
-            .saturating_sub(self.memory.used(dev));
+        let free_now = self.memory.capacity().saturating_sub(self.memory.used(dev));
         let mut to_free = need.saturating_sub(free_now);
         let mut evicted_any = false;
         for (i, next) in candidates {
@@ -918,7 +994,7 @@ impl<'p> EngineState<'p> {
                 bytes: self.bytes[i],
             });
         }
-        if std::env::var_os("MPRESS_SIM_DEBUG").is_some() && self.evictions <= 30 || self.evictions.is_multiple_of(500) {
+        if verbosity().sim_debug && self.evictions <= 30 || self.evictions.is_multiple_of(500) {
             eprintln!(
                 "[evict#{}] t={:.3}s tensor=t{i} bytes={} next={:?}",
                 self.evictions, self.clock, self.bytes[i], next_consumer
@@ -935,6 +1011,7 @@ impl<'p> EngineState<'p> {
         let out = self.push_task(Payload::SwapOut(t), dev, StreamKind::CopyOut, out_dur);
         self.runnable_swaps[i] += 1;
         if let Some(consumer) = next_consumer {
+            self.refetches += 1;
             let inn = self.push_task(Payload::SwapIn(t), dev, StreamKind::CopyIn, out_dur);
             self.tasks[out].dependents.push(inn);
             self.tasks[inn].deps += 1;
@@ -983,6 +1060,8 @@ impl<'p> EngineState<'p> {
             admit: None,
             start: 0.0,
             end: 0.0,
+            ready_at: self.clock,
+            dep_wait_is_copy: false,
         });
         self.streams
             .get_mut(&(device.index(), stream))
@@ -1144,7 +1223,7 @@ impl<'p> EngineState<'p> {
 
     fn start_task(&mut self, tid: usize) {
         let clock = self.clock;
-        if std::env::var_os("MPRESS_SIM_TRACE").is_some()
+        if verbosity().sim_trace
             && (6.4..8.4).contains(&clock)
             && self.tasks[tid].device.index() == 1
         {
@@ -1314,10 +1393,15 @@ impl<'p> EngineState<'p> {
             }
         }
 
+        let completed_stream = self.tasks[tid].stream;
         let dependents = std::mem::take(&mut self.tasks[tid].dependents);
         for &d in &dependents {
             self.tasks[d].deps -= 1;
             if self.tasks[d].deps == 0 {
+                // Last dependency just resolved — remember when and by
+                // what, for post-hoc stall attribution.
+                self.tasks[d].ready_at = clock;
+                self.tasks[d].dep_wait_is_copy = completed_stream == StreamKind::CopyIn;
                 match self.tasks[d].payload {
                     Payload::SwapIn(t) | Payload::SwapOut(t) => {
                         self.runnable_swaps[t.index()] += 1;
@@ -1335,7 +1419,7 @@ impl<'p> EngineState<'p> {
         let total = self.tasks.len();
         let oom = self.memory.oom().copied();
         if self.completed < total && oom.is_none() {
-            if std::env::var_os("MPRESS_SIM_DEBUG").is_some() {
+            if verbosity().sim_debug {
                 for (tid, task) in self.tasks.iter().enumerate() {
                     if !task.done {
                         eprintln!(
@@ -1357,6 +1441,7 @@ impl<'p> EngineState<'p> {
             .filter(|t| t.done)
             .map(|t| t.end)
             .fold(0.0, f64::max);
+        let metrics = self.metrics.then(|| self.build_metrics(makespan));
         let op_start = self.tasks[..n_ops].iter().map(|t| t.start).collect();
         let op_end = self.tasks[..n_ops].iter().map(|t| t.end).collect();
         let nvme_peak = self.memory.nvme_peak();
@@ -1375,6 +1460,133 @@ impl<'p> EngineState<'p> {
             recompute_time: self.recompute_time,
             timelines,
             trace: self.trace,
+            metrics,
         })
+    }
+
+    /// Assembles [`SimMetrics`] from the completed task list. Runs once,
+    /// at report time, only for metrics-enabled configs — the event loop
+    /// itself carries no metric bookkeeping beyond the per-task
+    /// `ready_at`/`dep_wait_is_copy` stores.
+    fn build_metrics(&self, makespan: Secs) -> SimMetrics {
+        let mut recorder = MetricsRecorder::new();
+
+        // --- Per-device stream busy time + task-duration histograms -----
+        let mut busy: Vec<StreamBusy> = vec![StreamBusy::default(); self.gpu_count];
+        for task in self.tasks.iter().filter(|t| t.done) {
+            let b = &mut busy[task.device.index()];
+            let (slot, hist): (&mut Secs, &str) = match task.stream {
+                StreamKind::Compute => (&mut b.compute, "sim.task_duration.compute"),
+                StreamKind::Comm => (&mut b.comm, "sim.task_duration.comm"),
+                StreamKind::CopyOut => (&mut b.copy_out, "sim.task_duration.copy_out"),
+                StreamKind::CopyIn => (&mut b.copy_in, "sim.task_duration.copy_in"),
+            };
+            *slot += task.duration;
+            recorder.observe(hist, task.duration);
+            match task.payload {
+                Payload::Op(_) => recorder.inc("sim.tasks.ops"),
+                Payload::SwapOut(_) => recorder.inc("sim.tasks.swap_out"),
+                Payload::SwapIn(_) => recorder.inc("sim.tasks.swap_in"),
+            }
+        }
+
+        // --- Stall attribution ------------------------------------------
+        // Tile each device's compute-stream timeline [0, makespan] with
+        // the done tasks (FIFO, so non-overlapping): the gap before a
+        // task splits at `ready_at` into dependency wait (copy-in vs
+        // other producer) and memory/back-pressure wait; the tail after
+        // the last task is drain. The tiling telescopes, so per device
+        // busy.compute + stalls.total() equals the makespan exactly.
+        let mut devices: Vec<DeviceMetrics> = Vec::with_capacity(self.gpu_count);
+        for (dev, dev_busy) in busy.iter().enumerate() {
+            let mut timeline: Vec<&Task> = self
+                .tasks
+                .iter()
+                .filter(|t| t.done && t.device.index() == dev && t.stream == StreamKind::Compute)
+                .collect();
+            timeline.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite start times"));
+            let mut stalls = StallBreakdown::default();
+            let mut prev_end = 0.0_f64;
+            for task in &timeline {
+                if task.start > prev_end {
+                    let dep_until = task.ready_at.clamp(prev_end, task.start);
+                    let dep_cause = if task.dep_wait_is_copy {
+                        StallCause::WaitingOnCopyIn
+                    } else {
+                        StallCause::WaitingOnDependency
+                    };
+                    stalls.attribute(dep_cause, dep_until - prev_end);
+                    stalls.attribute(StallCause::WaitingOnMemory, task.start - dep_until);
+                }
+                prev_end = task.end;
+            }
+            stalls.attribute(StallCause::Drained, (makespan - prev_end).max(0.0));
+            devices.push(DeviceMetrics {
+                device: DeviceId(dev),
+                busy: *dev_busy,
+                stalls,
+            });
+            recorder.observe("sim.device_busy.compute", dev_busy.compute);
+        }
+
+        // --- Per-link traffic -------------------------------------------
+        // Attributed post-hoc from the done swap tasks by directive:
+        // host swaps occupy the home device's PCIe lane (NVMe-tier swaps
+        // additionally the drive), D2D swaps occupy one NVLink pair per
+        // stripe chunk (chunks move in parallel on distinct links).
+        let mut links: BTreeMap<LinkKey, (Bytes, Secs)> = BTreeMap::new();
+        let mut tally = |key: LinkKey, bytes: Bytes, secs: Secs| {
+            let e = links.entry(key).or_insert((Bytes::ZERO, 0.0));
+            e.0 += bytes;
+            e.1 += secs;
+        };
+        for task in self.tasks.iter().filter(|t| t.done) {
+            let t = match task.payload {
+                Payload::SwapOut(t) | Payload::SwapIn(t) => t,
+                Payload::Op(_) => continue,
+            };
+            let i = t.index();
+            let home = self.home[i];
+            match self.directive[i].expect("swap task has directive") {
+                MemoryDirective::SwapToHost(HostTier::Dram) => {
+                    tally(LinkKey::Pcie(home), self.bytes[i], task.duration);
+                }
+                MemoryDirective::SwapToHost(HostTier::Nvme) => {
+                    tally(LinkKey::Pcie(home), self.bytes[i], task.duration);
+                    tally(LinkKey::Nvme, self.bytes[i], task.duration);
+                }
+                MemoryDirective::SwapD2d(stripe) => {
+                    for c in stripe.chunks() {
+                        tally(LinkKey::nvlink(home, c.target), c.bytes, task.duration);
+                    }
+                }
+                MemoryDirective::Recompute => unreachable!("recompute has no swap tasks"),
+            }
+        }
+        let links: Vec<LinkMetrics> = links
+            .into_iter()
+            .map(|(link, (bytes, busy))| LinkMetrics {
+                link,
+                bytes,
+                busy,
+                occupancy: if makespan > 0.0 { busy / makespan } else { 0.0 },
+            })
+            .collect();
+
+        recorder.add("sim.tasks.completed", self.completed as u64);
+        recorder.add("sim.tasks.total", self.tasks.len() as u64);
+        recorder.add("sim.evictions", self.evictions as u64);
+        recorder.add("sim.refetches", self.refetches as u64);
+        recorder.set_gauge("sim.makespan", makespan);
+        recorder.set_gauge("sim.recompute_time", self.recompute_time);
+
+        SimMetrics {
+            total_time: makespan,
+            devices,
+            links,
+            evictions: self.evictions as u64,
+            refetches: self.refetches as u64,
+            recorder: recorder.snapshot(),
+        }
     }
 }

@@ -20,11 +20,13 @@
 pub mod device_map;
 pub mod engine;
 pub mod memory;
+pub mod metrics;
 pub mod report;
 pub mod trace;
 pub mod viz;
 
 pub use device_map::DeviceMap;
 pub use engine::{SimConfig, SimError, Simulator};
+pub use metrics::{DeviceMetrics, LinkMetrics, SimMetrics, StreamBusy};
 pub use report::{OomEvent, PoolKind, SimReport};
 pub use trace::{TraceEvent, TraceKind};

@@ -199,7 +199,12 @@ impl MemoryTracker {
     /// Consumes the tracker, returning `(peaks, host_peak, oom, timelines)`.
     pub fn into_parts(
         self,
-    ) -> (Vec<Bytes>, Bytes, Option<OomEvent>, Option<Vec<UsageTimeline>>) {
+    ) -> (
+        Vec<Bytes>,
+        Bytes,
+        Option<OomEvent>,
+        Option<Vec<UsageTimeline>>,
+    ) {
         (self.peak, self.host_peak, self.oom, self.timelines)
     }
 }

@@ -89,6 +89,8 @@ pub struct SimReport {
     pub timelines: Option<Vec<Vec<(Secs, Bytes)>>>,
     /// Executed-task trace when tracing was enabled.
     pub trace: Option<Vec<crate::trace::TraceEvent>>,
+    /// Stream/stall/link metrics when `SimConfig::metrics` was enabled.
+    pub metrics: Option<crate::metrics::SimMetrics>,
 }
 
 impl SimReport {
@@ -117,7 +119,11 @@ impl SimReport {
 
     /// The largest per-device peak.
     pub fn max_device_peak(&self) -> Bytes {
-        self.device_peak.iter().copied().max().unwrap_or(Bytes::ZERO)
+        self.device_peak
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Bytes::ZERO)
     }
 }
 
@@ -140,6 +146,7 @@ mod tests {
             recompute_time: 0.0,
             timelines: None,
             trace: None,
+            metrics: None,
         }
     }
 

@@ -41,7 +41,12 @@ pub fn memory_chart(report: &SimReport, capacity: Bytes, width: usize) -> String
         let _ = writeln!(
             out,
             "GPU{dev} |{row}| peak {:>10}",
-            report.device_peak.get(dev).copied().unwrap_or(Bytes::ZERO).to_string()
+            report
+                .device_peak
+                .get(dev)
+                .copied()
+                .unwrap_or(Bytes::ZERO)
+                .to_string()
         );
     }
     out
@@ -124,12 +129,7 @@ mod tests {
             &InstrumentationPlan::new(),
             DeviceMap::identity(4),
         )
-        .with_config(SimConfig {
-            strict_oom: true,
-            track_timeline: true,
-            memory_gate: true,
-            trace: false,
-        })
+        .with_config(SimConfig::default().track_timeline(true))
         .run()
         .unwrap();
         (report, lowered.graph)

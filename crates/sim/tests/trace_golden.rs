@@ -1,0 +1,103 @@
+//! Golden-file test for the chrome://tracing export.
+//!
+//! The simulator is deterministic, so the rendered trace of a fixed
+//! micro-job must stay byte-identical across refactors. If an
+//! *intentional* format or scheduling change shifts the output, refresh
+//! the golden with:
+//!
+//! ```sh
+//! MPRESS_REGEN_GOLDEN=1 cargo test -p mpress-sim --test trace_golden
+//! ```
+
+use mpress_compaction::InstrumentationPlan;
+use mpress_hw::{Bytes, GpuSpec, Machine, Topology};
+use mpress_model::{ModelFamily, PrecisionPolicy, TransformerConfig};
+use mpress_pipeline::{PipelineJob, ScheduleKind};
+use mpress_sim::{trace, DeviceMap, SimConfig, Simulator};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("tiny_trace.json")
+}
+
+/// A 2-stage, 2-microbatch job small enough that its trace stays
+/// reviewable in a diff.
+fn render_trace() -> String {
+    let job = PipelineJob::builder()
+        .model(
+            TransformerConfig::builder(ModelFamily::Gpt)
+                .layers(2)
+                .hidden(256)
+                .seq_len(128)
+                .vocab(2048)
+                .build(),
+        )
+        .schedule(ScheduleKind::Dapple)
+        .stages(2)
+        .microbatch_size(1)
+        .microbatches(2)
+        .precision(PrecisionPolicy::mixed())
+        .build()
+        .unwrap();
+    let lowered = job.lower().unwrap();
+    let lanes = vec![vec![0, 2], vec![2, 0]];
+    let topo = Topology::from_lane_matrix(mpress_hw::TopologyKind::Asymmetric, lanes, 6);
+    let mut gpu = GpuSpec::v100_32gb();
+    gpu.memory = Bytes::gib(32);
+    let machine = Machine::builder()
+        .name("mini2")
+        .gpu(gpu)
+        .topology(topo)
+        .build();
+    let report = Simulator::new(
+        &machine,
+        &lowered.graph,
+        &InstrumentationPlan::new(),
+        DeviceMap::identity(2),
+    )
+    .with_config(SimConfig::default().trace(true))
+    .run()
+    .unwrap();
+    trace::to_chrome_trace(report.trace.as_deref().unwrap_or(&[]))
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let rendered = render_trace();
+    let path = golden_path();
+    if std::env::var_os("MPRESS_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e} (regen with MPRESS_REGEN_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        golden,
+        "chrome trace drifted from {}; if intentional, regen with MPRESS_REGEN_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_trace_is_valid_json_with_complete_events() {
+    let rendered = render_trace();
+    let parsed: serde_json::Value = serde_json::from_str(&rendered).unwrap();
+    let events = parsed.as_array().expect("chrome trace is a JSON array");
+    assert!(!events.is_empty());
+    for e in events {
+        // Chrome's complete-event schema: name, phase "X", timestamp,
+        // duration, pid/tid lanes.
+        for key in ["name", "ph", "ts", "dur", "pid", "tid"] {
+            assert!(e.get(key).is_some(), "event missing {key}: {e:?}");
+        }
+    }
+}

@@ -71,10 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(report.succeeded());
     println!(
         "MPress            : {:6.1} TFLOPS (d2d {}, host {}, recompute {:.2}s)",
-        report.tflops,
-        report.sim.d2d_traffic,
-        report.sim.host_traffic,
-        report.sim.recompute_time,
+        report.tflops, report.sim.d2d_traffic, report.sim.host_traffic, report.sim.recompute_time,
     );
     Ok(())
 }

@@ -28,12 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &plan.instrumentation,
         plan.device_map.clone(),
     )
-    .with_config(SimConfig {
-        strict_oom: true,
-        track_timeline: true,
-        memory_gate: true,
-        trace: false,
-    })
+    .with_config(SimConfig::default().track_timeline(true))
     .run()?;
 
     println!(

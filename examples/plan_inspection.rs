@@ -35,12 +35,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let savings = plan.savings(&lowered);
     let total: f64 = savings.values().map(|b| b.as_f64()).sum();
     println!("\nper-technique savings (paper Table IV):");
-    for tech in [Technique::Recompute, Technique::GpuCpuSwap, Technique::D2dSwap] {
+    for tech in [
+        Technique::Recompute,
+        Technique::GpuCpuSwap,
+        Technique::D2dSwap,
+    ] {
         let bytes = savings.get(&tech).copied().unwrap_or(Bytes::ZERO);
         println!(
             "  {tech:<14} {:>10}  ({:.1}%)",
             bytes.to_string(),
-            if total > 0.0 { 100.0 * bytes.as_f64() / total } else { 0.0 }
+            if total > 0.0 {
+                100.0 * bytes.as_f64() / total
+            } else {
+                0.0
+            }
         );
     }
 

@@ -1,17 +1,33 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, test suite, lint, and the
+# Full verification gate: formatting, release build, test suite, lint,
+# high-worker-count determinism, the telemetry JSON contract, and the
 # planner timing smoke-run (writes BENCH_planner.json at the repo root).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== rustfmt (check) =="
+cargo fmt --check
+
 echo "== build (release) =="
-cargo build --release
+# --workspace: the root manifest is also the suite package, and a bare
+# `cargo build` would skip the member-only binaries (mpress-cli, exp_*).
+cargo build --release --workspace
 
 echo "== tests =="
 cargo test -q
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
+
+echo "== determinism at MPRESS_JOBS=8 =="
+# The jobs=1 vs jobs=4 contract is in the suite; re-check the planner and
+# telemetry fingerprints under a wider pool than CI's default.
+MPRESS_JOBS=8 cargo test -q --test determinism
+
+echo "== telemetry JSON round trip =="
+# `train --metrics=json` must emit a single machine-readable document.
+./target/release/mpress-cli train --model bert-1.67b --metrics=json \
+    | ./target/release/json_roundtrip_check
 
 echo "== planner timing smoke-run =="
 # jobs from MPRESS_JOBS if set, else auto-detected; the JSON records the

@@ -37,9 +37,56 @@ fn fingerprint(jobs: usize) -> String {
     )
 }
 
+/// The metrics fingerprint: the serialized telemetry document of a
+/// metrics-enabled run. Worker-count independence must extend to stall
+/// attribution, link accounting and the recorder's histograms —
+/// everything `--metrics=json` prints. (`search.jobs`/`peak_workers`
+/// legitimately differ, so the `search` block is excluded.)
+fn metrics_fingerprint(jobs: usize) -> String {
+    mpress_par::set_jobs(jobs);
+    let mpress = Mpress::builder()
+        .job(bert_job(zoo::bert_1_67b(), Machine::dgx1()))
+        .metrics(true)
+        .build();
+    let report = mpress.train().expect("valid inputs");
+    mpress_par::set_jobs(0);
+    let telemetry = report.metrics.expect("metrics were enabled");
+    let sim = telemetry.sim.expect("training run simulates");
+    serde_json::to_string(&sim).expect("telemetry serializes")
+}
+
 #[test]
 fn full_planner_is_identical_at_jobs_1_and_4() {
     assert_eq!(fingerprint(1), fingerprint(4));
+}
+
+#[test]
+fn metrics_telemetry_is_identical_at_jobs_1_and_4() {
+    assert_eq!(metrics_fingerprint(1), metrics_fingerprint(4));
+}
+
+#[test]
+fn metrics_collection_does_not_change_the_report() {
+    // The observability layer must be invisible: a metrics-enabled run's
+    // plan and simulation results are byte-identical to a disabled run's.
+    let run = |metrics: bool| -> String {
+        let report = Mpress::builder()
+            .job(bert_job(zoo::bert_1_67b(), Machine::dgx1()))
+            .metrics(metrics)
+            .build()
+            .train()
+            .expect("valid inputs");
+        format!(
+            "{:?}|{:?}|{}|{:?}|{:?}|{}",
+            report.plan.device_map,
+            report.plan.instrumentation,
+            report.sim.makespan.to_bits(),
+            report.sim.device_peak,
+            report.sim.host_traffic,
+            report.tflops.to_bits(),
+        )
+    };
+    assert_eq!(run(false), run(true));
 }
 
 #[test]

@@ -30,7 +30,10 @@ fn plan_validates_against_its_graph() {
     let mpress = Mpress::builder().job(pressured_job()).build();
     let (plan, lowered) = mpress.plan().unwrap();
     assert!(plan.instrumentation.validate(&lowered.graph).is_ok());
-    assert!(!plan.instrumentation.is_empty(), "pressured job needs a plan");
+    assert!(
+        !plan.instrumentation.is_empty(),
+        "pressured job needs a plan"
+    );
 }
 
 #[test]
@@ -101,10 +104,7 @@ fn d2d_budget_is_respected_by_importers() {
     let mpress = Mpress::builder().job(pressured_job()).build();
     let report = mpress.train().unwrap();
     assert!(report.succeeded());
-    if report
-        .plan
-        .savings_has(Technique::D2dSwap)
-    {
+    if report.plan.savings_has(Technique::D2dSwap) {
         assert!(report.sim.d2d_traffic > Bytes::ZERO);
     }
 }
@@ -130,13 +130,12 @@ fn exhaustive_swap_saves_more_but_runs_slower_or_equal() {
         .build()
         .train()
         .unwrap();
+    let mut naive_cfg = PlannerConfig::default();
+    naive_cfg.optimizations = OptimizationSet::host_swap_only();
+    naive_cfg.exhaustive_swap = true;
     let naive = Mpress::builder()
         .job(pressured_job())
-        .planner_config(PlannerConfig {
-            optimizations: OptimizationSet::host_swap_only(),
-            exhaustive_swap: true,
-            ..PlannerConfig::default()
-        })
+        .planner_config(naive_cfg)
         .build()
         .train()
         .unwrap();
@@ -194,4 +193,59 @@ fn plan_with_nothing_enabled_is_empty() {
         .build();
     let (plan, _) = mpress.plan().unwrap();
     assert!(plan.instrumentation.is_empty());
+}
+
+/// The paper's Bert-1.67B/PipeDream/DGX-1 cell with telemetry on: every
+/// compute second of every device is either busy or attributed to exactly
+/// one stall cause, so per device `busy.compute + stalls.total()` must
+/// telescope to the makespan.
+#[test]
+fn telemetry_stall_attribution_tiles_the_makespan() {
+    let report = Mpress::builder()
+        .job(mpress_bench::jobs::bert_job(
+            mpress_model::zoo::bert_1_67b(),
+            Machine::dgx1(),
+        ))
+        .metrics(true)
+        .build()
+        .train()
+        .unwrap();
+    assert!(report.succeeded());
+    let telemetry = report.metrics.expect("metrics were enabled");
+    let sim = telemetry.sim.expect("training run simulates");
+    assert_eq!(sim.devices.len(), 8, "DGX-1 has eight GPUs");
+    let tolerance = 1e-9 * sim.total_time.max(1.0);
+    assert!(
+        sim.stall_invariant_error() < tolerance,
+        "stall attribution leaks {} s (makespan {} s)",
+        sim.stall_invariant_error(),
+        sim.total_time,
+    );
+    // A compacted Bert run moves memory, so link accounting cannot be
+    // empty, and occupancies are well-formed fractions.
+    assert!(!sim.links.is_empty());
+    for l in &sim.links {
+        assert!((0.0..=1.0).contains(&l.occupancy), "{:?}", l);
+        assert!(l.busy >= 0.0 && l.bytes > Bytes::ZERO, "{:?}", l);
+    }
+    // Search telemetry rode along with the same report.
+    assert!(telemetry.search.emulator_runs > 0);
+}
+
+/// The telemetry document is serde-stable: serialize → parse → serialize
+/// is a fixed point (the CLI's `--metrics=json` depends on this).
+#[test]
+fn telemetry_report_round_trips_through_json() {
+    let report = Mpress::builder()
+        .job(pressured_job())
+        .metrics(true)
+        .build()
+        .train()
+        .unwrap();
+    let telemetry = report.metrics.expect("metrics were enabled");
+    let json = serde_json::to_string_pretty(&telemetry).unwrap();
+    let first: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let again = serde_json::to_string(&first).unwrap();
+    let second: serde_json::Value = serde_json::from_str(&again).unwrap();
+    assert_eq!(first, second);
 }

@@ -34,7 +34,12 @@ fn gpt(model: mpress_model::TransformerConfig, machine: Machine) -> PipelineJob 
 }
 
 fn run(job: PipelineJob, opts: OptimizationSet) -> Option<f64> {
-    let r = Mpress::builder().job(job).optimizations(opts).build().train().unwrap();
+    let r = Mpress::builder()
+        .job(job)
+        .optimizations(opts)
+        .build()
+        .train()
+        .unwrap();
     r.succeeded().then_some(r.tflops)
 }
 
@@ -61,25 +66,29 @@ fn bert_0_35b_all_systems_identical() {
 /// it and beats both recomputation and GPU-CPU swap.
 #[test]
 fn bert_0_64b_medium_size_story() {
-    assert!(run_plain(bert(zoo::bert_0_64b())).is_none(), "0.64B must OOM plain");
+    assert!(
+        run_plain(bert(zoo::bert_0_64b())).is_none(),
+        "0.64B must OOM plain"
+    );
     let d2d = run(bert(zoo::bert_0_64b()), OptimizationSet::d2d_only())
         .expect("D2D alone sustains 0.64B");
     let rec = run(bert(zoo::bert_0_64b()), OptimizationSet::recompute_only())
         .expect("recompute sustains 0.64B");
     let mpress = run(bert(zoo::bert_0_64b()), OptimizationSet::all()).expect("mpress");
     assert!(d2d >= rec, "D2D ({d2d}) must beat recomputation ({rec})");
-    assert!(mpress >= rec, "MPress ({mpress}) must beat recomputation ({rec})");
+    assert!(
+        mpress >= rec,
+        "MPress ({mpress}) must beat recomputation ({rec})"
+    );
 }
 
 /// Fig. 7 GPU-CPU swap baseline loses badly at 0.64B (paper: 67% below
 /// ideal; recomputation beats it by ~143%).
 #[test]
 fn bert_0_64b_gpu_cpu_swap_is_slow() {
-    let cfg = PlannerConfig {
-        optimizations: OptimizationSet::host_swap_only(),
-        exhaustive_swap: true,
-        ..PlannerConfig::default()
-    };
+    let mut cfg = PlannerConfig::default();
+    cfg.optimizations = OptimizationSet::host_swap_only();
+    cfg.exhaustive_swap = true;
     let swap = Mpress::builder()
         .job(bert(zoo::bert_0_64b()))
         .planner_config(cfg)
@@ -106,7 +115,10 @@ fn bert_1_67b_large_size_story() {
     let rec = run(bert(zoo::bert_1_67b()), OptimizationSet::recompute_only())
         .expect("recompute sustains 1.67B");
     let mpress = run(bert(zoo::bert_1_67b()), OptimizationSet::all()).expect("mpress");
-    assert!(mpress > rec, "MPress ({mpress}) must beat recomputation ({rec})");
+    assert!(
+        mpress > rec,
+        "MPress ({mpress}) must beat recomputation ({rec})"
+    );
 }
 
 /// Fig. 7 "extra-large": recomputation cannot save non-activation data, so
@@ -132,8 +144,11 @@ fn gpt_dgx1_scaling_story() {
         OptimizationSet::recompute_only(),
     )
     .expect("recompute sustains 10.3B");
-    let mpress = run(gpt(zoo::gpt_10_3b(), Machine::dgx1()), OptimizationSet::all())
-        .expect("mpress sustains 10.3B");
+    let mpress = run(
+        gpt(zoo::gpt_10_3b(), Machine::dgx1()),
+        OptimizationSet::all(),
+    )
+    .expect("mpress sustains 10.3B");
     // Both planners are approximate; MPress must at least match the
     // recomputation baseline to within emulator noise (the paper reports
     // a 19.2% win on real hardware).
@@ -142,7 +157,11 @@ fn gpt_dgx1_scaling_story() {
         "mpress {mpress:.1} vs recompute {rec:.1}"
     );
     assert!(
-        run(gpt(zoo::gpt_20_4b(), Machine::dgx1()), OptimizationSet::all()).is_some(),
+        run(
+            gpt(zoo::gpt_20_4b(), Machine::dgx1()),
+            OptimizationSet::all()
+        )
+        .is_some(),
         "MPress must sustain GPT-20.4B on DGX-1"
     );
 }
@@ -151,11 +170,23 @@ fn gpt_dgx1_scaling_story() {
 /// the largest 25.5B variant under MPress.
 #[test]
 fn gpt_dgx2_scaling_story() {
-    let dgx1 = run(gpt(zoo::gpt_5_3b(), Machine::dgx1()), OptimizationSet::all()).unwrap();
-    let dgx2 = run(gpt(zoo::gpt_5_3b(), Machine::dgx2()), OptimizationSet::all()).unwrap();
+    let dgx1 = run(
+        gpt(zoo::gpt_5_3b(), Machine::dgx1()),
+        OptimizationSet::all(),
+    )
+    .unwrap();
+    let dgx2 = run(
+        gpt(zoo::gpt_5_3b(), Machine::dgx2()),
+        OptimizationSet::all(),
+    )
+    .unwrap();
     assert!(dgx2 > 2.0 * dgx1, "DGX-2 {dgx2} vs DGX-1 {dgx1}");
     assert!(
-        run(gpt(zoo::gpt_25_5b(), Machine::dgx2()), OptimizationSet::all()).is_some(),
+        run(
+            gpt(zoo::gpt_25_5b(), Machine::dgx2()),
+            OptimizationSet::all()
+        )
+        .is_some(),
         "MPress must sustain GPT-25.5B on DGX-2"
     );
 }
@@ -201,7 +232,10 @@ fn motivation_story_interop_beats_intraop_off_the_dgx() {
         .microbatch_size(2)
         .microbatches(16)
         .report();
-    let mpress_dgx =
-        run(gpt(zoo::gpt_10_3b(), Machine::dgx1()), OptimizationSet::all()).unwrap();
+    let mpress_dgx = run(
+        gpt(zoo::gpt_10_3b(), Machine::dgx1()),
+        OptimizationSet::all(),
+    )
+    .unwrap();
     assert!(mpress_dgx > mega_dgx.tflops);
 }

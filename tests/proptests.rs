@@ -2,13 +2,13 @@
 
 use mpress_baselines::MegatronBaseline;
 use mpress_compaction::StripePlan;
+use mpress_compaction::{HostTier, InstrumentationPlan, MemoryDirective};
+use mpress_graph::TensorKind;
 use mpress_hw::{Bytes, DeviceId, Topology};
 use mpress_model::{ModelFamily, PrecisionPolicy, TransformerConfig};
 use mpress_pipeline::{
     MemoryDemands, PartitionGoal, ScheduleKind, StagePartition, StageProgram, StageSlot,
 };
-use mpress_compaction::{HostTier, InstrumentationPlan, MemoryDirective};
-use mpress_graph::TensorKind;
 use mpress_sim::{DeviceMap, Simulator};
 use proptest::prelude::*;
 

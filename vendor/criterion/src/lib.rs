@@ -44,7 +44,11 @@ impl Criterion {
         } else {
             0.0
         };
-        println!("bench {name}: {:.3} ms/iter ({} iters)", mean * 1e3, b.iters);
+        println!(
+            "bench {name}: {:.3} ms/iter ({} iters)",
+            mean * 1e3,
+            b.iters
+        );
         self
     }
 }

@@ -87,7 +87,10 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 32, max_shrink_iters: 0 }
+            ProptestConfig {
+                cases: 32,
+                max_shrink_iters: 0,
+            }
         }
     }
 
