@@ -6,8 +6,8 @@
 //!
 //! ```json
 //! {"wall_s": 1.23, "jobs": 4, "emulator_runs": 57, "cache_hits": 12,
-//!  "cache_hit_rate": 0.174, "peak_workers": 4, "refinement_rounds": 9,
-//!  "refine_candidates": [4, 4, 1]}
+//!  "cache_hit_rate": 0.174, "prefilter_skips": 18, "peak_workers": 4,
+//!  "refinement_rounds": 9, "refine_candidates": [4, 4, 1]}
 //! ```
 //!
 //! Pass `--out PATH` to redirect (default `BENCH_planner.json` in the
@@ -66,13 +66,14 @@ fn main() {
         .join(", ");
     let json = format!(
         "{{\"wall_s\": {:.3}, \"jobs\": {}, \"emulator_runs\": {}, \"cache_hits\": {}, \
-         \"cache_hit_rate\": {:.4}, \"peak_workers\": {}, \"refinement_rounds\": {}, \
-         \"refine_candidates\": [{}]}}\n",
+         \"cache_hit_rate\": {:.4}, \"prefilter_skips\": {}, \"peak_workers\": {}, \
+         \"refinement_rounds\": {}, \"refine_candidates\": [{}]}}\n",
         wall_s,
         plan.search.jobs,
         plan.search.emulator_runs,
         plan.search.cache_hits,
         plan.search.cache_hit_rate(),
+        plan.search.prefilter_skips,
         plan.search.peak_workers,
         plan.refinement_rounds,
         candidates

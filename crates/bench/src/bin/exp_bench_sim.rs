@@ -1,0 +1,123 @@
+//! Times the emulator fast path and writes `BENCH_sim.json`.
+//!
+//! Three measurements on the Bert-1.67B × DGX-1 case:
+//!
+//! * steady-state emulation throughput through one reused [`SimArena`]
+//!   (the planner's inner loop: the chosen plan re-simulated back to
+//!   back),
+//! * end-to-end plan-search wall clock at `jobs=1` and `jobs=8`,
+//! * a prefilter transparency gate: planning with the analytic
+//!   lower-bound prefilter on and off must choose the identical plan —
+//!   any divergence exits nonzero so CI fails loudly.
+//!
+//! Output schema:
+//!
+//! ```json
+//! {"emulate_ms": 0.91, "emulations_per_sec": 1098.9,
+//!  "plan_wall_s_jobs1": 0.061, "plan_wall_s_jobs8": 0.058,
+//!  "prefilter_skips": 18, "prefilter_plan_identical": true}
+//! ```
+//!
+//! Pass `--out PATH` to redirect (default `BENCH_sim.json` in the
+//! working directory).
+use mpress::Mpress;
+use mpress_bench::jobs::bert_job;
+use mpress_hw::Machine;
+use mpress_model::zoo;
+use mpress_sim::{SimArena, Simulator};
+
+fn bench_system(prefilter: Option<bool>) -> Mpress {
+    let builder = Mpress::builder().job(bert_job(zoo::bert_1_67b(), Machine::dgx1()));
+    match prefilter {
+        Some(on) => builder.prefilter(on).build(),
+        None => builder.build(),
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_sim.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            out_path = args.next().unwrap_or_else(|| {
+                eprintln!("error: --out expects a path");
+                std::process::exit(2);
+            });
+        } else if arg == "--help" || arg == "-h" {
+            println!("usage: exp_bench_sim [--out PATH]");
+            println!();
+            println!("  --out PATH  where to write the JSON (default BENCH_sim.json)");
+            std::process::exit(0);
+        } else {
+            eprintln!("error: unknown flag {arg:?} (see --help)");
+            std::process::exit(2);
+        }
+    }
+
+    // --- Steady-state emulation throughput (arena reuse) -----------------
+    mpress_par::set_jobs(1);
+    let mpress = bench_system(None);
+    let (plan, lowered) = mpress.plan().expect("planning succeeds");
+    let sim = Simulator::new(
+        mpress.machine(),
+        &lowered.graph,
+        &plan.instrumentation,
+        plan.device_map.clone(),
+    );
+    let mut arena = SimArena::new();
+    sim.run_in(&mut arena).expect("emulation succeeds");
+    const RUNS: usize = 200;
+    let start = std::time::Instant::now();
+    for _ in 0..RUNS {
+        sim.run_in(&mut arena).expect("emulation succeeds");
+    }
+    let emulate_s = start.elapsed().as_secs_f64() / RUNS as f64;
+
+    // --- Plan-search wall clock ------------------------------------------
+    let plan_wall = |jobs: usize| {
+        mpress_par::set_jobs(jobs);
+        let start = std::time::Instant::now();
+        let system = bench_system(None);
+        system.plan().expect("planning succeeds");
+        start.elapsed().as_secs_f64()
+    };
+    let wall_jobs1 = plan_wall(1);
+    let wall_jobs8 = plan_wall(8);
+
+    // --- Prefilter transparency gate --------------------------------------
+    mpress_par::set_jobs(1);
+    let (plan_off, _) = bench_system(Some(false)).plan().expect("planning succeeds");
+    let (plan_on, _) = bench_system(Some(true)).plan().expect("planning succeeds");
+    let identical = plan_on.instrumentation == plan_off.instrumentation
+        && plan_on.device_map == plan_off.device_map;
+
+    let json = format!(
+        "{{\"emulate_ms\": {:.3}, \"emulations_per_sec\": {:.1}, \
+         \"plan_wall_s_jobs1\": {:.3}, \"plan_wall_s_jobs8\": {:.3}, \
+         \"prefilter_skips\": {}, \"prefilter_plan_identical\": {}}}\n",
+        1e3 * emulate_s,
+        1.0 / emulate_s,
+        wall_jobs1,
+        wall_jobs8,
+        plan_on.search.prefilter_skips,
+        identical
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: writing {out_path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{json}");
+    eprintln!(
+        "sim {:.3} ms/emulation ({:.0}/s), plan wall {:.3}s (jobs=1) {:.3}s (jobs=8), \
+         {} prefilter skips -> {out_path}",
+        1e3 * emulate_s,
+        1.0 / emulate_s,
+        wall_jobs1,
+        wall_jobs8,
+        plan_on.search.prefilter_skips,
+    );
+    if !identical {
+        eprintln!("error: prefilter changed the chosen plan");
+        std::process::exit(1);
+    }
+}

@@ -45,10 +45,11 @@ fn telemetry_table(t: &TelemetryReport) -> String {
     let _ = writeln!(
         out,
         "  search: {} emulator runs, {} cache hits ({:.0}% hit rate), \
-         jobs={} (peak {} workers), candidates/round {:?}",
+         {} prefilter skips, jobs={} (peak {} workers), candidates/round {:?}",
         s.emulator_runs,
         s.cache_hits,
         100.0 * s.cache_hit_rate(),
+        s.prefilter_skips,
         s.jobs,
         s.peak_workers,
         t.refine_candidates,
@@ -184,13 +185,14 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
     let mut out = format!(
         "device map: {}\ndirectives: {} (refinement rounds: {})\n\
          search: {} emulator runs, {} cache hits ({:.0}% hit rate), \
-         jobs={} (peak {} workers)\n",
+         {} prefilter skips, jobs={} (peak {} workers)\n",
         plan.device_map,
         plan.instrumentation.len(),
         plan.refinement_rounds,
         plan.search.emulator_runs,
         plan.search.cache_hits,
         100.0 * plan.search.cache_hit_rate(),
+        plan.search.prefilter_skips,
         plan.search.jobs,
         plan.search.peak_workers,
     );

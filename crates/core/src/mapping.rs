@@ -73,21 +73,97 @@ impl<'a> MappingSearch<'a> {
             let score = self.score_assignment(&identity, overflow, &assignment);
             return (identity, assignment, score);
         }
-        let mut best_map = identity;
-        let mut best_assignment = self.assign_spare(&best_map, overflow, spare);
-        let mut best_score = self.score_assignment(&best_map, overflow, &best_assignment);
+        let mut best_assignment = self.assign_spare(&identity, overflow, spare);
+        let mut best_score = self.score_assignment(&identity, overflow, &best_assignment);
+        let mut best_perm: Vec<usize> = (0..n).collect();
+        // Enumerating n! permutations dominates planning cost when each
+        // candidate materializes a full `SpareAssignment`. Instead, score
+        // every permutation allocation-free against precomputed
+        // device-pair tables (budgets and lane counts are integer sums,
+        // so the flat scorer reproduces `score_assignment` exactly) and
+        // rebuild the winning assignment once at the end.
+        let topo = self.machine.topology();
+        let g = self.machine.gpu_count();
+        // Transposed pair tables: row = donor device, column = exporter
+        // device, so one donor's reachability/lanes sit contiguously.
+        // Orientation matches `topo.reachable(exporter, donor)` exactly.
+        let mut reach_t = vec![false; g * g];
+        let mut lanes_t = vec![0u32; g * g];
+        for dd in 0..g {
+            for ed in 0..g {
+                reach_t[dd * g + ed] = topo.reachable(DeviceId(ed), DeviceId(dd));
+                lanes_t[dd * g + ed] = topo.nvlink_lanes(DeviceId(ed), DeviceId(dd));
+            }
+        }
+        let lane_budget = topo.lane_budget();
+        // Scoring only visits stages with demand or supply; both lists
+        // stay in ascending stage order so the float accumulation order
+        // (and thus every rounded share) matches `assign_spare`.
+        let exporters: Vec<(usize, f64, Bytes)> = overflow
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.is_zero())
+            .map(|(e, &o)| (e, o.as_f64(), o))
+            .collect();
+        let donors: Vec<(usize, f64)> = spare
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_zero())
+            .map(|(d, &s)| (d, s.as_f64()))
+            .collect();
+        let any = !exporters.is_empty();
+        let mut budget = vec![0u64; n];
+        let mut lane_sum = vec![0u32; n];
         let mut perm: Vec<usize> = (0..n).collect();
         permute(&mut perm, 0, &mut |p| {
-            let map = DeviceMap::from_vec(p.iter().map(|&d| DeviceId(d)).collect())
-                .expect("permutation is bijective");
-            let assignment = self.assign_spare(&map, overflow, spare);
-            let score = self.score_assignment(&map, overflow, &assignment);
+            for &(e, _, _) in &exporters {
+                budget[e] = 0;
+                lane_sum[e] = 0;
+            }
+            for &(donor, donor_spare) in &donors {
+                let row = p[donor] * g;
+                let mut demand_total = 0.0_f64;
+                for &(e, of, _) in &exporters {
+                    if e != donor && reach_t[row + p[e]] {
+                        demand_total += of;
+                    }
+                }
+                if demand_total == 0.0 {
+                    continue;
+                }
+                for &(e, of, _) in &exporters {
+                    if e == donor || !reach_t[row + p[e]] {
+                        continue;
+                    }
+                    // `Bytes::scale` verbatim, minus the finite assert.
+                    let share = (donor_spare * (of / demand_total)).round() as u64;
+                    if share != 0 {
+                        budget[e] += share;
+                        lane_sum[e] += lanes_t[row + p[e]];
+                    }
+                }
+            }
+            let mut worst: f64 = 0.0;
+            for &(e, of, demand) in &exporters {
+                let served = demand.min(Bytes(budget[e]));
+                let stage_lanes = lane_sum[e].min(lane_budget);
+                let d2d_bw = f64::from(stage_lanes.max(1)) * NVLINK2_LANE_BW;
+                let mut t = served.as_f64() / d2d_bw;
+                let unserved = of - served.as_f64();
+                t += unserved / PCIE3_X16_BW;
+                worst = worst.max(t);
+            }
+            let score = if any { 1.0 / worst } else { f64::INFINITY };
             if score > best_score {
                 best_score = score;
-                best_map = map;
-                best_assignment = assignment;
+                best_perm.copy_from_slice(p);
             }
         });
+        let best_map = DeviceMap::from_vec(best_perm.iter().map(|&d| DeviceId(d)).collect())
+            .expect("permutation is bijective");
+        if best_map != DeviceMap::identity(n) {
+            best_assignment = self.assign_spare(&best_map, overflow, spare);
+        }
         (best_map, best_assignment, best_score)
     }
 

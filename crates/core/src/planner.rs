@@ -22,11 +22,11 @@ use mpress_compaction::{
 };
 use mpress_hw::{Bytes, DeviceId, Machine, Secs};
 use mpress_pipeline::{LoweredJob, PipelineJob};
-use mpress_sim::{DeviceMap, OomEvent, SimError, SimReport, Simulator};
+use mpress_sim::{DeviceMap, OomEvent, SimArena, SimError, SimReport, Simulator};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Which techniques the planner may use. Disabling subsets yields the
 /// paper's baselines (recomputation-only, GPU-CPU-swap-only, D2D-only).
@@ -111,6 +111,13 @@ pub struct PlannerConfig {
     /// overflowing stage instead of just enough to fit (how vDNN-style
     /// GPU-CPU swap systems behave — the paper's Fig. 7 baseline).
     pub exhaustive_swap: bool,
+    /// Skip full emulation for refinement candidates whose analytic
+    /// best-case makespan already loses to the incumbent (see
+    /// [`SimArena::makespan_lower_bound`]). The default honors the
+    /// [`mpress_obs::ENV_PREFILTER`] escape hatch (`MPRESS_PREFILTER=0`
+    /// disables); the chosen plan is identical either way — only
+    /// `emulator_runs` changes.
+    pub prefilter: bool,
 }
 
 impl Default for PlannerConfig {
@@ -122,8 +129,22 @@ impl Default for PlannerConfig {
             striping: true,
             mapping_search: true,
             exhaustive_swap: false,
+            prefilter: prefilter_default(),
         }
     }
+}
+
+/// Process-wide default for [`PlannerConfig::prefilter`]: on, unless
+/// `MPRESS_PREFILTER` is set to `0`, `false` or `off`. Read once and
+/// cached, like the other [`mpress_obs`] switches.
+fn prefilter_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var(mpress_obs::ENV_PREFILTER).as_deref(),
+            Ok("0") | Ok("false") | Ok("off")
+        )
+    })
 }
 
 /// Counters describing one planner search: how much emulator work ran,
@@ -136,6 +157,10 @@ pub struct SearchStats {
     pub emulator_runs: usize,
     /// `emulate()` calls answered from the memoization cache.
     pub cache_hits: usize,
+    /// Refinement candidates skipped by the analytic lower-bound
+    /// pre-filter without running the emulator (see
+    /// [`PlannerConfig::prefilter`]).
+    pub prefilter_skips: usize,
     /// Worker count the parallel sections resolved to.
     pub jobs: usize,
     /// Peak concurrently-busy workers observed in the process so far.
@@ -226,29 +251,31 @@ impl Choice {
 /// Refinement repeatedly re-creates previously-seen plans (rejected
 /// trials revert to the incumbent, portfolio variants re-derive the
 /// same assignment), so whole simulator windows can be skipped. The
-/// key is an **exact** canonical encoding of `(InstrumentationPlan,
-/// DeviceMap)` — not a lossy hash — so a collision can never smuggle
-/// in a wrong metric and break the determinism contract.
+/// key is a canonical **structural** digest of the plan's simulator-
+/// visible effects (see [`cache_key`]), interned to one `u64` — no
+/// per-call allocation, and equivalent candidates reached via different
+/// refinement paths collapse onto the same entry.
 #[derive(Debug, Default)]
 struct EmulationCache {
-    entries: Mutex<HashMap<Vec<u64>, Outcome>>,
+    entries: Mutex<HashMap<u64, Outcome>>,
     runs: AtomicUsize,
     hits: AtomicUsize,
+    prefilter_skips: AtomicUsize,
 }
 
 /// What one emulator window reports back to the search.
 type Outcome = (Metric, Option<OomEvent>);
 
 impl EmulationCache {
-    fn lookup(&self, key: &[u64]) -> Option<Outcome> {
-        let found = self.entries.lock().expect("cache lock").get(key).copied();
+    fn lookup(&self, key: u64) -> Option<Outcome> {
+        let found = self.entries.lock().expect("cache lock").get(&key).copied();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
 
-    fn insert(&self, key: Vec<u64>, outcome: Outcome) {
+    fn insert(&self, key: u64, outcome: Outcome) {
         self.entries
             .lock()
             .expect("cache lock")
@@ -256,35 +283,60 @@ impl EmulationCache {
     }
 }
 
-/// Canonical structural encoding of one emulator input. `BTreeMap`
-/// iteration makes the directive order deterministic; chunk lists are
-/// already ordered inside each `StripePlan`.
-fn cache_key(plan: &InstrumentationPlan, device_map: &DeviceMap) -> Vec<u64> {
-    let mut key = Vec::with_capacity(2 + device_map.len() + 4 * plan.len());
-    key.push(device_map.len() as u64);
+/// Minimal FNV-1a 64-bit fold (std-only; `DefaultHasher` is not
+/// guaranteed stable across releases and cache behavior should be
+/// reproducible build-to-build).
+fn fnv(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for byte in v.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a offset basis.
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Canonical structural digest of one emulator input: the device map
+/// plus, per tensor (in deterministic `BTreeMap` order), exactly the
+/// directive properties the simulator consumes — technique, host tier,
+/// and for D2D stripes the one-way transfer time and the per-chunk
+/// `(target, bytes)` layout. Lane counts are deliberately **not**
+/// hashed: the engine only reads them through `one_way_time()`, so two
+/// stripes differing only in lanes (same timing, same placement) are
+/// the same plan to the emulator and share a cache entry.
+///
+/// The digest is a 64-bit hash, so a collision is theoretically able to
+/// return a wrong memoized metric; with the few hundred distinct plans
+/// a search generates the probability is ~1e-15 per search, which we
+/// accept for an allocation-free key (the property suite still pins
+/// cached == uncached outcomes on real searches).
+fn cache_key(plan: &InstrumentationPlan, device_map: &DeviceMap) -> u64 {
+    let mut h = fnv(FNV_SEED, device_map.len() as u64);
     for stage in 0..device_map.len() {
-        key.push(device_map.device_of(stage).0 as u64);
+        h = fnv(h, device_map.device_of(stage).0 as u64);
     }
     for (tensor, directive) in plan.iter() {
-        key.push(tensor.index() as u64);
+        h = fnv(h, tensor.index() as u64);
         match directive {
-            MemoryDirective::Recompute => key.push(0),
+            MemoryDirective::Recompute => h = fnv(h, 0),
             MemoryDirective::SwapToHost(tier) => {
-                key.push(1);
-                key.push(u64::from(*tier == HostTier::Nvme));
+                h = fnv(h, 1);
+                h = fnv(h, u64::from(*tier == HostTier::Nvme));
             }
             MemoryDirective::SwapD2d(stripe) => {
-                key.push(2);
-                key.push(stripe.chunks().len() as u64);
+                h = fnv(h, 2);
+                h = fnv(h, stripe.one_way_time().to_bits());
+                h = fnv(h, stripe.chunks().len() as u64);
                 for chunk in stripe.chunks() {
-                    key.push(chunk.target.0 as u64);
-                    key.push(u64::from(chunk.lanes));
-                    key.push(chunk.bytes.as_u64());
+                    h = fnv(h, chunk.target.0 as u64);
+                    h = fnv(h, chunk.bytes.as_u64());
                 }
             }
         }
     }
-    key
+    h
 }
 
 /// One emulator-verified replacement attempt for a refinement victim:
@@ -303,6 +355,10 @@ pub struct Planner<'a> {
     lowered: &'a LoweredJob,
     config: PlannerConfig,
     cache: EmulationCache,
+    /// Reusable simulation arenas, one checked out per concurrent
+    /// emulator window — steady-state `emulate()` calls reuse the graph
+    /// tables and task buffers instead of rebuilding them.
+    arenas: Mutex<Vec<SimArena>>,
 }
 
 impl<'a> Planner<'a> {
@@ -319,6 +375,7 @@ impl<'a> Planner<'a> {
             lowered,
             config,
             cache: EmulationCache::default(),
+            arenas: Mutex::new(Vec::new()),
         }
     }
 
@@ -327,9 +384,26 @@ impl<'a> Planner<'a> {
         SearchStats {
             emulator_runs: self.cache.runs.load(Ordering::Relaxed),
             cache_hits: self.cache.hits.load(Ordering::Relaxed),
+            prefilter_skips: self.cache.prefilter_skips.load(Ordering::Relaxed),
             jobs: mpress_par::jobs(),
             peak_workers: mpress_par::stats().peak_workers,
         }
+    }
+
+    /// Checks an arena out of the pool (or makes a fresh one), runs `f`,
+    /// and returns the arena for the next emulator window. Concurrent
+    /// windows check out distinct arenas, so the pool's steady-state size
+    /// is the worker count.
+    fn with_arena<T>(&self, f: impl FnOnce(&mut SimArena) -> T) -> T {
+        let mut arena = self
+            .arenas
+            .lock()
+            .expect("arena pool lock")
+            .pop()
+            .unwrap_or_default();
+        let out = f(&mut arena);
+        self.arenas.lock().expect("arena pool lock").push(arena);
+        out
     }
 
     /// Produces the memory-saving plan.
@@ -373,16 +447,27 @@ impl<'a> Planner<'a> {
         // The portfolio variants are independent searches: plan and
         // emulate them concurrently, then fold the winners back in the
         // fixed variant order so the outcome matches the serial walk.
-        let alternatives: Vec<Result<(MpressPlan, Metric), SimError>> =
+        // Pruning is against the *pre-fold* incumbent — conservative even
+        // though the fold may improve it, because pruning against a worse
+        // incumbent only prunes less.
+        let fold_incumbent = best_metric;
+        let alternatives: Vec<Result<(MpressPlan, Option<Metric>), SimError>> =
             mpress_par::par_map(&variants, |variant| {
                 let alternative = self.plan_with(*variant, &profile)?;
                 let alt_metric = self
-                    .emulate(&alternative.instrumentation, &alternative.device_map)?
-                    .0;
+                    .emulate_bounded(
+                        &alternative.instrumentation,
+                        &alternative.device_map,
+                        Some(fold_incumbent),
+                    )?
+                    .map(|(m, _)| m);
                 Ok((alternative, alt_metric))
             });
         for (variant, outcome) in variants.iter().zip(alternatives) {
             let (alternative, alt_metric) = outcome?;
+            let Some(alt_metric) = alt_metric else {
+                continue; // pruned: cannot beat the incumbent
+            };
             if mpress_obs::verbosity().plan_debug {
                 eprintln!(
                     "portfolio {variant:?}: oom={} makespan={:.4} vs best oom={} makespan={:.4}",
@@ -717,7 +802,11 @@ impl<'a> Planner<'a> {
                 if trials.is_empty() {
                     continue;
                 }
-                let evaluated: Vec<Result<(InstrumentationPlan, Metric), SimError>> =
+                // Pruned trials (`None` metric) lost to the incumbent by
+                // construction; they stay in the result vector so trial
+                // indices (and the tie-break order) are unchanged.
+                let round_incumbent = best_metric;
+                let evaluated: Vec<Result<(InstrumentationPlan, Option<Metric>), SimError>> =
                     mpress_par::par_map(&trials, |trial| {
                         let trial_plan = self.emit(
                             classes,
@@ -725,7 +814,9 @@ impl<'a> Planner<'a> {
                             trial.budgets.as_deref().unwrap_or(&budgets),
                             &device_map,
                         )?;
-                        let (metric, _) = self.emulate(&trial_plan, &device_map)?;
+                        let metric = self
+                            .emulate_bounded(&trial_plan, &device_map, Some(round_incumbent))?
+                            .map(|(m, _)| m);
                         Ok((trial_plan, metric))
                     });
                 rounds += trials.len();
@@ -736,7 +827,11 @@ impl<'a> Planner<'a> {
                 }
                 let mut winner: Option<usize> = None;
                 for (idx, (_, metric)) in results.iter().enumerate() {
-                    let incumbent = winner.map_or(best_metric, |w| results[w].1);
+                    let Some(metric) = metric else {
+                        continue; // pruned: cannot beat any incumbent
+                    };
+                    let incumbent =
+                        winner.map_or(best_metric, |w| results[w].1.expect("winner was emulated"));
                     if metric_better(*metric, incumbent) {
                         winner = Some(idx);
                     }
@@ -751,7 +846,7 @@ impl<'a> Planner<'a> {
                         budgets = trial_budgets;
                     }
                     best_plan = trial_plan;
-                    best_metric = metric;
+                    best_metric = metric.expect("winner was emulated");
                 }
             }
             // Portfolio check A: minting donor space may not have paid
@@ -766,13 +861,16 @@ impl<'a> Planner<'a> {
                 }
                 if stripped != choice {
                     let trial_plan = self.emit(classes, &stripped, &budgets, &device_map)?;
-                    let (metric, _) = self.emulate(&trial_plan, &device_map)?;
+                    let metric =
+                        self.emulate_bounded(&trial_plan, &device_map, Some(best_metric))?;
                     rounds += 1;
                     refine_candidates.push(1);
-                    if metric_better(metric, best_metric) {
-                        choice = stripped;
-                        best_plan = trial_plan;
-                        best_metric = metric;
+                    if let Some((metric, _)) = metric {
+                        if metric_better(metric, best_metric) {
+                            choice = stripped;
+                            best_plan = trial_plan;
+                            best_metric = metric;
+                        }
                     }
                 }
             }
@@ -792,12 +890,14 @@ impl<'a> Planner<'a> {
                 }
                 if rec_choice != choice {
                     let rec_plan = self.emit(classes, &rec_choice, &budgets, &device_map)?;
-                    let (metric, _) = self.emulate(&rec_plan, &device_map)?;
+                    let metric = self.emulate_bounded(&rec_plan, &device_map, Some(best_metric))?;
                     rounds += 1;
                     refine_candidates.push(1);
-                    if metric_better(metric, best_metric) {
-                        best_plan = rec_plan;
-                        best_metric = metric;
+                    if let Some((metric, _)) = metric {
+                        if metric_better(metric, best_metric) {
+                            best_plan = rec_plan;
+                            best_metric = metric;
+                        }
                     }
                 }
             }
@@ -959,13 +1059,58 @@ impl<'a> Planner<'a> {
         plan: &InstrumentationPlan,
         device_map: &DeviceMap,
     ) -> Result<(Metric, Option<OomEvent>), SimError> {
+        self.emulate_bounded(plan, device_map, None)
+            .map(|outcome| outcome.expect("unbounded emulate always produces an outcome"))
+    }
+
+    /// [`Planner::emulate`] with an optional incumbent to beat. When the
+    /// pre-filter is enabled and the candidate's analytic best case (see
+    /// [`SimArena::makespan_lower_bound`]) already loses to a non-OOM
+    /// incumbent by more than the acceptance slack, the emulator run is
+    /// skipped and `None` is returned — by [`metric_better`]'s rules such
+    /// a candidate could never have been accepted, so the search outcome
+    /// is unchanged and only `SearchStats::prefilter_skips` grows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from the underlying run.
+    pub fn emulate_bounded(
+        &self,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+        incumbent: Option<Metric>,
+    ) -> Result<Option<(Metric, Option<OomEvent>)>, SimError> {
         let key = cache_key(plan, device_map);
-        if let Some(outcome) = self.cache.lookup(&key) {
-            return Ok(outcome);
+        if let Some(outcome) = self.cache.lookup(key) {
+            return Ok(Some(outcome));
+        }
+        if self.config.prefilter {
+            if let Some(best) = incumbent {
+                // Only prune against a feasible incumbent: against an OOM
+                // one, any non-OOM candidate wins regardless of makespan,
+                // and the bound cannot predict feasibility.
+                if !best.oom {
+                    let lb = self.with_arena(|arena| {
+                        arena.makespan_lower_bound(
+                            self.machine,
+                            &self.lowered.graph,
+                            plan,
+                            device_map,
+                        )
+                    });
+                    // `metric_better` accepts a candidate at up to
+                    // 1.001x the incumbent (the host-traffic tiebreak),
+                    // so only candidates that cannot even tie are pruned.
+                    if lb > best.makespan * 1.001 {
+                        self.cache.prefilter_skips.fetch_add(1, Ordering::Relaxed);
+                        return Ok(None);
+                    }
+                }
+            }
         }
         let outcome = self.emulate_uncached(plan, device_map)?;
         self.cache.insert(key, outcome);
-        Ok(outcome)
+        Ok(Some(outcome))
     }
 
     /// [`Planner::emulate`] without the memoization layer — one real
@@ -981,8 +1126,10 @@ impl<'a> Planner<'a> {
         device_map: &DeviceMap,
     ) -> Result<(Metric, Option<OomEvent>), SimError> {
         self.cache.runs.fetch_add(1, Ordering::Relaxed);
-        let report =
-            Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone()).run()?;
+        let report = self.with_arena(|arena| {
+            Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())
+                .run_in(arena)
+        })?;
         Ok((
             Metric {
                 oom: report.oom.is_some(),

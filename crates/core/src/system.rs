@@ -235,6 +235,7 @@ pub struct MpressBuilder {
     refine_iters: Option<usize>,
     striping: Option<bool>,
     mapping_search: Option<bool>,
+    prefilter: Option<bool>,
     metrics: bool,
 }
 
@@ -281,6 +282,14 @@ impl MpressBuilder {
         self
     }
 
+    /// Toggles the planner's analytic lower-bound pre-filter (on by
+    /// default unless `MPRESS_PREFILTER=0`; the chosen plan is identical
+    /// either way — only the emulator-run count changes).
+    pub fn prefilter(mut self, on: bool) -> Self {
+        self.prefilter = Some(on);
+        self
+    }
+
     /// Collects structured telemetry ([`TrainingReport::metrics`]) during
     /// `train`/`simulate`. Off by default — disabled runs skip all metric
     /// assembly and their reports are byte-identical to pre-metrics runs.
@@ -323,6 +332,9 @@ impl MpressBuilder {
         }
         if let Some(m) = self.mapping_search {
             config.mapping_search = m;
+        }
+        if let Some(p) = self.prefilter {
+            config.prefilter = p;
         }
         Ok(Mpress {
             job,

@@ -6,7 +6,15 @@
 //! (§III-E). Swap directives expand into copy tasks chained to their
 //! producer/consumer ops; recomputation folds into consumer durations;
 //! memory is tracked per device with OOM detection.
+//!
+//! The scheduler is event-driven: a dirty-stream work-list wakes only
+//! the streams whose state could have changed (dependency resolutions,
+//! memory releases, admission-cursor advances), and an indexed ready-set
+//! replaces the O(n_tasks) quiescent blocked scan. The original
+//! full-scan loop is retained behind [`SimConfig::reference_scan`] so
+//! the equivalence of both paths stays testable.
 
+use crate::arena::{Buffers, Prebuilt, SimArena};
 use crate::device_map::DeviceMap;
 use crate::memory::MemoryTracker;
 use crate::metrics::{DeviceMetrics, LinkMetrics, SimMetrics, StreamBusy};
@@ -15,7 +23,7 @@ use crate::trace::{TraceEvent, TraceKind};
 use mpress_compaction::{HostTier, InstrumentationPlan, MemoryDirective, PlanValidationError};
 use mpress_graph::{OpId, OpKind, TensorId, TrainingGraph};
 use mpress_hw::{Bytes, DeviceId, LinkKey, Machine, Secs};
-use mpress_obs::{verbosity, MetricsRecorder, StallBreakdown, StallCause};
+use mpress_obs::{trace_window, verbosity, MetricsRecorder, StallBreakdown, StallCause};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::error::Error;
@@ -45,6 +53,11 @@ pub struct SimConfig {
     /// per-link traffic) into [`SimReport::metrics`]. Off by default:
     /// disabled runs skip all metric assembly.
     pub metrics: bool,
+    /// Schedule with the reference full-scan loop instead of the
+    /// dirty-stream work-list and indexed ready-set. Slower but
+    /// structurally simpler; the property suite asserts both paths
+    /// produce byte-identical reports.
+    pub reference_scan: bool,
 }
 
 impl Default for SimConfig {
@@ -55,6 +68,7 @@ impl Default for SimConfig {
             memory_gate: true,
             trace: false,
             metrics: false,
+            reference_scan: false,
         }
     }
 }
@@ -87,6 +101,12 @@ impl SimConfig {
     /// Sets [`metrics`](Self::metrics).
     pub fn metrics(mut self, on: bool) -> Self {
         self.metrics = on;
+        self
+    }
+
+    /// Sets [`reference_scan`](Self::reference_scan).
+    pub fn reference_scan(mut self, on: bool) -> Self {
+        self.reference_scan = on;
         self
     }
 }
@@ -153,12 +173,25 @@ impl Ord for OrdTime {
     }
 }
 
+/// The four per-device lanes. The discriminants double as the stream's
+/// slot inside a device's group of four (`sid = dev * 4 + kind`), and
+/// the derived order matches the old `BTreeMap<(usize, StreamKind), _>`
+/// iteration, which scheduling determinism depends on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-enum StreamKind {
-    Compute,
-    Comm,
-    CopyOut,
-    CopyIn,
+pub(crate) enum StreamKind {
+    Compute = 0,
+    Comm = 1,
+    CopyOut = 2,
+    CopyIn = 3,
+}
+
+/// Streams per device (one slot per [`StreamKind`]).
+const STREAMS_PER_DEV: usize = 4;
+
+/// The flat stream index of `(dev, kind)`.
+#[inline]
+fn sid(dev: usize, kind: StreamKind) -> usize {
+    dev * STREAMS_PER_DEV + kind as usize
 }
 
 /// Event-queue ordering for task completions. `BinaryHeap` breaks ties
@@ -168,7 +201,7 @@ enum StreamKind {
 /// This makes traces and reports stable — a prerequisite for asserting
 /// parallel == serial plan search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct CompletionKey {
+pub(crate) struct CompletionKey {
     time: OrdTime,
     stream: StreamKind,
     seq: usize,
@@ -182,7 +215,7 @@ enum Payload {
 }
 
 #[derive(Debug, Clone)]
-struct Task {
+pub(crate) struct Task {
     payload: Payload,
     device: DeviceId,
     stream: StreamKind,
@@ -223,7 +256,7 @@ impl Task {
 }
 
 #[derive(Debug)]
-struct Stream {
+pub(crate) struct Stream {
     /// In-order (FIFO) streams model CUDA compute/comm queues; copy
     /// streams pick any ready task.
     fifo: bool,
@@ -249,7 +282,7 @@ impl Stream {
 
 /// Where a tensor currently lives.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Loc {
+pub(crate) enum Loc {
     /// Not materialized yet (dynamic tensors before their producer runs).
     Unmaterialized,
     /// On its home GPU.
@@ -316,20 +349,40 @@ impl<'a> Simulator<'a> {
     /// deadlocks. An out-of-memory *model outcome* is NOT an error: it is
     /// reported via [`SimReport::oom`].
     pub fn run(&self) -> Result<SimReport, SimError> {
+        let mut arena = SimArena::new();
+        self.run_in(&mut arena)
+    }
+
+    /// Runs the simulation inside a reusable [`SimArena`].
+    ///
+    /// Equivalent to [`run`](Self::run), but graph-derived tables and
+    /// per-run buffers are recycled across calls — the fast path for
+    /// planners emulating thousands of candidate plans over one graph.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_in(&self, arena: &mut SimArena) -> Result<SimReport, SimError> {
         self.plan.validate(self.graph)?;
-        self.validate_inputs()?;
+        arena.ensure(self.graph);
+        self.validate_inputs(arena.prebuilt())?;
+        let bufs = arena.take_buffers();
         let mut state = EngineState::build(
             self.machine,
             self.graph,
             self.plan,
+            arena.prebuilt(),
             &self.device_map,
             self.config,
+            bufs,
         )?;
         state.run(self.config.strict_oom);
-        state.into_report(self.graph)
+        let (result, bufs) = state.into_report(self.graph);
+        arena.put_buffers(bufs);
+        result
     }
 
-    fn validate_inputs(&self) -> Result<(), SimError> {
+    fn validate_inputs(&self, pre: &Prebuilt) -> Result<(), SimError> {
         if self.device_map.len() != self.graph.n_stages() {
             return Err(SimError::BadDeviceMap(format!(
                 "map covers {} stages, graph has {}",
@@ -346,15 +399,9 @@ impl<'a> Simulator<'a> {
                 )));
             }
         }
-        let mut writer_counts = vec![0usize; self.graph.tensors().len()];
-        for op in self.graph.ops() {
-            for w in &op.writes {
-                writer_counts[w.index()] += 1;
-            }
-        }
         for (t, directive) in self.plan.iter() {
             let tensor = self.graph.tensor(t);
-            let writers = writer_counts[t.index()];
+            let writers = pre.writer_counts[t.index()];
             match directive {
                 MemoryDirective::SwapToHost(_) | MemoryDirective::SwapD2d(_) => {
                     if writers > 1 {
@@ -376,12 +423,76 @@ impl<'a> Simulator<'a> {
     }
 }
 
+/// Writes a fully reinitialized task into the next slot, reusing the
+/// slot (and its `dependents` allocation) when the buffer still has one
+/// from a previous run.
+#[allow(clippy::too_many_arguments)]
+fn emit_task(
+    tasks: &mut Vec<Task>,
+    live: &mut usize,
+    payload: Payload,
+    device: DeviceId,
+    stream: StreamKind,
+    duration: Secs,
+) -> usize {
+    let tid = *live;
+    if tid < tasks.len() {
+        let t = &mut tasks[tid];
+        t.dependents.clear();
+        t.payload = payload;
+        t.device = device;
+        t.stream = stream;
+        t.duration = duration;
+        t.deps = 0;
+        t.trigger_fired = true;
+        t.started = false;
+        t.done = false;
+        t.in_ready = false;
+        t.priority = usize::MAX;
+        t.admit = None;
+        t.start = 0.0;
+        t.end = 0.0;
+        t.ready_at = 0.0;
+        t.dep_wait_is_copy = false;
+    } else {
+        tasks.push(Task {
+            payload,
+            device,
+            stream,
+            duration,
+            deps: 0,
+            trigger_fired: true,
+            dependents: Vec::new(),
+            started: false,
+            done: false,
+            in_ready: false,
+            priority: usize::MAX,
+            admit: None,
+            start: 0.0,
+            end: 0.0,
+            ready_at: 0.0,
+            dep_wait_is_copy: false,
+        });
+    }
+    *live += 1;
+    tid
+}
+
 /// All mutable engine state for one run. Borrows the instrumentation
-/// plan (`'p`) so directives and stripe layouts are referenced, not
-/// cloned, during task-graph build.
+/// plan and the arena's prebuilt tables (`'p`) so directives, stripe
+/// layouts and graph-derived tables are referenced, not cloned.
 struct EngineState<'p> {
+    pre: &'p Prebuilt,
     tasks: Vec<Task>,
-    streams: BTreeMap<(usize, StreamKind), Stream>,
+    /// Flat stream table indexed by [`sid`].
+    streams: Vec<Stream>,
+    /// Work-list flags: streams whose scheduling state may have changed
+    /// since they were last visited. The fast start-pass skips clean
+    /// streams; every event that could enable a start marks one.
+    dirty: Vec<bool>,
+    /// Every task with `is_ready()` true, ordered by task id — the
+    /// indexed replacement for the quiescent full-task blocked scan.
+    ready_set: crate::arena::ReadySet,
     heap: BinaryHeap<Reverse<CompletionKey>>,
     clock: Secs,
     memory: MemoryTracker,
@@ -389,32 +500,17 @@ struct EngineState<'p> {
     /// op task id (dense, `< n_ops`) -> swap-in task ids it triggers on
     /// start.
     triggers: Vec<Vec<usize>>,
-    /// tensor -> bytes (cached).
-    bytes: Vec<Bytes>,
     /// tensor home device.
     home: Vec<DeviceId>,
     /// directive lookup by tensor index.
     directive: Vec<Option<&'p MemoryDirective>>,
-    /// recompute compute-time of each tensor (layer forward time).
-    recompute_cost: Vec<Secs>,
-    /// Per-op tensor sets copied out of the graph (tensor indices).
-    op_writes: Vec<Vec<usize>>,
-    op_reads: Vec<Vec<usize>>,
-    op_frees: Vec<Vec<usize>>,
     d2d_traffic: Bytes,
     host_traffic: Bytes,
     nvme_traffic: Bytes,
     recompute_time: Secs,
     completed: usize,
     memory_gate: bool,
-    /// tensor index -> consumer task ids (populated for swap-directive
-    /// tensors; empty elsewhere).
-    swap_consumers: Vec<Vec<usize>>,
-    /// op task id (dense, `< n_ops`) -> (stage, position) on its
-    /// stage's compute sequence; `None` for non-compute ops.
-    seq_pos: Vec<Option<(usize, usize)>>,
-    /// Per-stage ordered compute-op task ids.
-    compute_seq: Vec<Vec<usize>>,
+    reference_scan: bool,
     /// stage -> hosting device index.
     stage_device: Vec<usize>,
     /// tensor index -> number of swap tasks currently *running* (started,
@@ -431,11 +527,16 @@ struct EngineState<'p> {
     refetches: usize,
     pcie_curve: mpress_hw::BandwidthCurve,
     trace: Option<Vec<TraceEvent>>,
-    op_kinds: Vec<OpKind>,
     /// Assemble [`SimMetrics`] at report time (post-hoc; the hot loop only
     /// pays the two per-task stores `ready_at`/`dep_wait_is_copy`).
     metrics: bool,
     gpu_count: usize,
+    /// `start_need` results for the most recently probed task, consumed
+    /// by `start_task` so the admit path computes them exactly once:
+    /// which tensors to materialize and the recompute time they fold in.
+    scratch_tid: usize,
+    scratch_alloc: Vec<usize>,
+    scratch_extra: Secs,
 }
 
 impl<'p> EngineState<'p> {
@@ -443,119 +544,57 @@ impl<'p> EngineState<'p> {
         machine: &Machine,
         graph: &TrainingGraph,
         plan: &'p InstrumentationPlan,
+        pre: &'p Prebuilt,
         device_map: &DeviceMap,
         config: SimConfig,
+        mut bufs: Buffers,
     ) -> Result<Self, SimError> {
-        let n_ops = graph.ops().len();
-        let n_tensors = graph.tensors().len();
+        let n_ops = pre.n_ops;
+        let n_tensors = pre.n_tensors;
 
-        let bytes: Vec<Bytes> = graph.tensors().iter().map(|t| t.bytes).collect();
-        let home: Vec<DeviceId> = graph
-            .tensors()
-            .iter()
-            .map(|t| device_map.device_of(t.stage))
-            .collect();
+        let mut home = std::mem::take(&mut bufs.home);
+        home.clear();
+        home.extend(
+            graph
+                .tensors()
+                .iter()
+                .map(|t| device_map.device_of(t.stage)),
+        );
         let mut directive: Vec<Option<&'p MemoryDirective>> = vec![None; n_tensors];
         for (t, d) in plan.iter() {
             directive[t.index()] = Some(d);
         }
 
-        // Per-tensor recomputation cost: the producing layer's forward
-        // time, recovered from the producer op's sub-event offsets.
-        let mut recompute_cost = vec![0.0_f64; n_tensors];
-        for op in graph.ops() {
-            if op.kind != OpKind::Forward || op.sub_events.is_empty() {
-                continue;
-            }
-            let mut events: Vec<_> = op.sub_events.iter().collect();
-            events.sort_by(|a, b| a.offset.partial_cmp(&b.offset).expect("finite offsets"));
-            let mut prev = 0.0;
-            for e in events {
-                recompute_cost[e.tensor.index()] = (e.offset - prev).max(0.0);
-                prev = e.offset;
-            }
-        }
-        // Tensors without sub-events recompute by re-running their whole
-        // producing op.
-        for op in graph.ops() {
-            if op.kind != OpKind::Forward {
-                continue;
-            }
-            let missing: Vec<TensorId> = op
-                .writes
-                .iter()
-                .copied()
-                .filter(|t| op.sub_event_offset(*t).is_none())
-                .collect();
-            for t in &missing {
-                recompute_cost[t.index()] = op.duration;
-            }
-        }
-
         // --- Op tasks (task id == op index) ---------------------------------
-        let mut tasks: Vec<Task> = graph
-            .ops()
-            .iter()
-            .map(|op| {
-                let stream = match op.kind {
-                    OpKind::Send | OpKind::Recv => StreamKind::Comm,
-                    OpKind::SwapOut => StreamKind::CopyOut,
-                    OpKind::SwapIn => StreamKind::CopyIn,
-                    _ => StreamKind::Compute,
-                };
-                let mut duration = op.duration;
-                // Recomputation folds into the consumer's compute time.
-                for &r in &op.reads {
-                    if matches!(directive[r.index()], Some(MemoryDirective::Recompute)) {
-                        duration += recompute_cost[r.index()];
-                    }
+        let mut tasks = std::mem::take(&mut bufs.tasks);
+        let mut live = 0usize;
+        for (idx, op) in graph.ops().iter().enumerate() {
+            let mut duration = pre.op_duration[idx];
+            // Recomputation folds into the consumer's compute time.
+            for &r in &pre.op_reads[idx] {
+                if matches!(directive[r], Some(MemoryDirective::Recompute)) {
+                    duration += pre.recompute_cost[r];
                 }
-                Task {
-                    payload: Payload::Op(op.id),
-                    device: device_map.device_of(op.stage),
-                    stream,
-                    duration,
-                    deps: 0,
-                    trigger_fired: true,
-                    dependents: Vec::new(),
-                    started: false,
-                    done: false,
-                    in_ready: false,
-                    priority: usize::MAX,
-                    admit: None,
-                    start: 0.0,
-                    end: 0.0,
-                    ready_at: 0.0,
-                    dep_wait_is_copy: false,
-                }
-            })
-            .collect();
+            }
+            emit_task(
+                &mut tasks,
+                &mut live,
+                Payload::Op(op.id),
+                device_map.device_of(op.stage),
+                pre.op_stream[idx],
+                duration,
+            );
+        }
         for &(a, b) in graph.cross_deps() {
             tasks[a.index()].dependents.push(b.index());
             tasks[b.index()].deps += 1;
         }
 
-        // Per-stage compute sequences and each op's position in them —
-        // prefetch triggers anchor a few ops upstream of the consumer.
-        let mut compute_seq: Vec<Vec<usize>> = Vec::with_capacity(graph.n_stages());
-        let mut seq_pos: Vec<Option<(usize, usize)>> = vec![None; n_ops];
-        for stage in 0..graph.n_stages() {
-            let seq: Vec<usize> = graph
-                .stage_program(stage)
-                .iter()
-                .map(|id| id.index())
-                .filter(|&i| tasks[i].stream == StreamKind::Compute)
-                .collect();
-            for (pos, &i) in seq.iter().enumerate() {
-                seq_pos[i] = Some((stage, pos));
-            }
-            compute_seq.push(seq);
-        }
         // The anchor op whose *start* leaves ~1.5x the swap-in time of
         // compute ahead of `consumer` — enough lead for the copy to land.
         let prefetch_anchor = |consumer: usize, in_dur: Secs, tasks: &[Task]| -> Option<usize> {
-            let (stage, pos) = seq_pos[consumer]?;
-            let seq = &compute_seq[stage];
+            let (stage, pos) = pre.seq_pos[consumer]?;
+            let seq = &pre.compute_seq[stage];
             let mut lead = 0.0;
             let mut anchor = None;
             for j in (0..pos).rev() {
@@ -569,91 +608,67 @@ impl<'p> EngineState<'p> {
         };
 
         // --- Swap tasks ------------------------------------------------------
-        // One pass over the ops gives producer/consumer tables; scanning
-        // per directive would be quadratic in graph size.
-        let mut producer_of: Vec<Option<OpId>> = vec![None; n_tensors];
-        let mut consumers_of: Vec<Vec<OpId>> = vec![Vec::new(); n_tensors];
-        for op in graph.ops() {
-            for w in &op.writes {
-                producer_of[w.index()].get_or_insert(op.id);
-            }
-            for r in &op.reads {
-                consumers_of[r.index()].push(op.id);
-            }
+        let mut triggers = std::mem::take(&mut bufs.triggers);
+        for v in triggers.iter_mut() {
+            v.clear();
         }
-        let mut triggers: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
-        let mut swap_consumers: Vec<Vec<usize>> = vec![Vec::new(); n_tensors];
-        let mut swap_legs: Vec<(TensorId, bool /*is_in*/, usize /*task id*/)> = Vec::new();
+        triggers.resize_with(n_ops, Vec::new);
+        triggers.truncate(n_ops);
+        let mut swap_legs: Vec<(TensorId, usize /*task id*/)> = Vec::new();
         for (t, d) in plan.iter() {
             let (out_dur, in_dur) = match d {
                 MemoryDirective::Recompute => continue,
                 MemoryDirective::SwapToHost(HostTier::Dram) => {
-                    let one_way = machine.pcie_transfer_time(bytes[t.index()]);
+                    let one_way = machine.pcie_transfer_time(pre.bytes[t.index()]);
                     (one_way, one_way)
                 }
                 MemoryDirective::SwapToHost(HostTier::Nvme) => {
                     // GPU->host->NVMe staging pipelines; the slower leg
                     // dominates each direction.
-                    let pcie = machine.pcie_transfer_time(bytes[t.index()]);
-                    let out = pcie.max(machine.nvme_transfer_time(bytes[t.index()], true));
-                    let inn = pcie.max(machine.nvme_transfer_time(bytes[t.index()], false));
+                    let pcie = machine.pcie_transfer_time(pre.bytes[t.index()]);
+                    let out = pcie.max(machine.nvme_transfer_time(pre.bytes[t.index()], true));
+                    let inn = pcie.max(machine.nvme_transfer_time(pre.bytes[t.index()], false));
                     (out, inn)
                 }
                 MemoryDirective::SwapD2d(stripe) => (stripe.one_way_time(), stripe.one_way_time()),
             };
             let tensor = graph.tensor(t);
             let dev = home[t.index()];
-            let producer = producer_of[t.index()];
-            let mut consumers: Vec<OpId> = std::mem::take(&mut consumers_of[t.index()]);
-            consumers.sort_unstable();
-            swap_consumers[t.index()] = consumers.iter().map(|c| c.index()).collect();
+            let producer = pre.producer_of[t.index()];
+            let consumers = &pre.consumers_of[t.index()];
             let is_static = tensor.kind.is_static();
-
-            let new_task =
-                |tasks: &mut Vec<Task>, payload: Payload, stream: StreamKind, duration: Secs| {
-                    tasks.push(Task {
-                        payload,
-                        device: dev,
-                        stream,
-                        duration,
-                        deps: 0,
-                        trigger_fired: true,
-                        dependents: Vec::new(),
-                        started: false,
-                        done: false,
-                        in_ready: false,
-                        priority: usize::MAX,
-                        admit: None,
-                        start: 0.0,
-                        end: 0.0,
-                        ready_at: 0.0,
-                        dep_wait_is_copy: false,
-                    });
-                    tasks.len() - 1
-                };
 
             // Static tensors start swapped out; dynamic ones swap out after
             // their producer.
             let mut last_out: Option<usize> = if is_static {
                 None
             } else {
-                let out = new_task(
+                let out = emit_task(
                     &mut tasks,
+                    &mut live,
                     Payload::SwapOut(t),
+                    dev,
                     StreamKind::CopyOut,
                     out_dur,
                 );
-                swap_legs.push((t, false, out));
+                swap_legs.push((t, out));
                 if let Some(p) = producer {
-                    tasks[p.index()].dependents.push(out);
+                    tasks[p].dependents.push(out);
                     tasks[out].deps += 1;
                 }
                 Some(out)
             };
 
             for (k, &c) in consumers.iter().enumerate() {
-                let inn = new_task(&mut tasks, Payload::SwapIn(t), StreamKind::CopyIn, in_dur);
-                swap_legs.push((t, true, inn));
+                let inn = emit_task(
+                    &mut tasks,
+                    &mut live,
+                    Payload::SwapIn(t),
+                    dev,
+                    StreamKind::CopyIn,
+                    in_dur,
+                );
+                swap_legs.push((t, inn));
                 if let Some(out) = last_out {
                     tasks[out].dependents.push(inn);
                     tasks[inn].deps += 1;
@@ -661,29 +676,31 @@ impl<'p> EngineState<'p> {
                 // Prefetch trigger: an upstream compute op whose start
                 // leaves enough compute time to hide the copy. The same
                 // position doubles as the admission gate.
-                if let Some(anchor) = prefetch_anchor(c.index(), in_dur, &tasks) {
+                if let Some(anchor) = prefetch_anchor(c, in_dur, &tasks) {
                     tasks[inn].trigger_fired = false;
                     triggers[anchor].push(inn);
-                    tasks[inn].admit = seq_pos[anchor]
+                    tasks[inn].admit = pre.seq_pos[anchor]
                         .map(|(stage, pos)| (device_map.device_of(stage).index(), pos));
                 }
-                tasks[inn].dependents.push(c.index());
-                tasks[inn].priority = c.index();
-                tasks[c.index()].deps += 1;
+                tasks[inn].dependents.push(c);
+                tasks[inn].priority = c;
+                tasks[c].deps += 1;
 
                 // Re-export after the consumer. Dynamic tensors are freed
                 // by their last consumer, but statics persist — without a
                 // trailing export, consumed optimizer states would pile up
                 // on the device and crowd out the next layer's swap-in.
                 if k + 1 < consumers.len() || is_static {
-                    let out = new_task(
+                    let out = emit_task(
                         &mut tasks,
+                        &mut live,
                         Payload::SwapOut(t),
+                        dev,
                         StreamKind::CopyOut,
                         out_dur,
                     );
-                    swap_legs.push((t, false, out));
-                    tasks[c.index()].dependents.push(out);
+                    swap_legs.push((t, out));
+                    tasks[c].dependents.push(out);
                     tasks[out].deps += 1;
                     last_out = Some(out);
                 } else {
@@ -691,53 +708,66 @@ impl<'p> EngineState<'p> {
                 }
             }
         }
-        let mut runnable_swaps = vec![0u32; n_tensors];
-        for &(t, _, tid) in &swap_legs {
+        tasks.truncate(live);
+        let mut runnable_swaps = std::mem::take(&mut bufs.runnable_swaps);
+        runnable_swaps.clear();
+        runnable_swaps.resize(n_tensors, 0);
+        for &(t, tid) in &swap_legs {
             if tasks[tid].deps == 0 {
                 runnable_swaps[t.index()] += 1;
             }
         }
 
         // --- Streams ----------------------------------------------------------
-        let mut streams: BTreeMap<(usize, StreamKind), Stream> = BTreeMap::new();
-        for dev in 0..machine.gpu_count() {
-            streams.insert((dev, StreamKind::Compute), Stream::new(true));
-            streams.insert((dev, StreamKind::Comm), Stream::new(true));
-            streams.insert((dev, StreamKind::CopyOut), Stream::new(false));
-            streams.insert((dev, StreamKind::CopyIn), Stream::new(false));
+        let n_sids = machine.gpu_count() * STREAMS_PER_DEV;
+        let mut streams = std::mem::take(&mut bufs.streams);
+        for s in streams.iter_mut() {
+            s.queue.clear();
+            s.ready.clear();
+            s.cursor = 0;
+            s.busy = false;
+        }
+        while streams.len() < n_sids {
+            streams.push(Stream::new(false));
+        }
+        streams.truncate(n_sids);
+        for (s, stream) in streams.iter_mut().enumerate() {
+            stream.fifo = matches!(s % STREAMS_PER_DEV, 0 | 1); // Compute, Comm
         }
         // Compute/comm queues follow the stage program order; copy queues
         // follow creation order (scan-ready anyway).
         for stage in 0..graph.n_stages() {
             for id in graph.stage_program(stage) {
                 let tid = id.index();
-                let key = (tasks[tid].device.index(), tasks[tid].stream);
-                streams
-                    .get_mut(&key)
-                    .expect("stream exists")
+                streams[sid(tasks[tid].device.index(), tasks[tid].stream)]
                     .queue
                     .push(tid);
             }
         }
-        for (tid, task) in tasks.iter().enumerate().skip(n_ops) {
-            let key = (task.device.index(), task.stream);
-            streams
-                .get_mut(&key)
-                .expect("stream exists")
+        for tid in n_ops..tasks.len() {
+            streams[sid(tasks[tid].device.index(), tasks[tid].stream)]
                 .queue
                 .push(tid);
         }
-        // Seed the non-FIFO ready lists with already-eligible tasks.
+        // Seed the ready-set and the non-FIFO ready lists with
+        // already-eligible tasks.
+        let mut ready_set = std::mem::take(&mut bufs.ready_set);
+        ready_set.clear_resize(tasks.len());
         for (tid, task) in tasks.iter_mut().enumerate() {
             if task.is_ready() {
-                let key = (task.device.index(), task.stream);
-                let stream = streams.get_mut(&key).expect("stream exists");
+                ready_set.insert(tid);
+                let stream = &mut streams[sid(task.device.index(), task.stream)];
                 if !stream.fifo {
                     stream.ready.push(tid);
                     task.in_ready = true;
                 }
             }
         }
+        let mut dirty = std::mem::take(&mut bufs.dirty);
+        dirty.clear();
+        dirty.resize(n_sids, true);
+        let mut heap = std::mem::take(&mut bufs.heap);
+        heap.clear();
 
         // --- Initial memory ----------------------------------------------------
         let mut memory = MemoryTracker::new(
@@ -747,7 +777,9 @@ impl<'p> EngineState<'p> {
             machine.nvme().map_or(Bytes::ZERO, |nv| nv.capacity),
             config.track_timeline,
         );
-        let mut residency = vec![Loc::Unmaterialized; n_tensors];
+        let mut residency = std::mem::take(&mut bufs.residency);
+        residency.clear();
+        residency.resize(n_tensors, Loc::Unmaterialized);
         for tensor in graph.tensors() {
             let i = tensor.id.index();
             if !tensor.kind.is_static() {
@@ -755,15 +787,15 @@ impl<'p> EngineState<'p> {
             }
             match directive[i] {
                 None | Some(MemoryDirective::Recompute) => {
-                    memory.alloc(home[i], bytes[i], 0.0);
+                    memory.alloc(home[i], pre.bytes[i], 0.0);
                     residency[i] = Loc::Home;
                 }
                 Some(MemoryDirective::SwapToHost(HostTier::Dram)) => {
-                    memory.host_alloc(bytes[i], 0.0);
+                    memory.host_alloc(pre.bytes[i], 0.0);
                     residency[i] = Loc::Host;
                 }
                 Some(MemoryDirective::SwapToHost(HostTier::Nvme)) => {
-                    memory.nvme_alloc(bytes[i], 0.0);
+                    memory.nvme_alloc(pre.bytes[i], 0.0);
                     residency[i] = Loc::Host;
                 }
                 Some(MemoryDirective::SwapD2d(stripe)) => {
@@ -775,94 +807,57 @@ impl<'p> EngineState<'p> {
             }
         }
 
-        let op_writes = graph
-            .ops()
-            .iter()
-            .map(|o| o.writes.iter().map(|t| t.index()).collect())
-            .collect();
-        let op_reads = graph
-            .ops()
-            .iter()
-            .map(|o| o.reads.iter().map(|t| t.index()).collect())
-            .collect();
-        let op_frees = graph
-            .ops()
-            .iter()
-            .map(|o| o.frees.iter().map(|t| t.index()).collect())
-            .collect();
+        let mut stage_device = std::mem::take(&mut bufs.stage_device);
+        stage_device.clear();
+        stage_device.extend((0..graph.n_stages()).map(|st| device_map.device_of(st).index()));
+        let mut active_swaps = std::mem::take(&mut bufs.active_swaps);
+        active_swaps.clear();
+        active_swaps.resize(n_tensors, 0);
+        let mut scratch_alloc = std::mem::take(&mut bufs.scratch_alloc);
+        scratch_alloc.clear();
 
         Ok(EngineState {
+            pre,
             tasks,
             streams,
-            heap: BinaryHeap::new(),
+            dirty,
+            ready_set,
+            heap,
             clock: 0.0,
             memory,
             residency,
             triggers,
-            bytes,
             home,
             directive,
-            recompute_cost,
-            op_writes,
-            op_reads,
-            op_frees,
             d2d_traffic: Bytes::ZERO,
             host_traffic: Bytes::ZERO,
             nvme_traffic: Bytes::ZERO,
             recompute_time: 0.0,
             completed: 0,
             memory_gate: config.memory_gate,
-            swap_consumers,
-            seq_pos,
-            compute_seq,
-            stage_device: (0..graph.n_stages())
-                .map(|st| device_map.device_of(st).index())
-                .collect(),
-            active_swaps: vec![0; n_tensors],
+            reference_scan: config.reference_scan,
+            stage_device,
+            active_swaps,
             runnable_swaps,
             evictions: 0,
             refetches: 0,
             pcie_curve: *machine.pcie(),
             trace: config.trace.then(Vec::new),
-            op_kinds: graph.ops().iter().map(|o| o.kind).collect(),
             metrics: config.metrics,
             gpu_count: machine.gpu_count(),
+            scratch_tid: usize::MAX,
+            scratch_alloc,
+            scratch_extra: 0.0,
         })
     }
 
     fn run(&mut self, strict_oom: bool) {
-        let keys: Vec<(usize, StreamKind)> = self.streams.keys().copied().collect();
         // Snapshot: evictions append tasks, so a cap computed on the live
         // length would recede forever and allow an unbounded evict/refetch
         // loop under hopeless memory pressure.
         let eviction_cap = 4 * self.tasks.len();
         loop {
-            // Start everything startable at the current clock. Tasks whose
-            // home-device allocation would not fit stay queued — this is
-            // the back-pressure that makes slow swap-outs *delay* the
-            // computation instead of overflowing it.
-            loop {
-                let mut progress = false;
-                for key in &keys {
-                    if self.streams[key].busy {
-                        continue;
-                    }
-                    // Start immediately so this task's allocations are
-                    // visible to the next stream's memory-fit check.
-                    if let Some(tid) = self.pick_startable(key) {
-                        let stream = self.streams.get_mut(key).expect("stream exists");
-                        stream.busy = true;
-                        if stream.fifo {
-                            stream.cursor += 1;
-                        }
-                        self.start_task(tid);
-                        progress = true;
-                    }
-                }
-                if !progress {
-                    break;
-                }
-            }
+            self.start_pass();
             if strict_oom && self.memory.oom().is_some() {
                 break;
             }
@@ -875,14 +870,7 @@ impl<'p> EngineState<'p> {
             if self.completed >= self.tasks.len() {
                 break;
             }
-            let blocked = (0..self.tasks.len()).find_map(|tid| {
-                if !self.tasks[tid].is_ready() || !self.admitted(tid) {
-                    return None;
-                }
-                let (dev, need) = self.start_need(tid);
-                (!self.memory.fits(dev, need)).then_some((tid, dev, need))
-            });
-            let Some((blocked_tid, dev, need)) = blocked else {
+            let Some((blocked_tid, dev, need)) = self.find_blocked() else {
                 break; // dependency stall — surfaces as Deadlock
             };
             // The memory manager's move: evict prefetched/idle swappable
@@ -902,7 +890,7 @@ impl<'p> EngineState<'p> {
                 );
                 let mut resident: Vec<(usize, Bytes)> = (0..self.residency.len())
                     .filter(|&i| self.residency[i] == Loc::Home && self.home[i] == dev)
-                    .map(|i| (i, self.bytes[i]))
+                    .map(|i| (i, self.pre.bytes[i]))
                     .collect();
                 resident.sort_by_key(|&(_, b)| std::cmp::Reverse(b));
                 for (i, b) in resident.iter().take(8) {
@@ -918,10 +906,85 @@ impl<'p> EngineState<'p> {
         }
     }
 
+    /// Starts everything startable at the current clock. Tasks whose
+    /// home-device allocation would not fit stay queued — this is the
+    /// back-pressure that makes slow swap-outs *delay* the computation
+    /// instead of overflowing it.
+    ///
+    /// The fast path visits only dirty streams; each pass a productive
+    /// stream start marks every stream its side effects could wake, so
+    /// skipping clean streams never skips a possible start. The
+    /// reference path re-scans every stream, as the original loop did.
+    fn start_pass(&mut self) {
+        loop {
+            let mut progress = false;
+            for s in 0..self.streams.len() {
+                if !self.reference_scan {
+                    if !self.dirty[s] {
+                        continue;
+                    }
+                    self.dirty[s] = false;
+                }
+                if self.streams[s].busy {
+                    continue;
+                }
+                // Start immediately so this task's allocations are
+                // visible to the next stream's memory-fit check.
+                if let Some(tid) = self.pick_startable(s) {
+                    let stream = &mut self.streams[s];
+                    stream.busy = true;
+                    if stream.fifo {
+                        stream.cursor += 1;
+                    }
+                    self.start_task(tid);
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// The first (lowest task id) ready, admitted task whose start
+    /// allocation does not fit — the quiescent stall witness. The fast
+    /// path walks the indexed ready-set; the reference path re-derives
+    /// readiness by scanning every task.
+    fn find_blocked(&mut self) -> Option<(usize, DeviceId, Bytes)> {
+        if self.reference_scan {
+            let mut tid = 0;
+            while tid < self.tasks.len() {
+                if self.tasks[tid].is_ready() && self.admitted(tid) {
+                    let (dev, need) = self.start_need(tid);
+                    if !self.memory.fits(dev, need) {
+                        return Some((tid, dev, need));
+                    }
+                }
+                tid += 1;
+            }
+            None
+        } else {
+            let mut from = 0;
+            loop {
+                let tid = self.ready_set.next_at_or_after(from)?;
+                from = tid + 1;
+                debug_assert!(self.tasks[tid].is_ready(), "stale ready-set entry {tid}");
+                if !self.admitted(tid) {
+                    continue;
+                }
+                let (dev, need) = self.start_need(tid);
+                if !self.memory.fits(dev, need) {
+                    return Some((tid, dev, need));
+                }
+            }
+        }
+    }
+
     /// Re-exports Home-resident swap-directive tensors on `dev` until
     /// `need` bytes could fit, preferring tensors whose next use is
     /// furthest away. Returns false when no candidate exists.
     fn try_evict(&mut self, blocked_tid: usize, dev: DeviceId, need: Bytes) -> bool {
+        let pre = self.pre;
         // Candidates: swap-directive tensors resident on `dev` with no
         // started-but-unfinished consumer; keyed by their next unstarted
         // consumer (None = no future use, evict first).
@@ -940,7 +1003,7 @@ impl<'p> EngineState<'p> {
             if self.active_swaps[i] != 0 || self.runnable_swaps[i] != 0 {
                 continue; // a copy is in flight or imminently scheduled
             }
-            let consumers = &self.swap_consumers[i];
+            let consumers = &pre.consumers_of[i];
             if consumers
                 .iter()
                 .any(|&c| self.tasks[c].started && !self.tasks[c].done)
@@ -975,7 +1038,7 @@ impl<'p> EngineState<'p> {
                 break;
             }
             self.evict_tensor(i, next, blocked_tid);
-            to_free = to_free.saturating_sub(self.bytes[i]);
+            to_free = to_free.saturating_sub(self.pre.bytes[i]);
             evicted_any = true;
         }
         evicted_any
@@ -991,19 +1054,19 @@ impl<'p> EngineState<'p> {
                 device: self.home[i].index(),
                 start: self.clock,
                 end: self.clock,
-                bytes: self.bytes[i],
+                bytes: self.pre.bytes[i],
             });
         }
         if verbosity().sim_debug && self.evictions <= 30 || self.evictions.is_multiple_of(500) {
             eprintln!(
                 "[evict#{}] t={:.3}s tensor=t{i} bytes={} next={:?}",
-                self.evictions, self.clock, self.bytes[i], next_consumer
+                self.evictions, self.clock, self.pre.bytes[i], next_consumer
             );
         }
         let t = TensorId(i as u32);
         let directive = self.directive[i].expect("swap directive");
         let out_dur = match directive {
-            MemoryDirective::SwapToHost(_) => self.machine_pcie_time(self.bytes[i]),
+            MemoryDirective::SwapToHost(_) => self.machine_pcie_time(self.pre.bytes[i]),
             MemoryDirective::SwapD2d(stripe) => stripe.one_way_time(),
             MemoryDirective::Recompute => unreachable!("not a swap directive"),
         };
@@ -1014,7 +1077,7 @@ impl<'p> EngineState<'p> {
             self.refetches += 1;
             let inn = self.push_task(Payload::SwapIn(t), dev, StreamKind::CopyIn, out_dur);
             self.tasks[out].dependents.push(inn);
-            self.tasks[inn].deps += 1;
+            self.bump_dep(inn);
             // The refetch is immediately eligible; the memory gate paces
             // it, and compute streams are scanned before copy-in per
             // device, so the blocked task claims freed space first.
@@ -1032,7 +1095,7 @@ impl<'p> EngineState<'p> {
                 (None, b) => b,
                 (a, _) => a, // different devices: keep the anchor
             };
-            self.tasks[consumer].deps += 1;
+            self.bump_dep(consumer);
         }
     }
 
@@ -1063,13 +1126,19 @@ impl<'p> EngineState<'p> {
             ready_at: self.clock,
             dep_wait_is_copy: false,
         });
-        self.streams
-            .get_mut(&(device.index(), stream))
-            .expect("stream exists")
-            .queue
-            .push(tid);
+        self.streams[sid(device.index(), stream)].queue.push(tid);
         self.note_ready(tid);
         tid
+    }
+
+    /// Adds one dependency to a task, retracting it from the ready-set
+    /// when it was ready (eviction wires refetch copies in front of
+    /// already-eligible tasks).
+    fn bump_dep(&mut self, tid: usize) {
+        if self.tasks[tid].deps == 0 {
+            self.ready_set.remove(tid);
+        }
+        self.tasks[tid].deps += 1;
     }
 
     fn machine_pcie_time(&self, bytes: Bytes) -> Secs {
@@ -1080,19 +1149,21 @@ impl<'p> EngineState<'p> {
     /// order for compute/comm streams and memory back-pressure everywhere.
     /// Non-FIFO streams consult only their ready list (lazily pruning
     /// stale entries), keeping scheduling O(ready) per attempt.
-    fn pick_startable(&mut self, key: &(usize, StreamKind)) -> Option<usize> {
+    ///
+    /// Always probes `start_need` on the returned candidate, so
+    /// `start_task` can consume the cached result instead of recomputing
+    /// it on the admit path.
+    fn pick_startable(&mut self, s: usize) -> Option<usize> {
         let gate = self.memory_gate;
-        if self.streams[key].fifo {
-            let stream = &self.streams[key];
+        if self.streams[s].fifo {
+            let stream = &self.streams[s];
             let &tid = stream.queue.get(stream.cursor)?;
             if !self.tasks[tid].is_ready() {
                 return None;
             }
-            if gate {
-                let (dev, need) = self.start_need(tid);
-                if !self.memory.fits(dev, need) {
-                    return None;
-                }
+            let (dev, need) = self.start_need(tid);
+            if gate && !self.memory.fits(dev, need) {
+                return None;
             }
             Some(tid)
         } else {
@@ -1100,31 +1171,28 @@ impl<'p> EngineState<'p> {
             // task. A best task that does not fit BLOCKS the stream:
             // starting a lower-priority one instead would invert prefetch
             // order and can deadlock the blocked consumer out of memory.
-            let stream = self.streams.get_mut(key).expect("stream exists");
             let mut j = 0;
-            while j < stream.ready.len() {
-                let tid = stream.ready[j];
+            while j < self.streams[s].ready.len() {
+                let tid = self.streams[s].ready[j];
                 if self.tasks[tid].is_ready() {
                     j += 1;
                 } else {
-                    stream.ready.swap_remove(j);
+                    self.streams[s].ready.swap_remove(j);
                     self.tasks[tid].in_ready = false;
                 }
             }
-            let stream = &self.streams[key];
+            let stream = &self.streams[s];
             let best = stream
                 .ready
                 .iter()
                 .copied()
                 .filter(|&tid| self.admitted(tid))
                 .min_by_key(|&tid| (self.tasks[tid].priority, tid))?;
-            if gate {
-                let (dev, need) = self.start_need(best);
-                if !self.memory.fits(dev, need) {
-                    return None;
-                }
+            let (dev, need) = self.start_need(best);
+            if gate && !self.memory.fits(dev, need) {
+                return None;
             }
-            let stream = self.streams.get_mut(key).expect("stream exists");
+            let stream = &mut self.streams[s];
             let pos = stream
                 .ready
                 .iter()
@@ -1136,18 +1204,29 @@ impl<'p> EngineState<'p> {
         }
     }
 
-    /// Registers a task that may have just become dependency-ready with
-    /// its stream's ready list (non-FIFO streams only).
+    /// Registers a task that may have just become dependency-ready:
+    /// inserts it into the ready-set, marks its stream dirty, and (for
+    /// non-FIFO streams) adds it to the stream's ready list.
     fn note_ready(&mut self, tid: usize) {
-        let task = &self.tasks[tid];
-        if task.in_ready || !task.is_ready() {
+        if !self.tasks[tid].is_ready() {
             return;
         }
-        let key = (task.device.index(), task.stream);
-        let stream = self.streams.get_mut(&key).expect("stream exists");
-        if !stream.fifo {
-            stream.ready.push(tid);
+        self.ready_set.insert(tid);
+        let s = sid(self.tasks[tid].device.index(), self.tasks[tid].stream);
+        self.dirty[s] = true;
+        if !self.streams[s].fifo && !self.tasks[tid].in_ready {
+            self.streams[s].ready.push(tid);
             self.tasks[tid].in_ready = true;
+        }
+    }
+
+    /// Marks all four streams of one device dirty — called when memory
+    /// is released (or a tensor lands Home) on that device, which can
+    /// unblock any stream whose head failed its memory-fit check.
+    fn mark_device(&mut self, dev: usize) {
+        let base = dev * STREAMS_PER_DEV;
+        for k in 0..STREAMS_PER_DEV {
+            self.dirty[base + k] = true;
         }
     }
 
@@ -1155,8 +1234,8 @@ impl<'p> EngineState<'p> {
     /// anchor rule as build-time prefetches (enough compute upstream of
     /// the consumer to hide the copy).
     fn refetch_admit(&self, consumer_tid: usize, in_dur: Secs) -> Option<(usize, usize)> {
-        let (stage, pos) = self.seq_pos.get(consumer_tid).copied().flatten()?;
-        let seq = &self.compute_seq[stage];
+        let (stage, pos) = self.pre.seq_pos.get(consumer_tid).copied().flatten()?;
+        let seq = &self.pre.compute_seq[stage];
         let mut lead = 0.0;
         let mut anchor_pos = None;
         for j in (0..pos).rev() {
@@ -1177,7 +1256,8 @@ impl<'p> EngineState<'p> {
             Payload::SwapIn(_) => self.tasks[tid].priority,
             Payload::SwapOut(_) => return None,
         };
-        self.seq_pos
+        self.pre
+            .seq_pos
             .get(key)
             .copied()
             .flatten()
@@ -1188,50 +1268,61 @@ impl<'p> EngineState<'p> {
     fn admitted(&self, tid: usize) -> bool {
         match self.tasks[tid].admit {
             None => true,
-            Some((dev, pos)) => self.streams[&(dev, StreamKind::Compute)].cursor >= pos,
+            Some((dev, pos)) => self.streams[sid(dev, StreamKind::Compute)].cursor >= pos,
         }
     }
 
-    /// Home-device bytes a task allocates the moment it starts.
-    fn start_need(&self, tid: usize) -> (DeviceId, Bytes) {
-        let task = &self.tasks[tid];
-        match task.payload {
+    /// Home-device bytes a task allocates the moment it starts. For ops,
+    /// the tensors to materialize and the folded recompute time land in
+    /// the scratch fields, which `start_task` consumes — the admit path
+    /// computes them exactly once per started task.
+    fn start_need(&mut self, tid: usize) -> (DeviceId, Bytes) {
+        let pre = self.pre;
+        let (payload, device) = (self.tasks[tid].payload, self.tasks[tid].device);
+        self.scratch_tid = tid;
+        self.scratch_extra = 0.0;
+        self.scratch_alloc.clear();
+        match payload {
             Payload::Op(op_id) => {
                 let idx = op_id.index();
                 let mut need = Bytes::ZERO;
-                for &i in &self.op_writes[idx] {
+                for &i in &pre.op_writes[idx] {
                     if matches!(self.directive[i], Some(MemoryDirective::Recompute)) {
-                        continue;
+                        continue; // materialized only inside the consumer
                     }
                     if self.residency[i] != Loc::Home {
-                        need += self.bytes[i];
+                        need += pre.bytes[i];
+                        self.scratch_alloc.push(i);
                     }
                 }
-                for &i in &self.op_reads[idx] {
+                for &i in &pre.op_reads[idx] {
                     if matches!(self.directive[i], Some(MemoryDirective::Recompute))
                         && self.residency[i] != Loc::Home
                     {
-                        need += self.bytes[i];
+                        need += pre.bytes[i];
+                        self.scratch_alloc.push(i);
+                        self.scratch_extra += pre.recompute_cost[i];
                     }
                 }
-                (task.device, need)
+                (device, need)
             }
-            Payload::SwapIn(t) => (self.home[t.index()], self.bytes[t.index()]),
-            Payload::SwapOut(_) => (task.device, Bytes::ZERO),
+            Payload::SwapIn(t) => (self.home[t.index()], pre.bytes[t.index()]),
+            Payload::SwapOut(_) => (device, Bytes::ZERO),
         }
     }
 
     fn start_task(&mut self, tid: usize) {
         let clock = self.clock;
-        if verbosity().sim_trace
-            && (6.4..8.4).contains(&clock)
-            && self.tasks[tid].device.index() == 1
-        {
-            eprintln!(
-                "[start t={clock:.4}] task{tid} {:?} dur={:.4} prio={}",
-                self.tasks[tid].payload, self.tasks[tid].duration, self.tasks[tid].priority
-            );
+        if verbosity().sim_trace {
+            let dev = self.tasks[tid].device.index();
+            if trace_window().is_none_or(|w| w.contains(clock, dev)) {
+                eprintln!(
+                    "[start t={clock:.4}] task{tid} {:?} dur={:.4} prio={}",
+                    self.tasks[tid].payload, self.tasks[tid].duration, self.tasks[tid].priority
+                );
+            }
         }
+        self.ready_set.remove(tid);
         self.tasks[tid].started = true;
         self.tasks[tid].start = clock;
         let end = clock + self.tasks[tid].duration;
@@ -1241,23 +1332,41 @@ impl<'p> EngineState<'p> {
             stream: self.tasks[tid].stream,
             seq: tid,
         }));
+        if self.tasks[tid].stream == StreamKind::Compute {
+            // The compute cursor just advanced; swap-in admission windows
+            // on any device may reference it.
+            for dev in 0..self.gpu_count {
+                self.dirty[sid(dev, StreamKind::CopyIn)] = true;
+            }
+        }
 
         match self.tasks[tid].payload {
-            Payload::Op(op_id) => {
+            Payload::Op(_) => {
                 // Fire prefetch triggers anchored on this op (op task ids
                 // are dense, so a Vec indexed by tid replaces the map).
-                for f in std::mem::take(&mut self.triggers[tid]) {
+                let n_triggers = self.triggers[tid].len();
+                for k in 0..n_triggers {
+                    let f = self.triggers[tid][k];
                     self.tasks[f].trigger_fired = true;
                     self.note_ready(f);
                 }
-                self.on_op_start(op_id);
+                self.triggers[tid].clear();
+                // Materialize from the scratch the admit-path probe left.
+                debug_assert_eq!(self.scratch_tid, tid, "start_need precedes start_task");
+                self.recompute_time += self.scratch_extra;
+                let to_alloc = std::mem::take(&mut self.scratch_alloc);
+                for &i in &to_alloc {
+                    self.memory.alloc(self.home[i], self.pre.bytes[i], clock);
+                    self.residency[i] = Loc::Home;
+                }
+                self.scratch_alloc = to_alloc;
             }
             Payload::SwapIn(t) => {
                 // The return buffer is allocated when the copy begins.
                 let i = t.index();
                 self.runnable_swaps[i] = self.runnable_swaps[i].saturating_sub(1);
                 self.active_swaps[i] += 1;
-                self.memory.alloc(self.home[i], self.bytes[i], clock);
+                self.memory.alloc(self.home[i], self.pre.bytes[i], clock);
             }
             Payload::SwapOut(t) => {
                 let i = t.index();
@@ -1267,35 +1376,8 @@ impl<'p> EngineState<'p> {
         }
     }
 
-    fn on_op_start(&mut self, op_id: OpId) {
-        let clock = self.clock;
-        let idx = op_id.index();
-        let mut to_alloc: Vec<usize> = Vec::new();
-        for &i in &self.op_writes[idx] {
-            if matches!(self.directive[i], Some(MemoryDirective::Recompute)) {
-                continue; // materialized only inside the consumer
-            }
-            if self.residency[i] != Loc::Home {
-                to_alloc.push(i);
-            }
-        }
-        let mut recompute_extra = 0.0;
-        for &i in &self.op_reads[idx] {
-            if matches!(self.directive[i], Some(MemoryDirective::Recompute))
-                && self.residency[i] != Loc::Home
-            {
-                to_alloc.push(i);
-                recompute_extra += self.recompute_cost[i];
-            }
-        }
-        self.recompute_time += recompute_extra;
-        for i in to_alloc {
-            self.memory.alloc(self.home[i], self.bytes[i], clock);
-            self.residency[i] = Loc::Home;
-        }
-    }
-
     fn complete_task(&mut self, tid: usize) {
+        let pre = self.pre;
         let clock = self.clock;
         self.tasks[tid].done = true;
         self.completed += 1;
@@ -1303,7 +1385,7 @@ impl<'p> EngineState<'p> {
             let task = &self.tasks[tid];
             let (kind, bytes) = match task.payload {
                 Payload::Op(op_id) => (
-                    match self.op_kinds[op_id.index()] {
+                    match pre.op_kinds[op_id.index()] {
                         OpKind::Forward => TraceKind::Forward,
                         OpKind::Backward | OpKind::Drop => TraceKind::Backward,
                         OpKind::OptimizerStep => TraceKind::Optimizer,
@@ -1313,8 +1395,8 @@ impl<'p> EngineState<'p> {
                     },
                     Bytes::ZERO,
                 ),
-                Payload::SwapOut(t) => (TraceKind::SwapOut, self.bytes[t.index()]),
-                Payload::SwapIn(t) => (TraceKind::SwapIn, self.bytes[t.index()]),
+                Payload::SwapOut(t) => (TraceKind::SwapOut, pre.bytes[t.index()]),
+                Payload::SwapIn(t) => (TraceKind::SwapIn, pre.bytes[t.index()]),
             };
             let event = TraceEvent {
                 kind,
@@ -1327,42 +1409,43 @@ impl<'p> EngineState<'p> {
                 trace.push(event);
             }
         }
-        let key = (self.tasks[tid].device.index(), self.tasks[tid].stream);
-        self.streams.get_mut(&key).expect("stream exists").busy = false;
+        let s = sid(self.tasks[tid].device.index(), self.tasks[tid].stream);
+        self.streams[s].busy = false;
+        self.dirty[s] = true;
 
         match self.tasks[tid].payload {
             Payload::Op(op_id) => {
-                let frees = std::mem::take(&mut self.op_frees[op_id.index()]);
-                for &i in &frees {
+                for &i in &pre.op_frees[op_id.index()] {
                     if self.residency[i] == Loc::Home {
-                        self.memory.free(self.home[i], self.bytes[i], clock);
+                        self.memory.free(self.home[i], pre.bytes[i], clock);
                         self.residency[i] = Loc::Freed;
+                        self.mark_device(self.home[i].index());
                     }
                 }
-                self.op_frees[op_id.index()] = frees;
             }
             Payload::SwapOut(t) => {
                 let i = t.index();
                 self.active_swaps[i] -= 1;
-                self.memory.free(self.home[i], self.bytes[i], clock);
+                self.memory.free(self.home[i], pre.bytes[i], clock);
+                self.mark_device(self.home[i].index());
                 match self.directive[i].expect("swap task has directive") {
                     MemoryDirective::SwapToHost(tier) => {
                         match tier {
-                            HostTier::Dram => self.memory.host_alloc(self.bytes[i], clock),
+                            HostTier::Dram => self.memory.host_alloc(pre.bytes[i], clock),
                             HostTier::Nvme => {
-                                self.memory.nvme_alloc(self.bytes[i], clock);
-                                self.nvme_traffic += self.bytes[i];
+                                self.memory.nvme_alloc(pre.bytes[i], clock);
+                                self.nvme_traffic += pre.bytes[i];
                             }
                         }
                         self.residency[i] = Loc::Host;
-                        self.host_traffic += self.bytes[i];
+                        self.host_traffic += pre.bytes[i];
                     }
                     MemoryDirective::SwapD2d(stripe) => {
                         for c in stripe.chunks() {
                             self.memory.alloc(c.target, c.bytes, clock);
                         }
                         self.residency[i] = Loc::Peers;
-                        self.d2d_traffic += self.bytes[i];
+                        self.d2d_traffic += pre.bytes[i];
                     }
                     MemoryDirective::Recompute => unreachable!("recompute has no swap tasks"),
                 }
@@ -1373,23 +1456,27 @@ impl<'p> EngineState<'p> {
                 match self.directive[i].expect("swap task has directive") {
                     MemoryDirective::SwapToHost(tier) => {
                         match tier {
-                            HostTier::Dram => self.memory.host_free(self.bytes[i]),
+                            HostTier::Dram => self.memory.host_free(pre.bytes[i]),
                             HostTier::Nvme => {
-                                self.memory.nvme_free(self.bytes[i]);
-                                self.nvme_traffic += self.bytes[i];
+                                self.memory.nvme_free(pre.bytes[i]);
+                                self.nvme_traffic += pre.bytes[i];
                             }
                         }
-                        self.host_traffic += self.bytes[i];
+                        self.host_traffic += pre.bytes[i];
                     }
                     MemoryDirective::SwapD2d(stripe) => {
                         for c in stripe.chunks() {
                             self.memory.free(c.target, c.bytes, clock);
+                            self.mark_device(c.target.index());
                         }
-                        self.d2d_traffic += self.bytes[i];
+                        self.d2d_traffic += pre.bytes[i];
                     }
                     MemoryDirective::Recompute => unreachable!("recompute has no swap tasks"),
                 }
                 self.residency[i] = Loc::Home;
+                // Landing Home shrinks dependents' start allocations on
+                // this device.
+                self.mark_device(self.home[i].index());
             }
         }
 
@@ -1414,26 +1501,27 @@ impl<'p> EngineState<'p> {
         self.tasks[tid].dependents = dependents;
     }
 
-    fn into_report(self, graph: &TrainingGraph) -> Result<SimReport, SimError> {
+    /// Consumes the state into a report, handing the recycled buffers
+    /// back for the arena regardless of the outcome.
+    fn into_report(self, graph: &TrainingGraph) -> (Result<SimReport, SimError>, Buffers) {
         let n_ops = graph.ops().len();
         let total = self.tasks.len();
         let oom = self.memory.oom().copied();
-        if self.completed < total && oom.is_none() {
-            if verbosity().sim_debug {
-                for (tid, task) in self.tasks.iter().enumerate() {
-                    if !task.done {
-                        eprintln!(
-                            "[deadlock] task {tid}: {:?} dev={} stream={:?} deps={} trig={} started={}",
-                            task.payload, task.device.index(), task.stream,
-                            task.deps, task.trigger_fired, task.started
-                        );
-                    }
+        let deadlock = self.completed < total && oom.is_none();
+        if deadlock && verbosity().sim_debug {
+            for (tid, task) in self.tasks.iter().enumerate() {
+                if !task.done {
+                    eprintln!(
+                        "[deadlock] task {tid}: {:?} dev={} stream={:?} deps={} trig={} started={}",
+                        task.payload,
+                        task.device.index(),
+                        task.stream,
+                        task.deps,
+                        task.trigger_fired,
+                        task.started
+                    );
                 }
             }
-            return Err(SimError::Deadlock {
-                completed: self.completed,
-                total,
-            });
         }
         let makespan = self
             .tasks
@@ -1441,27 +1529,67 @@ impl<'p> EngineState<'p> {
             .filter(|t| t.done)
             .map(|t| t.end)
             .fold(0.0, f64::max);
-        let metrics = self.metrics.then(|| self.build_metrics(makespan));
-        let op_start = self.tasks[..n_ops].iter().map(|t| t.start).collect();
-        let op_end = self.tasks[..n_ops].iter().map(|t| t.end).collect();
+        let metrics = (!deadlock && self.metrics).then(|| self.build_metrics(makespan));
+        let op_start: Vec<Secs> = self.tasks[..n_ops].iter().map(|t| t.start).collect();
+        let op_end: Vec<Secs> = self.tasks[..n_ops].iter().map(|t| t.end).collect();
         let nvme_peak = self.memory.nvme_peak();
-        let (device_peak, host_peak, oom, timelines) = self.memory.into_parts();
-        Ok(SimReport {
-            makespan,
-            op_start,
-            op_end,
-            device_peak,
-            host_peak,
-            nvme_peak,
-            oom,
-            d2d_traffic: self.d2d_traffic,
-            host_traffic: self.host_traffic,
-            nvme_traffic: self.nvme_traffic,
-            recompute_time: self.recompute_time,
-            timelines,
-            trace: self.trace,
-            metrics,
-        })
+        let (d2d_traffic, host_traffic, nvme_traffic) =
+            (self.d2d_traffic, self.host_traffic, self.nvme_traffic);
+        let (recompute_time, completed) = (self.recompute_time, self.completed);
+        let EngineState {
+            tasks,
+            streams,
+            dirty,
+            ready_set,
+            heap,
+            memory,
+            residency,
+            triggers,
+            home,
+            stage_device,
+            active_swaps,
+            runnable_swaps,
+            scratch_alloc,
+            trace,
+            ..
+        } = self;
+        let bufs = Buffers {
+            tasks,
+            streams,
+            dirty,
+            ready_set,
+            heap,
+            residency,
+            triggers,
+            home,
+            stage_device,
+            active_swaps,
+            runnable_swaps,
+            scratch_alloc,
+        };
+        if deadlock {
+            return (Err(SimError::Deadlock { completed, total }), bufs);
+        }
+        let (device_peak, host_peak, oom, timelines) = memory.into_parts();
+        (
+            Ok(SimReport {
+                makespan,
+                op_start,
+                op_end,
+                device_peak,
+                host_peak,
+                nvme_peak,
+                oom,
+                d2d_traffic,
+                host_traffic,
+                nvme_traffic,
+                recompute_time,
+                timelines,
+                trace,
+                metrics,
+            }),
+            bufs,
+        )
     }
 
     /// Assembles [`SimMetrics`] from the completed task list. Runs once,
@@ -1469,6 +1597,7 @@ impl<'p> EngineState<'p> {
     /// itself carries no metric bookkeeping beyond the per-task
     /// `ready_at`/`dep_wait_is_copy` stores.
     fn build_metrics(&self, makespan: Secs) -> SimMetrics {
+        let pre = self.pre;
         let mut recorder = MetricsRecorder::new();
 
         // --- Per-device stream busy time + task-duration histograms -----
@@ -1549,11 +1678,11 @@ impl<'p> EngineState<'p> {
             let home = self.home[i];
             match self.directive[i].expect("swap task has directive") {
                 MemoryDirective::SwapToHost(HostTier::Dram) => {
-                    tally(LinkKey::Pcie(home), self.bytes[i], task.duration);
+                    tally(LinkKey::Pcie(home), pre.bytes[i], task.duration);
                 }
                 MemoryDirective::SwapToHost(HostTier::Nvme) => {
-                    tally(LinkKey::Pcie(home), self.bytes[i], task.duration);
-                    tally(LinkKey::Nvme, self.bytes[i], task.duration);
+                    tally(LinkKey::Pcie(home), pre.bytes[i], task.duration);
+                    tally(LinkKey::Nvme, pre.bytes[i], task.duration);
                 }
                 MemoryDirective::SwapD2d(stripe) => {
                     for c in stripe.chunks() {

@@ -17,6 +17,7 @@
 //! achieved TFLOPS), per-device memory peaks/timelines, swap traffic and
 //! op timings (which feed MPress's live-interval profiler).
 
+pub mod arena;
 pub mod device_map;
 pub mod engine;
 pub mod memory;
@@ -25,6 +26,7 @@ pub mod report;
 pub mod trace;
 pub mod viz;
 
+pub use arena::SimArena;
 pub use device_map::DeviceMap;
 pub use engine::{SimConfig, SimError, Simulator};
 pub use metrics::{DeviceMetrics, LinkMetrics, SimMetrics, StreamBusy};

@@ -33,3 +33,9 @@ echo "== planner timing smoke-run =="
 # jobs from MPRESS_JOBS if set, else auto-detected; the JSON records the
 # effective value alongside wall-clock and cache counters.
 ./target/release/exp_bench_planner --out BENCH_planner.json
+
+echo "== emulator fast-path smoke-run =="
+# Steady-state emulation throughput, plan wall at jobs=1/8, and the
+# prefilter transparency gate (exits nonzero if the prefilter changes
+# the chosen plan). Writes BENCH_sim.json at the repo root.
+./target/release/exp_bench_sim --out BENCH_sim.json

@@ -9,7 +9,7 @@ use mpress_model::{ModelFamily, PrecisionPolicy, TransformerConfig};
 use mpress_pipeline::{
     MemoryDemands, PartitionGoal, ScheduleKind, StagePartition, StageProgram, StageSlot,
 };
-use mpress_sim::{DeviceMap, Simulator};
+use mpress_sim::{DeviceMap, SimArena, SimConfig, Simulator};
 use proptest::prelude::*;
 
 proptest! {
@@ -301,6 +301,130 @@ proptest! {
         prop_assert_eq!(a.makespan, b.makespan);
         prop_assert_eq!(a.device_peak, b.device_peak);
         prop_assert_eq!(a.host_traffic, b.host_traffic);
+    }
+
+    /// The indexed fast path (dirty-stream worklist + ready-set bitset +
+    /// recycled arena buffers) is a pure optimization: for arbitrary
+    /// jobs and directive subsets it must produce a `SimReport`
+    /// identical to the retained reference full-scan engine — including
+    /// a second run through the *same* arena, which exercises buffer
+    /// recycling.
+    #[test]
+    fn fast_engine_matches_reference_scan(
+        layers in 2usize..10,
+        stages in 2usize..5,
+        mb in 1usize..4,
+        microbatches in 2usize..8,
+        schedule_pick in 0usize..3,
+        gpu_gib in 1u64..8,
+        directive_mask in 0u64..(1 << 12),
+    ) {
+        prop_assume!(layers >= stages);
+        let schedule = [ScheduleKind::PipeDream, ScheduleKind::Dapple, ScheduleKind::GPipe]
+            [schedule_pick];
+        let job = mpress_pipeline::PipelineJob::builder()
+            .model(
+                TransformerConfig::builder(ModelFamily::Gpt)
+                    .layers(layers)
+                    .hidden(256)
+                    .seq_len(128)
+                    .build(),
+            )
+            .schedule(schedule)
+            .stages(stages)
+            .microbatch_size(mb)
+            .microbatches(microbatches)
+            .precision(PrecisionPolicy::mixed())
+            .build()
+            .unwrap();
+        let lowered = job.lower().unwrap();
+        let mut plan = InstrumentationPlan::new();
+        for t in lowered.graph.tensors() {
+            if t.kind != TensorKind::Activation || t.layer.is_none() {
+                continue;
+            }
+            match (directive_mask >> (t.id.index() % 12)) & 3 {
+                1 => plan.assign(t.id, MemoryDirective::Recompute),
+                2 => plan.assign(t.id, MemoryDirective::SwapToHost(HostTier::Dram)),
+                _ => {}
+            }
+        }
+        let machine = mpress_hw::Machine::builder()
+            .name("fuzz")
+            .gpu({
+                let mut g = mpress_hw::GpuSpec::v100_32gb();
+                g.memory = Bytes::gib(gpu_gib);
+                g
+            })
+            .topology(Topology::dgx2())
+            .build();
+        let sim = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(stages));
+        let mut arena = SimArena::new();
+        let fast_fresh = sim.run_in(&mut arena).expect("fast engine must terminate");
+        let fast_reused = sim.run_in(&mut arena).expect("fast engine must terminate");
+        let reference = Simulator::new(&machine, &lowered.graph, &plan, DeviceMap::identity(stages))
+            .with_config(SimConfig::default().reference_scan(true))
+            .run()
+            .expect("reference engine must terminate");
+        prop_assert_eq!(&fast_fresh, &reference);
+        prop_assert_eq!(&fast_reused, &reference);
+    }
+
+    /// The analytic makespan bound used by the plan-search prefilter is
+    /// sound: it never exceeds the emulated makespan of a successful run.
+    #[test]
+    fn analytic_lower_bound_is_sound(
+        layers in 2usize..10,
+        stages in 2usize..5,
+        mb in 1usize..4,
+        microbatches in 2usize..8,
+        schedule_pick in 0usize..3,
+        directive_mask in 0u64..(1 << 12),
+    ) {
+        prop_assume!(layers >= stages);
+        let schedule = [ScheduleKind::PipeDream, ScheduleKind::Dapple, ScheduleKind::GPipe]
+            [schedule_pick];
+        let job = mpress_pipeline::PipelineJob::builder()
+            .model(
+                TransformerConfig::builder(ModelFamily::Gpt)
+                    .layers(layers)
+                    .hidden(256)
+                    .seq_len(128)
+                    .build(),
+            )
+            .schedule(schedule)
+            .stages(stages)
+            .microbatch_size(mb)
+            .microbatches(microbatches)
+            .precision(PrecisionPolicy::mixed())
+            .build()
+            .unwrap();
+        let lowered = job.lower().unwrap();
+        let mut plan = InstrumentationPlan::new();
+        for t in lowered.graph.tensors() {
+            if t.kind != TensorKind::Activation || t.layer.is_none() {
+                continue;
+            }
+            match (directive_mask >> (t.id.index() % 12)) & 3 {
+                1 => plan.assign(t.id, MemoryDirective::Recompute),
+                2 => plan.assign(t.id, MemoryDirective::SwapToHost(HostTier::Dram)),
+                _ => {}
+            }
+        }
+        let machine = mpress_hw::Machine::dgx1();
+        let map = DeviceMap::identity(stages);
+        let mut arena = SimArena::new();
+        let lb = arena.makespan_lower_bound(&machine, &lowered.graph, &plan, &map);
+        let report = Simulator::new(&machine, &lowered.graph, &plan, map)
+            .run_in(&mut arena)
+            .expect("engine must terminate");
+        if report.succeeded() {
+            prop_assert!(
+                lb <= report.makespan * (1.0 + 1e-9),
+                "bound {lb} exceeds emulated makespan {}",
+                report.makespan
+            );
+        }
     }
 
     /// The planner's emulation cache is pure memoization: for arbitrary
