@@ -1,0 +1,127 @@
+//! The `mpress-lint` binary: scans the workspace sources for
+//! determinism/robustness hazards and enforces the ratcheting
+//! allowlist (see `mpress_analyze::lint`).
+//!
+//! ```text
+//! mpress-lint [--root DIR] [--allowlist FILE] [--update]
+//! ```
+//!
+//! Exit codes: 0 = gate passes, 1 = violations or ratchet drift,
+//! 2 = usage or I/O error.
+
+use mpress_analyze::lint::{check, scan_workspace, Allowlist, ALL_RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    allowlist: PathBuf,
+    update: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut update = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--update" => update = true,
+            "--root" => {
+                root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--allowlist" => {
+                allowlist = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--allowlist needs a file".to_string())?,
+                ));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: mpress-lint [--root DIR] [--allowlist FILE] [--update]".to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let allowlist = allowlist.unwrap_or_else(|| root.join("lint_allowlist.txt"));
+    Ok(Options {
+        root,
+        allowlist,
+        update,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let counts = match scan_workspace(&opts.root) {
+        Ok(counts) => counts,
+        Err(err) => {
+            eprintln!("mpress-lint: scanning {}: {err}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let old = match std::fs::read_to_string(&opts.allowlist) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(list) => list,
+            Err(msg) => {
+                eprintln!("mpress-lint: {}: {msg}", opts.allowlist.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Allowlist::default(),
+        Err(err) => {
+            eprintln!("mpress-lint: {}: {err}", opts.allowlist.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update {
+        let rendered = Allowlist::render(&counts, &old);
+        if let Err(err) = std::fs::write(&opts.allowlist, rendered) {
+            eprintln!("mpress-lint: writing {}: {err}", opts.allowlist.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "mpress-lint: wrote {} ({} entries)",
+            opts.allowlist.display(),
+            counts.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Per-rule totals for the summary line.
+    for &rule in ALL_RULES {
+        let total: usize = counts
+            .iter()
+            .filter(|((r, _), _)| *r == rule)
+            .map(|(_, &c)| c)
+            .sum();
+        let files = counts.iter().filter(|((r, _), _)| *r == rule).count();
+        println!("{rule:<15} {total:>4} site(s) across {files} file(s)");
+    }
+
+    let problems = check(&counts, &old);
+    if problems.is_empty() {
+        println!("mpress-lint: allowlist consistent — gate passes");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("mpress-lint: {p}");
+        }
+        eprintln!("mpress-lint: {} problem(s)", problems.len());
+        ExitCode::FAILURE
+    }
+}

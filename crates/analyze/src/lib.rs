@@ -1,0 +1,28 @@
+//! Static analysis for the MPress reproduction.
+//!
+//! Two passes, neither of which runs the emulator:
+//!
+//! * **Plan verification** ([`PlanVerifier`]): checks a compaction plan
+//!   and device map against the training graph, the machine topology
+//!   and the memory model, reporting findings as stable `MP0xx`
+//!   [`Diagnostic`]s. Exposed as `mpress-cli check` and as a planner
+//!   hook that rejects structurally invalid candidates before
+//!   emulation (`SearchStats::verifier_rejections`).
+//! * **Source linting** ([`lint`]): the `mpress-lint` binary's engine —
+//!   token-level determinism/robustness lints over the workspace
+//!   sources with a ratcheting allowlist.
+//!
+//! The verifier is deliberately **one-sided**: it only reports what it
+//! can prove (a structural malformation, or a residency *lower bound*
+//! already over capacity), so a plan the planner emits and the
+//! emulator accepts is never rejected. That soundness property is what
+//! allows wiring it into the search without changing any chosen plan.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lint;
+pub mod verifier;
+
+pub use diag::{Code, Context, Diagnostic, Report, Severity};
+pub use verifier::{check_plan, PlanVerifier};

@@ -1,0 +1,812 @@
+//! The static plan verifier.
+//!
+//! Checks a compaction plan + device map against the training graph,
+//! the machine topology and the memory model **without running the
+//! emulator**. Graph-shape properties (acyclicity, stream-order
+//! consistency, tensor lifetimes — mirroring `graph/liveness`) are
+//! established once per graph; per-candidate properties (directive
+//! targets, D2D links, analytic residency) are cheap enough to run on
+//! every planner candidate before emulation.
+//!
+//! Every capacity computation is a **sound lower bound**: statics the
+//! plan does not evict plus the largest single-op working set. A plan
+//! the verifier flags with MP007 is *guaranteed* to OOM in the
+//! emulator; a clean verdict promises nothing (the bound is not tight).
+//! This one-sidedness is what lets the planner hook reject candidates
+//! without ever changing the chosen plan.
+
+use crate::diag::{Code, Context, Diagnostic, Report};
+use mpress_compaction::{HostTier, InstrumentationPlan, MemoryDirective};
+use mpress_graph::{OpId, TensorId, TensorKind, TrainingGraph};
+use mpress_hw::{Bytes, Machine};
+use mpress_sim::DeviceMap;
+
+/// Dense ancestor ("happens-before") bitsets over the combined graph
+/// (per-stage program order + cross-stage edges).
+#[derive(Debug)]
+struct AncestorTable {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl AncestorTable {
+    /// Builds the table from a topological order and predecessor lists.
+    /// Visiting in topo order means every predecessor's row is final
+    /// before it is folded into a successor.
+    fn build(n: usize, topo: &[OpId], preds: &[Vec<usize>]) -> Self {
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; words * n];
+        let mut row = vec![0u64; words];
+        for id in topo {
+            let v = id.index();
+            row.fill(0);
+            for &p in &preds[v] {
+                for (d, s) in row.iter_mut().zip(&bits[p * words..(p + 1) * words]) {
+                    *d |= *s;
+                }
+                row[p / 64] |= 1u64 << (p % 64);
+            }
+            bits[v * words..(v + 1) * words].copy_from_slice(&row);
+        }
+        AncestorTable { words, bits }
+    }
+
+    /// Whether `ancestor` happens strictly before `of`.
+    fn contains(&self, ancestor: OpId, of: OpId) -> bool {
+        let a = ancestor.index();
+        let row = of.index() * self.words;
+        self.bits[row + a / 64] & (1u64 << (a % 64)) != 0
+    }
+}
+
+/// Per-tensor cross-reference built once per graph.
+#[derive(Default, Clone)]
+struct TensorSites {
+    writers: Vec<OpId>,
+    readers: Vec<OpId>,
+    frees: Vec<OpId>,
+}
+
+/// The static plan verifier. Construct once per (machine, graph); call
+/// [`PlanVerifier::verify`] per candidate plan.
+#[derive(Debug)]
+pub struct PlanVerifier<'a> {
+    machine: &'a Machine,
+    graph: &'a TrainingGraph,
+    /// Graph-shape findings (MP001–MP005), computed once.
+    graph_diags: Vec<Diagnostic>,
+    /// Per-stage total bytes of static tensors (params/grads/optimizer).
+    static_total: Vec<Bytes>,
+    /// Per-stage maximum over ops of the op's dynamic working set (the
+    /// non-static tensors homed on the stage that must be resident while
+    /// the op runs).
+    max_dynamic_ws: Vec<Bytes>,
+    /// Per-tensor count of free sites.
+    free_sites: Vec<u32>,
+    /// A byte sum overflowed while precomputing (MP012).
+    precompute_overflow: bool,
+}
+
+impl<'a> PlanVerifier<'a> {
+    /// Builds the verifier: runs the graph-shape checks and precomputes
+    /// the per-stage residency tables.
+    pub fn new(machine: &'a Machine, graph: &'a TrainingGraph) -> Self {
+        let n_ops = graph.ops().len();
+        let n_tensors = graph.tensors().len();
+        let n_stages = graph.n_stages();
+        let mut graph_diags = Vec::new();
+
+        // Cross-reference tensors once (graph.producer_of/consumers_of
+        // are linear scans per call — too slow to use per tensor here).
+        let mut sites: Vec<TensorSites> = vec![TensorSites::default(); n_tensors];
+        for op in graph.ops() {
+            for &t in &op.writes {
+                if let Some(s) = sites.get_mut(t.index()) {
+                    s.writers.push(op.id);
+                }
+            }
+            for &t in &op.reads {
+                if let Some(s) = sites.get_mut(t.index()) {
+                    s.readers.push(op.id);
+                }
+            }
+            for &t in &op.frees {
+                if let Some(s) = sites.get_mut(t.index()) {
+                    s.frees.push(op.id);
+                }
+            }
+        }
+
+        // MP002: every tensor an op touches must live on the op's stage,
+        // except boundary tensors (the schedule itself moves those
+        // between devices).
+        for op in graph.ops() {
+            for &t in op.reads.iter().chain(&op.writes).chain(&op.frees) {
+                let Some(tensor) = graph.tensors().get(t.index()) else {
+                    continue; // builder-validated; defensive
+                };
+                if tensor.stage != op.stage && tensor.kind != TensorKind::Boundary {
+                    graph_diags.push(Diagnostic::error(
+                        Code::StreamOrder,
+                        Context::none().stage(op.stage).tensor(t.0).op(op.id.0),
+                        format!(
+                            "op {} on stage {} touches {} tensor {} homed on stage {}",
+                            op.id, op.stage, tensor.kind, t, tensor.stage
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // MP001 + lifetime checks need a topological order. A cyclic
+        // graph gets the cycle diagnostic and skips the rest (no order
+        // exists to reason about).
+        match graph.topo_order() {
+            Err(_) => graph_diags.push(Diagnostic::error(
+                Code::Cycle,
+                Context::none(),
+                "dependency cycle in program-order + cross-stage graph",
+            )),
+            Ok(topo) => {
+                let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
+                for s in 0..n_stages {
+                    for w in graph.stage_program(s).windows(2) {
+                        preds[w[1].index()].push(w[0].index());
+                    }
+                }
+                for &(a, b) in graph.cross_deps() {
+                    preds[b.index()].push(a.index());
+                }
+                let anc = AncestorTable::build(n_ops, &topo, &preds);
+                Self::check_lifetimes(graph, &sites, &anc, &mut graph_diags);
+            }
+        }
+
+        // Per-stage residency tables (sound lower bounds; see module
+        // docs). All sums are overflow-checked: an overflow flips the
+        // MP012 flag and saturates so later comparisons stay defined.
+        let mut overflowed = false;
+        let mut static_total = vec![Bytes::ZERO; n_stages];
+        for t in graph.tensors() {
+            if t.kind.is_static() && t.stage < n_stages {
+                static_total[t.stage] = match static_total[t.stage].checked_add(t.bytes) {
+                    Some(sum) => sum,
+                    None => {
+                        overflowed = true;
+                        static_total[t.stage].saturating_add(t.bytes)
+                    }
+                };
+            }
+        }
+        let mut max_dynamic_ws = vec![Bytes::ZERO; n_stages];
+        let mut seen: Vec<TensorId> = Vec::new();
+        for op in graph.ops() {
+            if op.stage >= n_stages {
+                continue;
+            }
+            seen.clear();
+            let mut ws = Bytes::ZERO;
+            for &t in op.reads.iter().chain(&op.writes) {
+                let Some(tensor) = graph.tensors().get(t.index()) else {
+                    continue;
+                };
+                if tensor.kind.is_static() || tensor.stage != op.stage || seen.contains(&t) {
+                    continue;
+                }
+                seen.push(t);
+                ws = match ws.checked_add(tensor.bytes) {
+                    Some(sum) => sum,
+                    None => {
+                        overflowed = true;
+                        ws.saturating_add(tensor.bytes)
+                    }
+                };
+            }
+            max_dynamic_ws[op.stage] = max_dynamic_ws[op.stage].max(ws);
+        }
+
+        let free_sites = sites.iter().map(|s| s.frees.len() as u32).collect();
+        PlanVerifier {
+            machine,
+            graph,
+            graph_diags,
+            static_total,
+            max_dynamic_ws,
+            free_sites,
+            precompute_overflow: overflowed,
+        }
+    }
+
+    /// MP003/MP004/MP005 over the happens-before relation, mirroring
+    /// what `graph/liveness` assumes when it builds live intervals.
+    fn check_lifetimes(
+        graph: &TrainingGraph,
+        sites: &[TensorSites],
+        anc: &AncestorTable,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        for (idx, site) in sites.iter().enumerate() {
+            let tensor = &graph.tensors()[idx];
+            let tid = tensor.id;
+            // MP003: every read of a dynamic tensor must be ordered
+            // after some producer (statics are pre-resident).
+            if !tensor.kind.is_static() {
+                for &r in &site.readers {
+                    let produced = site.writers.iter().any(|&w| anc.contains(w, r));
+                    if !produced {
+                        diags.push(Diagnostic::error(
+                            Code::UseBeforeProduce,
+                            Context::none().stage(tensor.stage).tensor(tid.0).op(r.0),
+                            format!("op {r} reads {tid} with no producer ordered before it"),
+                        ));
+                    }
+                }
+            }
+            // MP005: more than one free site.
+            if site.frees.len() > 1 {
+                diags.push(Diagnostic::error(
+                    Code::DoubleFree,
+                    Context::none().stage(tensor.stage).tensor(tid.0),
+                    format!("{} ops free {tid}", site.frees.len()),
+                ));
+            }
+            // MP004: a read strictly after a free.
+            for &f in &site.frees {
+                for &r in site.readers.iter().chain(&site.writers) {
+                    if r != f && anc.contains(f, r) {
+                        diags.push(Diagnostic::error(
+                            Code::UseAfterFree,
+                            Context::none().stage(tensor.stage).tensor(tid.0).op(r.0),
+                            format!("op {r} uses {tid} after op {f} freed it"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The graph-shape findings alone (MP001–MP005), with no plan
+    /// applied.
+    pub fn graph_report(&self) -> Report {
+        let mut report = Report::new();
+        for d in &self.graph_diags {
+            report.push(d.clone());
+        }
+        report
+    }
+
+    /// Verifies one candidate: the cached graph findings plus directive,
+    /// link, device-map and analytic-residency checks for this plan.
+    pub fn verify(&self, plan: &InstrumentationPlan, device_map: &DeviceMap) -> Report {
+        let graph = self.graph;
+        let machine = self.machine;
+        let n_stages = graph.n_stages();
+        let n_tensors = graph.tensors().len();
+        let usable = machine.gpu().usable_memory();
+        let topology = machine.topology();
+        let mut report = self.graph_report();
+        let mut overflowed = self.precompute_overflow;
+
+        // MP011: the map must cover exactly the job's stages with
+        // devices the machine has. (`DeviceMap` construction already
+        // guarantees in-range uniqueness within its own length.)
+        if device_map.len() != n_stages {
+            report.push(Diagnostic::error(
+                Code::BadDeviceMap,
+                Context::none(),
+                format!(
+                    "device map covers {} stage(s), job has {}",
+                    device_map.len(),
+                    n_stages
+                ),
+            ));
+        }
+        if device_map.len() > machine.gpu_count() {
+            report.push(Diagnostic::error(
+                Code::BadDeviceMap,
+                Context::none(),
+                format!(
+                    "device map names {} device(s), machine has {}",
+                    device_map.len(),
+                    machine.gpu_count()
+                ),
+            ));
+        }
+        let device_of = |stage: usize| -> Option<usize> {
+            (stage < device_map.len() && stage < n_stages)
+                .then(|| device_map.device_of(stage).index())
+                .filter(|&d| d < machine.gpu_count())
+        };
+
+        // Walk the directives: target validity (MP009/MP010), stripe
+        // validity (MP006), and the post-eviction static base per stage.
+        let mut base = self.static_total.clone();
+        let mut d2d: Vec<(TensorId, &mpress_compaction::StripePlan)> = Vec::new();
+        for (t, directive) in plan.iter() {
+            if t.index() >= n_tensors {
+                report.push(Diagnostic::error(
+                    Code::BadDirectiveTarget,
+                    Context::none().tensor(t.0),
+                    format!("directive targets unknown tensor {t}"),
+                ));
+                continue;
+            }
+            let tensor = graph.tensor(t);
+            let ctx = Context::none().stage(tensor.stage).tensor(t.0);
+            if tensor.kind == TensorKind::Boundary {
+                report.push(Diagnostic::error(
+                    Code::BadDirectiveTarget,
+                    ctx,
+                    format!("directive targets boundary tensor {t} (moved by the schedule)"),
+                ));
+                continue;
+            }
+            match directive {
+                MemoryDirective::Recompute => {
+                    if !tensor.kind.recomputable() {
+                        report.push(Diagnostic::error(
+                            Code::BadRecompute,
+                            ctx,
+                            format!("recompute on non-recomputable {} tensor {t}", tensor.kind),
+                        ));
+                    } else if self.free_sites[t.index()] == 0 {
+                        report.push(Diagnostic::error(
+                            Code::BadRecompute,
+                            ctx,
+                            format!("recomputed tensor {t} is never dropped by any op"),
+                        ));
+                    }
+                }
+                MemoryDirective::SwapToHost(tier) => {
+                    if *tier == HostTier::Nvme && machine.nvme().is_none() {
+                        report.push(Diagnostic::error(
+                            Code::BadStripe,
+                            ctx,
+                            format!("swap of {t} targets the NVMe tier, machine has no NVMe"),
+                        ));
+                    }
+                }
+                MemoryDirective::SwapD2d(stripe) => {
+                    if let Some(src) = (tensor.stage < device_map.len())
+                        .then(|| device_map.device_of(tensor.stage))
+                    {
+                        if let Err(msg) = stripe.validate(src, topology) {
+                            report.push(Diagnostic::error(
+                                Code::BadStripe,
+                                ctx.device(src.index()),
+                                format!("d2d stripe for {t}: {msg}"),
+                            ));
+                        }
+                    }
+                    if stripe.total_bytes() != tensor.bytes {
+                        report.push(Diagnostic::error(
+                            Code::BadStripe,
+                            ctx,
+                            format!(
+                                "d2d stripe moves {} but {t} is {}",
+                                stripe.total_bytes(),
+                                tensor.bytes
+                            ),
+                        ));
+                    }
+                    d2d.push((t, stripe));
+                }
+            }
+            // Any swap directive takes a static tensor out of the
+            // always-resident base (sound: assume it is fully evicted at
+            // the peak).
+            if tensor.kind.is_static()
+                && !matches!(directive, MemoryDirective::Recompute)
+                && tensor.stage < n_stages
+            {
+                base[tensor.stage] = base[tensor.stage].saturating_sub(tensor.bytes);
+            }
+        }
+
+        // MP007: analytic per-device residency lower bound vs capacity.
+        for (stage, (&b, &ws)) in base.iter().zip(&self.max_dynamic_ws).enumerate() {
+            let lower_bound = match b.checked_add(ws) {
+                Some(sum) => sum,
+                None => {
+                    overflowed = true;
+                    b.saturating_add(ws)
+                }
+            };
+            if lower_bound > usable {
+                let mut ctx = Context::none().stage(stage);
+                if let Some(d) = device_of(stage) {
+                    ctx = ctx.device(d);
+                }
+                report.push(Diagnostic::error(
+                    Code::CapacityExceeded,
+                    ctx,
+                    format!(
+                        "stage {stage} needs at least {lower_bound} resident, \
+                         device capacity is {usable}"
+                    ),
+                ));
+            }
+        }
+
+        // MP008: each stripe chunk must fit in its victim's headroom
+        // (victim's own post-eviction static base + the chunk).
+        for (t, stripe) in d2d {
+            for chunk in stripe.chunks() {
+                let victim_base = device_map
+                    .stage_of(chunk.target)
+                    .and_then(|s| base.get(s).copied())
+                    .unwrap_or(Bytes::ZERO);
+                let needed = match victim_base.checked_add(chunk.bytes) {
+                    Some(sum) => sum,
+                    None => {
+                        overflowed = true;
+                        victim_base.saturating_add(chunk.bytes)
+                    }
+                };
+                if needed > usable {
+                    report.push(Diagnostic::error(
+                        Code::VictimOverflow,
+                        Context::none().tensor(t.0).device(chunk.target.index()),
+                        format!(
+                            "stripe chunk of {t} ({}) leaves victim {} over capacity \
+                             ({needed} > {usable})",
+                            chunk.bytes, chunk.target
+                        ),
+                    ));
+                }
+            }
+        }
+
+        if overflowed {
+            report.push(Diagnostic::error(
+                Code::Overflow,
+                Context::none(),
+                "byte arithmetic overflowed during analysis; capacity verdicts unreliable",
+            ));
+        }
+        report
+    }
+}
+
+/// One-shot convenience: build a verifier and check a single plan.
+pub fn check_plan(
+    machine: &Machine,
+    graph: &TrainingGraph,
+    plan: &InstrumentationPlan,
+    device_map: &DeviceMap,
+) -> Report {
+    PlanVerifier::new(machine, graph).verify(plan, device_map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpress_compaction::StripePlan;
+    use mpress_graph::OpKind;
+    use mpress_hw::DeviceId;
+
+    /// A 2-stage toy job: fwd0 → fwd1 → bwd1 → bwd0, one activation per
+    /// stage plus a boundary, and a parameter on each stage.
+    fn toy_graph() -> (TrainingGraph, Vec<TensorId>) {
+        let mut b = TrainingGraph::builder(2);
+        let p0 = b.add_tensor(TensorKind::Parameter, Bytes::gib(1), 0, Some(0), None);
+        let p1 = b.add_tensor(TensorKind::Parameter, Bytes::gib(1), 1, Some(1), None);
+        let a0 = b.add_tensor(TensorKind::Activation, Bytes::gib(2), 0, Some(0), Some(0));
+        let a1 = b.add_tensor(TensorKind::Activation, Bytes::gib(2), 1, Some(1), Some(0));
+        let bd = b.add_tensor(TensorKind::Boundary, Bytes::mib(64), 0, None, Some(0));
+        let f0 = b.add_op(OpKind::Forward, 0, Some(0), 0.01, |op| {
+            op.reads.push(p0);
+            op.writes.extend([a0, bd]);
+        });
+        let f1 = b.add_op(OpKind::Forward, 1, Some(0), 0.01, |op| {
+            op.reads.extend([p1, bd]);
+            op.writes.push(a1);
+        });
+        let b1 = b.add_op(OpKind::Backward, 1, Some(0), 0.02, |op| {
+            op.reads.push(a1);
+            op.frees.push(a1);
+        });
+        let b0 = b.add_op(OpKind::Backward, 0, Some(0), 0.02, |op| {
+            op.reads.push(a0);
+            op.frees.extend([a0, bd]);
+        });
+        b.add_dep(f0, f1);
+        b.add_dep(b1, b0);
+        let g = b.build().expect("toy graph is valid");
+        (g, vec![p0, p1, a0, a1, bd])
+    }
+
+    fn dgx1() -> Machine {
+        Machine::dgx1()
+    }
+
+    #[test]
+    fn clean_toy_plan_verifies() {
+        let (g, _) = toy_graph();
+        let machine = dgx1();
+        let plan = InstrumentationPlan::new();
+        let map = DeviceMap::identity(2);
+        let report = PlanVerifier::new(&machine, &g).verify(&plan, &map);
+        assert!(report.is_clean(), "{}", report.render_table());
+    }
+
+    #[test]
+    fn mp003_fires_when_a_dependency_edge_is_dropped() {
+        // Same toy job but WITHOUT the f0 → f1 cross edge: stage 1's
+        // forward reads the boundary with no ordering after its
+        // producer. (Reader added first so the builder's one sampled
+        // topo order happens to run the producer first and the graph
+        // builds; happens-before still leaves the pair unordered.)
+        let mut b = TrainingGraph::builder(2);
+        let bd = b.add_tensor(TensorKind::Boundary, Bytes::mib(64), 0, None, Some(0));
+        let _f1 = b.add_op(OpKind::Forward, 1, Some(0), 0.01, |op| op.reads.push(bd));
+        let _f0 = b.add_op(OpKind::Forward, 0, Some(0), 0.01, |op| op.writes.push(bd));
+        let g = b
+            .build()
+            .expect("builder's sampled topo order hides the race");
+        let machine = dgx1();
+        let report = PlanVerifier::new(&machine, &g)
+            .verify(&InstrumentationPlan::new(), &DeviceMap::identity(2));
+        assert!(
+            report.has_code(Code::UseBeforeProduce),
+            "{}",
+            report.render_table()
+        );
+    }
+
+    #[test]
+    fn mp004_fires_on_use_after_free() {
+        let mut b = TrainingGraph::builder(1);
+        let a = b.add_tensor(TensorKind::Activation, Bytes::mib(8), 0, Some(0), Some(0));
+        let w = b.add_op(OpKind::Forward, 0, Some(0), 0.01, |op| op.writes.push(a));
+        let f = b.add_op(OpKind::Forward, 0, Some(0), 0.01, |op| op.frees.push(a));
+        let r = b.add_op(OpKind::Backward, 0, Some(0), 0.01, |op| op.reads.push(a));
+        let _ = (w, f, r);
+        let g = b.build().expect("valid shape");
+        let machine = dgx1();
+        let report = PlanVerifier::new(&machine, &g)
+            .verify(&InstrumentationPlan::new(), &DeviceMap::identity(1));
+        assert!(
+            report.has_code(Code::UseAfterFree),
+            "{}",
+            report.render_table()
+        );
+    }
+
+    #[test]
+    fn mp005_fires_on_double_free() {
+        let mut b = TrainingGraph::builder(1);
+        let a = b.add_tensor(TensorKind::Activation, Bytes::mib(8), 0, Some(0), Some(0));
+        b.add_op(OpKind::Forward, 0, Some(0), 0.01, |op| op.writes.push(a));
+        b.add_op(OpKind::Backward, 0, Some(0), 0.01, |op| {
+            op.reads.push(a);
+            op.frees.push(a);
+        });
+        b.add_op(OpKind::Backward, 0, Some(0), 0.01, |op| op.frees.push(a));
+        let g = b.build().expect("valid shape");
+        let machine = dgx1();
+        let report = PlanVerifier::new(&machine, &g)
+            .verify(&InstrumentationPlan::new(), &DeviceMap::identity(1));
+        assert!(
+            report.has_code(Code::DoubleFree),
+            "{}",
+            report.render_table()
+        );
+    }
+
+    #[test]
+    fn mp002_fires_on_cross_stage_tensor_touch() {
+        let mut b = TrainingGraph::builder(2);
+        let a = b.add_tensor(TensorKind::Activation, Bytes::mib(8), 0, Some(0), Some(0));
+        // Stage 1 reads stage 0's (non-boundary) activation directly.
+        // Reader first (see mp003 test) so the builder accepts the graph.
+        let r = b.add_op(OpKind::Forward, 1, Some(0), 0.01, |op| op.reads.push(a));
+        let w = b.add_op(OpKind::Forward, 0, Some(0), 0.01, |op| op.writes.push(a));
+        let _ = (r, w);
+        let g = b.build().expect("valid shape");
+        let machine = dgx1();
+        let report = PlanVerifier::new(&machine, &g)
+            .verify(&InstrumentationPlan::new(), &DeviceMap::identity(2));
+        assert!(
+            report.has_code(Code::StreamOrder),
+            "{}",
+            report.render_table()
+        );
+    }
+
+    #[test]
+    fn mp006_fires_on_unreachable_stripe_target() {
+        let (g, t) = toy_graph();
+        let machine = dgx1();
+        let mut plan = InstrumentationPlan::new();
+        // GPU0 and GPU5 have no direct NVLink on DGX-1.
+        plan.assign(
+            t[2],
+            MemoryDirective::SwapD2d(StripePlan::single(Bytes::gib(2), DeviceId(5), 1)),
+        );
+        let report = PlanVerifier::new(&machine, &g).verify(&plan, &DeviceMap::identity(2));
+        assert!(
+            report.has_code(Code::BadStripe),
+            "{}",
+            report.render_table()
+        );
+        assert!(report.has_structural_errors());
+    }
+
+    #[test]
+    fn mp006_fires_on_stripe_size_mismatch() {
+        let (g, t) = toy_graph();
+        let machine = dgx1();
+        let mut plan = InstrumentationPlan::new();
+        // Reachable target (GPU0 → GPU3), but only half the bytes move.
+        plan.assign(
+            t[2],
+            MemoryDirective::SwapD2d(StripePlan::single(Bytes::gib(1), DeviceId(3), 2)),
+        );
+        let report = PlanVerifier::new(&machine, &g).verify(&plan, &DeviceMap::identity(2));
+        assert!(
+            report.has_code(Code::BadStripe),
+            "{}",
+            report.render_table()
+        );
+    }
+
+    #[test]
+    fn mp007_fires_on_inflated_tensor() {
+        // A 100 GiB activation can never fit a 32 GiB V100.
+        let mut b = TrainingGraph::builder(1);
+        let a = b.add_tensor(TensorKind::Activation, Bytes::gib(100), 0, Some(0), Some(0));
+        b.add_op(OpKind::Forward, 0, Some(0), 0.01, |op| op.writes.push(a));
+        b.add_op(OpKind::Backward, 0, Some(0), 0.01, |op| {
+            op.reads.push(a);
+            op.frees.push(a);
+        });
+        let g = b.build().expect("valid shape");
+        let machine = dgx1();
+        let report = PlanVerifier::new(&machine, &g)
+            .verify(&InstrumentationPlan::new(), &DeviceMap::identity(1));
+        assert!(
+            report.has_code(Code::CapacityExceeded),
+            "{}",
+            report.render_table()
+        );
+        // Predicted OOM is NOT a structural rejection (the emulator must
+        // still observe it).
+        assert!(!report.has_structural_errors());
+    }
+
+    #[test]
+    fn mp008_fires_when_victim_lacks_headroom() {
+        // Victim stage 1 already holds ~31 GiB of statics; a 2 GiB chunk
+        // pushes it past the V100's 32 GiB (minus reserve).
+        let mut b = TrainingGraph::builder(2);
+        let p1 = b.add_tensor(TensorKind::Parameter, Bytes::gib(31), 1, Some(1), None);
+        let a0 = b.add_tensor(TensorKind::Activation, Bytes::gib(2), 0, Some(0), Some(0));
+        b.add_op(OpKind::Forward, 0, Some(0), 0.01, |op| op.writes.push(a0));
+        b.add_op(OpKind::Backward, 0, Some(0), 0.01, |op| {
+            op.reads.push(a0);
+            op.frees.push(a0);
+        });
+        b.add_op(OpKind::Forward, 1, Some(0), 0.01, |op| op.reads.push(p1));
+        let g = b.build().expect("valid shape");
+        let machine = dgx1();
+        let mut plan = InstrumentationPlan::new();
+        // GPU0 → GPU1 is a real 1-lane link; stage 1 sits on GPU1 under
+        // the identity map, so the chunk lands on a loaded victim.
+        plan.assign(
+            a0,
+            MemoryDirective::SwapD2d(StripePlan::single(Bytes::gib(2), DeviceId(1), 1)),
+        );
+        let report = PlanVerifier::new(&machine, &g).verify(&plan, &DeviceMap::identity(2));
+        assert!(
+            report.has_code(Code::VictimOverflow),
+            "{}",
+            report.render_table()
+        );
+    }
+
+    #[test]
+    fn mp009_fires_on_bad_recompute() {
+        let (g, t) = toy_graph();
+        let machine = dgx1();
+        let verifier = PlanVerifier::new(&machine, &g);
+        // Recompute on a parameter.
+        let mut plan = InstrumentationPlan::new();
+        plan.assign(t[0], MemoryDirective::Recompute);
+        let report = verifier.verify(&plan, &DeviceMap::identity(2));
+        assert!(
+            report.has_code(Code::BadRecompute),
+            "{}",
+            report.render_table()
+        );
+
+        // Recompute on an activation nothing ever drops.
+        let mut b = TrainingGraph::builder(1);
+        let a = b.add_tensor(TensorKind::Activation, Bytes::mib(8), 0, Some(0), Some(0));
+        b.add_op(OpKind::Forward, 0, Some(0), 0.01, |op| op.writes.push(a));
+        b.add_op(OpKind::Backward, 0, Some(0), 0.01, |op| op.reads.push(a));
+        let g2 = b.build().expect("valid shape");
+        let mut plan2 = InstrumentationPlan::new();
+        plan2.assign(a, MemoryDirective::Recompute);
+        let report2 = PlanVerifier::new(&machine, &g2).verify(&plan2, &DeviceMap::identity(1));
+        assert!(
+            report2.has_code(Code::BadRecompute),
+            "{}",
+            report2.render_table()
+        );
+    }
+
+    #[test]
+    fn mp010_fires_on_unknown_and_boundary_targets() {
+        let (g, t) = toy_graph();
+        let machine = dgx1();
+        let verifier = PlanVerifier::new(&machine, &g);
+        let mut plan = InstrumentationPlan::new();
+        plan.assign(TensorId(999), MemoryDirective::SwapToHost(HostTier::Dram));
+        plan.assign(t[4], MemoryDirective::SwapToHost(HostTier::Dram)); // boundary
+        let report = verifier.verify(&plan, &DeviceMap::identity(2));
+        assert!(
+            report.has_code(Code::BadDirectiveTarget),
+            "{}",
+            report.render_table()
+        );
+        assert_eq!(report.error_count(), 2);
+    }
+
+    #[test]
+    fn mp011_fires_on_short_device_map() {
+        let (g, _) = toy_graph();
+        let machine = dgx1();
+        let report = PlanVerifier::new(&machine, &g)
+            .verify(&InstrumentationPlan::new(), &DeviceMap::identity(1));
+        assert!(
+            report.has_code(Code::BadDeviceMap),
+            "{}",
+            report.render_table()
+        );
+    }
+
+    #[test]
+    fn mp012_fires_on_overflowing_bytes() {
+        let mut b = TrainingGraph::builder(1);
+        let h1 = b.add_tensor(
+            TensorKind::Parameter,
+            Bytes(u64::MAX / 2 + 1),
+            0,
+            None,
+            None,
+        );
+        let h2 = b.add_tensor(
+            TensorKind::Parameter,
+            Bytes(u64::MAX / 2 + 1),
+            0,
+            None,
+            None,
+        );
+        b.add_op(OpKind::Forward, 0, Some(0), 0.01, |op| {
+            op.reads.extend([h1, h2]);
+        });
+        let g = b.build().expect("valid shape");
+        let machine = dgx1();
+        let report = PlanVerifier::new(&machine, &g)
+            .verify(&InstrumentationPlan::new(), &DeviceMap::identity(1));
+        assert!(report.has_code(Code::Overflow), "{}", report.render_table());
+        // Saturated totals still flag the capacity error.
+        assert!(
+            report.has_code(Code::CapacityExceeded),
+            "{}",
+            report.render_table()
+        );
+    }
+
+    #[test]
+    fn check_plan_one_shot_matches_verifier() {
+        let (g, _) = toy_graph();
+        let machine = dgx1();
+        let plan = InstrumentationPlan::new();
+        let map = DeviceMap::identity(2);
+        let a = PlanVerifier::new(&machine, &g).verify(&plan, &map);
+        let b = check_plan(&machine, &g, &plan, &map);
+        assert_eq!(a, b);
+    }
+}

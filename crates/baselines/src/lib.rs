@@ -40,6 +40,8 @@
 //! assert!(report.tflops > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod megatron;
 
 pub use megatron::{MegatronBaseline, MegatronModel, MegatronReport};

@@ -6,8 +6,8 @@
 //!
 //! ```json
 //! {"wall_s": 1.23, "jobs": 4, "emulator_runs": 57, "cache_hits": 12,
-//!  "cache_hit_rate": 0.174, "prefilter_skips": 18, "peak_workers": 4,
-//!  "refinement_rounds": 9, "refine_candidates": [4, 4, 1]}
+//!  "cache_hit_rate": 0.174, "prefilter_skips": 18, "verifier_rejections": 0,
+//!  "peak_workers": 4, "refinement_rounds": 9, "refine_candidates": [4, 4, 1]}
 //! ```
 //!
 //! Pass `--out PATH` to redirect (default `BENCH_planner.json` in the
@@ -51,6 +51,9 @@ fn main() {
         }
     }
 
+    // Wall-clock timing is this binary's whole purpose — the one
+    // sanctioned exception to the workspace's no-clock rule.
+    #[allow(clippy::disallowed_methods)]
     let start = std::time::Instant::now();
     let mpress = Mpress::builder()
         .job(bert_job(zoo::bert_1_67b(), Machine::dgx1()))
@@ -66,7 +69,8 @@ fn main() {
         .join(", ");
     let json = format!(
         "{{\"wall_s\": {:.3}, \"jobs\": {}, \"emulator_runs\": {}, \"cache_hits\": {}, \
-         \"cache_hit_rate\": {:.4}, \"prefilter_skips\": {}, \"peak_workers\": {}, \
+         \"cache_hit_rate\": {:.4}, \"prefilter_skips\": {}, \"verifier_rejections\": {}, \
+         \"peak_workers\": {}, \
          \"refinement_rounds\": {}, \"refine_candidates\": [{}]}}\n",
         wall_s,
         plan.search.jobs,
@@ -74,6 +78,7 @@ fn main() {
         plan.search.cache_hits,
         plan.search.cache_hit_rate(),
         plan.search.prefilter_skips,
+        plan.search.verifier_rejections,
         plan.search.peak_workers,
         plan.refinement_rounds,
         candidates

@@ -19,6 +19,8 @@
 //! | Table IV (chosen strategies)           | [`experiments::table4`] |
 //! | §II-D scalars                          | [`experiments::sec2d`] |
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod jobs;
 pub mod table;

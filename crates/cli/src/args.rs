@@ -11,7 +11,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["chart", "gantt"];
+const SWITCHES: &[&str] = &["chart", "gantt", "json"];
 // `--trace` takes a path, so it is a value flag, not a switch.
 
 /// Flags whose value is optional: bare `--key` means `--key=DEFAULT`.

@@ -45,11 +45,13 @@ fn telemetry_table(t: &TelemetryReport) -> String {
     let _ = writeln!(
         out,
         "  search: {} emulator runs, {} cache hits ({:.0}% hit rate), \
-         {} prefilter skips, jobs={} (peak {} workers), candidates/round {:?}",
+         {} prefilter skips, {} verifier rejections, jobs={} (peak {} workers), \
+         candidates/round {:?}",
         s.emulator_runs,
         s.cache_hits,
         100.0 * s.cache_hit_rate(),
         s.prefilter_skips,
+        s.verifier_rejections,
         s.jobs,
         s.peak_workers,
         t.refine_candidates,
@@ -185,7 +187,7 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
     let mut out = format!(
         "device map: {}\ndirectives: {} (refinement rounds: {})\n\
          search: {} emulator runs, {} cache hits ({:.0}% hit rate), \
-         {} prefilter skips, jobs={} (peak {} workers)\n",
+         {} prefilter skips, {} verifier rejections, jobs={} (peak {} workers)\n",
         plan.device_map,
         plan.instrumentation.len(),
         plan.refinement_rounds,
@@ -193,6 +195,7 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
         plan.search.cache_hits,
         100.0 * plan.search.cache_hit_rate(),
         plan.search.prefilter_skips,
+        plan.search.verifier_rejections,
         plan.search.jobs,
         plan.search.peak_workers,
     );
@@ -233,6 +236,45 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
             out.push_str(&telemetry_table(&telemetry));
             Ok(out)
         }
+    }
+}
+
+/// `check`: run the planner, then the static verifier (`mpress-analyze`)
+/// on the chosen plan — no simulation. Prints the MP0xx diagnostic table
+/// (or the JSON document under `--json`); any error-severity finding
+/// turns into a non-zero exit.
+pub fn check(args: &Args) -> Result<String, CliError> {
+    let mpress = mpress_from(args, false)?;
+    let (plan, lowered) = mpress.plan()?;
+    let report = mpress_analyze::check_plan(
+        mpress.machine(),
+        &lowered.graph,
+        &plan.instrumentation,
+        &plan.device_map,
+    );
+    let body = if args.switch("json") {
+        serde_json::to_string_pretty(&report)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| CliError::Output(format!("serializing diagnostics: {e}")))?
+    } else {
+        let mut out = format!(
+            "checked {} directives on {} stages: {}\n",
+            plan.instrumentation.len(),
+            lowered.graph.n_stages(),
+            report.summary(),
+        );
+        if !report.is_clean() {
+            out.push_str(&report.render_table());
+        }
+        out
+    };
+    if report.error_count() > 0 {
+        Err(CliError::Check(body))
+    } else {
+        Ok(body)
     }
 }
 

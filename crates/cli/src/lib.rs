@@ -7,10 +7,14 @@
 //! * `demands` — per-stage memory demands of a job (Table II rows);
 //! * `plan` — run MPress's planner, print the Table-IV-style breakdown,
 //!   optionally persist the plan as JSON;
+//! * `check` — run the planner, then the static plan verifier
+//!   (`mpress-analyze`): MP0xx diagnostics as a table or `--json`;
 //! * `train` — plan and simulate, print throughput/TFLOPS and optional
 //!   memory/Gantt charts;
 //! * `compare` — every Figs. 7/8 system plus Megatron/ZeRO on one job;
 //! * `insights` — the §V Grace-Hopper projection.
+
+#![forbid(unsafe_code)]
 
 pub mod args;
 pub mod commands;
@@ -33,6 +37,9 @@ pub enum CliError {
     MissingArg(String),
     /// Writing or serializing an output artifact failed (full message).
     Output(String),
+    /// `check` found plan diagnostics — the message is the rendered
+    /// report (table or JSON), and the exit code is non-zero.
+    Check(String),
     /// The underlying plan/train run failed.
     Run(mpress::MpressError),
 }
@@ -44,7 +51,9 @@ impl fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(f, "unknown command `{c}`\n\n{}", usage())
             }
-            CliError::BadFlag(msg) | CliError::Output(msg) => write!(f, "{msg}"),
+            CliError::BadFlag(msg) | CliError::Output(msg) | CliError::Check(msg) => {
+                write!(f, "{msg}")
+            }
             CliError::MissingArg(flag) => write!(f, "missing required flag --{flag}"),
             CliError::Run(e) => write!(f, "{e}"),
         }
@@ -83,6 +92,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "zoo" => commands::zoo(),
         "demands" => commands::demands(&parsed),
         "plan" => commands::plan(&parsed),
+        "check" => commands::check(&parsed),
         "train" => commands::train(&parsed),
         "compare" => commands::compare(&parsed),
         "insights" => commands::insights(&parsed),
@@ -101,6 +111,8 @@ pub fn usage() -> String {
      \x20 zoo                         list the paper's model variants\n\
      \x20 demands   --model M         per-stage memory demands (Table II)\n\
      \x20 plan      --model M         generate a memory-saving plan (Table IV)\n\
+     \x20 check     --model M         statically verify the plan (MP0xx codes;\n\
+     \x20                             --json prints the diagnostics document)\n\
      \x20 train     --model M         plan + simulate a training window\n\
      \x20 compare   --model M         all systems of Figs. 7/8 on one job\n\
      \x20 insights                    the Sec. V Grace-Hopper projection\n\

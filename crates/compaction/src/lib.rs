@@ -18,6 +18,8 @@
 //! planner emits and the simulator executes; [`SwapMetadataTable`] tracks
 //! in-flight sub-blocks exactly as §III-C describes.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod directive;
 pub mod metadata;

@@ -17,6 +17,7 @@
 
 use crate::mapping::{MappingSearch, SpareAssignment};
 use crate::profiler::{Profile, TensorClass};
+use mpress_analyze::PlanVerifier;
 use mpress_compaction::{
     CostModel, HostTier, InstrumentationPlan, MemoryDirective, StripePlan, Technique,
 };
@@ -118,6 +119,15 @@ pub struct PlannerConfig {
     /// disables); the chosen plan is identical either way — only
     /// `emulator_runs` changes.
     pub prefilter: bool,
+    /// Run the static plan verifier (`mpress-analyze`) on every
+    /// candidate before emulating it, rejecting structurally invalid
+    /// plans without a simulator window. Planner-emitted candidates are
+    /// always structurally valid, so the hook never changes the chosen
+    /// plan — it guards externally supplied plans and counts rejections
+    /// in [`SearchStats::verifier_rejections`]. The default honors the
+    /// [`mpress_obs::ENV_VERIFY`] escape hatch (`MPRESS_VERIFY=0`
+    /// disables).
+    pub verify: bool,
 }
 
 impl Default for PlannerConfig {
@@ -130,8 +140,22 @@ impl Default for PlannerConfig {
             mapping_search: true,
             exhaustive_swap: false,
             prefilter: prefilter_default(),
+            verify: verify_default(),
         }
     }
+}
+
+/// Process-wide default for [`PlannerConfig::verify`]: on, unless
+/// `MPRESS_VERIFY` is set to `0`, `false` or `off`. Read once and
+/// cached, like [`prefilter_default`].
+fn verify_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var(mpress_obs::ENV_VERIFY).as_deref(),
+            Ok("0") | Ok("false") | Ok("off")
+        )
+    })
 }
 
 /// Process-wide default for [`PlannerConfig::prefilter`]: on, unless
@@ -161,6 +185,10 @@ pub struct SearchStats {
     /// pre-filter without running the emulator (see
     /// [`PlannerConfig::prefilter`]).
     pub prefilter_skips: usize,
+    /// Candidates rejected by the static plan verifier before emulation
+    /// (see [`PlannerConfig::verify`]). Zero on every planner-driven
+    /// search: the planner only emits structurally valid plans.
+    pub verifier_rejections: usize,
     /// Worker count the parallel sections resolved to.
     pub jobs: usize,
     /// Peak concurrently-busy workers observed in the process so far.
@@ -261,6 +289,7 @@ struct EmulationCache {
     runs: AtomicUsize,
     hits: AtomicUsize,
     prefilter_skips: AtomicUsize,
+    verifier_rejections: AtomicUsize,
 }
 
 /// What one emulator window reports back to the search.
@@ -359,6 +388,10 @@ pub struct Planner<'a> {
     /// emulator window — steady-state `emulate()` calls reuse the graph
     /// tables and task buffers instead of rebuilding them.
     arenas: Mutex<Vec<SimArena>>,
+    /// Lazily built static plan verifier (see [`PlannerConfig::verify`]).
+    /// The graph-side tables (lifetime sites, happens-before bitset)
+    /// are shared by every candidate check, so they are built once.
+    verifier: OnceLock<PlanVerifier<'a>>,
 }
 
 impl<'a> Planner<'a> {
@@ -376,6 +409,7 @@ impl<'a> Planner<'a> {
             config,
             cache: EmulationCache::default(),
             arenas: Mutex::new(Vec::new()),
+            verifier: OnceLock::new(),
         }
     }
 
@@ -385,6 +419,7 @@ impl<'a> Planner<'a> {
             emulator_runs: self.cache.runs.load(Ordering::Relaxed),
             cache_hits: self.cache.hits.load(Ordering::Relaxed),
             prefilter_skips: self.cache.prefilter_skips.load(Ordering::Relaxed),
+            verifier_rejections: self.cache.verifier_rejections.load(Ordering::Relaxed),
             jobs: mpress_par::jobs(),
             peak_workers: mpress_par::stats().peak_workers,
         }
@@ -1083,6 +1118,29 @@ impl<'a> Planner<'a> {
         let key = cache_key(plan, device_map);
         if let Some(outcome) = self.cache.lookup(key) {
             return Ok(Some(outcome));
+        }
+        if self.config.verify {
+            let report = self
+                .verifier
+                .get_or_init(|| PlanVerifier::new(self.machine, &self.lowered.graph))
+                .verify(plan, device_map);
+            // Only *structural* malformations reject: a predicted OOM
+            // (MP007/MP008) must still reach the emulator, because the
+            // feasibility loop and OOM-vs-OOM comparisons consume the
+            // simulated `OomEvent`.
+            if report.has_structural_errors() {
+                self.cache
+                    .verifier_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return if incumbent.is_some() {
+                    Ok(None)
+                } else {
+                    Err(SimError::BadPlan(format!(
+                        "static verifier rejected plan: {}",
+                        report.summary()
+                    )))
+                };
+            }
         }
         if self.config.prefilter {
             if let Some(best) = incumbent {

@@ -236,6 +236,7 @@ pub struct MpressBuilder {
     striping: Option<bool>,
     mapping_search: Option<bool>,
     prefilter: Option<bool>,
+    verify: Option<bool>,
     metrics: bool,
 }
 
@@ -290,6 +291,14 @@ impl MpressBuilder {
         self
     }
 
+    /// Toggles the planner's static plan verifier hook (on by default
+    /// unless `MPRESS_VERIFY=0`; the chosen plan is identical either
+    /// way — planner-emitted candidates are always structurally valid).
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = Some(on);
+        self
+    }
+
     /// Collects structured telemetry ([`TrainingReport::metrics`]) during
     /// `train`/`simulate`. Off by default — disabled runs skip all metric
     /// assembly and their reports are byte-identical to pre-metrics runs.
@@ -335,6 +344,9 @@ impl MpressBuilder {
         }
         if let Some(p) = self.prefilter {
             config.prefilter = p;
+        }
+        if let Some(v) = self.verify {
+            config.verify = v;
         }
         Ok(Mpress {
             job,

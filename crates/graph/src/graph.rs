@@ -22,6 +22,10 @@ pub enum GraphError {
     StageOutOfRange(OpId, usize),
     /// A non-static tensor is read before any op writes it.
     ReadBeforeWrite(TensorId, OpId),
+    /// A lowering pass violated one of its own structural invariants
+    /// (for instance a stage with no layers, or a missing boundary
+    /// tensor) — a bug in the lowering builder, not bad user input.
+    LoweringInvariant(&'static str),
 }
 
 impl fmt::Display for GraphError {
@@ -35,6 +39,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::ReadBeforeWrite(t, o) => {
                 write!(f, "op {o} reads tensor {t} before any producer runs")
+            }
+            GraphError::LoweringInvariant(msg) => {
+                write!(f, "lowering invariant violated: {msg}")
             }
         }
     }

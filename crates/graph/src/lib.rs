@@ -15,6 +15,8 @@
 //!   intervals — the quantity MPress's cost model compares against swap
 //!   and recomputation latencies (paper §III-D).
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod ids;
 pub mod liveness;

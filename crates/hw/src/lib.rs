@@ -28,6 +28,8 @@
 //! assert!(d2d < pcie / 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bandwidth;
 pub mod link;
 pub mod machine;

@@ -89,6 +89,18 @@ impl Bytes {
         self.0.checked_sub(rhs.0).map(Bytes)
     }
 
+    /// Saturating addition: clamps at `u64::MAX` instead of overflowing.
+    pub fn saturating_add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked addition: `None` when the sum would overflow. Static
+    /// analysis sums arbitrary (possibly adversarial) tensor sizes, so
+    /// it must not rely on the panicking `+` operator.
+    pub fn checked_add(self, rhs: Bytes) -> Option<Bytes> {
+        self.0.checked_add(rhs.0).map(Bytes)
+    }
+
     /// Scales the byte count by a non-negative factor, rounding to nearest.
     ///
     /// # Panics
@@ -216,6 +228,15 @@ mod tests {
         assert_eq!(b.saturating_sub(a), Bytes::ZERO);
         assert_eq!(a.checked_sub(b), Some(Bytes(60)));
         assert_eq!(b.checked_sub(a), None);
+    }
+
+    #[test]
+    fn addition_has_checked_and_saturating_forms() {
+        let near_max = Bytes(u64::MAX - 5);
+        assert_eq!(near_max.checked_add(Bytes(5)), Some(Bytes(u64::MAX)));
+        assert_eq!(near_max.checked_add(Bytes(6)), None);
+        assert_eq!(near_max.saturating_add(Bytes(100)), Bytes(u64::MAX));
+        assert_eq!(Bytes(1).saturating_add(Bytes(2)), Bytes(3));
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! assert!(per_layer.optimizer > per_layer.params + per_layer.grads);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod flops;
 pub mod memory;

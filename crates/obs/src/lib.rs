@@ -23,6 +23,8 @@
 //! for the debug environment variables that the engine and planner used
 //! to parse independently.
 
+#![forbid(unsafe_code)]
+
 pub mod recorder;
 pub mod stall;
 pub mod verbosity;
@@ -31,5 +33,5 @@ pub use recorder::{Histogram, HistogramSnapshot, MetricsRecorder, MetricsReport}
 pub use stall::{StallBreakdown, StallCause};
 pub use verbosity::{
     parse_trace_window, trace_window, verbosity, TraceWindow, Verbosity, ENV_PLAN_DEBUG,
-    ENV_PREFILTER, ENV_SIM_DEBUG, ENV_SIM_TRACE, ENV_TRACE_WINDOW,
+    ENV_PREFILTER, ENV_SIM_DEBUG, ENV_SIM_TRACE, ENV_TRACE_WINDOW, ENV_VERIFY,
 };

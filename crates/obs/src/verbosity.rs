@@ -27,6 +27,13 @@ pub const ENV_TRACE_WINDOW: &str = "MPRESS_TRACE_WINDOW";
 /// chosen plan must not change either way).
 pub const ENV_PREFILTER: &str = "MPRESS_PREFILTER";
 
+/// Disables the planner's static plan verifier hook when set to `0`,
+/// `false` or `off` (A/B escape hatch, like [`ENV_PREFILTER`]; the
+/// chosen plan must not change either way — planner-emitted candidates
+/// are always structurally valid, so the hook only ever rejects
+/// externally-supplied malformed plans).
+pub const ENV_VERIFY: &str = "MPRESS_VERIFY";
+
 /// A parsed [`ENV_TRACE_WINDOW`] filter. Kept outside [`Verbosity`]
 /// (whose `Eq` derive the `f64` bounds would break) and cached the same
 /// way: read once per process.
@@ -113,6 +120,7 @@ mod tests {
         assert_eq!(ENV_PLAN_DEBUG, "MPRESS_PLAN_DEBUG");
         assert_eq!(ENV_TRACE_WINDOW, "MPRESS_TRACE_WINDOW");
         assert_eq!(ENV_PREFILTER, "MPRESS_PREFILTER");
+        assert_eq!(ENV_VERIFY, "MPRESS_VERIFY");
     }
 
     #[test]

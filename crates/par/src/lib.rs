@@ -22,6 +22,8 @@
 //! `MPRESS_JOBS` environment variable, then
 //! `std::thread::available_parallelism()`.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Process-wide override installed by `--jobs` (0 = no override).

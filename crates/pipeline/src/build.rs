@@ -160,11 +160,18 @@ impl PipelineJob {
             for slot in program.slots {
                 match slot {
                     StageSlot::Forward(mb) => {
-                        let acts = act_tensors[&(stage, mb)].clone();
+                        let acts = act_tensors
+                            .get(&(stage, mb))
+                            .ok_or(GraphError::LoweringInvariant(
+                                "forward slot has no activation tensors",
+                            ))?
+                            .clone();
                         let mut first_op = None;
                         let mut last_fwd = None;
                         if stage == 0 {
-                            let ea = embed_acts[&mb];
+                            let ea = *embed_acts.get(&mb).ok_or(GraphError::LoweringInvariant(
+                                "stage 0 is missing its embedding activation",
+                            ))?;
                             let id = b.add_op(OpKind::Forward, 0, Some(mb), t_embed, |op| {
                                 op.reads.push(emb_param);
                                 op.writes.push(ea);
@@ -174,10 +181,22 @@ impl PipelineJob {
                         for (idx, &a) in acts.iter().enumerate() {
                             let param = param_tensors[stage][idx];
                             let writes_boundary = idx + 1 == n_layers && !last_stage;
-                            let bt = boundary_tensors.get(&(stage, mb)).copied();
+                            let out_bt = if writes_boundary {
+                                Some(boundary_tensors.get(&(stage, mb)).copied().ok_or(
+                                    GraphError::LoweringInvariant(
+                                        "non-last stage is missing its boundary tensor",
+                                    ),
+                                )?)
+                            } else {
+                                None
+                            };
                             let reads_boundary = idx == 0 && stage > 0;
                             let prev_bt = if reads_boundary {
-                                Some(boundary_tensors[&(stage - 1, mb)])
+                                Some(boundary_tensors.get(&(stage - 1, mb)).copied().ok_or(
+                                    GraphError::LoweringInvariant(
+                                        "upstream stage is missing its boundary tensor",
+                                    ),
+                                )?)
                             } else {
                                 None
                             };
@@ -187,8 +206,8 @@ impl PipelineJob {
                                     op.reads.push(pbt);
                                 }
                                 op.writes.push(a);
-                                if writes_boundary {
-                                    op.writes.push(bt.expect("non-last stage has boundary"));
+                                if let Some(bt) = out_bt {
+                                    op.writes.push(bt);
                                 }
                             });
                             if first_op.is_none() {
@@ -200,21 +219,36 @@ impl PipelineJob {
                         if last_stage {
                             b.add_op(OpKind::Forward, stage, Some(mb), t_head, |_| {});
                         }
-                        forward_ops.insert((stage, mb), first_op.expect("stage has layers"));
+                        let first = first_op.ok_or(GraphError::LoweringInvariant(
+                            "stage lowered zero forward ops",
+                        ))?;
+                        forward_ops.insert((stage, mb), first);
                         if !last_stage {
-                            let bt = boundary_tensors[&(stage, mb)];
+                            let bt = boundary_tensors.get(&(stage, mb)).copied().ok_or(
+                                GraphError::LoweringInvariant(
+                                    "non-last stage is missing its boundary tensor",
+                                ),
+                            )?;
                             let sid = b.add_op(OpKind::Send, stage, Some(mb), comm, |op| {
                                 op.reads.push(bt);
                             });
                             // Sends run on a separate comm stream, so the
                             // data dependency on the producing forward is
                             // explicit.
-                            b.add_dep(last_fwd.expect("stage has layers"), sid);
+                            let lf = last_fwd.ok_or(GraphError::LoweringInvariant(
+                                "stage lowered zero forward ops",
+                            ))?;
+                            b.add_dep(lf, sid);
                             send_f.insert((stage, mb), sid);
                         }
                     }
                     StageSlot::Backward(mb) => {
-                        let acts = act_tensors[&(stage, mb)].clone();
+                        let acts = act_tensors
+                            .get(&(stage, mb))
+                            .ok_or(GraphError::LoweringInvariant(
+                                "backward slot has no activation tensors",
+                            ))?
+                            .clone();
                         if last_stage {
                             b.add_op(OpKind::Backward, stage, Some(mb), 2.0 * t_head, |_| {});
                         }
@@ -251,7 +285,9 @@ impl PipelineJob {
                         // minibatch's backward.
                         let stash = stash_tensors[stage].get(mb as usize).copied();
                         if stage == 0 {
-                            let ea = embed_acts[&mb];
+                            let ea = *embed_acts.get(&mb).ok_or(GraphError::LoweringInvariant(
+                                "stage 0 is missing its embedding activation",
+                            ))?;
                             let id = b.add_op(OpKind::Backward, 0, Some(mb), 2.0 * t_embed, |op| {
                                 op.reads.extend([ea, emb_param]);
                                 if folds_optimizer {
@@ -272,10 +308,13 @@ impl PipelineJob {
                             });
                             last_op = Some(id);
                         }
-                        backward_ops.insert((stage, mb), last_op.expect("stage has layers"));
+                        let last = last_op.ok_or(GraphError::LoweringInvariant(
+                            "stage lowered zero backward ops",
+                        ))?;
+                        backward_ops.insert((stage, mb), last);
                         if stage > 0 {
                             let sid = b.add_op(OpKind::Send, stage, Some(mb), comm, |_| {});
-                            b.add_dep(last_op.expect("stage has layers"), sid);
+                            b.add_dep(last, sid);
                             send_b.insert((stage, mb), sid);
                         }
                     }
@@ -306,12 +345,21 @@ impl PipelineJob {
         }
 
         // --- Cross-stage dependencies ---------------------------------------
+        let linked = || {
+            GraphError::LoweringInvariant(
+                "adjacent stage is missing its send op or stage entry point",
+            )
+        };
         for mb in 0..m {
             for stage in 1..s {
-                b.add_dep(send_f[&(stage - 1, mb)], forward_ops[&(stage, mb)]);
+                let sf = *send_f.get(&(stage - 1, mb)).ok_or_else(linked)?;
+                let fwd = *forward_ops.get(&(stage, mb)).ok_or_else(linked)?;
+                b.add_dep(sf, fwd);
             }
             for stage in 0..s.saturating_sub(1) {
-                b.add_dep(send_b[&(stage + 1, mb)], backward_ops[&(stage, mb)]);
+                let sb = *send_b.get(&(stage + 1, mb)).ok_or_else(linked)?;
+                let bwd = *backward_ops.get(&(stage, mb)).ok_or_else(linked)?;
+                b.add_dep(sb, bwd);
             }
         }
 

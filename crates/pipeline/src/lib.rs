@@ -37,6 +37,8 @@
 //! # Ok::<(), mpress_pipeline::PipelineError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod job;
 pub mod memory;

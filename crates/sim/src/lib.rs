@@ -17,6 +17,8 @@
 //! achieved TFLOPS), per-device memory peaks/timelines, swap traffic and
 //! op timings (which feed MPress's live-interval profiler).
 
+#![forbid(unsafe_code)]
+
 pub mod arena;
 pub mod device_map;
 pub mod engine;

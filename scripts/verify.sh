@@ -19,6 +19,20 @@ cargo test -q
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 
+echo "== determinism source lints (mpress-lint) =="
+# Token-level wall-clock / hash-container / panic-site lints over the
+# workspace sources, ratcheted by lint_allowlist.txt (counts may only
+# go down; regenerate with `mpress-lint --update`).
+./target/release/mpress-lint --root .
+
+echo "== static plan verifier (mpress-cli check) =="
+# The planner's chosen plan must verify clean on a pressured job, and
+# the --json document must round-trip through the JSON parser.
+./target/release/mpress-cli check --model bert-1.67b --json \
+    | ./target/release/json_roundtrip_check
+./target/release/mpress-cli check --model gpt-10.3b --machine dgx2 --json \
+    | ./target/release/json_roundtrip_check
+
 echo "== determinism at MPRESS_JOBS=8 =="
 # The jobs=1 vs jobs=4 contract is in the suite; re-check the planner and
 # telemetry fingerprints under a wider pool than CI's default.

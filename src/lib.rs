@@ -13,6 +13,8 @@
 //! * [`mpress_bench`] — the experiment harness regenerating the paper's
 //!   tables and figures.
 
+#![forbid(unsafe_code)]
+
 pub use mpress;
 pub use mpress_baselines;
 pub use mpress_bench;

@@ -1,0 +1,185 @@
+//! Cross-crate tests for the static plan verifier (`mpress-analyze`).
+//!
+//! Two properties anchor the verifier's design:
+//!
+//! * **Soundness** — every plan the planner emits, across the whole
+//!   model zoo on both NVLink machines, verifies clean. This is what
+//!   lets the planner hook reject structural errors without ever
+//!   changing a chosen plan.
+//! * **Sensitivity** — seeded mutations of a *real* planner plan
+//!   (retargeted stripes, bogus recomputes, wrong-size maps) each
+//!   produce their exact `MP0xx` code, so the codes are usable as a
+//!   stable contract by tooling and CI.
+
+use mpress::Mpress;
+use mpress_analyze::{check_plan, Code};
+use mpress_bench::jobs::{bert_job, gpt_job};
+use mpress_compaction::{InstrumentationPlan, MemoryDirective, StripePlan};
+use mpress_graph::TensorKind;
+use mpress_hw::{DeviceId, Machine};
+use mpress_model::{zoo, TransformerConfig};
+use mpress_pipeline::PipelineJob;
+use mpress_sim::DeviceMap;
+
+fn zoo_jobs(machine: &Machine) -> Vec<(String, PipelineJob)> {
+    let bert: Vec<TransformerConfig> = zoo::bert_variants();
+    let gpt: Vec<TransformerConfig> = zoo::gpt_variants();
+    bert.into_iter()
+        .map(|m| (m.to_string(), bert_job(m, machine.clone())))
+        .chain(
+            gpt.into_iter()
+                .map(|m| (m.to_string(), gpt_job(m, machine.clone()))),
+        )
+        .collect()
+}
+
+/// Soundness: the verifier accepts every planner-emitted plan for every
+/// zoo model on both NVLink machines. A single diagnostic here means the
+/// planner hook could veto a legitimate candidate — the one thing the
+/// analysis must never do.
+#[test]
+fn verifier_accepts_every_planner_plan_across_zoo_and_machines() {
+    for machine in [Machine::dgx1(), Machine::dgx2()] {
+        for (name, job) in zoo_jobs(&machine) {
+            let mpress = Mpress::builder().job(job).build();
+            let (plan, lowered) = mpress.plan().expect("planning succeeds");
+            let report = check_plan(
+                mpress.machine(),
+                &lowered.graph,
+                &plan.instrumentation,
+                &plan.device_map,
+            );
+            assert!(
+                report.is_clean(),
+                "{name} on {}: planner plan flagged:\n{}",
+                machine.name(),
+                report.render_table()
+            );
+            assert_eq!(plan.search.verifier_rejections, 0, "{name}");
+        }
+    }
+}
+
+/// A pressured job whose full-MPress plan contains D2D stripes to
+/// mutate: Bert-0.64B on DGX-1 (the paper's "medium size" case).
+fn d2d_plan() -> (Mpress, mpress::MpressPlan, mpress_pipeline::LoweredJob) {
+    let mpress = Mpress::builder()
+        .job(bert_job(zoo::bert_0_64b(), Machine::dgx1()))
+        .build();
+    let (plan, lowered) = mpress.plan().expect("planning succeeds");
+    (mpress, plan, lowered)
+}
+
+/// Rebuilds the plan with `mutate` applied to every directive.
+fn mutate_plan(
+    plan: &InstrumentationPlan,
+    mut mutate: impl FnMut(mpress_graph::TensorId, &MemoryDirective) -> MemoryDirective,
+) -> InstrumentationPlan {
+    let mut out = InstrumentationPlan::new();
+    for (t, d) in plan.iter() {
+        out.assign(t, mutate(t, d));
+    }
+    out
+}
+
+/// Mutation: retarget one stripe to a device the source cannot reach
+/// over NVLink. The exact code is MP006 (`BadStripe`), and it is
+/// structural — the planner hook would veto this plan.
+#[test]
+fn retargeted_stripe_yields_mp006() {
+    let (mpress, plan, lowered) = d2d_plan();
+    let topology = mpress.machine().topology();
+    let mut mutated_any = false;
+    let mutated = mutate_plan(&plan.instrumentation, |t, d| {
+        if mutated_any {
+            return d.clone();
+        }
+        if let MemoryDirective::SwapD2d(stripe) = d {
+            let src = plan.device_map.device_of(lowered.graph.tensor(t).stage);
+            // DGX-1's cube mesh links each GPU to only four peers, so an
+            // unreachable victim always exists.
+            let bad = (0..mpress.machine().gpu_count())
+                .map(DeviceId)
+                .find(|&v| v != src && !topology.reachable(src, v))
+                .expect("DGX-1 has unreachable pairs");
+            mutated_any = true;
+            return MemoryDirective::SwapD2d(StripePlan::single(stripe.total_bytes(), bad, 1));
+        }
+        d.clone()
+    });
+    assert!(mutated_any, "expected a D2D stripe in the 0.64B plan");
+    let report = check_plan(mpress.machine(), &lowered.graph, &mutated, &plan.device_map);
+    assert!(
+        report.has_code(Code::BadStripe),
+        "expected MP006:\n{}",
+        report.render_table()
+    );
+    assert!(report.has_structural_errors());
+}
+
+/// Mutation: recompute a parameter. Statics are never recomputable, so
+/// the exact code is MP009 (`BadRecompute`).
+#[test]
+fn recompute_on_parameter_yields_mp009() {
+    let (mpress, plan, lowered) = d2d_plan();
+    let param = lowered
+        .graph
+        .tensors()
+        .iter()
+        .find(|t| t.kind == TensorKind::Parameter)
+        .expect("graph has parameters");
+    let mut mutated = plan.instrumentation.clone();
+    mutated.assign(param.id, MemoryDirective::Recompute);
+    let report = check_plan(mpress.machine(), &lowered.graph, &mutated, &plan.device_map);
+    assert!(
+        report.has_code(Code::BadRecompute),
+        "expected MP009:\n{}",
+        report.render_table()
+    );
+}
+
+/// Mutation: a device map covering the wrong number of stages. The
+/// exact code is MP011 (`BadDeviceMap`).
+#[test]
+fn short_device_map_yields_mp011() {
+    let (mpress, plan, lowered) = d2d_plan();
+    let short = DeviceMap::identity(lowered.graph.n_stages() - 1);
+    let report = check_plan(
+        mpress.machine(),
+        &lowered.graph,
+        &plan.instrumentation,
+        &short,
+    );
+    assert!(
+        report.has_code(Code::BadDeviceMap),
+        "expected MP011:\n{}",
+        report.render_table()
+    );
+}
+
+/// The planner hook must be invisible: a verify-on run's report is
+/// byte-identical to a verify-off run's (the verifier only ever rejects
+/// plans the planner would never emit).
+#[test]
+fn verifier_hook_does_not_change_the_chosen_plan() {
+    let run = |verify: bool| -> String {
+        let report = Mpress::builder()
+            .job(bert_job(zoo::bert_1_67b(), Machine::dgx1()))
+            .verify(verify)
+            .build()
+            .train()
+            .expect("valid inputs");
+        format!(
+            "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{}",
+            report.plan.device_map,
+            report.plan.instrumentation,
+            report.plan.refinement_rounds,
+            report.sim.makespan.to_bits(),
+            report.sim.device_peak,
+            report.sim.host_traffic,
+            report.tflops.to_bits(),
+            report.throughput.to_bits(),
+        )
+    };
+    assert_eq!(run(true), run(false));
+}
