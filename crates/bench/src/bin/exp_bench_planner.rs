@@ -6,8 +6,10 @@
 //!
 //! ```json
 //! {"wall_s": 1.23, "jobs": 4, "emulator_runs": 57, "cache_hits": 12,
-//!  "cache_hit_rate": 0.174, "prefilter_skips": 18, "verifier_rejections": 0,
-//!  "peak_workers": 4, "refinement_rounds": 9, "refine_candidates": [4, 4, 1]}
+//!  "cache_hits_canonical": 3, "cache_hit_rate": 0.174, "prefilter_skips": 18,
+//!  "verifier_rejections": 0, "delta_replays": 21, "windows_replayed": 84,
+//!  "windows_total": 352, "peak_workers": 4, "refinement_rounds": 9,
+//!  "refine_candidates": [4, 4, 1]}
 //! ```
 //!
 //! Pass `--out PATH` to redirect (default `BENCH_planner.json` in the
@@ -69,16 +71,21 @@ fn main() {
         .join(", ");
     let json = format!(
         "{{\"wall_s\": {:.3}, \"jobs\": {}, \"emulator_runs\": {}, \"cache_hits\": {}, \
-         \"cache_hit_rate\": {:.4}, \"prefilter_skips\": {}, \"verifier_rejections\": {}, \
-         \"peak_workers\": {}, \
+         \"cache_hits_canonical\": {}, \"cache_hit_rate\": {:.4}, \"prefilter_skips\": {}, \
+         \"verifier_rejections\": {}, \"delta_replays\": {}, \"windows_replayed\": {}, \
+         \"windows_total\": {}, \"peak_workers\": {}, \
          \"refinement_rounds\": {}, \"refine_candidates\": [{}]}}\n",
         wall_s,
         plan.search.jobs,
         plan.search.emulator_runs,
         plan.search.cache_hits,
+        plan.search.cache_hits_canonical,
         plan.search.cache_hit_rate(),
         plan.search.prefilter_skips,
         plan.search.verifier_rejections,
+        plan.search.delta_replays,
+        plan.search.windows_replayed,
+        plan.search.windows_total,
         plan.search.peak_workers,
         plan.refinement_rounds,
         candidates
@@ -90,10 +97,12 @@ fn main() {
     print!("{json}");
     eprintln!(
         "planner wall {wall_s:.3}s at jobs={} (peak {} workers), \
-         {} emulator runs, {} cache hits -> {out_path}",
+         {} emulator runs, {} cache hits (+{} canonical), {} delta replays -> {out_path}",
         plan.search.jobs,
         plan.search.peak_workers,
         plan.search.emulator_runs,
-        plan.search.cache_hits
+        plan.search.cache_hits,
+        plan.search.cache_hits_canonical,
+        plan.search.delta_replays
     );
 }

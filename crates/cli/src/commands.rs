@@ -44,17 +44,23 @@ fn telemetry_table(t: &TelemetryReport) -> String {
     let s = &t.search;
     let _ = writeln!(
         out,
-        "  search: {} emulator runs, {} cache hits ({:.0}% hit rate), \
+        "  search: {} emulator runs, {} cache hits (+{} canonical, {:.0}% hit rate), \
          {} prefilter skips, {} verifier rejections, jobs={} (peak {} workers), \
          candidates/round {:?}",
         s.emulator_runs,
         s.cache_hits,
+        s.cache_hits_canonical,
         100.0 * s.cache_hit_rate(),
         s.prefilter_skips,
         s.verifier_rejections,
         s.jobs,
         s.peak_workers,
         t.refine_candidates,
+    );
+    let _ = writeln!(
+        out,
+        "  delta: {} replays, {}/{} windows replayed",
+        s.delta_replays, s.windows_replayed, s.windows_total,
     );
     let Some(sim) = &t.sim else {
         return out;
@@ -186,18 +192,23 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
     let (plan, lowered) = mpress.plan()?;
     let mut out = format!(
         "device map: {}\ndirectives: {} (refinement rounds: {})\n\
-         search: {} emulator runs, {} cache hits ({:.0}% hit rate), \
-         {} prefilter skips, {} verifier rejections, jobs={} (peak {} workers)\n",
+         search: {} emulator runs, {} cache hits (+{} canonical, {:.0}% hit rate), \
+         {} prefilter skips, {} verifier rejections, jobs={} (peak {} workers)\n\
+         delta: {} replays, {}/{} windows replayed\n",
         plan.device_map,
         plan.instrumentation.len(),
         plan.refinement_rounds,
         plan.search.emulator_runs,
         plan.search.cache_hits,
+        plan.search.cache_hits_canonical,
         100.0 * plan.search.cache_hit_rate(),
         plan.search.prefilter_skips,
         plan.search.verifier_rejections,
         plan.search.jobs,
         plan.search.peak_workers,
+        plan.search.delta_replays,
+        plan.search.windows_replayed,
+        plan.search.windows_total,
     );
     let savings = plan.savings(&lowered);
     let total: f64 = savings.values().map(|b| b.as_f64()).sum();

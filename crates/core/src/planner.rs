@@ -23,7 +23,9 @@ use mpress_compaction::{
 };
 use mpress_hw::{Bytes, DeviceId, Machine, Secs};
 use mpress_pipeline::{LoweredJob, PipelineJob};
-use mpress_sim::{DeviceMap, OomEvent, SimArena, SimError, SimReport, Simulator};
+use mpress_sim::{
+    DeviceMap, OomEvent, PoolKind, RunBase, SimArena, SimError, SimReport, Simulator,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -128,6 +130,16 @@ pub struct PlannerConfig {
     /// [`mpress_obs::ENV_VERIFY`] escape hatch (`MPRESS_VERIFY=0`
     /// disables).
     pub verify: bool,
+    /// Incremental re-emulation: capture the refinement incumbent's run
+    /// once (`Simulator::run_in_captured`) and emulate each candidate
+    /// as a *delta* against it — restore the last window checkpoint
+    /// provably before any divergence and replay only the suffix (see
+    /// `mpress_sim::delta`). Byte-identical to from-scratch emulation,
+    /// so the chosen plan never changes; only wall-clock and the
+    /// [`SearchStats::delta_replays`] family of counters do. The
+    /// default honors the [`mpress_obs::ENV_DELTA`] escape hatch
+    /// (`MPRESS_DELTA=0` disables).
+    pub delta: bool,
 }
 
 impl Default for PlannerConfig {
@@ -141,8 +153,22 @@ impl Default for PlannerConfig {
             exhaustive_swap: false,
             prefilter: prefilter_default(),
             verify: verify_default(),
+            delta: delta_default(),
         }
     }
+}
+
+/// Process-wide default for [`PlannerConfig::delta`]: on, unless
+/// `MPRESS_DELTA` is set to `0`, `false` or `off`. Read once and
+/// cached, like the other [`mpress_obs`] switches.
+fn delta_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var(mpress_obs::ENV_DELTA).as_deref(),
+            Ok("0") | Ok("false") | Ok("off")
+        )
+    })
 }
 
 /// Process-wide default for [`PlannerConfig::verify`]: on, unless
@@ -193,21 +219,35 @@ pub struct SearchStats {
     pub jobs: usize,
     /// Peak concurrently-busy workers observed in the process so far.
     pub peak_workers: usize,
+    /// `emulate()` calls answered by the canonical (device-permutation
+    /// invariant) cache view after an exact-key miss (see `canon_key`).
+    pub cache_hits_canonical: usize,
+    /// Emulator runs that restored a divergence checkpoint and replayed
+    /// only a window suffix instead of simulating from scratch.
+    pub delta_replays: usize,
+    /// Windows actually re-simulated across delta-eligible emulations
+    /// (fallbacks count their full window total).
+    pub windows_replayed: usize,
+    /// Total windows across delta-eligible emulations; together with
+    /// [`SearchStats::windows_replayed`] this measures how much of the
+    /// schedule the delta path stitched from the incumbent's run.
+    pub windows_total: usize,
 }
 
 impl SearchStats {
     /// Total `emulate()` calls (cached + executed).
     pub fn emulate_calls(&self) -> usize {
-        self.emulator_runs + self.cache_hits
+        self.emulator_runs + self.cache_hits + self.cache_hits_canonical
     }
 
-    /// Fraction of `emulate()` calls served from cache.
+    /// Fraction of `emulate()` calls served from cache (exact or
+    /// canonical).
     pub fn cache_hit_rate(&self) -> f64 {
         let calls = self.emulate_calls();
         if calls == 0 {
             0.0
         } else {
-            self.cache_hits as f64 / calls as f64
+            (self.cache_hits + self.cache_hits_canonical) as f64 / calls as f64
         }
     }
 }
@@ -286,14 +326,35 @@ impl Choice {
 #[derive(Debug, Default)]
 struct EmulationCache {
     entries: Mutex<HashMap<u64, Outcome>>,
+    /// Device-permutation-invariant view of `entries`, keyed by
+    /// [`canon_key`]. Exact lookups run first; a canonical hit is
+    /// promoted into `entries` under the exact key.
+    canon: Mutex<HashMap<u64, (Metric, Option<CanonOom>)>>,
     runs: AtomicUsize,
     hits: AtomicUsize,
+    canon_hits: AtomicUsize,
     prefilter_skips: AtomicUsize,
     verifier_rejections: AtomicUsize,
+    delta_replays: AtomicUsize,
+    windows_replayed: AtomicUsize,
+    windows_total: AtomicUsize,
 }
 
 /// What one emulator window reports back to the search.
 type Outcome = (Metric, Option<OomEvent>);
+
+/// A map-independent OOM record: the failing GPU is remembered as its
+/// *stage*, so a canonical hit reached under a different device
+/// permutation can reconstruct the [`OomEvent`] for the map actually in
+/// use.
+#[derive(Debug, Clone, Copy)]
+struct CanonOom {
+    pool: PoolKind,
+    stage: Option<usize>,
+    time: Secs,
+    used: Bytes,
+    capacity: Bytes,
+}
 
 impl EmulationCache {
     fn lookup(&self, key: u64) -> Option<Outcome> {
@@ -304,11 +365,62 @@ impl EmulationCache {
         found
     }
 
+    /// Canonical-view lookup, reconstructing the OOM event for the
+    /// caller's device map. Counts `canon_hits` and promotes the result
+    /// into the exact map under `exact_key` so later repeats are exact
+    /// hits.
+    fn lookup_canon(&self, ckey: u64, exact_key: u64, device_map: &DeviceMap) -> Option<Outcome> {
+        let found = self.canon.lock().expect("canon lock").get(&ckey).copied();
+        let (metric, canon_oom) = found?;
+        self.canon_hits.fetch_add(1, Ordering::Relaxed);
+        let oom = canon_oom.map(|c| OomEvent {
+            pool: c.pool,
+            device: c.stage.map(|s| device_map.device_of(s)),
+            time: c.time,
+            used: c.used,
+            capacity: c.capacity,
+        });
+        let outcome = (metric, oom);
+        self.insert(exact_key, outcome);
+        Some(outcome)
+    }
+
     fn insert(&self, key: u64, outcome: Outcome) {
         self.entries
             .lock()
             .expect("cache lock")
             .insert(key, outcome);
+    }
+
+    /// Records an outcome under its canonical key. OOM devices are
+    /// translated to stages through the *producing* map; an OOM on a
+    /// GPU hosting no stage has no map-independent description and is
+    /// simply not shared.
+    fn insert_canon(&self, ckey: u64, outcome: Outcome, device_map: &DeviceMap) {
+        let canon_oom = match outcome.1 {
+            None => None,
+            Some(e) => {
+                let stage = match e.device {
+                    None => None,
+                    Some(d) => match device_map.stage_of(d) {
+                        Some(s) => Some(s),
+                        None => return,
+                    },
+                };
+                Some(CanonOom {
+                    pool: e.pool,
+                    stage,
+                    time: e.time,
+                    used: e.used,
+                    capacity: e.capacity,
+                })
+            }
+        };
+        self.canon
+            .lock()
+            .expect("canon lock")
+            .entry(ckey)
+            .or_insert((outcome.0, canon_oom));
     }
 }
 
@@ -360,6 +472,52 @@ fn cache_key(plan: &InstrumentationPlan, device_map: &DeviceMap) -> u64 {
                 h = fnv(h, stripe.chunks().len() as u64);
                 for chunk in stripe.chunks() {
                     h = fnv(h, chunk.target.0 as u64);
+                    h = fnv(h, chunk.bytes.as_u64());
+                }
+            }
+        }
+    }
+    h
+}
+
+/// [`cache_key`] made invariant under consistent device relabeling:
+/// every device id is replaced by its first-appearance rank (stage scan
+/// first, then stripe chunk targets in plan order), so plans that are
+/// equal up to a device permutation collide. GPUs are homogeneous and
+/// every timing the simulator reads off a stripe is hashed explicitly
+/// (`one_way_time`), so the emulator's visible inputs coincide for all
+/// members of a canonical class; OOM events are re-expressed per-map by
+/// [`EmulationCache::lookup_canon`]. Within one search the device map
+/// is fixed, making the canonical key a bijection of the exact one —
+/// the wins (counted in [`SearchStats::cache_hits_canonical`]) appear
+/// across the mapping-search and portfolio variants, which revisit
+/// equivalent plans under permuted maps.
+fn canon_key(plan: &InstrumentationPlan, device_map: &DeviceMap) -> u64 {
+    let mut ranks: HashMap<u64, u64> = HashMap::new();
+    fn rank(ranks: &mut HashMap<u64, u64>, device: u64) -> u64 {
+        let next = ranks.len() as u64;
+        *ranks.entry(device).or_insert(next)
+    }
+    let mut h = fnv(FNV_SEED, device_map.len() as u64);
+    for stage in 0..device_map.len() {
+        let r = rank(&mut ranks, device_map.device_of(stage).0 as u64);
+        h = fnv(h, r);
+    }
+    for (tensor, directive) in plan.iter() {
+        h = fnv(h, tensor.index() as u64);
+        match directive {
+            MemoryDirective::Recompute => h = fnv(h, 0),
+            MemoryDirective::SwapToHost(tier) => {
+                h = fnv(h, 1);
+                h = fnv(h, u64::from(*tier == HostTier::Nvme));
+            }
+            MemoryDirective::SwapD2d(stripe) => {
+                h = fnv(h, 2);
+                h = fnv(h, stripe.one_way_time().to_bits());
+                h = fnv(h, stripe.chunks().len() as u64);
+                for chunk in stripe.chunks() {
+                    let r = rank(&mut ranks, chunk.target.0 as u64);
+                    h = fnv(h, r);
                     h = fnv(h, chunk.bytes.as_u64());
                 }
             }
@@ -422,6 +580,10 @@ impl<'a> Planner<'a> {
             verifier_rejections: self.cache.verifier_rejections.load(Ordering::Relaxed),
             jobs: mpress_par::jobs(),
             peak_workers: mpress_par::stats().peak_workers,
+            cache_hits_canonical: self.cache.canon_hits.load(Ordering::Relaxed),
+            delta_replays: self.cache.delta_replays.load(Ordering::Relaxed),
+            windows_replayed: self.cache.windows_replayed.load(Ordering::Relaxed),
+            windows_total: self.cache.windows_total.load(Ordering::Relaxed),
         }
     }
 
@@ -751,6 +913,24 @@ impl<'a> Planner<'a> {
         if (opts.d2d || opts.recompute) && self.config.refine_iters > 0 {
             let mut best_plan = self.emit(classes, &choice, &budgets, &device_map)?;
             let (mut best_metric, _) = self.emulate(&best_plan, &device_map)?;
+            // Delta base: one captured run of the incumbent lets every
+            // candidate below replay only its divergent suffix. The
+            // base is refreshed whenever the incumbent changes so diffs
+            // stay single-choice; an OOM incumbent has no usable base.
+            let mut delta_base: Option<RunBase> = if self.config.delta && !best_metric.oom {
+                self.capture_base(&best_plan, &device_map)?
+            } else {
+                None
+            };
+            // Class-wide trials (every instance of a tensor class flips
+            // at once) can pin the divergence bound so early that every
+            // replay falls back — then each base capture is pure
+            // overhead. After `DELTA_DRY_ROUNDS` consecutive rounds
+            // whose delta-eligible emulations all fell back, stop
+            // capturing for the rest of this search. The decision reads
+            // counters only after the round's workers have joined, so it
+            // is identical at any worker count.
+            let mut dry_rounds = 0usize;
             // Every assigned class is a replacement candidate: estimated
             // overheads order them, but queuing delays the estimates miss
             // are caught by the emulator, so zero-estimate classes are
@@ -841,6 +1021,7 @@ impl<'a> Planner<'a> {
                 // construction; they stay in the result vector so trial
                 // indices (and the tie-break order) are unchanged.
                 let round_incumbent = best_metric;
+                let replays_before = self.cache.delta_replays.load(Ordering::Relaxed);
                 let evaluated: Vec<Result<(InstrumentationPlan, Option<Metric>), SimError>> =
                     mpress_par::par_map(&trials, |trial| {
                         let trial_plan = self.emit(
@@ -850,12 +1031,27 @@ impl<'a> Planner<'a> {
                             &device_map,
                         )?;
                         let metric = self
-                            .emulate_bounded(&trial_plan, &device_map, Some(round_incumbent))?
+                            .emulate_bounded_with(
+                                &trial_plan,
+                                &device_map,
+                                Some(round_incumbent),
+                                delta_base.as_ref(),
+                            )?
                             .map(|(m, _)| m);
                         Ok((trial_plan, metric))
                     });
                 rounds += trials.len();
                 refine_candidates.push(trials.len());
+                if delta_base.is_some() {
+                    if self.cache.delta_replays.load(Ordering::Relaxed) == replays_before {
+                        dry_rounds += 1;
+                        if dry_rounds >= DELTA_DRY_ROUNDS {
+                            delta_base = None;
+                        }
+                    } else {
+                        dry_rounds = 0;
+                    }
+                }
                 let mut results = Vec::with_capacity(evaluated.len());
                 for outcome in evaluated {
                     results.push(outcome?);
@@ -882,6 +1078,9 @@ impl<'a> Planner<'a> {
                     }
                     best_plan = trial_plan;
                     best_metric = metric.expect("winner was emulated");
+                    if self.config.delta && !best_metric.oom && dry_rounds < DELTA_DRY_ROUNDS {
+                        delta_base = self.capture_base(&best_plan, &device_map)?;
+                    }
                 }
             }
             // Portfolio check A: minting donor space may not have paid
@@ -896,8 +1095,12 @@ impl<'a> Planner<'a> {
                 }
                 if stripped != choice {
                     let trial_plan = self.emit(classes, &stripped, &budgets, &device_map)?;
-                    let metric =
-                        self.emulate_bounded(&trial_plan, &device_map, Some(best_metric))?;
+                    let metric = self.emulate_bounded_with(
+                        &trial_plan,
+                        &device_map,
+                        Some(best_metric),
+                        delta_base.as_ref(),
+                    )?;
                     rounds += 1;
                     refine_candidates.push(1);
                     if let Some((metric, _)) = metric {
@@ -925,7 +1128,12 @@ impl<'a> Planner<'a> {
                 }
                 if rec_choice != choice {
                     let rec_plan = self.emit(classes, &rec_choice, &budgets, &device_map)?;
-                    let metric = self.emulate_bounded(&rec_plan, &device_map, Some(best_metric))?;
+                    let metric = self.emulate_bounded_with(
+                        &rec_plan,
+                        &device_map,
+                        Some(best_metric),
+                        delta_base.as_ref(),
+                    )?;
                     rounds += 1;
                     refine_candidates.push(1);
                     if let Some((metric, _)) = metric {
@@ -1115,8 +1323,26 @@ impl<'a> Planner<'a> {
         device_map: &DeviceMap,
         incumbent: Option<Metric>,
     ) -> Result<Option<(Metric, Option<OomEvent>)>, SimError> {
+        self.emulate_bounded_with(plan, device_map, incumbent, None)
+    }
+
+    /// [`Planner::emulate_bounded`] with an optional delta base: when
+    /// the candidate survives the cache/verifier/pre-filter gates, the
+    /// emulation replays against `base` instead of running from scratch
+    /// (see [`PlannerConfig::delta`]). The outcome is byte-identical.
+    fn emulate_bounded_with(
+        &self,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+        incumbent: Option<Metric>,
+        base: Option<&RunBase>,
+    ) -> Result<Option<(Metric, Option<OomEvent>)>, SimError> {
         let key = cache_key(plan, device_map);
         if let Some(outcome) = self.cache.lookup(key) {
+            return Ok(Some(outcome));
+        }
+        let ckey = canon_key(plan, device_map);
+        if let Some(outcome) = self.cache.lookup_canon(ckey, key, device_map) {
             return Ok(Some(outcome));
         }
         if self.config.verify {
@@ -1166,8 +1392,9 @@ impl<'a> Planner<'a> {
                 }
             }
         }
-        let outcome = self.emulate_uncached(plan, device_map)?;
+        let outcome = self.emulate_uncached_with(plan, device_map, base)?;
         self.cache.insert(key, outcome);
+        self.cache.insert_canon(ckey, outcome, device_map);
         Ok(Some(outcome))
     }
 
@@ -1183,11 +1410,41 @@ impl<'a> Planner<'a> {
         plan: &InstrumentationPlan,
         device_map: &DeviceMap,
     ) -> Result<(Metric, Option<OomEvent>), SimError> {
+        self.emulate_uncached_with(plan, device_map, None)
+    }
+
+    /// One real simulator window, optionally replayed as a delta
+    /// against a captured base (byte-identical either way — the
+    /// property suite pins it).
+    fn emulate_uncached_with(
+        &self,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+        base: Option<&RunBase>,
+    ) -> Result<(Metric, Option<OomEvent>), SimError> {
         self.cache.runs.fetch_add(1, Ordering::Relaxed);
-        let report = self.with_arena(|arena| {
-            Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())
-                .run_in(arena)
-        })?;
+        let report = match base {
+            Some(base) => {
+                let delta = self.with_arena(|arena| {
+                    Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())
+                        .run_in_delta(arena, base)
+                })?;
+                self.cache
+                    .windows_total
+                    .fetch_add(delta.windows_total, Ordering::Relaxed);
+                self.cache
+                    .windows_replayed
+                    .fetch_add(delta.windows_replayed, Ordering::Relaxed);
+                if delta.used_delta {
+                    self.cache.delta_replays.fetch_add(1, Ordering::Relaxed);
+                }
+                delta.report
+            }
+            None => self.with_arena(|arena| {
+                Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())
+                    .run_in(arena)
+            })?,
+        };
         Ok((
             Metric {
                 oom: report.oom.is_some(),
@@ -1197,7 +1454,36 @@ impl<'a> Planner<'a> {
             report.oom,
         ))
     }
+
+    /// Captures the refinement incumbent's run as a delta base (one
+    /// full emulator run, counted in `emulator_runs`). Returns `None`
+    /// when the run is not a usable base — non-plain config or OOM.
+    fn capture_base(
+        &self,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+    ) -> Result<Option<RunBase>, SimError> {
+        self.cache.runs.fetch_add(1, Ordering::Relaxed);
+        let (_, base) = self.with_arena(|arena| {
+            Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())
+                .run_in_captured(arena, DELTA_WINDOWS)
+        })?;
+        Ok(base)
+    }
 }
+
+/// Window count for delta bases: checkpoints cost O(tasks) memory each,
+/// and finer windows only help while checkpoint spacing stays above the
+/// restore overhead — 16 matches the granularity the divergence bounds
+/// can actually exploit.
+const DELTA_WINDOWS: usize = 16;
+
+/// Consecutive all-fallback refinement rounds after which the planner
+/// stops capturing delta bases for the rest of the search (see the
+/// refinement loop): each capture is a full checkpointing run, so when
+/// a workload's class-wide trials can never replay a suffix, continuing
+/// to capture would only slow the search down.
+const DELTA_DRY_ROUNDS: usize = 3;
 
 /// Reserves donor budget for a whole class (all peak-resident instances).
 /// Returns false (reserving nothing) when the donors cannot absorb it.

@@ -237,6 +237,7 @@ pub struct MpressBuilder {
     mapping_search: Option<bool>,
     prefilter: Option<bool>,
     verify: Option<bool>,
+    delta: Option<bool>,
     metrics: bool,
 }
 
@@ -299,6 +300,14 @@ impl MpressBuilder {
         self
     }
 
+    /// Toggles the planner's incremental re-emulation (on by default
+    /// unless `MPRESS_DELTA=0`; the chosen plan is byte-identical either
+    /// way — only wall-clock and the delta counters change).
+    pub fn delta(mut self, on: bool) -> Self {
+        self.delta = Some(on);
+        self
+    }
+
     /// Collects structured telemetry ([`TrainingReport::metrics`]) during
     /// `train`/`simulate`. Off by default — disabled runs skip all metric
     /// assembly and their reports are byte-identical to pre-metrics runs.
@@ -347,6 +356,9 @@ impl MpressBuilder {
         }
         if let Some(v) = self.verify {
             config.verify = v;
+        }
+        if let Some(d) = self.delta {
+            config.delta = d;
         }
         Ok(Mpress {
             job,

@@ -34,6 +34,14 @@ pub const ENV_PREFILTER: &str = "MPRESS_PREFILTER";
 /// externally-supplied malformed plans).
 pub const ENV_VERIFY: &str = "MPRESS_VERIFY";
 
+/// Disables the planner's incremental re-emulation (delta replay
+/// against the incumbent's captured run) when set to `0`, `false` or
+/// `off`. A/B escape hatch like [`ENV_PREFILTER`]: the delta path is
+/// byte-identical to from-scratch emulation, so the chosen plan must
+/// not change either way — only wall-clock and the
+/// `delta_replays`/`windows_replayed` counters do.
+pub const ENV_DELTA: &str = "MPRESS_DELTA";
+
 /// A parsed [`ENV_TRACE_WINDOW`] filter. Kept outside [`Verbosity`]
 /// (whose `Eq` derive the `f64` bounds would break) and cached the same
 /// way: read once per process.
@@ -121,6 +129,7 @@ mod tests {
         assert_eq!(ENV_TRACE_WINDOW, "MPRESS_TRACE_WINDOW");
         assert_eq!(ENV_PREFILTER, "MPRESS_PREFILTER");
         assert_eq!(ENV_VERIFY, "MPRESS_VERIFY");
+        assert_eq!(ENV_DELTA, "MPRESS_DELTA");
     }
 
     #[test]

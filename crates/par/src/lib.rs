@@ -83,16 +83,31 @@ pub fn jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Batches below this size always run inline: the planner's refinement
+/// rounds emit 1-2 candidates each, and spawning scoped threads for
+/// them costs more than the emulations themselves (the jobs=8 plan
+/// wall measurably exceeded jobs=1 before this cutoff).
+const SERIAL_CUTOFF: usize = 3;
+
 /// Runs `f(0..n)` across the pool and returns the results in index
-/// order. Serial when `jobs() == 1` (or `n <= 1`); panics in `f`
-/// propagate to the caller either way.
+/// order. Serial when `jobs() == 1` or `n < SERIAL_CUTOFF`; panics in
+/// `f` propagate to the caller either way.
 pub fn par_run<R, F>(n: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
     TASKS_RUN.fetch_add(n as u64, Ordering::Relaxed);
-    let workers = jobs().min(n).max(1);
+    let workers = if n < SERIAL_CUTOFF {
+        1
+    } else {
+        // Oversubscribing CPU-bound pure tasks past the hardware thread
+        // count only adds spawn and context-switch cost, so a `--jobs`
+        // request wider than the machine is clamped (results are
+        // identical at any width; only the wall clock moves).
+        let hw = std::thread::available_parallelism().map_or(usize::MAX, |n| n.get());
+        jobs().min(hw).min(n).max(1)
+    };
     if workers == 1 {
         PEAK_WORKERS.fetch_max(1, Ordering::Relaxed);
         return (0..n).map(f).collect();
@@ -169,6 +184,17 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<u32> = par_map(&[] as &[u32], |_| unreachable!());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tiny_batches_run_inline() {
+        // Below the cutoff no worker threads spawn regardless of the
+        // configured pool width — every task runs on the caller.
+        set_jobs(8);
+        let caller = std::thread::current().id();
+        let ids = par_run(SERIAL_CUTOFF - 1, |_| std::thread::current().id());
+        set_jobs(0);
+        assert!(ids.iter().all(|&id| id == caller));
     }
 
     #[test]

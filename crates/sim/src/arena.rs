@@ -272,6 +272,7 @@ pub(crate) struct Buffers {
     pub(crate) active_swaps: Vec<u32>,
     pub(crate) runnable_swaps: Vec<u32>,
     pub(crate) scratch_alloc: Vec<usize>,
+    pub(crate) specs: Vec<crate::engine::LegSpec>,
 }
 
 /// A reusable allocation arena for repeated simulator runs.

@@ -1,0 +1,876 @@
+//! Incremental re-emulation: divergence checkpoints + delta replay.
+//!
+//! The planner's refinement loop emulates candidates that differ from
+//! the incumbent plan by a single victim/stripe/recompute choice, yet
+//! each emulation previously replayed the whole schedule from t=0. This
+//! module makes the incumbent's run a reusable *base*:
+//!
+//! * [`Simulator::run_in_captured`] runs once while snapshotting the
+//!   full engine state (event heap, stream cursors, memory residency,
+//!   clock, per-task scalars) at window boundaries — `W` equal slices
+//!   of the completed-task count — producing a [`RunBase`].
+//! * [`Simulator::run_in_delta`] diffs the candidate plan against the
+//!   base plan, derives a conservative *divergence bound* `T` (the
+//!   earliest simulated time at which the two schedules could behave
+//!   differently), restores the last checkpoint strictly before `T`,
+//!   patches the task graph in place, and replays only the suffix.
+//!
+//! The checkpoint store doubles as the per-window memoization: every
+//! window whose end lies before `T` is stitched from the base run
+//! byte-for-byte instead of being re-simulated (sub-results are keyed
+//! by the shared structural prefix, which the plan diff identifies).
+//!
+//! # Correctness stance
+//!
+//! The replay must be **byte-identical** to a from-scratch emulation of
+//! the candidate — the planner's determinism contract (jobs=1 ≡ jobs=N,
+//! `MPRESS_DELTA=0/1` pick the same plan) depends on it. Three devices
+//! make that hold:
+//!
+//! 1. **Conservative divergence bounds.** Each changed tensor clamps
+//!    `T` below every mechanism through which its directive is
+//!    observable: FIFO head probes (`start_need` runs when the previous
+//!    compute op ends), quiescent stall scans (`find_blocked` probes
+//!    *any* ready task, so recompute/none diffs clamp to the first
+//!    recorded stall), and evictions (which read directives of resident
+//!    tensors, so swap→swap diffs clamp to the first eviction at or
+//!    after the producer's start). Prefetch-anchor drift on *unchanged*
+//!    tensors (possible when recomputation folds shift compute
+//!    durations) clamps to both anchors' start times.
+//! 2. **Structure-preserving patches.** A candidate may only *remove*
+//!    or *retime* swap legs relative to the base, never add them (a
+//!    directive gaining legs falls back to a full run). Removed legs
+//!    become inert "dead slots": marked done, dependency count pinned
+//!    unreachable, consumer dependency counts adjusted. Live legs keep
+//!    their base task ids, so every scheduler tie-break — the
+//!    completion heap's `(time, stream, seq)` key and the copy-stream
+//!    `(priority, tid)` pick — orders tasks exactly as a scratch build
+//!    would (the scratch numbering is a monotone renumbering of ours).
+//! 3. **Bail-out everywhere else.** Static tensors, multi-writer
+//!    tensors, producerless tensors, config/device-map/graph mismatches
+//!    and checkpoint verification failures all take the from-scratch
+//!    path. Falling back is always correct; replaying is only a speedup.
+//!
+//! `MPRESS_DELTA=0` (or `PlannerConfig::delta = false`) disables the
+//! planner's use of this module entirely.
+
+use crate::arena::{Buffers, SimArena};
+use crate::device_map::DeviceMap;
+use crate::engine::{
+    plan_legs, sid, CompletionKey, EngineState, LegSpec, Loc, SimConfig, SimError, Simulator, Task,
+};
+use crate::memory::MemoryTracker;
+use crate::report::SimReport;
+use mpress_compaction::{InstrumentationPlan, MemoryDirective};
+use mpress_graph::TensorId;
+use mpress_hw::{Bytes, Secs};
+use std::cmp::Reverse;
+use std::sync::Mutex;
+
+/// Dependency count that can never reach zero: dead slots are parked
+/// here so producer completions decrementing through them stay inert.
+const DEAD_DEPS: usize = usize::MAX / 2;
+
+/// The mutable per-task scalars a checkpoint must restore. Everything
+/// else on a [`Task`] (payload, device, stream, priority, dependents)
+/// is fixed at build time for build-emitted tasks.
+#[derive(Debug, Clone, Copy)]
+struct TaskState {
+    deps: usize,
+    trigger_fired: bool,
+    started: bool,
+    done: bool,
+    start: Secs,
+    end: Secs,
+    ready_at: Secs,
+    dep_wait_is_copy: bool,
+}
+
+impl TaskState {
+    fn of(t: &Task) -> Self {
+        TaskState {
+            deps: t.deps,
+            trigger_fired: t.trigger_fired,
+            started: t.started,
+            done: t.done,
+            start: t.start,
+            end: t.end,
+            ready_at: t.ready_at,
+            dep_wait_is_copy: t.dep_wait_is_copy,
+        }
+    }
+}
+
+/// One window-boundary snapshot of the engine, taken at a quiescent
+/// loop-top (after `start_pass`, before the next completion pops), so
+/// the event heap, stream busy flags and task scalars are consistent.
+struct Checkpoint {
+    clock: Secs,
+    completed: usize,
+    /// Window boundaries crossed when this snapshot was taken (1-based);
+    /// restoring from here replays `windows - window` windows.
+    window: usize,
+    /// Scalars for the build-emitted tasks (`tid < n_build`).
+    task_state: Vec<TaskState>,
+    /// Full clones of eviction-spawned tasks (`tid >= n_build`) — their
+    /// build-time-like fields are *not* recoverable from specs.
+    evict_tasks: Vec<Task>,
+    heap_keys: Vec<CompletionKey>,
+    memory: MemoryTracker,
+    residency: Vec<Loc>,
+    active_swaps: Vec<u32>,
+    runnable_swaps: Vec<u32>,
+    /// Per-stream `(cursor, busy)`.
+    cursors: Vec<(usize, bool)>,
+    d2d_traffic: Bytes,
+    host_traffic: Bytes,
+    nvme_traffic: Bytes,
+    recompute_time: Secs,
+    evictions: usize,
+    refetches: usize,
+}
+
+impl Checkpoint {
+    fn capture(st: &EngineState<'_>, window: usize, n_build: usize) -> Self {
+        Checkpoint {
+            clock: st.clock,
+            completed: st.completed,
+            window,
+            task_state: st.tasks[..n_build].iter().map(TaskState::of).collect(),
+            evict_tasks: st.tasks[n_build..].to_vec(),
+            heap_keys: st.heap.iter().map(|r| r.0).collect(),
+            memory: st.memory.clone(),
+            residency: st.residency.clone(),
+            active_swaps: st.active_swaps.clone(),
+            runnable_swaps: st.runnable_swaps.clone(),
+            cursors: st.streams.iter().map(|s| (s.cursor, s.busy)).collect(),
+            d2d_traffic: st.d2d_traffic,
+            host_traffic: st.host_traffic,
+            nvme_traffic: st.nvme_traffic,
+            recompute_time: st.recompute_time,
+            evictions: st.evictions,
+            refetches: st.refetches,
+        }
+    }
+}
+
+/// Capture hook threaded through the event loop by
+/// [`Simulator::run_in_captured`]. Pure observation: a captured run is
+/// byte-identical to a plain one.
+pub(crate) struct CaptureState {
+    n_build: usize,
+    /// Completed-task thresholds at which to snapshot (`k·total/W`).
+    boundaries: Vec<usize>,
+    next: usize,
+    checkpoints: Vec<Checkpoint>,
+    /// Clock at every quiescent memory-stall scan — recompute/none
+    /// diffs may first diverge there.
+    stall_times: Vec<Secs>,
+    /// `(clock, device)` of every successful eviction round — swap→swap
+    /// diffs may first diverge there, but only through evictions on the
+    /// changed tensor's home device (victim candidacy is per-device).
+    evict_times: Vec<(Secs, usize)>,
+}
+
+impl CaptureState {
+    fn new(windows: usize, n_build: usize) -> Self {
+        CaptureState {
+            n_build,
+            boundaries: (1..windows)
+                .map(|k| ((k * n_build) / windows).max(1))
+                .collect(),
+            next: 0,
+            checkpoints: Vec::new(),
+            stall_times: Vec::new(),
+            evict_times: Vec::new(),
+        }
+    }
+
+    pub(crate) fn maybe_snapshot(&mut self, st: &EngineState<'_>) {
+        let mut crossed = false;
+        while self.next < self.boundaries.len() && st.completed >= self.boundaries[self.next] {
+            self.next += 1;
+            crossed = true;
+        }
+        if crossed {
+            self.checkpoints
+                .push(Checkpoint::capture(st, self.next, self.n_build));
+        }
+    }
+
+    pub(crate) fn note_stall(&mut self, clock: Secs) {
+        self.stall_times.push(clock);
+    }
+
+    pub(crate) fn note_evict(&mut self, clock: Secs, device: usize) {
+        self.evict_times.push((clock, device));
+    }
+}
+
+/// A reusable emulation base: the incumbent plan's full run, its window
+/// checkpoints, and everything needed to diff and patch a candidate
+/// against it. Produced by [`Simulator::run_in_captured`]; consumed —
+/// concurrently, from the planner's worker pool — by
+/// [`Simulator::run_in_delta`].
+pub struct RunBase {
+    graph_fp: u64,
+    device_map: DeviceMap,
+    plan: InstrumentationPlan,
+    config: SimConfig,
+    /// The base plan's ordered leg specs (leg tid = `n_ops + index`).
+    base_specs: Vec<LegSpec>,
+    /// Per-op durations with the base plan's recomputation folds.
+    folded_base: Vec<Secs>,
+    op_start: Vec<Secs>,
+    op_end: Vec<Secs>,
+    /// Base start/end times of every swap leg (indexed by spec index):
+    /// the divergence bounds for retimed legs.
+    leg_starts: Vec<Secs>,
+    leg_ends: Vec<Secs>,
+    evict_times: Vec<(Secs, usize)>,
+    stall_times: Vec<Secs>,
+    n_build_tasks: usize,
+    n_ops: usize,
+    windows: usize,
+    checkpoints: Vec<Checkpoint>,
+    /// The base run's final engine buffers — task list (with immutable
+    /// build-time wiring intact), stream queues, trigger table. One
+    /// replay borrows them at a time; a concurrent second replay simply
+    /// falls back to a from-scratch run, which is byte-identical anyway.
+    template: Mutex<Option<Buffers>>,
+}
+
+impl std::fmt::Debug for RunBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunBase")
+            .field("graph_fp", &self.graph_fp)
+            .field("n_build_tasks", &self.n_build_tasks)
+            .field("windows", &self.windows)
+            .field("checkpoints", &self.checkpoints.len())
+            .finish()
+    }
+}
+
+/// Outcome of [`Simulator::run_in_delta`].
+#[derive(Debug, Clone)]
+pub struct DeltaRun {
+    /// Byte-identical to what [`Simulator::run_in`] would return.
+    pub report: SimReport,
+    /// Whether a checkpoint restore actually happened (false = full
+    /// from-scratch fallback).
+    pub used_delta: bool,
+    /// The base's window count (denominator for replay accounting).
+    pub windows_total: usize,
+    /// Windows actually re-simulated (`windows_total` on fallback).
+    pub windows_replayed: usize,
+}
+
+/// Configs the delta path supports: the planner's plain emulation mode.
+/// Timelines/trace/metrics accumulate history the checkpoints don't
+/// carry; `reference_scan` is the slow path by design; non-strict OOM
+/// and ungated memory change the loop's control flow.
+fn plain_config(c: &SimConfig) -> bool {
+    c.strict_oom
+        && c.memory_gate
+        && !c.track_timeline
+        && !c.trace
+        && !c.metrics
+        && !c.reference_scan
+}
+
+fn is_swap(d: Option<&MemoryDirective>) -> bool {
+    matches!(
+        d,
+        Some(MemoryDirective::SwapToHost(_)) | Some(MemoryDirective::SwapD2d(_))
+    )
+}
+
+impl<'a> Simulator<'a> {
+    /// Runs like [`run_in`](Self::run_in) while capturing window
+    /// checkpoints, returning the report plus a [`RunBase`] usable as a
+    /// delta base for near-identical candidate plans. The base is
+    /// `None` when the config is not the plain emulation mode, or when
+    /// the run ends in OOM (an OOM prefix is not a usable base).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_in`](Self::run_in).
+    pub fn run_in_captured(
+        &self,
+        arena: &mut SimArena,
+        windows: usize,
+    ) -> Result<(SimReport, Option<RunBase>), SimError> {
+        if !plain_config(&self.config) {
+            return self.run_in(arena).map(|r| (r, None));
+        }
+        let windows = windows.max(2);
+        self.plan.validate(self.graph)?;
+        arena.ensure(self.graph);
+        self.validate_inputs(arena.prebuilt())?;
+        let pre = arena.prebuilt();
+        let n_ops = pre.n_ops;
+        // The capture uses its own buffers: the template must outlive
+        // this call, so it cannot borrow the arena's recycled set.
+        let mut state = EngineState::build(
+            self.machine,
+            self.graph,
+            self.plan,
+            pre,
+            &self.device_map,
+            self.config,
+            Buffers::default(),
+        )?;
+        let n_build = state.tasks.len();
+        let mut cap = CaptureState::new(windows, n_build);
+        state.run_loop(self.config.strict_oom, 4 * n_build, Some(&mut cap));
+        let folded_base: Vec<Secs> = state.tasks[..n_ops].iter().map(|t| t.duration).collect();
+        let leg_starts: Vec<Secs> = state.tasks[n_ops..n_build]
+            .iter()
+            .map(|t| t.start)
+            .collect();
+        let leg_ends: Vec<Secs> = state.tasks[n_ops..n_build].iter().map(|t| t.end).collect();
+        let (result, mut bufs) = state.into_report(self.graph);
+        let report = result?;
+        if report.oom.is_some() {
+            return Ok((report, None));
+        }
+        let base_specs = std::mem::take(&mut bufs.specs);
+        let base = RunBase {
+            graph_fp: pre.fingerprint,
+            device_map: self.device_map.clone(),
+            plan: self.plan.clone(),
+            config: self.config,
+            base_specs,
+            folded_base,
+            op_start: report.op_start.clone(),
+            op_end: report.op_end.clone(),
+            leg_starts,
+            leg_ends,
+            evict_times: cap.evict_times,
+            stall_times: cap.stall_times,
+            n_build_tasks: n_build,
+            n_ops,
+            windows,
+            checkpoints: cap.checkpoints,
+            template: Mutex::new(Some(bufs)),
+        };
+        Ok((report, Some(base)))
+    }
+
+    /// Emulates this simulator's plan as a *delta* against `base`:
+    /// restores the latest checkpoint provably before any divergence and
+    /// replays only the suffix. Falls back to a full
+    /// [`run_in`](Self::run_in) whenever the diff is unsupported — the
+    /// result is byte-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_in`](Self::run_in).
+    pub fn run_in_delta(&self, arena: &mut SimArena, base: &RunBase) -> Result<DeltaRun, SimError> {
+        self.plan.validate(self.graph)?;
+        arena.ensure(self.graph);
+        self.validate_inputs(arena.prebuilt())?;
+        let compatible = self.config == base.config
+            && plain_config(&self.config)
+            && self.device_map == base.device_map
+            && arena.prebuilt().fingerprint == base.graph_fp;
+        if compatible {
+            if let Some(outcome) = self.delta_replay(arena, base) {
+                return outcome;
+            }
+        }
+        let report = self.run_in(arena)?;
+        Ok(DeltaRun {
+            report,
+            used_delta: false,
+            windows_total: base.windows,
+            windows_replayed: base.windows,
+        })
+    }
+
+    /// The replay fast path. `None` means "unsupported diff or
+    /// checkpoint unusable — take the from-scratch fallback".
+    #[allow(clippy::too_many_lines)]
+    fn delta_replay(&self, arena: &SimArena, base: &RunBase) -> Option<Result<DeltaRun, SimError>> {
+        let pre = arena.prebuilt();
+        let n_ops = base.n_ops;
+        // --- Plan diff -------------------------------------------------
+        // Merge-join over the two directive maps (both iterate in tensor
+        // order), so the diff costs two sequential scans instead of a
+        // tree lookup per entry. The result ascends by tensor index.
+        let mut changed: Vec<(usize, Option<&MemoryDirective>, Option<&MemoryDirective>)> =
+            Vec::new();
+        {
+            let mut bi = base.plan.iter().peekable();
+            let mut ci = self.plan.iter().peekable();
+            loop {
+                match (bi.peek().copied(), ci.peek().copied()) {
+                    (Some((tb, db)), Some((tc, dc))) => {
+                        if tb < tc {
+                            changed.push((tb.index(), Some(db), None));
+                            bi.next();
+                        } else if tc < tb {
+                            changed.push((tc.index(), None, Some(dc)));
+                            ci.next();
+                        } else {
+                            if db != dc {
+                                changed.push((tb.index(), Some(db), Some(dc)));
+                            }
+                            bi.next();
+                            ci.next();
+                        }
+                    }
+                    (Some((tb, db)), None) => {
+                        changed.push((tb.index(), Some(db), None));
+                        bi.next();
+                    }
+                    (None, Some((tc, dc))) => {
+                        changed.push((tc.index(), None, Some(dc)));
+                        ci.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+
+        // --- Divergence bound T ----------------------------------------
+        // Induction over event order: every mechanism through which a
+        // diff is observable is clamped by some contributor below, so
+        // base and candidate runs are identical strictly before T.
+        let probe_time = |op: usize| -> Secs {
+            match pre.seq_pos.get(op).copied().flatten() {
+                Some((stage, pos)) if pos > 0 => base.op_end[pre.compute_seq[stage][pos - 1]],
+                _ => 0.0,
+            }
+        };
+        let mut t_bound = f64::INFINITY;
+        let mut stall_clamp = false;
+        for &(ti, b, c) in &changed {
+            let tensor = self.graph.tensor(TensorId(ti as u32));
+            if tensor.kind.is_static() || pre.writer_counts[ti] != 1 {
+                return None;
+            }
+            let producer = pre.producer_of[ti]?;
+            if is_swap(c) && !is_swap(b) {
+                return None; // leg-adding diff: tids would interleave
+            }
+            if is_swap(b) && is_swap(c) {
+                // Legs exist on both sides and only retime. A duration
+                // diff is first read when that leg *starts* (its
+                // completion key is minted then) — clamped per differing
+                // leg in the pairing pass below. Everything else the
+                // directive feeds comes later still: the export's tier
+                // choice (host vs NVMe pool, traffic) is read at its
+                // *completion*, and anchor/admission drift on imports is
+                // only observable once their export dependency resolves.
+                // Both are bounded by the group's first export end. The
+                // remaining early observer is an eviction reading the
+                // directive once the tensor is resident — i.e. from the
+                // producer's start. Victim candidacy is restricted to
+                // the stalled device, so only evictions on this tensor's
+                // home device can see it.
+                let k0 = base.base_specs.partition_point(|s| s.tensor.index() < ti);
+                if k0 >= base.base_specs.len() || base.base_specs[k0].tensor.index() != ti {
+                    return None; // spec lists out of sync with the diff
+                }
+                t_bound = t_bound.min(base.leg_ends[k0]);
+                let home_dev = self.device_map.device_of(tensor.stage).index();
+                let from = base.op_start[producer];
+                if let Some(&(e, _)) = base
+                    .evict_times
+                    .iter()
+                    .find(|&&(e, d)| d == home_dev && e >= from)
+                {
+                    t_bound = t_bound.min(e);
+                }
+            } else {
+                // A Recompute/None side alters start-need probes (FIFO
+                // head checks and quiescent stall scans), recomputation
+                // folds, and eviction candidacy.
+                t_bound = t_bound.min(probe_time(producer));
+                for &cons in &pre.consumers_of[ti] {
+                    t_bound = t_bound.min(probe_time(cons));
+                }
+                stall_clamp = true;
+            }
+        }
+        if stall_clamp {
+            if let Some(&s) = base.stall_times.first() {
+                t_bound = t_bound.min(s);
+            }
+        }
+        let in_changed = |ti: usize| changed.binary_search_by_key(&ti, |&(i, _, _)| i).is_ok();
+
+        // --- Candidate folds (exact build-order arithmetic) ------------
+        // Recomputation folds must be re-accumulated in `op_reads` order
+        // from the raw duration — adjusting the base fold by +/- cost
+        // would round differently and break byte-identity.
+        let mut cand_dir: Vec<Option<&MemoryDirective>> = vec![None; pre.n_tensors];
+        for (t, d) in self.plan.iter() {
+            cand_dir[t.index()] = Some(d);
+        }
+        let mut refold_ops: Vec<usize> = Vec::new();
+        for &(ti, b, c) in &changed {
+            let b_rec = matches!(b, Some(MemoryDirective::Recompute));
+            let c_rec = matches!(c, Some(MemoryDirective::Recompute));
+            if b_rec != c_rec {
+                refold_ops.extend_from_slice(&pre.consumers_of[ti]);
+            }
+        }
+        refold_ops.sort_unstable();
+        refold_ops.dedup();
+        let folded_patch: Option<Vec<Secs>> = if refold_ops.is_empty() {
+            None
+        } else {
+            let mut folded = base.folded_base.clone();
+            for &idx in &refold_ops {
+                let mut dur = pre.op_duration[idx];
+                for &r in &pre.op_reads[idx] {
+                    if matches!(cand_dir[r], Some(MemoryDirective::Recompute)) {
+                        dur += pre.recompute_cost[r];
+                    }
+                }
+                folded[idx] = dur;
+            }
+            Some(folded)
+        };
+        let folded_cand: &[Secs] = folded_patch.as_deref().unwrap_or(&base.folded_base);
+
+        // --- Candidate legs + pairing against the base -----------------
+        // When no fold changed, every unchanged tensor's leg group is
+        // byte-identical to the base's by construction (groups depend
+        // only on their own tensor, the machine, and the op durations),
+        // so only the changed tensors need re-emission — the dominant
+        // diff cost for the single-class trials the refinement loop
+        // produces. A fold change can drift *unchanged* tensors' anchors
+        // through the shared duration sequence, so that path still emits
+        // the full plan.
+        let sparse = refold_ops.is_empty();
+        let sparse_plan: InstrumentationPlan;
+        let legs_plan: &InstrumentationPlan = if sparse {
+            let mut p = InstrumentationPlan::new();
+            for &(ti, _, c) in &changed {
+                if let Some(d) = c {
+                    p.assign(TensorId(ti as u32), d.clone());
+                }
+            }
+            sparse_plan = p;
+            &sparse_plan
+        } else {
+            self.plan
+        };
+        let mut cand_specs: Vec<LegSpec> = Vec::new();
+        plan_legs(
+            self.machine,
+            self.graph,
+            legs_plan,
+            pre,
+            &self.device_map,
+            |i| folded_cand[i],
+            &mut cand_specs,
+        );
+        let bs = &base.base_specs;
+        // (base spec index, candidate spec) pairs that differ, and base
+        // spec indices with no candidate counterpart (dead slots). Both
+        // ascend in spec order.
+        let mut patches: Vec<(usize, LegSpec)> = Vec::new();
+        let mut dead: Vec<usize> = Vec::new();
+        {
+            let mut i = 0;
+            let mut j = 0;
+            while i < bs.len() {
+                let t_b = bs[i].tensor;
+                let i_end = {
+                    let mut e = i;
+                    while e < bs.len() && bs[e].tensor == t_b {
+                        e += 1;
+                    }
+                    e
+                };
+                if sparse && !in_changed(t_b.index()) {
+                    // Sparse emission skipped this group because it is
+                    // byte-identical to the base (see above).
+                    i = i_end;
+                    continue;
+                }
+                let grouped_with_cand = j < cand_specs.len() && cand_specs[j].tensor == t_b;
+                if !grouped_with_cand {
+                    if j < cand_specs.len() && cand_specs[j].tensor < t_b {
+                        return None; // candidate-only group: leg-adding
+                    }
+                    // Base-only group: every leg dies. Must stem from a
+                    // recognized diff, otherwise the spec lists are out
+                    // of sync and replay would be unsound.
+                    if !in_changed(t_b.index()) {
+                        return None;
+                    }
+                    dead.extend(i..i_end);
+                    i = i_end;
+                    continue;
+                }
+                let j_end = {
+                    let mut e = j;
+                    while e < cand_specs.len() && cand_specs[e].tensor == t_b {
+                        e += 1;
+                    }
+                    e
+                };
+                if i_end - i != j_end - j {
+                    return None; // leg structure changed shape
+                }
+                let tensor_changed = in_changed(t_b.index());
+                for (kb, kc) in (i..i_end).zip(j..j_end) {
+                    let b = bs[kb];
+                    let c = cand_specs[kc];
+                    if b == c && kb - i == kc - j {
+                        continue;
+                    }
+                    // Structural fields must agree (out_dep compared
+                    // group-relative: absolute spec indices shift when
+                    // earlier groups die).
+                    if b.kind != c.kind
+                        || b.op_dep != c.op_dep
+                        || b.consumer != c.consumer
+                        || b.out_dep.map(|o| o - i) != c.out_dep.map(|o| o - j)
+                    {
+                        return None;
+                    }
+                    if tensor_changed {
+                        // A retimed duration is first read when the base
+                        // leg starts; anchor/admission drift is already
+                        // clamped by the group's first export end above.
+                        if b.dur != c.dur {
+                            t_bound = t_bound.min(base.leg_starts[kb]);
+                        }
+                        patches.push((kb, c));
+                        continue;
+                    }
+                    // Unchanged tensor: only anchor/admit drift from
+                    // shifted folds is tolerable, bounded by both
+                    // anchors' start times.
+                    if b.dur != c.dur {
+                        return None;
+                    }
+                    match (b.anchor, c.anchor) {
+                        (Some(ab), Some(ac)) => {
+                            t_bound = t_bound.min(base.op_start[ab]).min(base.op_start[ac]);
+                        }
+                        _ => return None, // presence flip: no usable bound
+                    }
+                    patches.push((kb, c));
+                }
+                i = i_end;
+                j = j_end;
+            }
+            if j != cand_specs.len() {
+                return None; // trailing candidate-only group
+            }
+        }
+
+        // --- Checkpoint selection + verification -----------------------
+        let cp = base
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.clock < t_bound && c.completed > 0)?;
+        let started = |tid: usize| cp.task_state[tid].started;
+        let untouched_leg =
+            |k: usize| !cp.task_state[n_ops + k].started && !cp.task_state[n_ops + k].done;
+        if !dead.iter().all(|&k| untouched_leg(k)) {
+            return None;
+        }
+        if !patches.iter().all(|&(k, _)| untouched_leg(k)) {
+            return None;
+        }
+        if !refold_ops.iter().all(|&idx| !cp.task_state[idx].started) {
+            return None;
+        }
+        for &(ti, b, c) in &changed {
+            if cp.active_swaps[ti] != 0 || cp.runnable_swaps[ti] != 0 {
+                return None;
+            }
+            let swap_swap = is_swap(b) && is_swap(c);
+            let residency_ok = match cp.residency[ti] {
+                Loc::Unmaterialized => true,
+                Loc::Home => swap_swap,
+                _ => false,
+            };
+            if !residency_ok {
+                return None;
+            }
+        }
+
+        // --- Restore ---------------------------------------------------
+        // Everything below overlays the template buffers completely, so
+        // no undo pass is needed: the next replay re-derives every
+        // mutable field from its own checkpoint + diff.
+        let mut bufs = base.template.lock().ok()?.take()?;
+        let n_build = base.n_build_tasks;
+        bufs.tasks.truncate(n_build);
+        bufs.tasks.extend(cp.evict_tasks.iter().cloned());
+        // One pass restores the checkpointed scalar state, the candidate
+        // op folds and the ready-flag reset (legs get their durations in
+        // the spec pass below; eviction clones carry their own state).
+        for (tid, st) in cp.task_state.iter().enumerate() {
+            let t = &mut bufs.tasks[tid];
+            t.deps = st.deps;
+            t.trigger_fired = st.trigger_fired;
+            t.started = st.started;
+            t.done = st.done;
+            t.start = st.start;
+            t.end = st.end;
+            t.ready_at = st.ready_at;
+            t.dep_wait_is_copy = st.dep_wait_is_copy;
+            t.in_ready = false;
+            if tid < n_ops {
+                t.duration = folded_cand[tid];
+            }
+        }
+        for t in bufs.tasks[n_build..].iter_mut() {
+            t.in_ready = false;
+        }
+        for v in bufs.triggers.iter_mut() {
+            v.clear();
+        }
+        {
+            let mut pi = 0;
+            let mut di = 0;
+            for (k, bspec) in bs.iter().enumerate() {
+                let tid = n_ops + k;
+                if di < dead.len() && dead[di] == k {
+                    di += 1;
+                    let t = &mut bufs.tasks[tid];
+                    t.deps = DEAD_DEPS;
+                    t.trigger_fired = false;
+                    t.started = false;
+                    t.done = true;
+                    if let Some(c) = bspec.consumer {
+                        // The consumer's checkpointed count includes the
+                        // dead import (verified unstarted above).
+                        bufs.tasks[c].deps -= 1;
+                    }
+                    continue;
+                }
+                let spec = if pi < patches.len() && patches[pi].0 == k {
+                    let s = patches[pi].1;
+                    pi += 1;
+                    let t = &mut bufs.tasks[tid];
+                    t.duration = s.dur;
+                    t.admit = s.admit;
+                    t.trigger_fired = match s.anchor {
+                        None => true,
+                        Some(a) => started(a),
+                    };
+                    s
+                } else {
+                    // Restore base-build values (a previous replay may
+                    // have patched this slot for its own candidate).
+                    let t = &mut bufs.tasks[tid];
+                    t.duration = bspec.dur;
+                    t.admit = bspec.admit;
+                    *bspec
+                };
+                if let Some(a) = spec.anchor {
+                    if !started(a) {
+                        bufs.triggers[a].push(tid);
+                    }
+                }
+            }
+        }
+        for (s, stream) in bufs.streams.iter_mut().enumerate() {
+            let (cursor, busy) = cp.cursors[s];
+            stream.cursor = cursor;
+            stream.busy = busy;
+            if !stream.fifo {
+                // Non-FIFO queues are write-only bookkeeping; replays
+                // would otherwise grow them without bound.
+                stream.queue.clear();
+            }
+            stream.ready.clear();
+        }
+        bufs.ready_set.clear_resize(bufs.tasks.len());
+        for tid in 0..bufs.tasks.len() {
+            if bufs.tasks[tid].is_ready() {
+                bufs.ready_set.insert(tid);
+                let s = sid(bufs.tasks[tid].device.index(), bufs.tasks[tid].stream);
+                if !bufs.streams[s].fifo {
+                    bufs.streams[s].ready.push(tid);
+                    bufs.tasks[tid].in_ready = true;
+                }
+            }
+        }
+        bufs.dirty.clear();
+        bufs.dirty.resize(bufs.streams.len(), true);
+        bufs.heap.clear();
+        bufs.heap.extend(cp.heap_keys.iter().map(|&k| Reverse(k)));
+        bufs.residency.clear();
+        bufs.residency.extend_from_slice(&cp.residency);
+        bufs.active_swaps.clear();
+        bufs.active_swaps.extend_from_slice(&cp.active_swaps);
+        bufs.runnable_swaps.clear();
+        bufs.runnable_swaps.extend_from_slice(&cp.runnable_swaps);
+        bufs.scratch_alloc.clear();
+
+        let mut state = EngineState {
+            pre,
+            tasks: std::mem::take(&mut bufs.tasks),
+            streams: std::mem::take(&mut bufs.streams),
+            dirty: std::mem::take(&mut bufs.dirty),
+            ready_set: std::mem::take(&mut bufs.ready_set),
+            heap: std::mem::take(&mut bufs.heap),
+            clock: cp.clock,
+            memory: cp.memory.clone(),
+            residency: std::mem::take(&mut bufs.residency),
+            triggers: std::mem::take(&mut bufs.triggers),
+            home: std::mem::take(&mut bufs.home),
+            directive: cand_dir,
+            specs: cand_specs,
+            d2d_traffic: cp.d2d_traffic,
+            host_traffic: cp.host_traffic,
+            nvme_traffic: cp.nvme_traffic,
+            recompute_time: cp.recompute_time,
+            // Dead slots count as "completed" so the all-done exit test
+            // lines up with the padded task list.
+            completed: cp.completed + dead.len(),
+            memory_gate: self.config.memory_gate,
+            reference_scan: false,
+            stage_device: std::mem::take(&mut bufs.stage_device),
+            active_swaps: std::mem::take(&mut bufs.active_swaps),
+            runnable_swaps: std::mem::take(&mut bufs.runnable_swaps),
+            evictions: cp.evictions,
+            refetches: cp.refetches,
+            pcie_curve: *self.machine.pcie(),
+            trace: None,
+            metrics: false,
+            gpu_count: self.machine.gpu_count(),
+            scratch_tid: usize::MAX,
+            scratch_alloc: std::mem::take(&mut bufs.scratch_alloc),
+            scratch_extra: 0.0,
+        };
+        // A scratch build of the candidate would cap evictions at 4x
+        // its (smaller, dead-free) task count.
+        state.run_loop(true, 4 * (n_build - dead.len()), None);
+        let (result, out_bufs) = state.into_report(self.graph);
+        if let Ok(mut slot) = base.template.lock() {
+            *slot = Some(out_bufs);
+        }
+        let report = match result {
+            Ok(r) => r,
+            Err(SimError::Deadlock { completed, total }) => {
+                // Report the candidate's own task accounting, not the
+                // padded one.
+                return Some(Err(SimError::Deadlock {
+                    completed: completed - dead.len(),
+                    total: total - dead.len(),
+                }));
+            }
+            Err(e) => return Some(Err(e)),
+        };
+        Some(Ok(DeltaRun {
+            report,
+            used_delta: true,
+            windows_total: base.windows,
+            windows_replayed: base.windows - cp.window,
+        }))
+    }
+}

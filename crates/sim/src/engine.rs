@@ -34,7 +34,7 @@ use std::fmt;
 /// Marked `#[non_exhaustive]`: construct via [`SimConfig::default`] and
 /// the chainable setters so new options can be added without breaking
 /// downstream crates.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub struct SimConfig {
     /// Stop at the first out-of-memory event (the default). When false the
@@ -155,7 +155,7 @@ impl From<PlanValidationError> for SimError {
 
 /// Total-ordered wrapper for event times (panics on NaN by construction).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdTime(Secs);
+pub(crate) struct OrdTime(pub(crate) Secs);
 
 impl Eq for OrdTime {}
 
@@ -186,11 +186,11 @@ pub(crate) enum StreamKind {
 }
 
 /// Streams per device (one slot per [`StreamKind`]).
-const STREAMS_PER_DEV: usize = 4;
+pub(crate) const STREAMS_PER_DEV: usize = 4;
 
 /// The flat stream index of `(dev, kind)`.
 #[inline]
-fn sid(dev: usize, kind: StreamKind) -> usize {
+pub(crate) fn sid(dev: usize, kind: StreamKind) -> usize {
     dev * STREAMS_PER_DEV + kind as usize
 }
 
@@ -202,13 +202,13 @@ fn sid(dev: usize, kind: StreamKind) -> usize {
 /// parallel == serial plan search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) struct CompletionKey {
-    time: OrdTime,
-    stream: StreamKind,
-    seq: usize,
+    pub(crate) time: OrdTime,
+    pub(crate) stream: StreamKind,
+    pub(crate) seq: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Payload {
+pub(crate) enum Payload {
     Op(OpId),
     SwapOut(TensorId),
     SwapIn(TensorId),
@@ -216,41 +216,41 @@ enum Payload {
 
 #[derive(Debug, Clone)]
 pub(crate) struct Task {
-    payload: Payload,
-    device: DeviceId,
-    stream: StreamKind,
-    duration: Secs,
-    deps: usize,
-    trigger_fired: bool,
-    dependents: Vec<usize>,
-    started: bool,
-    done: bool,
+    pub(crate) payload: Payload,
+    pub(crate) device: DeviceId,
+    pub(crate) stream: StreamKind,
+    pub(crate) duration: Secs,
+    pub(crate) deps: usize,
+    pub(crate) trigger_fired: bool,
+    pub(crate) dependents: Vec<usize>,
+    pub(crate) started: bool,
+    pub(crate) done: bool,
     /// Whether the task currently sits in its stream's ready list
     /// (non-FIFO streams only; avoids duplicate entries).
-    in_ready: bool,
+    pub(crate) in_ready: bool,
     /// Scheduling priority on non-FIFO streams: swap-ins carry their
     /// consumer's task id so prefetches land in execution order (fetching
     /// a later layer's tensor first can deadlock the earlier one out of
     /// memory). Lower runs first.
-    priority: usize,
+    pub(crate) priority: usize,
     /// For swap-ins: the (device, position) on the consumer's compute
     /// stream before which the fetch may not start — demand-window
     /// admission that stops far-future prefetches from squatting on
     /// memory the near-term work needs.
-    admit: Option<(usize, usize)>,
-    start: Secs,
-    end: Secs,
+    pub(crate) admit: Option<(usize, usize)>,
+    pub(crate) start: Secs,
+    pub(crate) end: Secs,
     /// When the last dependency resolved (0 for tasks born ready). Feeds
     /// stall attribution: the gap before `ready_at` is dependency wait,
     /// the gap after is memory/back-pressure wait.
-    ready_at: Secs,
+    pub(crate) ready_at: Secs,
     /// Whether the dependency that resolved last was a swap-in copy —
     /// splits dependency wait into exposed-copy vs pipeline stall.
-    dep_wait_is_copy: bool,
+    pub(crate) dep_wait_is_copy: bool,
 }
 
 impl Task {
-    fn is_ready(&self) -> bool {
+    pub(crate) fn is_ready(&self) -> bool {
         !self.started && self.deps == 0 && self.trigger_fired
     }
 }
@@ -259,13 +259,13 @@ impl Task {
 pub(crate) struct Stream {
     /// In-order (FIFO) streams model CUDA compute/comm queues; copy
     /// streams pick any ready task.
-    fifo: bool,
-    queue: Vec<usize>,
-    cursor: usize,
-    busy: bool,
+    pub(crate) fifo: bool,
+    pub(crate) queue: Vec<usize>,
+    pub(crate) cursor: usize,
+    pub(crate) busy: bool,
     /// Dependency-ready, unstarted tasks (non-FIFO streams only) —
     /// bookkeeping that keeps scheduling O(ready) instead of O(queued).
-    ready: Vec<usize>,
+    pub(crate) ready: Vec<usize>,
 }
 
 impl Stream {
@@ -311,11 +311,11 @@ pub(crate) enum Loc {
 /// ```
 #[derive(Debug)]
 pub struct Simulator<'a> {
-    machine: &'a Machine,
-    graph: &'a TrainingGraph,
-    plan: &'a InstrumentationPlan,
-    device_map: DeviceMap,
-    config: SimConfig,
+    pub(crate) machine: &'a Machine,
+    pub(crate) graph: &'a TrainingGraph,
+    pub(crate) plan: &'a InstrumentationPlan,
+    pub(crate) device_map: DeviceMap,
+    pub(crate) config: SimConfig,
 }
 
 impl<'a> Simulator<'a> {
@@ -382,7 +382,7 @@ impl<'a> Simulator<'a> {
         result
     }
 
-    fn validate_inputs(&self, pre: &Prebuilt) -> Result<(), SimError> {
+    pub(crate) fn validate_inputs(&self, pre: &Prebuilt) -> Result<(), SimError> {
         if self.device_map.len() != self.graph.n_stages() {
             return Err(SimError::BadDeviceMap(format!(
                 "map covers {} stages, graph has {}",
@@ -478,69 +478,217 @@ fn emit_task(
     tid
 }
 
+/// Copy direction of a swap leg; fixes the payload and stream kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LegKind {
+    /// Export (`SwapOut` on the copy-out stream).
+    Out,
+    /// Import (`SwapIn` on the copy-in stream).
+    In,
+}
+
+/// One swap task ("leg") an instrumentation directive expands into,
+/// described structurally before any task exists. `build` emits the
+/// swap tasks from this list in order — leg task id = `n_ops + spec
+/// index` — and the delta-replay path diffs an incumbent's list against
+/// a candidate's to bound where the two simulations can first diverge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LegSpec {
+    pub(crate) tensor: TensorId,
+    pub(crate) kind: LegKind,
+    pub(crate) dur: Secs,
+    /// Op task id this leg depends on: the producer for a dynamic
+    /// tensor's initial export, the consumer just served for a
+    /// re-export. `None` for imports and static initial exports.
+    pub(crate) op_dep: Option<usize>,
+    /// Spec index of the export this import depends on (`None` for a
+    /// static tensor's first import — the tensor starts swapped out).
+    pub(crate) out_dep: Option<usize>,
+    /// The consumer op an import feeds (doubles as its priority).
+    pub(crate) consumer: Option<usize>,
+    /// Prefetch trigger: the import stays untriggered until this op
+    /// starts.
+    pub(crate) anchor: Option<usize>,
+    /// Demand-window admission `(device, compute position)`.
+    pub(crate) admit: Option<(usize, usize)>,
+}
+
+/// Expands the plan's swap directives into the ordered leg-spec list.
+/// `op_dur` must return the *folded* compute duration of an op task
+/// (recomputation included) — the prefetch-anchor walk measures lead
+/// time in folded durations, exactly as the emitted tasks will run.
+pub(crate) fn plan_legs(
+    machine: &Machine,
+    graph: &TrainingGraph,
+    plan: &InstrumentationPlan,
+    pre: &Prebuilt,
+    device_map: &DeviceMap,
+    op_dur: impl Fn(usize) -> Secs,
+    out: &mut Vec<LegSpec>,
+) {
+    out.clear();
+    // The anchor op whose *start* leaves ~1.5x the swap-in time of
+    // compute ahead of `consumer` — enough lead for the copy to land.
+    let prefetch_anchor = |consumer: usize, in_dur: Secs| -> Option<usize> {
+        let (stage, pos) = pre.seq_pos[consumer]?;
+        let seq = &pre.compute_seq[stage];
+        let mut lead = 0.0;
+        let mut anchor = None;
+        for j in (0..pos).rev() {
+            anchor = Some(seq[j]);
+            lead += op_dur(seq[j]);
+            if lead >= 1.5 * in_dur {
+                break;
+            }
+        }
+        anchor
+    };
+    for (t, d) in plan.iter() {
+        let (out_dur, in_dur) = match d {
+            MemoryDirective::Recompute => continue,
+            MemoryDirective::SwapToHost(HostTier::Dram) => {
+                let one_way = machine.pcie_transfer_time(pre.bytes[t.index()]);
+                (one_way, one_way)
+            }
+            MemoryDirective::SwapToHost(HostTier::Nvme) => {
+                // GPU->host->NVMe staging pipelines; the slower leg
+                // dominates each direction.
+                let pcie = machine.pcie_transfer_time(pre.bytes[t.index()]);
+                let out = pcie.max(machine.nvme_transfer_time(pre.bytes[t.index()], true));
+                let inn = pcie.max(machine.nvme_transfer_time(pre.bytes[t.index()], false));
+                (out, inn)
+            }
+            MemoryDirective::SwapD2d(stripe) => (stripe.one_way_time(), stripe.one_way_time()),
+        };
+        let tensor = graph.tensor(t);
+        let producer = pre.producer_of[t.index()];
+        let consumers = &pre.consumers_of[t.index()];
+        let is_static = tensor.kind.is_static();
+
+        // Static tensors start swapped out; dynamic ones swap out after
+        // their producer.
+        let mut last_out: Option<usize> = if is_static {
+            None
+        } else {
+            out.push(LegSpec {
+                tensor: t,
+                kind: LegKind::Out,
+                dur: out_dur,
+                op_dep: producer,
+                out_dep: None,
+                consumer: None,
+                anchor: None,
+                admit: None,
+            });
+            Some(out.len() - 1)
+        };
+
+        for (k, &c) in consumers.iter().enumerate() {
+            let anchor = prefetch_anchor(c, in_dur);
+            let admit = anchor.and_then(|a| {
+                pre.seq_pos[a].map(|(stage, pos)| (device_map.device_of(stage).index(), pos))
+            });
+            out.push(LegSpec {
+                tensor: t,
+                kind: LegKind::In,
+                dur: in_dur,
+                op_dep: None,
+                out_dep: last_out,
+                consumer: Some(c),
+                anchor,
+                admit,
+            });
+
+            // Re-export after the consumer. Dynamic tensors are freed
+            // by their last consumer, but statics persist — without a
+            // trailing export, consumed optimizer states would pile up
+            // on the device and crowd out the next layer's swap-in.
+            if k + 1 < consumers.len() || is_static {
+                out.push(LegSpec {
+                    tensor: t,
+                    kind: LegKind::Out,
+                    dur: out_dur,
+                    op_dep: Some(c),
+                    out_dep: None,
+                    consumer: None,
+                    anchor: None,
+                    admit: None,
+                });
+                last_out = Some(out.len() - 1);
+            } else {
+                last_out = None;
+            }
+        }
+    }
+}
+
 /// All mutable engine state for one run. Borrows the instrumentation
 /// plan and the arena's prebuilt tables (`'p`) so directives, stripe
 /// layouts and graph-derived tables are referenced, not cloned.
-struct EngineState<'p> {
-    pre: &'p Prebuilt,
-    tasks: Vec<Task>,
+pub(crate) struct EngineState<'p> {
+    pub(crate) pre: &'p Prebuilt,
+    pub(crate) tasks: Vec<Task>,
     /// Flat stream table indexed by [`sid`].
-    streams: Vec<Stream>,
+    pub(crate) streams: Vec<Stream>,
     /// Work-list flags: streams whose scheduling state may have changed
     /// since they were last visited. The fast start-pass skips clean
     /// streams; every event that could enable a start marks one.
-    dirty: Vec<bool>,
+    pub(crate) dirty: Vec<bool>,
     /// Every task with `is_ready()` true, ordered by task id — the
     /// indexed replacement for the quiescent full-task blocked scan.
-    ready_set: crate::arena::ReadySet,
-    heap: BinaryHeap<Reverse<CompletionKey>>,
-    clock: Secs,
-    memory: MemoryTracker,
-    residency: Vec<Loc>,
+    pub(crate) ready_set: crate::arena::ReadySet,
+    pub(crate) heap: BinaryHeap<Reverse<CompletionKey>>,
+    pub(crate) clock: Secs,
+    pub(crate) memory: MemoryTracker,
+    pub(crate) residency: Vec<Loc>,
     /// op task id (dense, `< n_ops`) -> swap-in task ids it triggers on
     /// start.
-    triggers: Vec<Vec<usize>>,
+    pub(crate) triggers: Vec<Vec<usize>>,
     /// tensor home device.
-    home: Vec<DeviceId>,
+    pub(crate) home: Vec<DeviceId>,
     /// directive lookup by tensor index.
-    directive: Vec<Option<&'p MemoryDirective>>,
-    d2d_traffic: Bytes,
-    host_traffic: Bytes,
-    nvme_traffic: Bytes,
-    recompute_time: Secs,
-    completed: usize,
-    memory_gate: bool,
-    reference_scan: bool,
+    pub(crate) directive: Vec<Option<&'p MemoryDirective>>,
+    /// The leg specs the swap tasks were emitted from (leg task id =
+    /// `n_ops + spec index`); recycled through [`Buffers`] and diffed by
+    /// the delta-replay path.
+    pub(crate) specs: Vec<LegSpec>,
+    pub(crate) d2d_traffic: Bytes,
+    pub(crate) host_traffic: Bytes,
+    pub(crate) nvme_traffic: Bytes,
+    pub(crate) recompute_time: Secs,
+    pub(crate) completed: usize,
+    pub(crate) memory_gate: bool,
+    pub(crate) reference_scan: bool,
     /// stage -> hosting device index.
-    stage_device: Vec<usize>,
+    pub(crate) stage_device: Vec<usize>,
     /// tensor index -> number of swap tasks currently *running* (started,
     /// not done); eviction requires zero — pending-but-unrunnable legs
     /// (e.g. a trailing export gated on a far-future consumer) must not
     /// pin a prefetched tensor in memory.
-    active_swaps: Vec<u32>,
+    pub(crate) active_swaps: Vec<u32>,
     /// tensor index -> number of swap tasks that are unstarted but already
     /// runnable (dependencies met). Evicting such a tensor would duplicate
     /// an imminent export, so eviction also requires zero here.
-    runnable_swaps: Vec<u32>,
-    evictions: usize,
+    pub(crate) runnable_swaps: Vec<u32>,
+    pub(crate) evictions: usize,
     /// Refetch copies scheduled for evicted tensors with a future reader.
-    refetches: usize,
-    pcie_curve: mpress_hw::BandwidthCurve,
-    trace: Option<Vec<TraceEvent>>,
+    pub(crate) refetches: usize,
+    pub(crate) pcie_curve: mpress_hw::BandwidthCurve,
+    pub(crate) trace: Option<Vec<TraceEvent>>,
     /// Assemble [`SimMetrics`] at report time (post-hoc; the hot loop only
     /// pays the two per-task stores `ready_at`/`dep_wait_is_copy`).
-    metrics: bool,
-    gpu_count: usize,
+    pub(crate) metrics: bool,
+    pub(crate) gpu_count: usize,
     /// `start_need` results for the most recently probed task, consumed
     /// by `start_task` so the admit path computes them exactly once:
     /// which tensors to materialize and the recompute time they fold in.
-    scratch_tid: usize,
-    scratch_alloc: Vec<usize>,
-    scratch_extra: Secs,
+    pub(crate) scratch_tid: usize,
+    pub(crate) scratch_alloc: Vec<usize>,
+    pub(crate) scratch_extra: Secs,
 }
 
 impl<'p> EngineState<'p> {
-    fn build(
+    pub(crate) fn build(
         machine: &Machine,
         graph: &TrainingGraph,
         plan: &'p InstrumentationPlan,
@@ -590,23 +738,6 @@ impl<'p> EngineState<'p> {
             tasks[b.index()].deps += 1;
         }
 
-        // The anchor op whose *start* leaves ~1.5x the swap-in time of
-        // compute ahead of `consumer` — enough lead for the copy to land.
-        let prefetch_anchor = |consumer: usize, in_dur: Secs, tasks: &[Task]| -> Option<usize> {
-            let (stage, pos) = pre.seq_pos[consumer]?;
-            let seq = &pre.compute_seq[stage];
-            let mut lead = 0.0;
-            let mut anchor = None;
-            for j in (0..pos).rev() {
-                anchor = Some(seq[j]);
-                lead += tasks[seq[j]].duration;
-                if lead >= 1.5 * in_dur {
-                    break;
-                }
-            }
-            anchor
-        };
-
         // --- Swap tasks ------------------------------------------------------
         let mut triggers = std::mem::take(&mut bufs.triggers);
         for v in triggers.iter_mut() {
@@ -614,107 +745,59 @@ impl<'p> EngineState<'p> {
         }
         triggers.resize_with(n_ops, Vec::new);
         triggers.truncate(n_ops);
-        let mut swap_legs: Vec<(TensorId, usize /*task id*/)> = Vec::new();
-        for (t, d) in plan.iter() {
-            let (out_dur, in_dur) = match d {
-                MemoryDirective::Recompute => continue,
-                MemoryDirective::SwapToHost(HostTier::Dram) => {
-                    let one_way = machine.pcie_transfer_time(pre.bytes[t.index()]);
-                    (one_way, one_way)
-                }
-                MemoryDirective::SwapToHost(HostTier::Nvme) => {
-                    // GPU->host->NVMe staging pipelines; the slower leg
-                    // dominates each direction.
-                    let pcie = machine.pcie_transfer_time(pre.bytes[t.index()]);
-                    let out = pcie.max(machine.nvme_transfer_time(pre.bytes[t.index()], true));
-                    let inn = pcie.max(machine.nvme_transfer_time(pre.bytes[t.index()], false));
-                    (out, inn)
-                }
-                MemoryDirective::SwapD2d(stripe) => (stripe.one_way_time(), stripe.one_way_time()),
+        let mut specs = std::mem::take(&mut bufs.specs);
+        plan_legs(
+            machine,
+            graph,
+            plan,
+            pre,
+            device_map,
+            |i| tasks[i].duration,
+            &mut specs,
+        );
+        for (k, &spec) in specs.iter().enumerate() {
+            let (payload, stream) = match spec.kind {
+                LegKind::Out => (Payload::SwapOut(spec.tensor), StreamKind::CopyOut),
+                LegKind::In => (Payload::SwapIn(spec.tensor), StreamKind::CopyIn),
             };
-            let tensor = graph.tensor(t);
-            let dev = home[t.index()];
-            let producer = pre.producer_of[t.index()];
-            let consumers = &pre.consumers_of[t.index()];
-            let is_static = tensor.kind.is_static();
-
-            // Static tensors start swapped out; dynamic ones swap out after
-            // their producer.
-            let mut last_out: Option<usize> = if is_static {
-                None
-            } else {
-                let out = emit_task(
-                    &mut tasks,
-                    &mut live,
-                    Payload::SwapOut(t),
-                    dev,
-                    StreamKind::CopyOut,
-                    out_dur,
-                );
-                swap_legs.push((t, out));
-                if let Some(p) = producer {
-                    tasks[p].dependents.push(out);
-                    tasks[out].deps += 1;
-                }
-                Some(out)
-            };
-
-            for (k, &c) in consumers.iter().enumerate() {
-                let inn = emit_task(
-                    &mut tasks,
-                    &mut live,
-                    Payload::SwapIn(t),
-                    dev,
-                    StreamKind::CopyIn,
-                    in_dur,
-                );
-                swap_legs.push((t, inn));
-                if let Some(out) = last_out {
-                    tasks[out].dependents.push(inn);
-                    tasks[inn].deps += 1;
-                }
+            let tid = emit_task(
+                &mut tasks,
+                &mut live,
+                payload,
+                home[spec.tensor.index()],
+                stream,
+                spec.dur,
+            );
+            debug_assert_eq!(tid, n_ops + k, "leg task ids are dense after the ops");
+            if let Some(p) = spec.op_dep {
+                tasks[p].dependents.push(tid);
+                tasks[tid].deps += 1;
+            }
+            if let Some(o) = spec.out_dep {
+                tasks[n_ops + o].dependents.push(tid);
+                tasks[tid].deps += 1;
+            }
+            if let Some(c) = spec.consumer {
                 // Prefetch trigger: an upstream compute op whose start
                 // leaves enough compute time to hide the copy. The same
                 // position doubles as the admission gate.
-                if let Some(anchor) = prefetch_anchor(c, in_dur, &tasks) {
-                    tasks[inn].trigger_fired = false;
-                    triggers[anchor].push(inn);
-                    tasks[inn].admit = pre.seq_pos[anchor]
-                        .map(|(stage, pos)| (device_map.device_of(stage).index(), pos));
+                if let Some(anchor) = spec.anchor {
+                    tasks[tid].trigger_fired = false;
+                    triggers[anchor].push(tid);
+                    tasks[tid].admit = spec.admit;
                 }
-                tasks[inn].dependents.push(c);
-                tasks[inn].priority = c;
+                tasks[tid].dependents.push(c);
+                tasks[tid].priority = c;
                 tasks[c].deps += 1;
-
-                // Re-export after the consumer. Dynamic tensors are freed
-                // by their last consumer, but statics persist — without a
-                // trailing export, consumed optimizer states would pile up
-                // on the device and crowd out the next layer's swap-in.
-                if k + 1 < consumers.len() || is_static {
-                    let out = emit_task(
-                        &mut tasks,
-                        &mut live,
-                        Payload::SwapOut(t),
-                        dev,
-                        StreamKind::CopyOut,
-                        out_dur,
-                    );
-                    swap_legs.push((t, out));
-                    tasks[c].dependents.push(out);
-                    tasks[out].deps += 1;
-                    last_out = Some(out);
-                } else {
-                    last_out = None;
-                }
             }
         }
         tasks.truncate(live);
         let mut runnable_swaps = std::mem::take(&mut bufs.runnable_swaps);
         runnable_swaps.clear();
         runnable_swaps.resize(n_tensors, 0);
-        for &(t, tid) in &swap_legs {
-            if tasks[tid].deps == 0 {
-                runnable_swaps[t.index()] += 1;
+        for (k, spec) in specs.iter().enumerate() {
+            if tasks[n_ops + k].deps == 0 {
+                runnable_swaps[spec.tensor.index()] += 1;
             }
         }
 
@@ -829,6 +912,7 @@ impl<'p> EngineState<'p> {
             triggers,
             home,
             directive,
+            specs,
             d2d_traffic: Bytes::ZERO,
             host_traffic: Bytes::ZERO,
             nvme_traffic: Bytes::ZERO,
@@ -856,10 +940,29 @@ impl<'p> EngineState<'p> {
         // length would recede forever and allow an unbounded evict/refetch
         // loop under hopeless memory pressure.
         let eviction_cap = 4 * self.tasks.len();
+        self.run_loop(strict_oom, eviction_cap, None);
+    }
+
+    /// The event loop, parameterized for delta replay: the eviction cap
+    /// is passed in (a replay must use the candidate's *live* task count,
+    /// not the padded one) and an optional capture hook snapshots window
+    /// checkpoints plus stall/eviction times. The hooks observe only —
+    /// a captured run is byte-identical to a plain one.
+    pub(crate) fn run_loop(
+        &mut self,
+        strict_oom: bool,
+        eviction_cap: usize,
+        mut capture: Option<&mut crate::delta::CaptureState>,
+    ) {
         loop {
             self.start_pass();
             if strict_oom && self.memory.oom().is_some() {
                 break;
+            }
+            if let Some(cap) = capture.as_deref_mut() {
+                if !self.heap.is_empty() {
+                    cap.maybe_snapshot(self);
+                }
             }
             if let Some(Reverse(key)) = self.heap.pop() {
                 self.clock = key.time.0;
@@ -870,6 +973,9 @@ impl<'p> EngineState<'p> {
             if self.completed >= self.tasks.len() {
                 break;
             }
+            if let Some(cap) = capture.as_deref_mut() {
+                cap.note_stall(self.clock);
+            }
             let Some((blocked_tid, dev, need)) = self.find_blocked() else {
                 break; // dependency stall — surfaces as Deadlock
             };
@@ -878,6 +984,9 @@ impl<'p> EngineState<'p> {
             // head of the compute queue. If nothing can be evicted the
             // stall is a genuine OOM.
             if self.evictions < eviction_cap && self.try_evict(blocked_tid, dev, need) {
+                if let Some(cap) = capture.as_deref_mut() {
+                    cap.note_evict(self.clock, dev.index());
+                }
                 continue;
             }
             if verbosity().sim_debug {
@@ -1503,7 +1612,10 @@ impl<'p> EngineState<'p> {
 
     /// Consumes the state into a report, handing the recycled buffers
     /// back for the arena regardless of the outcome.
-    fn into_report(self, graph: &TrainingGraph) -> (Result<SimReport, SimError>, Buffers) {
+    pub(crate) fn into_report(
+        self,
+        graph: &TrainingGraph,
+    ) -> (Result<SimReport, SimError>, Buffers) {
         let n_ops = graph.ops().len();
         let total = self.tasks.len();
         let oom = self.memory.oom().copied();
@@ -1550,6 +1662,7 @@ impl<'p> EngineState<'p> {
             active_swaps,
             runnable_swaps,
             scratch_alloc,
+            specs,
             trace,
             ..
         } = self;
@@ -1566,6 +1679,7 @@ impl<'p> EngineState<'p> {
             active_swaps,
             runnable_swaps,
             scratch_alloc,
+            specs,
         };
         if deadlock {
             return (Err(SimError::Deadlock { completed, total }), bufs);

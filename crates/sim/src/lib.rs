@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub mod arena;
+pub mod delta;
 pub mod device_map;
 pub mod engine;
 pub mod memory;
@@ -29,6 +30,7 @@ pub mod trace;
 pub mod viz;
 
 pub use arena::SimArena;
+pub use delta::{DeltaRun, RunBase};
 pub use device_map::DeviceMap;
 pub use engine::{SimConfig, SimError, Simulator};
 pub use metrics::{DeviceMetrics, LinkMetrics, SimMetrics, StreamBusy};

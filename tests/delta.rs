@@ -1,0 +1,128 @@
+//! Deterministic coverage for the delta-replay fast path: these tests
+//! pin down that `run_in_delta` actually restores a checkpoint and
+//! replays a strict suffix (the property tests in `proptests.rs` prove
+//! identity but would also pass if every case quietly fell back).
+
+use mpress_compaction::{HostTier, InstrumentationPlan, MemoryDirective};
+use mpress_graph::{TensorId, TensorKind};
+use mpress_model::{ModelFamily, PrecisionPolicy, TransformerConfig};
+use mpress_pipeline::{PipelineJob, ScheduleKind};
+use mpress_sim::{DeviceMap, SimArena, Simulator};
+
+fn lowered_job() -> mpress_pipeline::LoweredJob {
+    PipelineJob::builder()
+        .model(
+            TransformerConfig::builder(ModelFamily::Gpt)
+                .layers(8)
+                .hidden(256)
+                .seq_len(128)
+                .build(),
+        )
+        .schedule(ScheduleKind::Dapple)
+        .stages(4)
+        .microbatch_size(2)
+        .microbatches(6)
+        .precision(PrecisionPolicy::mixed())
+        .build()
+        .unwrap()
+        .lower()
+        .unwrap()
+}
+
+/// Layered activations in id order — the candidates every plan mutation
+/// below draws from.
+fn activations(lowered: &mpress_pipeline::LoweredJob) -> Vec<TensorId> {
+    lowered
+        .graph
+        .tensors()
+        .iter()
+        .filter(|t| t.kind == TensorKind::Activation && t.layer.is_some())
+        .map(|t| t.id)
+        .collect()
+}
+
+/// Retiming one swap leg (Dram -> Nvme) on a late tensor must replay
+/// only a suffix of the windows, and the result must equal scratch.
+#[test]
+fn swap_retiming_takes_the_fast_path() {
+    let lowered = lowered_job();
+    let acts = activations(&lowered);
+    let mut base_plan = InstrumentationPlan::new();
+    for &t in &acts {
+        base_plan.assign(t, MemoryDirective::SwapToHost(HostTier::Dram));
+    }
+    let mut cand_plan = base_plan.clone();
+    let late = *acts.last().unwrap();
+    cand_plan.assign(late, MemoryDirective::SwapToHost(HostTier::Nvme));
+
+    let machine = mpress_hw::Machine::dgx1();
+    let map = DeviceMap::identity(4);
+    let mut arena = SimArena::new();
+    let base_sim = Simulator::new(&machine, &lowered.graph, &base_plan, map.clone());
+    let plain = base_sim.run_in(&mut arena).unwrap();
+    let (captured, base) = base_sim.run_in_captured(&mut arena, 16).unwrap();
+    assert_eq!(captured, plain, "capture must not perturb the run");
+    let base = base.expect("successful plain-config run must yield a base");
+
+    let cand_sim = Simulator::new(&machine, &lowered.graph, &cand_plan, map);
+    let scratch = cand_sim.run_in(&mut arena).unwrap();
+    let delta = cand_sim.run_in_delta(&mut arena, &base).unwrap();
+    assert_eq!(delta.report, scratch);
+    assert!(
+        delta.used_delta,
+        "expected a checkpoint restore, got fallback"
+    );
+    assert!(
+        delta.windows_replayed < delta.windows_total,
+        "expected a strict suffix replay: {}/{}",
+        delta.windows_replayed,
+        delta.windows_total
+    );
+}
+
+/// Dropping a swap entirely (dead legs) must still be byte-identical,
+/// and the same base must serve many candidates in sequence.
+#[test]
+fn dead_legs_and_template_reuse_stay_identical() {
+    let lowered = lowered_job();
+    let acts = activations(&lowered);
+    let mut base_plan = InstrumentationPlan::new();
+    for (i, &t) in acts.iter().enumerate() {
+        match i % 3 {
+            0 => base_plan.assign(t, MemoryDirective::SwapToHost(HostTier::Dram)),
+            1 => base_plan.assign(t, MemoryDirective::Recompute),
+            _ => {}
+        }
+    }
+    let machine = mpress_hw::Machine::dgx1();
+    let map = DeviceMap::identity(4);
+    let mut arena = SimArena::new();
+    let base_sim = Simulator::new(&machine, &lowered.graph, &base_plan, map.clone());
+    let (_, base) = base_sim.run_in_captured(&mut arena, 16).unwrap();
+    let base = base.expect("base");
+
+    let mut deltas_used = 0;
+    for (i, &t) in acts.iter().enumerate() {
+        let mut cand_plan = base_plan.clone();
+        match i % 4 {
+            0 => {
+                cand_plan.remove(t);
+            }
+            1 => cand_plan.assign(t, MemoryDirective::SwapToHost(HostTier::Nvme)),
+            2 => cand_plan.assign(t, MemoryDirective::Recompute),
+            _ => cand_plan.assign(t, MemoryDirective::SwapToHost(HostTier::Dram)),
+        }
+        let cand_sim = Simulator::new(&machine, &lowered.graph, &cand_plan, map.clone());
+        let scratch = cand_sim.run_in(&mut arena).unwrap();
+        let delta = cand_sim.run_in_delta(&mut arena, &base).unwrap();
+        assert_eq!(delta.report, scratch, "candidate {i} diverged");
+        if delta.used_delta {
+            deltas_used += 1;
+        }
+    }
+    assert!(
+        deltas_used > 0,
+        "no candidate took the fast path across {} mutations",
+        acts.len()
+    );
+}

@@ -90,6 +90,36 @@ fn metrics_collection_does_not_change_the_report() {
 }
 
 #[test]
+fn delta_replay_does_not_change_the_chosen_plan() {
+    // The refinement loop's delta-aware emulation (checkpoint restore +
+    // suffix replay) must be invisible in every outcome: the plan,
+    // refinement trajectory and simulated report of a delta-enabled run
+    // are byte-identical to a from-scratch-only run's. This is the
+    // `MPRESS_DELTA=0` escape hatch's contract, exercised through the
+    // builder flag so the test does not mutate process-global env state.
+    let run = |delta: bool| -> String {
+        let report = Mpress::builder()
+            .job(bert_job(zoo::bert_1_67b(), Machine::dgx1()))
+            .delta(delta)
+            .build()
+            .train()
+            .expect("valid inputs");
+        format!(
+            "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{}",
+            report.plan.device_map,
+            report.plan.instrumentation,
+            report.plan.refinement_rounds,
+            report.sim.makespan.to_bits(),
+            report.sim.device_peak,
+            report.sim.host_traffic,
+            report.tflops.to_bits(),
+            report.throughput.to_bits(),
+        )
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
 fn fig7_row_is_identical_at_jobs_1_and_4() {
     let systems = [
         SystemConfig::Plain,
