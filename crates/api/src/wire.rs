@@ -1,0 +1,820 @@
+//! `v1` wire types: requests, responses, errors, and the
+//! newline-delimited JSON envelope codec.
+//!
+//! # Envelope
+//!
+//! Each line is one JSON document. Requests:
+//!
+//! ```json
+//! {"v":1,"id":7,"kind":"plan","body":{"model":"bert-1.67b","machine":"dgx1"}}
+//! ```
+//!
+//! Responses echo `id` and carry either a typed `body` (`"ok":true`) or
+//! a structured `error` (`"ok":false`):
+//!
+//! ```json
+//! {"v":1,"id":7,"ok":true,"kind":"plan","body":{...}}
+//! {"v":1,"id":7,"ok":false,"error":{"code":"overloaded","message":"..."}}
+//! ```
+//!
+//! # Decoding
+//!
+//! The vendored serde stack only deserializes into a dynamic
+//! [`Value`](serde_json::Value) tree, so request decoding walks the tree
+//! by hand. That is deliberate and load-bearing for compatibility:
+//! unknown fields are *naturally* tolerated (the decoder only looks at
+//! the keys it knows), which is exactly the `v1`-may-gain-fields policy
+//! documented at the crate root. Wrong *major* versions are rejected
+//! with [`ServeError::UnsupportedVersion`].
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// The wire schema major version this build speaks.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A planning-shaped request: everything needed to build a
+/// [`PipelineJob`](mpress_pipeline::PipelineJob) plus the allowed
+/// technique set. Shared verbatim by `plan`, `train` and `check`.
+///
+/// `#[non_exhaustive]` with builder-style setters: construct with
+/// [`PlanRequest::new`] and chain overrides, so `v1` can gain optional
+/// fields without breaking callers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[non_exhaustive]
+pub struct PlanRequest {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub v: u64,
+    /// Model name (see [`names::model_catalog`](crate::names::model_catalog)).
+    pub model: String,
+    /// Machine name (`dgx1`, `dgx2`, `commodity`).
+    pub machine: String,
+    /// Schedule name; `None` applies the paper's per-family default.
+    pub schedule: Option<String>,
+    /// Samples per microbatch; `None` applies the paper's default.
+    pub microbatch: Option<u64>,
+    /// Microbatches per training window.
+    pub microbatches: u64,
+    /// Optimization-set name (`all`, `recompute`, `hostswap`, `d2d`,
+    /// `none`).
+    pub opts: String,
+}
+
+impl PlanRequest {
+    /// A request for `model` with every other field at its default.
+    pub fn new(model: impl Into<String>) -> Self {
+        PlanRequest {
+            v: SCHEMA_VERSION,
+            model: model.into(),
+            machine: "dgx1".to_owned(),
+            schedule: None,
+            microbatch: None,
+            microbatches: 16,
+            opts: "all".to_owned(),
+        }
+    }
+
+    /// Sets the machine name.
+    pub fn machine(mut self, machine: impl Into<String>) -> Self {
+        self.machine = machine.into();
+        self
+    }
+
+    /// Sets the schedule name (default: paper pairing for the family).
+    pub fn schedule(mut self, schedule: impl Into<String>) -> Self {
+        self.schedule = Some(schedule.into());
+        self
+    }
+
+    /// Sets the microbatch size (default: paper value for the family).
+    pub fn microbatch(mut self, microbatch: u64) -> Self {
+        self.microbatch = Some(microbatch);
+        self
+    }
+
+    /// Sets the window length in microbatches.
+    pub fn microbatches(mut self, microbatches: u64) -> Self {
+        self.microbatches = microbatches;
+        self
+    }
+
+    /// Sets the optimization-set name.
+    pub fn opts(mut self, opts: impl Into<String>) -> Self {
+        self.opts = opts.into();
+        self
+    }
+
+    /// Decodes a request body, ignoring unknown fields.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] on missing/mistyped known fields,
+    /// [`ServeError::UnsupportedVersion`] on a wrong major version.
+    pub fn from_value(body: &Value) -> Result<Self, ServeError> {
+        check_body_version(body)?;
+        let mut req = PlanRequest::new(require_str(body, "model")?);
+        if let Some(machine) = optional_str(body, "machine")? {
+            req.machine = machine;
+        }
+        req.schedule = optional_str(body, "schedule")?;
+        req.microbatch = optional_u64(body, "microbatch")?;
+        if let Some(n) = optional_u64(body, "microbatches")? {
+            req.microbatches = n;
+        }
+        if let Some(opts) = optional_str(body, "opts")? {
+            req.opts = opts;
+        }
+        Ok(req)
+    }
+}
+
+/// A `compare` request: one (model, machine) cell of the paper's
+/// Figs. 7/8 evaluation. Like [`PlanRequest`] without an
+/// optimization-set choice (compare always runs the full system menu).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[non_exhaustive]
+pub struct CompareRequest {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub v: u64,
+    /// Model name.
+    pub model: String,
+    /// Machine name.
+    pub machine: String,
+    /// Schedule name; `None` applies the paper's per-family default.
+    pub schedule: Option<String>,
+    /// Samples per microbatch; `None` applies the paper's default.
+    pub microbatch: Option<u64>,
+    /// Microbatches per training window.
+    pub microbatches: u64,
+}
+
+impl CompareRequest {
+    /// A request for `model` with every other field at its default.
+    pub fn new(model: impl Into<String>) -> Self {
+        CompareRequest {
+            v: SCHEMA_VERSION,
+            model: model.into(),
+            machine: "dgx1".to_owned(),
+            schedule: None,
+            microbatch: None,
+            microbatches: 16,
+        }
+    }
+
+    /// Sets the machine name.
+    pub fn machine(mut self, machine: impl Into<String>) -> Self {
+        self.machine = machine.into();
+        self
+    }
+
+    /// Sets the schedule name (default: paper pairing for the family).
+    pub fn schedule(mut self, schedule: impl Into<String>) -> Self {
+        self.schedule = Some(schedule.into());
+        self
+    }
+
+    /// Sets the microbatch size (default: paper value for the family).
+    pub fn microbatch(mut self, microbatch: u64) -> Self {
+        self.microbatch = Some(microbatch);
+        self
+    }
+
+    /// Sets the window length in microbatches.
+    pub fn microbatches(mut self, microbatches: u64) -> Self {
+        self.microbatches = microbatches;
+        self
+    }
+
+    /// Decodes a request body, ignoring unknown fields.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] on missing/mistyped known fields,
+    /// [`ServeError::UnsupportedVersion`] on a wrong major version.
+    pub fn from_value(body: &Value) -> Result<Self, ServeError> {
+        check_body_version(body)?;
+        let mut req = CompareRequest::new(require_str(body, "model")?);
+        if let Some(machine) = optional_str(body, "machine")? {
+            req.machine = machine;
+        }
+        req.schedule = optional_str(body, "schedule")?;
+        req.microbatch = optional_u64(body, "microbatch")?;
+        if let Some(n) = optional_u64(body, "microbatches")? {
+            req.microbatches = n;
+        }
+        Ok(req)
+    }
+}
+
+/// One decoded request, ready for [`execute`](crate::exec::execute).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Request {
+    /// Run the planner, return the plan summary.
+    Plan(PlanRequest),
+    /// Plan + simulate a training window, return throughput.
+    Train(PlanRequest),
+    /// Plan + static verification (`mpress-analyze`), no simulation.
+    Check(PlanRequest),
+    /// The full Figs. 7/8 system menu on one job.
+    Compare(CompareRequest),
+    /// Service counters (handled by the daemon, not [`execute`]).
+    Stats,
+    /// Graceful daemon shutdown (handled by the daemon).
+    Shutdown,
+}
+
+impl Request {
+    /// The envelope `kind` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Plan(_) => "plan",
+            Request::Train(_) => "train",
+            Request::Check(_) => "check",
+            Request::Compare(_) => "compare",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// The envelope `body` document (`None` for body-less kinds).
+    pub fn body_value(&self) -> Option<Value> {
+        match self {
+            Request::Plan(r) | Request::Train(r) | Request::Check(r) => Some(r.to_json()),
+            Request::Compare(r) => Some(r.to_json()),
+            Request::Stats | Request::Shutdown => None,
+        }
+    }
+}
+
+/// One technique's contribution to a plan (Table-IV row).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[non_exhaustive]
+pub struct SavingsRow {
+    /// Technique name (`recompute`, `gpu-cpu swap`, `d2d swap`).
+    pub technique: String,
+    /// Bytes saved at the peak.
+    pub bytes: u64,
+    /// Share of all savings, in percent.
+    pub share_pct: f64,
+}
+
+/// The `plan` response: the chosen plan's stable, deterministic summary.
+///
+/// Deliberately excludes volatile search counters (worker peaks, cache
+/// hit counts): those depend on process history and pool width, and the
+/// contract regression-tested by the suite is *byte identity* between
+/// CLI and daemon for identical requests. Search telemetry stays
+/// available locally (`--metrics`) and service-side (`stats`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[non_exhaustive]
+pub struct PlanResponse {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub v: u64,
+    /// Echoed model name.
+    pub model: String,
+    /// Echoed machine name.
+    pub machine: String,
+    /// Resolved schedule (defaults applied).
+    pub schedule: String,
+    /// Resolved microbatch size (defaults applied).
+    pub microbatch: u64,
+    /// Window length in microbatches.
+    pub microbatches: u64,
+    /// Echoed optimization-set name.
+    pub opts: String,
+    /// Stage→device assignment: `device_map[stage]` is the GPU index.
+    pub device_map: Vec<u64>,
+    /// Number of per-tensor directives in the plan.
+    pub directives: u64,
+    /// Emulator-verified refinement rounds executed.
+    pub refinement_rounds: u64,
+    /// Technique breakdown (Table IV), in fixed technique order.
+    pub savings: Vec<SavingsRow>,
+}
+
+/// The `train` response: one simulated training window.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[non_exhaustive]
+pub struct TrainResponse {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub v: u64,
+    /// Echoed model name.
+    pub model: String,
+    /// Echoed machine name.
+    pub machine: String,
+    /// Resolved schedule (defaults applied).
+    pub schedule: String,
+    /// Resolved microbatch size (defaults applied).
+    pub microbatch: u64,
+    /// Window length in microbatches.
+    pub microbatches: u64,
+    /// Echoed optimization-set name.
+    pub opts: String,
+    /// Whether training fit in memory.
+    pub succeeded: bool,
+    /// Achieved model TFLOPS (0 on OOM).
+    pub tflops: f64,
+    /// Samples per second (0 on OOM).
+    pub throughput: f64,
+    /// Window makespan in seconds.
+    pub makespan_s: f64,
+    /// Largest per-device memory peak, bytes.
+    pub peak_bytes: u64,
+    /// D2D (NVLink) swap traffic, bytes.
+    pub d2d_traffic_bytes: u64,
+    /// GPU-CPU (PCIe) swap traffic, bytes.
+    pub host_traffic_bytes: u64,
+    /// NVMe traffic, bytes.
+    pub nvme_traffic_bytes: u64,
+    /// Recomputation time, seconds.
+    pub recompute_time_s: f64,
+    /// The OOM event description when the run overflowed.
+    pub oom: Option<String>,
+}
+
+/// The `check` response: static plan verification summary.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[non_exhaustive]
+pub struct CheckResponse {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub v: u64,
+    /// Echoed model name.
+    pub model: String,
+    /// Echoed machine name.
+    pub machine: String,
+    /// Number of per-tensor directives checked.
+    pub directives: u64,
+    /// Pipeline stages in the lowered graph.
+    pub stages: u64,
+    /// Whether the verifier found no diagnostics at all.
+    pub clean: bool,
+    /// Error-severity diagnostics (non-zero fails a CLI `check`).
+    pub errors: u64,
+    /// One-line human summary of the diagnostic counts.
+    pub summary: String,
+}
+
+/// One system row of a `compare` response.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[non_exhaustive]
+pub struct CompareRow {
+    /// System label as printed by the CLI (`mpress`, `zero-offload`, …).
+    pub system: String,
+    /// Achieved TFLOPS; `None` means the system went out of memory.
+    pub tflops: Option<f64>,
+    /// Whether the system fit in device memory.
+    pub fits: bool,
+    /// Balanced per-GPU residency (only reported by analytic baselines
+    /// that compute it, e.g. Megatron).
+    pub gib_per_gpu: Option<f64>,
+}
+
+/// The `compare` response: every Figs. 7/8 system on one job.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[non_exhaustive]
+pub struct CompareResponse {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub v: u64,
+    /// Echoed model name.
+    pub model: String,
+    /// Echoed machine name.
+    pub machine: String,
+    /// Resolved schedule (defaults applied).
+    pub schedule: String,
+    /// Resolved microbatch size (defaults applied).
+    pub microbatch: u64,
+    /// Window length in microbatches.
+    pub microbatches: u64,
+    /// System rows in fixed menu order.
+    pub rows: Vec<CompareRow>,
+}
+
+/// One decoded response body.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Response {
+    /// A `plan` result.
+    Plan(PlanResponse),
+    /// A `train` result.
+    Train(TrainResponse),
+    /// A `check` result.
+    Check(CheckResponse),
+    /// A `compare` result.
+    Compare(CompareResponse),
+    /// A `stats` result: the service's metrics document.
+    Stats(Value),
+    /// Acknowledges a `shutdown` request.
+    Shutdown,
+}
+
+impl Response {
+    /// The envelope `kind` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Plan(_) => "plan",
+            Response::Train(_) => "train",
+            Response::Check(_) => "check",
+            Response::Compare(_) => "compare",
+            Response::Stats(_) => "stats",
+            Response::Shutdown => "shutdown",
+        }
+    }
+
+    /// The envelope `body` document.
+    pub fn body_value(&self) -> Value {
+        match self {
+            Response::Plan(r) => r.to_json(),
+            Response::Train(r) => r.to_json(),
+            Response::Check(r) => r.to_json(),
+            Response::Compare(r) => r.to_json(),
+            Response::Stats(v) => v.clone(),
+            Response::Shutdown => Value::Object(Vec::new()),
+        }
+    }
+}
+
+/// Service-level failures, each with a stable wire `code`.
+///
+/// Marked `#[non_exhaustive]`: new failure kinds may be added within
+/// `v1` (clients must treat unknown codes as generic failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Admission control rejected the request: the bounded queue was
+    /// full. The payload is the queue capacity.
+    Overloaded {
+        /// Queue capacity at rejection time.
+        queue: usize,
+    },
+    /// The request was structurally valid JSON but semantically wrong
+    /// (unknown model name, missing field, mistyped value, …).
+    BadRequest(String),
+    /// The request declared a schema major version this server does not
+    /// speak.
+    UnsupportedVersion {
+        /// The version the request declared.
+        got: u64,
+    },
+    /// The envelope `kind` is not one this server knows.
+    UnknownKind(String),
+    /// The line was not a parseable envelope at all.
+    Protocol(String),
+    /// Execution failed server-side (planner/simulator error, or the
+    /// request was cancelled by shutdown).
+    Internal(String),
+    /// Client-side transport failure (never sent on the wire).
+    Io(String),
+}
+
+impl ServeError {
+    /// The stable wire code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::UnsupportedVersion { .. } => "unsupported_version",
+            ServeError::UnknownKind(_) => "unknown_kind",
+            ServeError::Protocol(_) => "protocol",
+            ServeError::Internal(_) => "internal",
+            ServeError::Io(_) => "io",
+        }
+    }
+
+    /// Rebuilds the error from its wire `code`/`message` pair.
+    fn from_wire(code: &str, message: &str) -> Self {
+        match code {
+            "overloaded" => ServeError::Overloaded { queue: 0 },
+            "bad_request" => ServeError::BadRequest(message.to_owned()),
+            "unsupported_version" => ServeError::UnsupportedVersion { got: 0 },
+            "unknown_kind" => ServeError::UnknownKind(message.to_owned()),
+            "protocol" => ServeError::Protocol(message.to_owned()),
+            // Unknown codes (a newer server) degrade to Internal.
+            _ => ServeError::Internal(message.to_owned()),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queue } => {
+                write!(f, "server overloaded: admission queue full ({queue} slots)")
+            }
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::UnsupportedVersion { got } => write!(
+                f,
+                "unsupported schema version {got}: this server speaks v{SCHEMA_VERSION}"
+            ),
+            ServeError::UnknownKind(kind) => write!(f, "unknown request kind `{kind}`"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
+            ServeError::Io(msg) => write!(f, "transport error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+// ---------------------------------------------------------------------
+// Envelope codec
+// ---------------------------------------------------------------------
+
+/// Serializes a JSON tree, mapping the (only) failure mode — non-finite
+/// floats — to a protocol error instead of panicking.
+fn to_line(value: &Value) -> String {
+    match serde_json::to_string(value) {
+        Ok(line) => line,
+        Err(e) => format!(
+            "{{\"v\":{SCHEMA_VERSION},\"id\":0,\"ok\":false,\"error\":{{\"code\":\"internal\",\"message\":\"encode failure: {e}\"}}}}"
+        ),
+    }
+}
+
+/// Encodes one request envelope line (no trailing newline).
+pub fn encode_request_line(id: u64, req: &Request) -> String {
+    let mut fields = vec![
+        ("v".to_owned(), Value::U64(SCHEMA_VERSION)),
+        ("id".to_owned(), Value::U64(id)),
+        ("kind".to_owned(), Value::Str(req.kind().to_owned())),
+    ];
+    if let Some(body) = req.body_value() {
+        fields.push(("body".to_owned(), body));
+    }
+    to_line(&Value::Object(fields))
+}
+
+/// Decodes one request envelope line. The `id` is returned even when
+/// decoding fails (0 when unrecoverable) so servers can echo it.
+pub fn decode_request_line(line: &str) -> (u64, Result<Request, ServeError>) {
+    let doc = match serde_json::from_str(line) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return (
+                0,
+                Err(ServeError::Protocol(format!("unparseable line: {e}"))),
+            )
+        }
+    };
+    let id = doc.get("id").and_then(Value::as_u64).unwrap_or(0);
+    (id, decode_request(&doc))
+}
+
+fn decode_request(doc: &Value) -> Result<Request, ServeError> {
+    let Some(v) = doc.get("v").and_then(Value::as_u64) else {
+        return Err(ServeError::BadRequest(
+            "missing schema version field `v`".to_owned(),
+        ));
+    };
+    if v != SCHEMA_VERSION {
+        return Err(ServeError::UnsupportedVersion { got: v });
+    }
+    let Some(kind) = doc.get("kind").and_then(Value::as_str) else {
+        return Err(ServeError::BadRequest("missing `kind` field".to_owned()));
+    };
+    let empty = Value::Object(Vec::new());
+    let body = doc.get("body").unwrap_or(&empty);
+    match kind {
+        "plan" => Ok(Request::Plan(PlanRequest::from_value(body)?)),
+        "train" => Ok(Request::Train(PlanRequest::from_value(body)?)),
+        "check" => Ok(Request::Check(PlanRequest::from_value(body)?)),
+        "compare" => Ok(Request::Compare(CompareRequest::from_value(body)?)),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ServeError::UnknownKind(other.to_owned())),
+    }
+}
+
+/// Encodes one response envelope line (no trailing newline).
+pub fn encode_response_line(id: u64, result: &Result<Response, ServeError>) -> String {
+    let fields = match result {
+        Ok(resp) => vec![
+            ("v".to_owned(), Value::U64(SCHEMA_VERSION)),
+            ("id".to_owned(), Value::U64(id)),
+            ("ok".to_owned(), Value::Bool(true)),
+            ("kind".to_owned(), Value::Str(resp.kind().to_owned())),
+            ("body".to_owned(), resp.body_value()),
+        ],
+        Err(e) => vec![
+            ("v".to_owned(), Value::U64(SCHEMA_VERSION)),
+            ("id".to_owned(), Value::U64(id)),
+            ("ok".to_owned(), Value::Bool(false)),
+            (
+                "error".to_owned(),
+                Value::Object(vec![
+                    ("code".to_owned(), Value::Str(e.code().to_owned())),
+                    ("message".to_owned(), Value::Str(e.to_string())),
+                ]),
+            ),
+        ],
+    };
+    to_line(&Value::Object(fields))
+}
+
+/// One decoded response envelope: the echoed `id` plus either the
+/// response `kind`/`body` or the decoded error.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct DecodedResponse {
+    /// The request id the server echoed (0 for unattributable errors).
+    pub id: u64,
+    /// `kind` and `body` on success, the decoded [`ServeError`] on
+    /// failure.
+    pub result: Result<(String, Value), ServeError>,
+}
+
+/// Decodes one response envelope line (client side).
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] when the line is not a response envelope.
+pub fn decode_response_line(line: &str) -> Result<DecodedResponse, ServeError> {
+    let doc = serde_json::from_str(line)
+        .map_err(|e| ServeError::Protocol(format!("unparseable response: {e}")))?;
+    let id = doc.get("id").and_then(Value::as_u64).unwrap_or(0);
+    let Some(ok) = doc.get("ok").and_then(Value::as_bool) else {
+        return Err(ServeError::Protocol("response missing `ok`".to_owned()));
+    };
+    if ok {
+        let kind = doc
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::Protocol("ok response missing `kind`".to_owned()))?
+            .to_owned();
+        let body = doc
+            .get("body")
+            .cloned()
+            .ok_or_else(|| ServeError::Protocol("ok response missing `body`".to_owned()))?;
+        Ok(DecodedResponse {
+            id,
+            result: Ok((kind, body)),
+        })
+    } else {
+        let code = doc
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str)
+            .unwrap_or("internal");
+        let message = doc
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .unwrap_or("");
+        Ok(DecodedResponse {
+            id,
+            result: Err(ServeError::from_wire(code, message)),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree-walking decode helpers
+// ---------------------------------------------------------------------
+
+fn check_body_version(body: &Value) -> Result<(), ServeError> {
+    match body.get("v") {
+        None | Some(Value::Null) => Ok(()),
+        Some(value) => match value.as_u64() {
+            Some(v) if v == SCHEMA_VERSION => Ok(()),
+            Some(got) => Err(ServeError::UnsupportedVersion { got }),
+            None => Err(ServeError::BadRequest(
+                "field `v` must be an integer".to_owned(),
+            )),
+        },
+    }
+}
+
+fn require_str(body: &Value, key: &str) -> Result<String, ServeError> {
+    optional_str(body, key)?
+        .ok_or_else(|| ServeError::BadRequest(format!("missing required field `{key}`")))
+}
+
+fn optional_str(body: &Value, key: &str) -> Result<Option<String>, ServeError> {
+    match body.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(value) => value
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| ServeError::BadRequest(format!("field `{key}` must be a string"))),
+    }
+}
+
+fn optional_u64(body: &Value, key: &str) -> Result<Option<u64>, ServeError> {
+    match body.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(value) => value.as_u64().map(Some).ok_or_else(|| {
+            ServeError::BadRequest(format!("field `{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_the_envelope() {
+        let req = Request::Plan(
+            PlanRequest::new("bert-1.67b")
+                .machine("dgx2")
+                .schedule("pipedream")
+                .microbatch(4)
+                .microbatches(8)
+                .opts("recompute"),
+        );
+        let line = encode_request_line(7, &req);
+        let (id, decoded) = decode_request_line(&line);
+        assert_eq!(id, 7);
+        assert_eq!(decoded.unwrap(), req);
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        let line = r#"{"v":1,"id":3,"kind":"plan","future_flag":true,
+                       "body":{"model":"bert-0.64b","carbon_budget":12}}"#
+            .replace('\n', " ");
+        let (id, decoded) = decode_request_line(&line);
+        assert_eq!(id, 3);
+        let req = decoded.unwrap();
+        assert_eq!(req, Request::Plan(PlanRequest::new("bert-0.64b")));
+    }
+
+    #[test]
+    fn wrong_major_version_is_rejected() {
+        let line = r#"{"v":2,"id":9,"kind":"plan","body":{"model":"bert-0.64b"}}"#;
+        let (id, decoded) = decode_request_line(line);
+        assert_eq!(id, 9);
+        assert!(matches!(
+            decoded.unwrap_err(),
+            ServeError::UnsupportedVersion { got: 2 }
+        ));
+        // A wrong version inside the body is rejected the same way.
+        let body = serde_json::from_str(r#"{"v":3,"model":"bert-0.64b"}"#).unwrap();
+        assert!(matches!(
+            PlanRequest::from_value(&body).unwrap_err(),
+            ServeError::UnsupportedVersion { got: 3 }
+        ));
+    }
+
+    #[test]
+    fn missing_version_or_kind_is_a_bad_request() {
+        let (_, no_v) = decode_request_line(r#"{"id":1,"kind":"plan"}"#);
+        assert!(matches!(no_v.unwrap_err(), ServeError::BadRequest(_)));
+        let (_, no_kind) = decode_request_line(r#"{"v":1,"id":1}"#);
+        assert!(matches!(no_kind.unwrap_err(), ServeError::BadRequest(_)));
+    }
+
+    #[test]
+    fn unknown_kind_and_garbage_have_distinct_codes() {
+        let (_, unknown) = decode_request_line(r#"{"v":1,"kind":"frobnicate"}"#);
+        assert_eq!(unknown.unwrap_err().code(), "unknown_kind");
+        let (_, garbage) = decode_request_line("not json at all");
+        assert_eq!(garbage.unwrap_err().code(), "protocol");
+    }
+
+    #[test]
+    fn error_responses_roundtrip_codes() {
+        for err in [
+            ServeError::Overloaded { queue: 4 },
+            ServeError::BadRequest("nope".to_owned()),
+            ServeError::UnsupportedVersion { got: 9 },
+            ServeError::UnknownKind("x".to_owned()),
+            ServeError::Internal("boom".to_owned()),
+        ] {
+            let line = encode_response_line(11, &Err(err.clone()));
+            let decoded = decode_response_line(&line).unwrap();
+            assert_eq!(decoded.id, 11);
+            assert_eq!(decoded.result.unwrap_err().code(), err.code());
+        }
+    }
+
+    #[test]
+    fn ok_response_body_is_the_struct_document() {
+        let resp = Response::Check(CheckResponse {
+            v: SCHEMA_VERSION,
+            model: "bert-0.64b".to_owned(),
+            machine: "dgx1".to_owned(),
+            directives: 3,
+            stages: 8,
+            clean: true,
+            errors: 0,
+            summary: "clean".to_owned(),
+        });
+        let line = encode_response_line(5, &Ok(resp.clone()));
+        let decoded = decode_response_line(&line).unwrap();
+        let (kind, body) = decoded.result.unwrap();
+        assert_eq!(kind, "check");
+        assert_eq!(
+            serde_json::to_string(&body).unwrap(),
+            serde_json::to_string(&resp.body_value()).unwrap()
+        );
+    }
+
+    #[test]
+    fn stats_and_shutdown_are_bodyless() {
+        let line = encode_request_line(1, &Request::Stats);
+        assert!(!line.contains("body"), "{line}");
+        let (_, decoded) = decode_request_line(&line);
+        assert_eq!(decoded.unwrap(), Request::Stats);
+    }
+}

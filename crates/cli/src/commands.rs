@@ -1,10 +1,20 @@
 //! Subcommand implementations.
+//!
+//! Planning-shaped commands (`plan`, `check`, `train`, `compare`) build
+//! the same [`PlanRequest`]/[`CompareRequest`] wire types the daemon
+//! decodes from TCP and execute them through [`mpress_api::exec`] — the
+//! CLI is just one more front end on the versioned API, which is what
+//! makes its `--json` output byte-identical to daemon response bodies.
 
 use crate::args::Args;
-use crate::names;
 use crate::CliError;
-use mpress::{GraceHopperNode, GraceHopperProjection, Mpress, PlannerConfig, TelemetryReport};
+use mpress::{GraceHopperNode, GraceHopperProjection, TelemetryReport};
+use mpress_api::names;
+use mpress_api::{
+    run_check, run_compare, run_plan, run_train, ApiContext, CompareRequest, PlanRequest, Request,
+};
 use mpress_pipeline::PipelineJob;
+use mpress_serve::{Client, ServeConfig};
 use mpress_sim::viz;
 use std::fmt::Write as _;
 
@@ -36,6 +46,17 @@ fn telemetry_json<T: serde::Serialize>(payload: &T) -> Result<String, CliError> 
             s
         })
         .map_err(|e| CliError::Output(format!("serializing telemetry: {e}")))
+}
+
+/// Serializes a wire response body exactly as the daemon would emit it
+/// (compact, field order preserved), one line.
+fn body_json<T: serde::Serialize>(payload: &T) -> Result<String, CliError> {
+    serde_json::to_string(payload)
+        .map(|mut s| {
+            s.push('\n');
+            s
+        })
+        .map_err(|e| CliError::Output(format!("serializing response: {e}")))
 }
 
 /// The human-readable `--metrics` section.
@@ -126,7 +147,44 @@ pub fn zoo() -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Builds the job shared by `demands`, `plan` and `train`.
+/// Builds the planning request shared by `plan`, `check`, `train` and
+/// the `client` subcommand from CLI flags.
+fn plan_request_from(args: &Args) -> Result<PlanRequest, CliError> {
+    let mut req = PlanRequest::new(args.require("model")?);
+    if let Some(machine) = args.get("machine") {
+        req = req.machine(machine);
+    }
+    if let Some(schedule) = args.get("schedule") {
+        req = req.schedule(schedule);
+    }
+    if args.get("microbatch").is_some() {
+        req = req.microbatch(args.usize_or("microbatch", 0)? as u64);
+    }
+    req = req.microbatches(args.usize_or("microbatches", 16)? as u64);
+    if let Some(opts) = args.get("opts") {
+        req = req.opts(opts);
+    }
+    Ok(req)
+}
+
+/// Builds a `compare` request from CLI flags.
+fn compare_request_from(args: &Args) -> Result<CompareRequest, CliError> {
+    let mut req = CompareRequest::new(args.require("model")?);
+    if let Some(machine) = args.get("machine") {
+        req = req.machine(machine);
+    }
+    if let Some(schedule) = args.get("schedule") {
+        req = req.schedule(schedule);
+    }
+    if args.get("microbatch").is_some() {
+        req = req.microbatch(args.usize_or("microbatch", 0)? as u64);
+    }
+    req = req.microbatches(args.usize_or("microbatches", 16)? as u64);
+    Ok(req)
+}
+
+/// Builds the job shared by `demands` (which needs the raw job, not a
+/// planning run).
 fn job_from(args: &Args) -> Result<PipelineJob, CliError> {
     let model = names::model(args.require("model")?)?;
     let machine = names::machine(args.get("machine").unwrap_or("dgx1"))?;
@@ -146,18 +204,6 @@ fn job_from(args: &Args) -> Result<PipelineJob, CliError> {
         .precision(default_precision)
         .build()
         .map_err(|e| CliError::BadFlag(format!("invalid job: {e}")))
-}
-
-fn mpress_from(args: &Args, metrics: bool) -> Result<Mpress, CliError> {
-    let job = job_from(args)?;
-    let opts = names::optimizations(args.get("opts").unwrap_or("all"))?;
-    let mut cfg = PlannerConfig::default();
-    cfg.optimizations = opts;
-    Ok(Mpress::builder()
-        .job(job)
-        .planner_config(cfg)
-        .metrics(metrics)
-        .build())
 }
 
 /// `demands`: Table-II-style memory summary plus per-stage peaks.
@@ -185,11 +231,16 @@ pub fn demands(args: &Args) -> Result<String, CliError> {
 }
 
 /// `plan`: run the planner, print the technique breakdown, optionally
-/// persist JSON.
+/// persist JSON. `--json` prints the `v1` response body instead —
+/// byte-identical to what the daemon sends for the same request.
 pub fn plan(args: &Args) -> Result<String, CliError> {
     let mode = metrics_mode(args)?;
-    let mpress = mpress_from(args, mode != MetricsMode::Off)?;
-    let (plan, lowered) = mpress.plan()?;
+    let req = plan_request_from(args)?;
+    let outcome = run_plan(&req, &ApiContext::new())?;
+    if args.switch("json") {
+        return body_json(&outcome.response);
+    }
+    let (plan, lowered) = (&outcome.plan, &outcome.lowered);
     let mut out = format!(
         "device map: {}\ndirectives: {} (refinement rounds: {})\n\
          search: {} emulator runs, {} cache hits (+{} canonical, {:.0}% hit rate), \
@@ -210,7 +261,7 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
         plan.search.windows_replayed,
         plan.search.windows_total,
     );
-    let savings = plan.savings(&lowered);
+    let savings = plan.savings(lowered);
     let total: f64 = savings.values().map(|b| b.as_f64()).sum();
     for tech in [
         mpress_compaction::Technique::Recompute,
@@ -255,16 +306,11 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
 /// (or the JSON document under `--json`); any error-severity finding
 /// turns into a non-zero exit.
 pub fn check(args: &Args) -> Result<String, CliError> {
-    let mpress = mpress_from(args, false)?;
-    let (plan, lowered) = mpress.plan()?;
-    let report = mpress_analyze::check_plan(
-        mpress.machine(),
-        &lowered.graph,
-        &plan.instrumentation,
-        &plan.device_map,
-    );
+    let req = plan_request_from(args)?;
+    let outcome = run_check(&req, &ApiContext::new())?;
+    let report = &outcome.report;
     let body = if args.switch("json") {
-        serde_json::to_string_pretty(&report)
+        serde_json::to_string_pretty(report)
             .map(|mut s| {
                 s.push('\n');
                 s
@@ -273,8 +319,8 @@ pub fn check(args: &Args) -> Result<String, CliError> {
     } else {
         let mut out = format!(
             "checked {} directives on {} stages: {}\n",
-            plan.instrumentation.len(),
-            lowered.graph.n_stages(),
+            outcome.plan.instrumentation.len(),
+            outcome.lowered.graph.n_stages(),
             report.summary(),
         );
         if !report.is_clean() {
@@ -292,8 +338,9 @@ pub fn check(args: &Args) -> Result<String, CliError> {
 /// `train`: plan + simulate, report throughput and optional charts.
 pub fn train(args: &Args) -> Result<String, CliError> {
     let mode = metrics_mode(args)?;
-    let mpress = mpress_from(args, mode != MetricsMode::Off)?;
-    let report = mpress.train()?;
+    let req = plan_request_from(args)?;
+    let outcome = run_train(&req, &ApiContext::new(), mode != MetricsMode::Off)?;
+    let (report, mpress) = (&outcome.report, &outcome.mpress);
     if mode == MetricsMode::Json {
         // Machine-readable stdout: the telemetry document and nothing else.
         let telemetry = report
@@ -317,11 +364,16 @@ pub fn train(args: &Args) -> Result<String, CliError> {
     } else {
         format!(
             "OUT OF MEMORY: {}\n",
-            report.sim.oom.expect("failed run has an OOM event")
+            report
+                .sim
+                .oom
+                .as_ref()
+                .expect("failed run has an OOM event")
         )
     };
     if args.switch("chart") || args.switch("gantt") || args.get("trace").is_some() {
-        // Re-simulate with timelines for the charts.
+        // Re-simulate with timelines for the charts (the plan cache in
+        // the outcome's context makes the re-plan a lookup).
         let (plan, lowered) = mpress.plan()?;
         let sim = mpress_sim::Simulator::new(
             mpress.machine(),
@@ -389,17 +441,13 @@ pub fn insights(args: &Args) -> Result<String, CliError> {
 /// `compare`: every system of Figs. 7/8 plus the §II baselines on one
 /// job — the whole paper's evaluation for a single (model, machine) cell.
 pub fn compare(args: &Args) -> Result<String, CliError> {
-    use mpress::OptimizationSet;
-    use mpress_baselines::{MegatronBaseline, ZeroBaseline, ZeroVariant};
-    use std::collections::BTreeMap;
-
     let mode = metrics_mode(args)?;
-    let metrics_on = mode != MetricsMode::Off;
-    // Telemetry per simulated system (analytic ZeRO/Megatron baselines
-    // have none).
-    let mut telemetry: BTreeMap<String, TelemetryReport> = BTreeMap::new();
-
-    let job = job_from(args)?;
+    let req = compare_request_from(args)?;
+    let outcome = run_compare(&req, &ApiContext::new(), mode != MetricsMode::Off)?;
+    if args.switch("json") {
+        return body_json(&outcome.response);
+    }
+    let job = &outcome.job;
     let mut out = format!(
         "{} on {} ({}, microbatch {}, {} microbatches)\n\n",
         job.model().name(),
@@ -412,77 +460,72 @@ pub fn compare(args: &Args) -> Result<String, CliError> {
         Some(t) => format!("{t:8.1}"),
         None => format!("{:>8}", "OOM"),
     };
-
-    let plain = Mpress::builder()
-        .job(job.clone())
-        .optimizations(OptimizationSet::none())
-        .metrics(metrics_on)
-        .build()
-        .train_unmodified()?;
-    let _ = writeln!(
-        out,
-        "  {:<24} {} TFLOPS",
-        format!("plain {}", job.schedule()),
-        cell(plain.succeeded().then_some(plain.tflops))
-    );
-    if let Some(t) = plain.metrics {
-        telemetry.insert(format!("plain {}", job.schedule()), t);
-    }
-    for (label, opts) in [
-        ("gpu-cpu swap", OptimizationSet::host_swap_only()),
-        ("recomputation", OptimizationSet::recompute_only()),
-        ("mpress (d2d only)", OptimizationSet::d2d_only()),
-        ("mpress", OptimizationSet::all()),
-    ] {
-        let r = Mpress::builder()
-            .job(job.clone())
-            .optimizations(opts)
-            .metrics(metrics_on)
-            .build()
-            .train()?;
-        let _ = writeln!(
-            out,
-            "  {:<24} {} TFLOPS",
-            label,
-            cell(r.succeeded().then_some(r.tflops))
-        );
-        if let Some(t) = r.metrics {
-            telemetry.insert(label.to_owned(), t);
+    for row in &outcome.response.rows {
+        match row.gib_per_gpu {
+            Some(gib) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {} TFLOPS  ({gib:.1} GiB/GPU, balanced)",
+                    row.system,
+                    cell(row.tflops),
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {:<24} {} TFLOPS", row.system, cell(row.tflops));
+            }
         }
     }
-    for variant in [ZeroVariant::Offload, ZeroVariant::Infinity] {
-        let r = ZeroBaseline::new(job.machine().clone(), job.model().clone(), variant)
-            .microbatch_size(job.microbatch_size())
-            .accumulation((job.microbatches() / job.machine().gpu_count()).max(1))
-            .report();
-        let _ = writeln!(
-            out,
-            "  {:<24} {} TFLOPS",
-            variant.to_string().to_lowercase(),
-            cell(r.fits.then_some(r.tflops))
-        );
-    }
-    let mega = MegatronBaseline::new(job.machine().clone(), job.model().clone())
-        .microbatch_size(job.microbatch_size())
-        .microbatches(job.microbatches())
-        .report();
-    let _ = writeln!(
-        out,
-        "  {:<24} {} TFLOPS  ({:.1} GiB/GPU, balanced)",
-        "megatron tp-8",
-        cell(mega.fits.then_some(mega.tflops)),
-        mega.gpu_bytes.as_gib_f64()
-    );
     match mode {
         MetricsMode::Off => Ok(out),
-        MetricsMode::Json => telemetry_json(&telemetry),
+        MetricsMode::Json => telemetry_json(&outcome.telemetry),
         MetricsMode::Table => {
-            for (label, t) in &telemetry {
+            for (label, t) in &outcome.telemetry {
                 let _ = write!(out, "\n[{label}]{}", telemetry_table(t));
             }
             Ok(out)
         }
     }
+}
+
+/// `serve`: run the planning daemon until a `shutdown` request arrives.
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7077");
+    let config = ServeConfig::default()
+        .addr(addr)
+        .queue_cap(args.usize_or("queue", 64)?)
+        .batch_cap(args.usize_or("batch", 8)?);
+    let mut handle = mpress_serve::start(config)
+        .map_err(|e| CliError::Output(format!("binding {addr}: {e}")))?;
+    let bound = handle.addr();
+    // Stderr so scripts scraping stdout only see the final summary.
+    eprintln!("mpress-serve listening on {bound}");
+    handle.wait();
+    Ok(format!("mpress-serve stopped on {bound}\n"))
+}
+
+/// `client`: send one request to a running daemon and print the `v1`
+/// response body as one JSON line.
+pub fn client(args: &Args) -> Result<String, CliError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7077");
+    let kind = args.get("kind").unwrap_or("plan");
+    let request = match kind {
+        "plan" => Request::Plan(plan_request_from(args)?),
+        "train" => Request::Train(plan_request_from(args)?),
+        "check" => Request::Check(plan_request_from(args)?),
+        "compare" => Request::Compare(compare_request_from(args)?),
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(CliError::BadFlag(format!(
+                "--kind expects plan|train|check|compare|stats|shutdown, got `{other}`"
+            )))
+        }
+    };
+    let mut client = Client::connect(addr)
+        .map_err(|e| CliError::Output(format!("connecting to {addr}: {e}")))?;
+    let decoded = client.request(&request)?;
+    let (_, body) = decoded.result?;
+    body_json(&body)
 }
 
 #[cfg(test)]
@@ -505,6 +548,24 @@ mod tests {
         let out = plan(&args(&["--model", "bert-0.64b", "--microbatches", "8"])).unwrap();
         assert!(out.contains("device map"), "{out}");
         assert!(out.contains("D2D swap"), "{out}");
+    }
+
+    #[test]
+    fn plan_json_is_the_wire_body() {
+        let out = plan(&args(&[
+            "--model",
+            "bert-0.64b",
+            "--microbatches",
+            "8",
+            "--json",
+        ]))
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed.get("v").and_then(serde_json::Value::as_u64), Some(1));
+        assert!(parsed.get("device_map").is_some(), "{out}");
+        assert!(parsed.get("savings").is_some(), "{out}");
+        // Volatile search counters must NOT leak into the wire body.
+        assert!(parsed.get("search").is_none(), "{out}");
     }
 
     #[test]
@@ -647,5 +708,12 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("PCIe-only"), "{out}");
+    }
+
+    #[test]
+    fn client_rejects_unknown_kind() {
+        let err = client(&args(&["--kind", "frobnicate"])).unwrap_err();
+        assert!(matches!(err, CliError::BadFlag(_)));
+        assert!(err.to_string().contains("frobnicate"), "{err}");
     }
 }

@@ -42,6 +42,9 @@ pub enum CliError {
     Check(String),
     /// The underlying plan/train run failed.
     Run(mpress::MpressError),
+    /// A request executed through the versioned API (or a daemon it was
+    /// sent to) failed.
+    Serve(mpress_api::ServeError),
 }
 
 impl fmt::Display for CliError {
@@ -56,6 +59,7 @@ impl fmt::Display for CliError {
             }
             CliError::MissingArg(flag) => write!(f, "missing required flag --{flag}"),
             CliError::Run(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "{e}"),
         }
     }
 }
@@ -64,6 +68,7 @@ impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CliError::Run(e) => Some(e),
+            CliError::Serve(e) => Some(e),
             _ => None,
         }
     }
@@ -72,6 +77,12 @@ impl std::error::Error for CliError {
 impl From<mpress::MpressError> for CliError {
     fn from(e: mpress::MpressError) -> Self {
         CliError::Run(e)
+    }
+}
+
+impl From<mpress_api::ServeError> for CliError {
+    fn from(e: mpress_api::ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 
@@ -96,6 +107,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "train" => commands::train(&parsed),
         "compare" => commands::compare(&parsed),
         "insights" => commands::insights(&parsed),
+        "serve" => commands::serve(&parsed),
+        "client" => commands::client(&parsed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
@@ -116,6 +129,13 @@ pub fn usage() -> String {
      \x20 train     --model M         plan + simulate a training window\n\
      \x20 compare   --model M         all systems of Figs. 7/8 on one job\n\
      \x20 insights                    the Sec. V Grace-Hopper projection\n\
+     \x20 serve                       run the planning daemon (newline-delimited\n\
+     \x20                             v1 JSON over TCP; --addr HOST:PORT, default\n\
+     \x20                             127.0.0.1:7077; --queue N admission slots;\n\
+     \x20                             --batch N requests per wave)\n\
+     \x20 client    --kind K          send one request to a running daemon and\n\
+     \x20                             print the response body (K = plan|train|\n\
+     \x20                             check|compare|stats|shutdown; --addr as above)\n\
      \n\
      COMMON FLAGS:\n\
      \x20 --model       bert-0.35b|bert-0.64b|bert-1.67b|bert-4.0b|bert-6.2b|\n\
@@ -127,6 +147,8 @@ pub fn usage() -> String {
      \x20 --opts        all|recompute|hostswap|d2d|none (default all)\n\
      \x20 --jobs        worker threads for parallel plan search (0 = auto;\n\
      \x20               MPRESS_JOBS env var is equivalent)\n\
+     \x20 --json        print the versioned v1 response body (plan/compare) or\n\
+     \x20               the diagnostics document (check) as JSON\n\
      \x20 --out         write the plan as JSON (plan) or report (train)\n\
      \x20 --chart       render per-device memory lanes (train)\n\
      \x20 --gantt       render the execution timeline (train)\n\

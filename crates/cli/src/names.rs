@@ -1,25 +1,30 @@
 //! Name → object lookups for CLI flags.
+//!
+//! Deprecated shims: the catalogs moved to [`mpress_api::names`] so the
+//! CLI, the daemon and the load generator resolve request names through
+//! one table. These wrappers only remap the error type for callers that
+//! still expect [`CliError`].
 
 use crate::CliError;
 use mpress::OptimizationSet;
+use mpress_api::ServeError;
 use mpress_hw::Machine;
-use mpress_model::{zoo, PrecisionPolicy, TransformerConfig};
+use mpress_model::{PrecisionPolicy, TransformerConfig};
 use mpress_pipeline::ScheduleKind;
 
+/// Remaps a catalog miss to the CLI's flag error, preserving the
+/// message text exactly.
+fn bad_flag(e: ServeError) -> CliError {
+    match e {
+        ServeError::BadRequest(msg) => CliError::BadFlag(msg),
+        other => CliError::BadFlag(other.to_string()),
+    }
+}
+
 /// All model variants with their CLI names.
+#[deprecated(note = "use `mpress_api::names::model_catalog`")]
 pub fn model_catalog() -> Vec<(&'static str, TransformerConfig)> {
-    vec![
-        ("bert-0.35b", zoo::bert_0_35b()),
-        ("bert-0.64b", zoo::bert_0_64b()),
-        ("bert-1.67b", zoo::bert_1_67b()),
-        ("bert-4.0b", zoo::bert_4_0b()),
-        ("bert-6.2b", zoo::bert_6_2b()),
-        ("gpt-5.3b", zoo::gpt_5_3b()),
-        ("gpt-10.3b", zoo::gpt_10_3b()),
-        ("gpt-15.4b", zoo::gpt_15_4b()),
-        ("gpt-20.4b", zoo::gpt_20_4b()),
-        ("gpt-25.5b", zoo::gpt_25_5b()),
-    ]
+    mpress_api::names::model_catalog()
 }
 
 /// Looks up a model by CLI name.
@@ -27,18 +32,9 @@ pub fn model_catalog() -> Vec<(&'static str, TransformerConfig)> {
 /// # Errors
 ///
 /// Lists the valid names on failure.
+#[deprecated(note = "use `mpress_api::names::model`")]
 pub fn model(name: &str) -> Result<TransformerConfig, CliError> {
-    model_catalog()
-        .into_iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, m)| m)
-        .ok_or_else(|| {
-            let names: Vec<&str> = model_catalog().iter().map(|(n, _)| *n).collect();
-            CliError::BadFlag(format!(
-                "unknown model `{name}`; expected one of: {}",
-                names.join(", ")
-            ))
-        })
+    mpress_api::names::model(name).map_err(bad_flag)
 }
 
 /// Looks up a machine by CLI name.
@@ -46,15 +42,9 @@ pub fn model(name: &str) -> Result<TransformerConfig, CliError> {
 /// # Errors
 ///
 /// Lists the valid names on failure.
+#[deprecated(note = "use `mpress_api::names::machine`")]
 pub fn machine(name: &str) -> Result<Machine, CliError> {
-    match name {
-        "dgx1" => Ok(Machine::dgx1()),
-        "dgx2" => Ok(Machine::dgx2()),
-        "commodity" => Ok(Machine::commodity()),
-        other => Err(CliError::BadFlag(format!(
-            "unknown machine `{other}`; expected dgx1, dgx2 or commodity"
-        ))),
-    }
+    mpress_api::names::machine(name).map_err(bad_flag)
 }
 
 /// Looks up a schedule by CLI name.
@@ -62,15 +52,9 @@ pub fn machine(name: &str) -> Result<Machine, CliError> {
 /// # Errors
 ///
 /// Lists the valid names on failure.
+#[deprecated(note = "use `mpress_api::names::schedule`")]
 pub fn schedule(name: &str) -> Result<ScheduleKind, CliError> {
-    match name {
-        "pipedream" => Ok(ScheduleKind::PipeDream),
-        "dapple" => Ok(ScheduleKind::Dapple),
-        "gpipe" => Ok(ScheduleKind::GPipe),
-        other => Err(CliError::BadFlag(format!(
-            "unknown schedule `{other}`; expected pipedream, dapple or gpipe"
-        ))),
-    }
+    mpress_api::names::schedule(name).map_err(bad_flag)
 }
 
 /// Looks up an optimization set by CLI name.
@@ -78,39 +62,23 @@ pub fn schedule(name: &str) -> Result<ScheduleKind, CliError> {
 /// # Errors
 ///
 /// Lists the valid names on failure.
+#[deprecated(note = "use `mpress_api::names::optimizations`")]
 pub fn optimizations(name: &str) -> Result<OptimizationSet, CliError> {
-    match name {
-        "all" => Ok(OptimizationSet::all()),
-        "recompute" => Ok(OptimizationSet::recompute_only()),
-        "hostswap" => Ok(OptimizationSet::host_swap_only()),
-        "d2d" => Ok(OptimizationSet::d2d_only()),
-        "none" => Ok(OptimizationSet::none()),
-        other => Err(CliError::BadFlag(format!(
-            "unknown optimization set `{other}`; expected all, recompute, hostswap, d2d or none"
-        ))),
-    }
+    mpress_api::names::optimizations(name).map_err(bad_flag)
 }
 
 /// The paper's default pairing: Bert runs PipeDream/FP32 at microbatch 12,
 /// GPT runs DAPPLE/mixed at microbatch 2.
+#[deprecated(note = "use `mpress_api::names::paper_defaults`")]
 pub fn paper_defaults(model: &TransformerConfig) -> (ScheduleKind, usize, PrecisionPolicy) {
-    match model.family() {
-        mpress_model::ModelFamily::Bert => (
-            ScheduleKind::PipeDream,
-            zoo::BERT_MICROBATCH,
-            PrecisionPolicy::full(),
-        ),
-        mpress_model::ModelFamily::Gpt => (
-            ScheduleKind::Dapple,
-            zoo::GPT_MICROBATCH,
-            PrecisionPolicy::mixed(),
-        ),
-    }
+    mpress_api::names::paper_defaults(model)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use mpress_model::zoo;
 
     #[test]
     fn every_catalog_name_resolves() {
@@ -141,5 +109,13 @@ mod tests {
         let (sched, mb, _) = paper_defaults(&zoo::gpt_5_3b());
         assert_eq!(sched, ScheduleKind::Dapple);
         assert_eq!(mb, 2);
+    }
+
+    #[test]
+    fn shim_messages_match_the_shared_catalog() {
+        let shim = model("gpt-99b").unwrap_err().to_string();
+        let api = mpress_api::names::model("gpt-99b").unwrap_err();
+        // Same message text — only the error type differs.
+        assert!(api.to_string().ends_with(&shim));
     }
 }

@@ -1,0 +1,401 @@
+//! Process-global plan cache and cancellation budget.
+//!
+//! The per-[`Planner`](crate::Planner) emulation cache memoizes outcomes
+//! *within* one search; a long-running service re-plans the same
+//! requests across many searches. [`PlanCache`] promotes that reuse to a
+//! process-global, cloneable handle with two levels:
+//!
+//! * a **plan level** keyed by the request digest
+//!   ([`Mpress::plan_digest`](crate::Mpress::plan_digest)) — a hit skips
+//!   the whole search and returns the previously chosen
+//!   [`MpressPlan`](crate::MpressPlan), byte-identical by construction;
+//! * an **emulation level** keyed by `(job scope, structural plan key)`
+//!   — the planner's canonical fingerprint digest (`cache_key`), scoped
+//!   by the job's graph/machine fingerprint so outcomes computed for one
+//!   job can never answer for another. Different searches over the same
+//!   job (portfolio variants, different technique sets) share windows.
+//!
+//! Both levels use LRU eviction with hit/miss/eviction counters
+//! ([`PlanCacheStats`]) so a service can report cache effectiveness in
+//! its `stats` query. Maps are `BTreeMap` (never iterated for
+//! decisions), keeping the determinism lint surface unchanged.
+//!
+//! [`CancelToken`] is the planner's cancellation budget: a cloneable
+//! flag plus an optional emulator-run allowance, checked before every
+//! simulator window. A tripped token aborts the search with
+//! [`SimError::Cancelled`](mpress_sim::SimError) — used by the daemon to
+//! abandon in-flight work on shutdown.
+
+use crate::planner::MpressPlan;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default capacity for the plan level: whole plans are large (device
+/// map + per-tensor directives + baseline report), so the menu of
+/// distinct requests a service amortizes should stay bounded.
+pub const DEFAULT_PLAN_CAPACITY: usize = 256;
+
+/// Default capacity for the emulation level: outcomes are a few words
+/// each, and one search emits hundreds of candidates.
+pub const DEFAULT_EMU_CAPACITY: usize = 65_536;
+
+/// One emulator outcome as the shared cache stores it — mirrors the
+/// planner-internal `Outcome` tuple.
+pub(crate) type EmuOutcome = (crate::planner::Metric, Option<mpress_sim::OomEvent>);
+
+/// A lazily-ordered LRU map: lookups stamp entries, eviction pops the
+/// stalest queue entry whose stamp is still current (classic lazy LRU —
+/// stale queue entries are skipped, not searched for).
+#[derive(Debug)]
+struct Lru<K: Ord + Clone, V> {
+    map: BTreeMap<K, (V, u64)>,
+    queue: VecDeque<(K, u64)>,
+    tick: u64,
+    cap: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> Lru<K, V> {
+    fn new(cap: usize) -> Self {
+        Lru {
+            map: BTreeMap::new(),
+            queue: VecDeque::new(),
+            tick: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (value, stamp) = self.map.get_mut(key)?;
+        *stamp = tick;
+        let out = value.clone();
+        self.queue.push_back((key.clone(), tick));
+        Some(out)
+    }
+
+    /// Inserts (first writer wins) and returns evictions performed.
+    fn insert(&mut self, key: K, value: V) -> usize {
+        if self.map.contains_key(&key) {
+            return 0;
+        }
+        self.tick += 1;
+        self.map.insert(key.clone(), (value, self.tick));
+        self.queue.push_back((key, self.tick));
+        let mut evicted = 0;
+        while self.map.len() > self.cap {
+            let Some((key, stamp)) = self.queue.pop_front() else {
+                break;
+            };
+            match self.map.get(&key) {
+                // Stamp is current: this really is the stalest entry.
+                Some((_, s)) if *s == stamp => {
+                    self.map.remove(&key);
+                    evicted += 1;
+                }
+                // Re-used or already gone: the queue entry was stale.
+                _ => {}
+            }
+        }
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Counter snapshot for one [`PlanCache`] (see the module docs for the
+/// two levels). All counts are process-lifetime totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct PlanCacheStats {
+    /// Plan-level lookups answered with a cached [`MpressPlan`].
+    pub plan_hits: usize,
+    /// Plan-level lookups that missed (a full search followed).
+    pub plan_misses: usize,
+    /// Plans evicted by the LRU policy.
+    pub plan_evictions: usize,
+    /// Plans currently resident.
+    pub plan_entries: usize,
+    /// Emulation-level lookups answered from the shared map.
+    pub emu_hits: usize,
+    /// Emulation-level lookups that missed.
+    pub emu_misses: usize,
+    /// Shared outcomes evicted by the LRU policy.
+    pub emu_evictions: usize,
+    /// Shared outcomes currently resident.
+    pub emu_entries: usize,
+}
+
+#[derive(Debug)]
+struct PlanCacheInner {
+    plans: Mutex<Lru<u64, MpressPlan>>,
+    emu: Mutex<Lru<(u64, u64), EmuOutcome>>,
+    plan_hits: AtomicUsize,
+    plan_misses: AtomicUsize,
+    plan_evictions: AtomicUsize,
+    emu_hits: AtomicUsize,
+    emu_misses: AtomicUsize,
+    emu_evictions: AtomicUsize,
+}
+
+/// A process-global structural plan cache (see the module docs).
+///
+/// Cloning clones the *handle*: every clone shares the same maps and
+/// counters, so one cache can back many [`Mpress`](crate::Mpress)
+/// instances and planner searches concurrently.
+#[derive(Debug, Clone)]
+pub struct PlanCache {
+    inner: Arc<PlanCacheInner>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    /// A cache with the default capacities.
+    pub fn new() -> Self {
+        PlanCache::with_capacity(DEFAULT_PLAN_CAPACITY, DEFAULT_EMU_CAPACITY)
+    }
+
+    /// A cache holding at most `plans` whole plans and `outcomes` shared
+    /// emulator outcomes (each floored at 1).
+    pub fn with_capacity(plans: usize, outcomes: usize) -> Self {
+        PlanCache {
+            inner: Arc::new(PlanCacheInner {
+                plans: Mutex::new(Lru::new(plans)),
+                emu: Mutex::new(Lru::new(outcomes)),
+                plan_hits: AtomicUsize::new(0),
+                plan_misses: AtomicUsize::new(0),
+                plan_evictions: AtomicUsize::new(0),
+                emu_hits: AtomicUsize::new(0),
+                emu_misses: AtomicUsize::new(0),
+                emu_evictions: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Looks a whole plan up by its request digest.
+    pub fn plan_lookup(&self, digest: u64) -> Option<MpressPlan> {
+        let found = self
+            .inner
+            .plans
+            .lock()
+            .expect("plan cache lock")
+            .get(&digest);
+        let counter = if found.is_some() {
+            &self.inner.plan_hits
+        } else {
+            &self.inner.plan_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    /// Records a chosen plan under its request digest (first writer
+    /// wins: concurrent planners racing on the same digest computed
+    /// byte-identical plans, so either copy is authoritative).
+    pub fn plan_insert(&self, digest: u64, plan: &MpressPlan) {
+        let evicted = self
+            .inner
+            .plans
+            .lock()
+            .expect("plan cache lock")
+            .insert(digest, plan.clone());
+        self.inner
+            .plan_evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Shared emulation-outcome lookup, scoped by the job fingerprint.
+    pub(crate) fn emu_lookup(&self, scope: u64, key: u64) -> Option<EmuOutcome> {
+        let found = self
+            .inner
+            .emu
+            .lock()
+            .expect("emu cache lock")
+            .get(&(scope, key));
+        let counter = if found.is_some() {
+            &self.inner.emu_hits
+        } else {
+            &self.inner.emu_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    /// Records a shared emulation outcome.
+    pub(crate) fn emu_insert(&self, scope: u64, key: u64, outcome: EmuOutcome) {
+        let evicted = self
+            .inner
+            .emu
+            .lock()
+            .expect("emu cache lock")
+            .insert((scope, key), outcome);
+        self.inner
+            .emu_evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        let plan_entries = self.inner.plans.lock().expect("plan cache lock").len();
+        let emu_entries = self.inner.emu.lock().expect("emu cache lock").len();
+        PlanCacheStats {
+            plan_hits: self.inner.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.inner.plan_misses.load(Ordering::Relaxed),
+            plan_evictions: self.inner.plan_evictions.load(Ordering::Relaxed),
+            plan_entries,
+            emu_hits: self.inner.emu_hits.load(Ordering::Relaxed),
+            emu_misses: self.inner.emu_misses.load(Ordering::Relaxed),
+            emu_evictions: self.inner.emu_evictions.load(Ordering::Relaxed),
+            emu_entries,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// 0 = unlimited.
+    max_runs: AtomicUsize,
+    runs: AtomicUsize,
+}
+
+/// A cloneable cancellation budget for planner searches.
+///
+/// Two ways to trip:
+///
+/// * [`CancelToken::cancel`] — explicit, e.g. a daemon abandoning
+///   in-flight work on shutdown;
+/// * an exhausted **run budget** ([`CancelToken::with_run_budget`]) —
+///   every simulator window charges one run, and the window that would
+///   exceed the allowance aborts instead.
+///
+/// A tripped token makes the next window return
+/// [`SimError::Cancelled`](mpress_sim::SimError), which surfaces as
+/// [`MpressError::Simulation`](crate::MpressError). The default token
+/// never trips, so existing entry points are unchanged.
+///
+/// Note on determinism: under a parallel search the abort *point* (and
+/// therefore the error's timing) depends on worker interleaving, but a
+/// tripped search only ever yields an error, never a different plan.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// A token that never trips until [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally trips after `max_runs` simulator
+    /// windows have been charged (0 means unlimited).
+    pub fn with_run_budget(max_runs: usize) -> Self {
+        let token = CancelToken::default();
+        token.inner.max_runs.store(max_runs, Ordering::Relaxed);
+        token
+    }
+
+    /// Trips the token; every clone observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has tripped (explicitly or by budget).
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        let max = self.inner.max_runs.load(Ordering::Relaxed);
+        max != 0 && self.inner.runs.load(Ordering::Relaxed) >= max
+    }
+
+    /// Simulator windows charged so far.
+    pub fn runs_charged(&self) -> usize {
+        self.inner.runs.load(Ordering::Relaxed)
+    }
+
+    /// Charges one simulator window against the budget; `false` means
+    /// the window must not run (tripped or out of allowance).
+    pub(crate) fn charge_run(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return false;
+        }
+        let max = self.inner.max_runs.load(Ordering::Relaxed);
+        let prior = self.inner.runs.fetch_add(1, Ordering::Relaxed);
+        max == 0 || prior < max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_stalest_entry() {
+        let mut lru: Lru<u64, u64> = Lru::new(2);
+        assert_eq!(lru.insert(1, 10), 0);
+        assert_eq!(lru.insert(2, 20), 0);
+        // Touch 1 so 2 becomes the stalest.
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.insert(3, 30), 1);
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+    }
+
+    #[test]
+    fn lru_first_writer_wins() {
+        let mut lru: Lru<u64, u64> = Lru::new(4);
+        lru.insert(1, 10);
+        lru.insert(1, 99);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_evictions() {
+        let cache = PlanCache::with_capacity(8, 2);
+        assert!(cache.emu_lookup(7, 1).is_none());
+        let metric = crate::planner::Metric {
+            oom: false,
+            makespan: 1.0,
+            host_traffic: mpress_hw::Bytes::ZERO,
+        };
+        cache.emu_insert(7, 1, (metric, None));
+        cache.emu_insert(7, 2, (metric, None));
+        cache.emu_insert(7, 3, (metric, None));
+        assert!(cache.emu_lookup(7, 3).is_some());
+        // Scoping: same key under a different job fingerprint misses.
+        assert!(cache.emu_lookup(8, 3).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.emu_hits, 1);
+        assert_eq!(stats.emu_misses, 2);
+        assert_eq!(stats.emu_evictions, 1);
+        assert_eq!(stats.emu_entries, 2);
+    }
+
+    #[test]
+    fn cancel_token_trips_on_cancel_and_budget() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(token.charge_run());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(!token.charge_run());
+
+        let budget = CancelToken::with_run_budget(2);
+        assert!(budget.charge_run());
+        assert!(budget.charge_run());
+        assert!(!budget.charge_run());
+        assert!(budget.is_cancelled());
+        assert_eq!(budget.runs_charged(), 3);
+    }
+}

@@ -44,6 +44,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod insights;
 pub mod mapping;
 pub mod planner;
@@ -51,6 +52,7 @@ pub mod profiler;
 pub mod system;
 pub mod telemetry;
 
+pub use cache::{CancelToken, PlanCache, PlanCacheStats};
 pub use insights::{GraceHopperNode, GraceHopperProjection};
 pub use mapping::{MappingSearch, SpareAssignment};
 pub use planner::{Metric, MpressPlan, Planner, PlannerConfig, SearchStats};

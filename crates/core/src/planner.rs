@@ -15,6 +15,7 @@
 //!    an *emulator* run (one simulated window) and kept only when they
 //!    visibly improve training time.
 
+use crate::cache::{CancelToken, PlanCache};
 use crate::mapping::{MappingSearch, SpareAssignment};
 use crate::profiler::{Profile, TensorClass};
 use mpress_analyze::PlanVerifier;
@@ -24,7 +25,7 @@ use mpress_compaction::{
 use mpress_hw::{Bytes, DeviceId, Machine, Secs};
 use mpress_pipeline::{LoweredJob, PipelineJob};
 use mpress_sim::{
-    DeviceMap, OomEvent, PoolKind, RunBase, SimArena, SimError, SimReport, Simulator,
+    ArenaPool, DeviceMap, OomEvent, PoolKind, RunBase, SimArena, SimError, SimReport, Simulator,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -155,6 +156,65 @@ impl Default for PlannerConfig {
             verify: verify_default(),
             delta: delta_default(),
         }
+    }
+}
+
+/// Chainable setters, mirroring [`SimConfig`](mpress_sim::SimConfig):
+/// start from `PlannerConfig::default()` and override fields in place.
+/// (The fields stay `pub`, so struct-update assignment keeps working.)
+impl PlannerConfig {
+    /// Sets the allowed techniques.
+    pub fn optimizations(mut self, opts: OptimizationSet) -> Self {
+        self.optimizations = opts;
+        self
+    }
+
+    /// Sets the workspace headroom fraction.
+    pub fn headroom(mut self, headroom: f64) -> Self {
+        self.headroom = headroom;
+        self
+    }
+
+    /// Caps emulator-verified refinement rounds.
+    pub fn refine_iters(mut self, iters: usize) -> Self {
+        self.refine_iters = iters;
+        self
+    }
+
+    /// Toggles D2D data striping (Fig. 9 ablation).
+    pub fn striping(mut self, on: bool) -> Self {
+        self.striping = on;
+        self
+    }
+
+    /// Toggles the device-mapping search (Fig. 9 ablation).
+    pub fn mapping_search(mut self, on: bool) -> Self {
+        self.mapping_search = on;
+        self
+    }
+
+    /// Toggles naive exhaustive-swap baseline behavior.
+    pub fn exhaustive_swap(mut self, on: bool) -> Self {
+        self.exhaustive_swap = on;
+        self
+    }
+
+    /// Toggles the analytic lower-bound pre-filter.
+    pub fn prefilter(mut self, on: bool) -> Self {
+        self.prefilter = on;
+        self
+    }
+
+    /// Toggles the static plan verifier hook.
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Toggles incremental (delta) re-emulation.
+    pub fn delta(mut self, on: bool) -> Self {
+        self.delta = on;
+        self
     }
 }
 
@@ -427,7 +487,7 @@ impl EmulationCache {
 /// Minimal FNV-1a 64-bit fold (std-only; `DefaultHasher` is not
 /// guaranteed stable across releases and cache behavior should be
 /// reproducible build-to-build).
-fn fnv(h: u64, v: u64) -> u64 {
+pub(crate) fn fnv(h: u64, v: u64) -> u64 {
     let mut h = h;
     for byte in v.to_le_bytes() {
         h ^= u64::from(byte);
@@ -437,7 +497,7 @@ fn fnv(h: u64, v: u64) -> u64 {
 }
 
 /// FNV-1a offset basis.
-const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Canonical structural digest of one emulator input: the device map
 /// plus, per tensor (in deterministic `BTreeMap` order), exactly the
@@ -544,8 +604,17 @@ pub struct Planner<'a> {
     cache: EmulationCache,
     /// Reusable simulation arenas, one checked out per concurrent
     /// emulator window — steady-state `emulate()` calls reuse the graph
-    /// tables and task buffers instead of rebuilding them.
-    arenas: Mutex<Vec<SimArena>>,
+    /// tables and task buffers instead of rebuilding them. A shared pool
+    /// (see [`Planner::with_arena_pool`]) lets a long-running process
+    /// amortize the tables across planner instances.
+    arenas: ArenaPool,
+    /// Process-global outcome sharing: `(cache handle, job scope)`.
+    /// Probed after the local exact/canonical maps miss; see
+    /// [`Planner::with_shared_cache`].
+    shared: Option<(PlanCache, u64)>,
+    /// Cancellation budget checked before every simulator window; see
+    /// [`Planner::with_cancel`].
+    cancel: Option<CancelToken>,
     /// Lazily built static plan verifier (see [`PlannerConfig::verify`]).
     /// The graph-side tables (lifetime sites, happens-before bitset)
     /// are shared by every candidate check, so they are built once.
@@ -566,9 +635,39 @@ impl<'a> Planner<'a> {
             lowered,
             config,
             cache: EmulationCache::default(),
-            arenas: Mutex::new(Vec::new()),
+            arenas: ArenaPool::new(),
+            shared: None,
+            cancel: None,
             verifier: OnceLock::new(),
         }
+    }
+
+    /// Attaches a process-global [`PlanCache`] for emulation-outcome
+    /// sharing, scoped by the job fingerprint `scope` (see
+    /// [`Mpress::job_scope`](crate::Mpress::job_scope)): outcomes this
+    /// planner computes become visible to other searches over the same
+    /// job, and vice versa. Outcomes are a deterministic function of
+    /// `(machine, graph, plan, device map)`, all covered by
+    /// `(scope, cache_key)`, so sharing never changes a chosen plan —
+    /// only which searches pay for the simulator windows.
+    pub fn with_shared_cache(mut self, cache: PlanCache, scope: u64) -> Self {
+        self.shared = Some((cache, scope));
+        self
+    }
+
+    /// Attaches a cancellation budget: every simulator window charges
+    /// the token first, and a tripped token aborts the search with
+    /// [`SimError::Cancelled`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Replaces the private arena pool with a shared one, so emulator
+    /// windows reuse prebuilt graph tables across planner instances.
+    pub fn with_arena_pool(mut self, pool: ArenaPool) -> Self {
+        self.arenas = pool;
+        self
     }
 
     /// Emulator/cache/pool counters accumulated by this planner so far.
@@ -587,20 +686,21 @@ impl<'a> Planner<'a> {
         }
     }
 
+    /// Charges one simulator window against the cancellation budget.
+    /// Without a token this is free and can never fail.
+    fn charge_cancel(&self) -> Result<(), SimError> {
+        match &self.cancel {
+            Some(token) if !token.charge_run() => Err(SimError::Cancelled),
+            _ => Ok(()),
+        }
+    }
+
     /// Checks an arena out of the pool (or makes a fresh one), runs `f`,
     /// and returns the arena for the next emulator window. Concurrent
     /// windows check out distinct arenas, so the pool's steady-state size
     /// is the worker count.
     fn with_arena<T>(&self, f: impl FnOnce(&mut SimArena) -> T) -> T {
-        let mut arena = self
-            .arenas
-            .lock()
-            .expect("arena pool lock")
-            .pop()
-            .unwrap_or_default();
-        let out = f(&mut arena);
-        self.arenas.lock().expect("arena pool lock").push(arena);
-        out
+        self.arenas.with(f)
     }
 
     /// Produces the memory-saving plan.
@@ -1345,6 +1445,18 @@ impl<'a> Planner<'a> {
         if let Some(outcome) = self.cache.lookup_canon(ckey, key, device_map) {
             return Ok(Some(outcome));
         }
+        // Process-global view: outcomes another search computed for this
+        // exact (job scope, structural key). A hit is promoted into the
+        // local exact map and counted as a local cache hit — the outcome
+        // is what the skipped run would have produced, so every search
+        // decision downstream is unchanged.
+        if let Some((shared, scope)) = &self.shared {
+            if let Some(outcome) = shared.emu_lookup(*scope, key) {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                self.cache.insert(key, outcome);
+                return Ok(Some(outcome));
+            }
+        }
         if self.config.verify {
             let report = self
                 .verifier
@@ -1395,6 +1507,9 @@ impl<'a> Planner<'a> {
         let outcome = self.emulate_uncached_with(plan, device_map, base)?;
         self.cache.insert(key, outcome);
         self.cache.insert_canon(ckey, outcome, device_map);
+        if let Some((shared, scope)) = &self.shared {
+            shared.emu_insert(*scope, key, outcome);
+        }
         Ok(Some(outcome))
     }
 
@@ -1422,6 +1537,7 @@ impl<'a> Planner<'a> {
         device_map: &DeviceMap,
         base: Option<&RunBase>,
     ) -> Result<(Metric, Option<OomEvent>), SimError> {
+        self.charge_cancel()?;
         self.cache.runs.fetch_add(1, Ordering::Relaxed);
         let report = match base {
             Some(base) => {
@@ -1463,6 +1579,7 @@ impl<'a> Planner<'a> {
         plan: &InstrumentationPlan,
         device_map: &DeviceMap,
     ) -> Result<Option<RunBase>, SimError> {
+        self.charge_cancel()?;
         self.cache.runs.fetch_add(1, Ordering::Relaxed);
         let (_, base) = self.with_arena(|arena| {
             Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())

@@ -1,13 +1,26 @@
 //! The MPress system facade: configure, plan, train.
 
+use crate::cache::{CancelToken, PlanCache};
 use crate::planner::{MpressPlan, Planner, PlannerConfig};
 use crate::telemetry::TelemetryReport;
 use mpress_graph::GraphError;
 use mpress_hw::{Bytes, Machine};
 use mpress_pipeline::{LoweredJob, PipelineJob};
-use mpress_sim::{DeviceMap, SimConfig, SimError, SimReport, Simulator};
+use mpress_sim::{ArenaPool, DeviceMap, SimConfig, SimError, SimReport, Simulator};
 
 pub use crate::planner::OptimizationSet;
+
+use crate::planner::{fnv as fnv_u64, FNV_SEED};
+
+/// Folds a string into the digest byte-by-byte (length-prefixed so
+/// `"ab" + "c"` and `"a" + "bc"` cannot collide).
+fn fnv_str(h: u64, s: &str) -> u64 {
+    let mut h = fnv_u64(h, s.len() as u64);
+    for b in s.bytes() {
+        h = fnv_u64(h, u64::from(b));
+    }
+    h
+}
 
 /// Errors the facade can raise.
 ///
@@ -99,6 +112,9 @@ pub struct Mpress {
     job: PipelineJob,
     planner_config: PlannerConfig,
     metrics: bool,
+    plan_cache: Option<PlanCache>,
+    arena_pool: Option<ArenaPool>,
+    cancel: Option<CancelToken>,
 }
 
 impl Mpress {
@@ -130,9 +146,66 @@ impl Mpress {
     /// runs fail.
     pub fn plan(&self) -> Result<(MpressPlan, LoweredJob), MpressError> {
         let lowered = self.job.lower()?;
-        let planner = Planner::new(self.machine(), &self.job, &lowered, self.planner_config);
+        let digest = self.plan_digest(&lowered);
+        if let Some(cache) = &self.plan_cache {
+            if let Some(plan) = cache.plan_lookup(digest) {
+                return Ok((plan, lowered));
+            }
+        }
+        let mut planner = Planner::new(self.machine(), &self.job, &lowered, self.planner_config);
+        if let Some(cache) = &self.plan_cache {
+            planner = planner.with_shared_cache(cache.clone(), self.job_scope(&lowered));
+        }
+        if let Some(pool) = &self.arena_pool {
+            planner = planner.with_arena_pool(pool.clone());
+        }
+        if let Some(token) = &self.cancel {
+            planner = planner.with_cancel(token.clone());
+        }
         let plan = planner.plan()?;
+        if let Some(cache) = &self.plan_cache {
+            cache.plan_insert(digest, &plan);
+        }
         Ok((plan, lowered))
+    }
+
+    /// Structural fingerprint of the *job* as the emulator sees it: the
+    /// lowered graph content plus the machine identity. Two `Mpress`
+    /// instances with equal scopes run byte-identical simulator windows
+    /// for equal candidate plans, so this scopes shared emulation
+    /// outcomes in a [`PlanCache`] (planner configuration deliberately
+    /// excluded — outcomes do not depend on it).
+    pub fn job_scope(&self, lowered: &LoweredJob) -> u64 {
+        let mut h = fnv_u64(FNV_SEED, mpress_sim::graph_fingerprint(&lowered.graph));
+        h = fnv_str(h, self.machine().name());
+        h = fnv_u64(h, self.machine().gpu_count() as u64);
+        h = fnv_u64(h, self.machine().gpu().usable_memory().as_u64());
+        h = fnv_u64(h, self.machine().cpu().memory.as_u64());
+        h = fnv_u64(h, u64::from(self.machine().nvme().is_some()));
+        h
+    }
+
+    /// Canonical digest of one *planning request*: the job scope plus
+    /// every [`PlannerConfig`] field that can steer the search. Equal
+    /// digests are guaranteed to produce byte-identical plans (planning
+    /// is deterministic), which is exactly the key a process-global
+    /// plan cache needs.
+    pub fn plan_digest(&self, lowered: &LoweredJob) -> u64 {
+        let c = &self.planner_config;
+        let mut h = self.job_scope(lowered);
+        h = fnv_u64(h, u64::from(c.optimizations.recompute));
+        h = fnv_u64(h, u64::from(c.optimizations.host_swap));
+        h = fnv_u64(h, u64::from(c.optimizations.d2d));
+        h = fnv_u64(h, c.headroom.to_bits());
+        h = fnv_u64(h, c.refine_iters as u64);
+        h = fnv_u64(h, u64::from(c.striping));
+        h = fnv_u64(h, u64::from(c.mapping_search));
+        h = fnv_u64(h, u64::from(c.exhaustive_swap));
+        // prefilter/verify/delta are outcome-transparent (the property
+        // suite pins plan identity with them on or off), so they are
+        // deliberately not part of the digest: a plan computed with
+        // delta off answers a request with delta on, and vice versa.
+        h
     }
 
     /// Plans, then simulates the instrumented training window.
@@ -239,6 +312,9 @@ pub struct MpressBuilder {
     verify: Option<bool>,
     delta: Option<bool>,
     metrics: bool,
+    plan_cache: Option<PlanCache>,
+    arena_pool: Option<ArenaPool>,
+    cancel: Option<CancelToken>,
 }
 
 impl MpressBuilder {
@@ -316,6 +392,33 @@ impl MpressBuilder {
         self
     }
 
+    /// Attaches a process-global [`PlanCache`]: [`Mpress::plan`] first
+    /// consults it by [`Mpress::plan_digest`] (a hit returns the cached
+    /// plan without a search), and cache-backed searches share emulation
+    /// outcomes across planner instances. Plans are deterministic, so
+    /// cached and freshly planned results are byte-identical — the cache
+    /// only changes who pays for the simulator windows.
+    pub fn plan_cache(mut self, cache: PlanCache) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Shares a simulation [`ArenaPool`] across `Mpress` instances so
+    /// emulator windows reuse prebuilt graph tables process-wide.
+    pub fn arena_pool(mut self, pool: ArenaPool) -> Self {
+        self.arena_pool = Some(pool);
+        self
+    }
+
+    /// Attaches a cancellation budget ([`CancelToken`]): planner
+    /// searches charge it per simulator window and abort with
+    /// [`SimError::Cancelled`] (wrapped in [`MpressError::Simulation`])
+    /// once it trips.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Finishes the system.
     ///
     /// # Panics
@@ -364,6 +467,9 @@ impl MpressBuilder {
             job,
             planner_config: config,
             metrics: self.metrics,
+            plan_cache: self.plan_cache,
+            arena_pool: self.arena_pool,
+            cancel: self.cancel,
         })
     }
 }

@@ -68,6 +68,15 @@ pub(crate) struct Prebuilt {
 /// Collisions would need two *different* graphs with identical op count,
 /// tensor count, stage count, dependency count and duration sequence —
 /// and even then the damage is bounded to reusing equivalent tables.
+///
+/// Public so cross-run caches (the planner's process-global `PlanCache`)
+/// can scope their keys to the graph content they were computed for.
+pub fn graph_fingerprint(graph: &TrainingGraph) -> u64 {
+    fingerprint(graph)
+}
+
+/// Private implementation of [`graph_fingerprint`]; also keys
+/// [`Prebuilt`] table reuse inside [`SimArena`].
 fn fingerprint(graph: &TrainingGraph) -> u64 {
     let mut h = Fnv::new();
     h.write(graph.ops().len() as u64);
@@ -304,6 +313,47 @@ impl std::fmt::Debug for SimArena {
         f.debug_struct("SimArena")
             .field("prebuilt", &self.prebuilt.as_ref().map(|p| p.fingerprint))
             .finish()
+    }
+}
+
+/// A shareable pool of [`SimArena`]s.
+///
+/// Cloning the pool clones the *handle*; every clone checks arenas in
+/// and out of the same underlying free list, so concurrent emulator
+/// windows — within one planner search or across planner instances in a
+/// long-running service — reuse the same prebuilt graph tables and task
+/// buffers. The steady-state pool size is the peak number of concurrent
+/// [`ArenaPool::with`] calls.
+#[derive(Debug, Default, Clone)]
+pub struct ArenaPool {
+    free: std::sync::Arc<std::sync::Mutex<Vec<SimArena>>>,
+}
+
+impl ArenaPool {
+    /// An empty pool; arenas materialize on first checkout.
+    pub fn new() -> Self {
+        ArenaPool::default()
+    }
+
+    /// Checks an arena out (or makes a fresh one), runs `f`, and returns
+    /// the arena to the free list for the next window. Concurrent calls
+    /// check out distinct arenas, so `f` never contends on arena state.
+    pub fn with<T>(&self, f: impl FnOnce(&mut SimArena) -> T) -> T {
+        let mut arena = self
+            .free
+            .lock()
+            .expect("arena pool lock")
+            .pop()
+            .unwrap_or_default();
+        let out = f(&mut arena);
+        self.free.lock().expect("arena pool lock").push(arena);
+        out
+    }
+
+    /// Arenas currently checked in (idle). Steady state equals the peak
+    /// concurrency the pool has served.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("arena pool lock").len()
     }
 }
 

@@ -112,7 +112,12 @@ impl SimConfig {
 }
 
 /// Errors that abort a simulation before it starts.
+///
+/// Marked `#[non_exhaustive]` (matching the other public error enums):
+/// downstream matches need a wildcard arm so new failure kinds can be
+/// added compatibly.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The instrumentation plan failed validation against the graph.
     PlanInvalid(PlanValidationError),
@@ -130,6 +135,9 @@ pub enum SimError {
         /// Total tasks.
         total: usize,
     },
+    /// The caller's cancellation token tripped (explicit cancel or an
+    /// exhausted emulator-run budget) before this window could run.
+    Cancelled,
 }
 
 impl fmt::Display for SimError {
@@ -141,6 +149,7 @@ impl fmt::Display for SimError {
             SimError::Deadlock { completed, total } => {
                 write!(f, "simulation deadlock after {completed}/{total} tasks")
             }
+            SimError::Cancelled => write!(f, "run cancelled before execution"),
         }
     }
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full verification gate: formatting, release build, test suite, lint,
 # high-worker-count determinism, the telemetry JSON contract, and the
-# planner timing smoke-run (writes BENCH_planner.json at the repo root).
+# planner/emulator/service smoke-runs (write BENCH_planner.json,
+# BENCH_sim.json and BENCH_serve.json at the repo root).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,3 +59,22 @@ echo "== emulator fast-path smoke-run =="
 # boxes swing ~2x, so this only catches order-of-magnitude regressions.
 min_eps=$(awk -F'"emulations_per_sec": ' '{split($2, a, ","); printf "%.0f", a[1] * 0.3}' BENCH_sim.json)
 ./target/release/exp_bench_sim --out BENCH_sim.json --min-eps "${min_eps:-0}"
+
+echo "== planning-service smoke-run (mpress-serve) =="
+# Boot the daemon through the real CLI entry point, then drive it with
+# the deterministic load generator: 4 clients, 240 mixed requests. The
+# generator exits nonzero unless every response is byte-identical to
+# local execution, the process-global plan cache reports hits, and the
+# daemon counted zero protocol errors. --shutdown stops the daemon when
+# done; `wait` confirms it exits cleanly. The p99 gate is generous —
+# wall clocks on small shared boxes swing, so it only catches hangs.
+./target/release/mpress-cli serve --addr 127.0.0.1:7077 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    if ./target/release/mpress-cli client --addr 127.0.0.1:7077 --kind stats \
+        >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+./target/release/exp_bench_serve --addr 127.0.0.1:7077 --shutdown \
+    --max-p99-ms 5000 --out BENCH_serve.json
+wait "$serve_pid"

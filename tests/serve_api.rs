@@ -1,0 +1,217 @@
+//! Cross-crate tests for the planning service: the versioned wire API
+//! (`mpress-api`) and the daemon (`mpress-serve`).
+//!
+//! Three contracts anchor the service design:
+//!
+//! * **Byte identity** — a daemon response body for a request is
+//!   byte-identical to the CLI's `--json` output for the same request,
+//!   whether the plan came from a cold search, the process-global plan
+//!   cache, or in-wave dedup. This is what makes the daemon a drop-in
+//!   back end for existing tooling.
+//! * **Versioned compatibility** — `v1` decoders tolerate unknown
+//!   fields (additive evolution) but reject foreign major versions
+//!   loudly rather than misinterpreting them.
+//! * **Admission control** — a full queue rejects with an explicit
+//!   `overloaded` error while `stats`/`shutdown` (served inline on the
+//!   connection thread) keep working.
+
+use mpress_api::{PlanRequest, Request, ServeError};
+use mpress_serve::{Client, ServeConfig};
+use serde_json::Value;
+
+fn start_server(config: ServeConfig) -> mpress_serve::ServerHandle {
+    mpress_serve::start(config).expect("daemon binds an ephemeral port")
+}
+
+fn plan_request() -> Request {
+    Request::Plan(PlanRequest::new("bert-0.64b").microbatches(8))
+}
+
+fn body_bytes(client: &mut Client, req: &Request) -> String {
+    let decoded = client.request(req).expect("roundtrip succeeds");
+    let (_, body) = decoded.result.expect("request succeeds");
+    serde_json::to_string(&body).expect("body reserializes")
+}
+
+#[test]
+fn daemon_response_is_byte_identical_to_cli_json() {
+    let mut server = start_server(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).expect("connects");
+    let daemon_body = body_bytes(&mut client, &plan_request());
+
+    let cli_args: Vec<String> = [
+        "plan",
+        "--model",
+        "bert-0.64b",
+        "--microbatches",
+        "8",
+        "--json",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    let cli_out = mpress_cli::run(&cli_args).expect("CLI plan succeeds");
+    assert_eq!(
+        format!("{daemon_body}\n"),
+        cli_out,
+        "daemon body and CLI --json output must be the same bytes"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_clients_get_identical_bytes_and_cache_hits() {
+    let mut server = start_server(ServeConfig::default());
+    let addr = server.addr();
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connects");
+                    // Two identical requests per client: the repeats
+                    // must come from the plan cache or in-wave dedup.
+                    let first = body_bytes(&mut client, &plan_request());
+                    let second = body_bytes(&mut client, &plan_request());
+                    assert_eq!(first, second, "repeat on one connection diverged");
+                    first
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "responses diverged across clients"
+    );
+
+    let mut client = Client::connect(addr).expect("connects");
+    let decoded = client.request(&Request::Stats).expect("stats roundtrip");
+    let (_, stats) = decoded.result.expect("stats succeeds");
+    let hits = stats
+        .get("cache")
+        .and_then(|c| c.get("plan_hits"))
+        .and_then(Value::as_u64)
+        .expect("stats body carries cache.plan_hits");
+    let dedup = stats
+        .get("service")
+        .and_then(|s| s.get("counters"))
+        .and_then(|c| c.get("serve.dedup_hits"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(
+        hits + dedup >= 7,
+        "8 identical requests must share one plan (hits {hits}, dedup {dedup})"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn wrong_major_version_is_rejected_unknown_fields_are_not() {
+    let mut server = start_server(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).expect("connects");
+
+    // A v2 envelope is refused with the dedicated code.
+    client
+        .send_raw(r#"{"v":2,"id":7,"kind":"plan","body":{"model":"bert-0.64b"}}"#)
+        .expect("send");
+    let decoded = client.recv().expect("decodable error response");
+    assert_eq!(decoded.id, 7, "errors echo the request id");
+    assert_eq!(decoded.result.unwrap_err().code(), "unsupported_version");
+
+    // Unknown fields anywhere in a v1 document are ignored: this is the
+    // documented additive-evolution path.
+    client
+        .send_raw(
+            r#"{"v":1,"id":8,"kind":"plan","future_envelope_flag":true,
+                "body":{"model":"bert-0.64b","microbatches":8,"carbon_budget":12}}"#
+                .replace('\n', " ")
+                .as_str(),
+        )
+        .expect("send");
+    let decoded = client.recv().expect("decodable response");
+    assert_eq!(decoded.id, 8);
+    let (kind, body) = decoded.result.expect("unknown fields must not fail");
+    assert_eq!(kind, "plan");
+    assert_eq!(body.get("v").and_then(Value::as_u64), Some(1));
+
+    // Unknown kinds and unparseable lines have distinct, stable codes.
+    client
+        .send_raw(r#"{"v":1,"id":9,"kind":"frobnicate"}"#)
+        .expect("send");
+    assert_eq!(
+        client.recv().expect("response").result.unwrap_err().code(),
+        "unknown_kind"
+    );
+    client.send_raw("not json at all").expect("send");
+    assert_eq!(
+        client.recv().expect("response").result.unwrap_err().code(),
+        "protocol"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_overloads_but_stats_and_shutdown_stay_inline() {
+    // queue_cap 0: admission rejects every plannable request.
+    let mut server = start_server(ServeConfig::default().queue_cap(0));
+    let mut client = Client::connect(server.addr()).expect("connects");
+
+    let decoded = client.request(&plan_request()).expect("roundtrip");
+    match decoded.result {
+        Err(ServeError::Overloaded { .. }) => {}
+        other => panic!("expected overloaded rejection, got {other:?}"),
+    }
+
+    // Inline kinds are unaffected by the full queue.
+    let stats = client.request(&Request::Stats).expect("stats roundtrip");
+    let (kind, _) = stats.result.expect("stats succeeds");
+    assert_eq!(kind, "stats");
+
+    let ack = client.request(&Request::Shutdown).expect("shutdown ack");
+    let (kind, _) = ack.result.expect("shutdown succeeds");
+    assert_eq!(kind, "shutdown");
+    // The daemon stops on its own after the ack.
+    server.wait();
+}
+
+#[test]
+fn cancelled_shutdown_answers_queued_requests() {
+    // batch_cap 1 with a multi-entry queue: shut down while work is
+    // queued and confirm every request still gets *an* answer (either a
+    // result or an internal shutdown error) instead of a hang.
+    let mut server = start_server(ServeConfig::default().batch_cap(1));
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connects");
+    let id_a = client.send(&plan_request()).expect("send a");
+    let id_b = client
+        .send(&Request::Train(
+            PlanRequest::new("bert-0.35b").microbatches(8),
+        ))
+        .expect("send b");
+    let mut shutdown_client = Client::connect(addr).expect("connects");
+    let ack = shutdown_client
+        .request(&Request::Shutdown)
+        .expect("shutdown ack");
+    assert!(ack.result.is_ok());
+
+    let mut answered = std::collections::BTreeSet::new();
+    for _ in 0..2 {
+        // Either outcome is legal; silence (an Io error) is not.
+        match client.recv() {
+            Ok(decoded) => {
+                answered.insert(decoded.id);
+            }
+            Err(ServeError::Io(_)) => break,
+            Err(other) => panic!("unexpected protocol failure: {other}"),
+        }
+    }
+    // At least the first request (already admitted before shutdown) is
+    // answered; both ids must be from our requests when present.
+    for id in &answered {
+        assert!([id_a, id_b].contains(id), "unexpected response id {id}");
+    }
+    server.shutdown();
+}
