@@ -26,6 +26,7 @@ use std::fmt;
 /// | MP010 | directive targets an unknown or boundary tensor |
 /// | MP011 | device map inconsistent with the job or machine |
 /// | MP012 | byte arithmetic overflowed during analysis |
+/// | MP013 | certified residency lower bound exceeds device capacity (bounds pass) |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// MP001: the program-order + cross-stage dependency graph is cyclic.
@@ -61,6 +62,10 @@ pub enum Code {
     /// MP012: a byte sum overflowed `u64` during analysis; capacity
     /// verdicts for the affected stage are unreliable.
     Overflow,
+    /// MP013: the bounds pass certified a device's residency *lower*
+    /// envelope above usable capacity — the emulator is guaranteed to
+    /// report OOM (abstract-interpretation counterpart of MP007).
+    CertifiedOom,
 }
 
 impl Code {
@@ -79,6 +84,7 @@ impl Code {
             Code::BadDirectiveTarget => "MP010",
             Code::BadDeviceMap => "MP011",
             Code::Overflow => "MP012",
+            Code::CertifiedOom => "MP013",
         }
     }
 
@@ -86,13 +92,15 @@ impl Code {
     /// to merely guaranteed to run out of memory).
     ///
     /// The planner hook rejects candidates only on structural codes:
-    /// capacity findings (MP007/MP008) and analysis overflow (MP012)
-    /// must still reach the emulator, whose OOM verdict drives the
-    /// feasibility loop — rejecting them could change the chosen plan.
+    /// capacity findings (MP007/MP008/MP013) and analysis overflow
+    /// (MP012) must still reach the emulator, whose OOM verdict drives
+    /// the feasibility loop — rejecting them could change the chosen
+    /// plan. (The bounds *gate* handles MP013 itself, and only when a
+    /// non-OOM incumbent makes the prune outcome-equivalent.)
     pub fn is_structural(self) -> bool {
         !matches!(
             self,
-            Code::CapacityExceeded | Code::VictimOverflow | Code::Overflow
+            Code::CapacityExceeded | Code::VictimOverflow | Code::Overflow | Code::CertifiedOom
         )
     }
 }
@@ -420,6 +428,7 @@ mod tests {
         assert_eq!(Code::BadDirectiveTarget.as_str(), "MP010");
         assert_eq!(Code::BadDeviceMap.as_str(), "MP011");
         assert_eq!(Code::Overflow.as_str(), "MP012");
+        assert_eq!(Code::CertifiedOom.as_str(), "MP013");
     }
 
     #[test]
@@ -429,6 +438,7 @@ mod tests {
         assert!(!Code::CapacityExceeded.is_structural());
         assert!(!Code::VictimOverflow.is_structural());
         assert!(!Code::Overflow.is_structural());
+        assert!(!Code::CertifiedOom.is_structural());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Static analysis for the MPress reproduction.
 //!
-//! Two passes, neither of which runs the emulator:
+//! Three passes, none of which runs the emulator:
 //!
 //! * **Plan verification** ([`PlanVerifier`]): checks a compaction plan
 //!   and device map against the training graph, the machine topology
@@ -8,6 +8,12 @@
 //!   [`Diagnostic`]s. Exposed as `mpress-cli check` and as a planner
 //!   hook that rejects structurally invalid candidates before
 //!   emulation (`SearchStats::verifier_rejections`).
+//! * **Certified bounds** ([`BoundsAnalyzer`]): an abstract
+//!   interpretation computing per-device residency envelopes and a
+//!   makespan interval with a three-way capacity verdict
+//!   (certified-OOM / certified-fit / unknown). Drives sound incumbent
+//!   pruning in the planner (`SearchStats::bounds_pruned`) and the
+//!   `check --bounds` report.
 //! * **Source linting** ([`lint`]): the `mpress-lint` binary's engine —
 //!   token-level determinism/robustness lints over the workspace
 //!   sources with a ratcheting allowlist.
@@ -20,9 +26,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bounds;
 pub mod diag;
 pub mod lint;
 pub mod verifier;
 
+pub use bounds::{certify_plan, BoundsAnalyzer, BoundsVerdict, PlanBounds, ResidencyBounds};
 pub use diag::{Code, Context, Diagnostic, Report, Severity};
 pub use verifier::{check_plan, PlanVerifier};

@@ -1,7 +1,7 @@
 //! `mpress-lint`: token-level determinism/robustness lints over the
 //! workspace sources (no rustc plugin, plain text).
 //!
-//! Three rules back the workspace's determinism and robustness
+//! Four rules back the workspace's determinism and robustness
 //! contracts:
 //!
 //! * **wall-clock** — `Instant::now`/`SystemTime` in the simulated-time
@@ -10,6 +10,12 @@
 //! * **hash-container** — `HashMap`/`HashSet` in the hot-path crates
 //!   (`core`, `sim`, `pipeline`, `compaction`): iteration order is
 //!   nondeterministic, so uses must be keyed-lookup-only and justified.
+//! * **hash-iteration** — *iterating* a `HashMap`/`HashSet` (same-line
+//!   `.iter()`/`.keys()`/`.values()`/`.into_iter()`/`.drain(`), or
+//!   collecting into one via `collect::<HashMap…>`, in the deterministic
+//!   planner/emulator/analysis crates (`core`, `sim`, `analyze`):
+//!   iteration order varies run to run, so those paths must use ordered
+//!   containers or sort before iterating.
 //! * **panic-site** — `unwrap()`/`expect()`/`panic!` in library code
 //!   outside `#[cfg(test)]`: robustness hazards to burn down over time.
 //!
@@ -32,6 +38,9 @@ pub enum Rule {
     WallClock,
     /// Nondeterministically-ordered containers in hot-path crates.
     HashContainer,
+    /// Hash-ordered *iteration* in deterministic planner/sim/analyze
+    /// paths.
+    HashIteration,
     /// `unwrap()`/`expect()`/`panic!` in library code.
     PanicSite,
 }
@@ -42,6 +51,7 @@ impl Rule {
         match self {
             Rule::WallClock => "wall-clock",
             Rule::HashContainer => "hash-container",
+            Rule::HashIteration => "hash-iteration",
             Rule::PanicSite => "panic-site",
         }
     }
@@ -51,6 +61,7 @@ impl Rule {
         match s {
             "wall-clock" => Some(Rule::WallClock),
             "hash-container" => Some(Rule::HashContainer),
+            "hash-iteration" => Some(Rule::HashIteration),
             "panic-site" => Some(Rule::PanicSite),
             _ => None,
         }
@@ -61,6 +72,7 @@ impl Rule {
         match self {
             Rule::WallClock => matches!(krate, "core" | "sim" | "pipeline"),
             Rule::HashContainer => matches!(krate, "core" | "sim" | "pipeline" | "compaction"),
+            Rule::HashIteration => matches!(krate, "core" | "sim" | "analyze"),
             Rule::PanicSite => true,
         }
     }
@@ -73,7 +85,12 @@ impl fmt::Display for Rule {
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: &[Rule] = &[Rule::WallClock, Rule::HashContainer, Rule::PanicSite];
+pub const ALL_RULES: &[Rule] = &[
+    Rule::WallClock,
+    Rule::HashContainer,
+    Rule::HashIteration,
+    Rule::PanicSite,
+];
 
 /// Violation counts per `(rule, workspace-relative file)`.
 pub type Counts = BTreeMap<(Rule, String), usize>;
@@ -280,6 +297,28 @@ pub fn count_rule(masked: &str, rule: Rule) -> usize {
     match rule {
         Rule::WallClock => count_token(masked, "Instant::now") + count_token(masked, "SystemTime"),
         Rule::HashContainer => count_token(masked, "HashMap") + count_token(masked, "HashSet"),
+        Rule::HashIteration => {
+            // Line-level heuristic: a line that both names a hash
+            // container and calls an iteration method is ordering over
+            // hash state; so is collecting *into* one (the turbofish is
+            // on the same line by construction). A line only counts
+            // once per collect, or once for the name+call conjunction —
+            // declarations, point lookups and `BTreeMap` never match.
+            const CALLS: &[&str] = &[".iter()", ".keys()", ".values()", ".into_iter()", ".drain("];
+            let mut hits = 0;
+            for line in masked.lines() {
+                let collects = line.match_indices("collect::<HashMap").count()
+                    + line.match_indices("collect::<HashSet").count();
+                if collects > 0 {
+                    hits += collects;
+                } else if (count_token(line, "HashMap") + count_token(line, "HashSet") > 0)
+                    && CALLS.iter().any(|c| line.contains(c))
+                {
+                    hits += 1;
+                }
+            }
+            hits
+        }
         Rule::PanicSite => {
             let mut hits = count_token(masked, "panic!");
             // Method calls: require the exact call shape so
@@ -593,6 +632,29 @@ mod tests {
         assert!(!Rule::WallClock.applies_to_crate("bench"));
         assert!(Rule::HashContainer.applies_to_crate("compaction"));
         assert!(!Rule::HashContainer.applies_to_crate("cli"));
+        assert!(Rule::HashIteration.applies_to_crate("core"));
+        assert!(Rule::HashIteration.applies_to_crate("analyze"));
+        assert!(!Rule::HashIteration.applies_to_crate("compaction"));
         assert!(Rule::PanicSite.applies_to_crate("analyze"));
+    }
+
+    #[test]
+    fn hash_iteration_flags_iteration_and_collects_but_not_lookups() {
+        let src = "fn f(m: &HashMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }\n\
+                   fn g(xs: &[(u32, u32)]) { let _ = xs.iter().copied().collect::<HashMap<u32, u32>>(); }\n\
+                   fn h(m: &HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }\n\
+                   fn i(b: &BTreeMap<u32, u32>) -> Vec<u32> { b.keys().copied().collect() }\n";
+        let masked = mask_source(src);
+        // Line 1: named hash container + `.keys()` on one line. Line 2:
+        // collect into a HashMap (the same-line `.iter()` is not double
+        // counted). Lines 3-4: point lookup / ordered container — clean.
+        assert_eq!(count_rule(&masked, Rule::HashIteration), 2, "{masked}");
+    }
+
+    #[test]
+    fn hash_iteration_name_parses_and_reports() {
+        assert_eq!(Rule::parse("hash-iteration"), Some(Rule::HashIteration));
+        assert_eq!(Rule::HashIteration.as_str(), "hash-iteration");
+        assert!(ALL_RULES.contains(&Rule::HashIteration));
     }
 }

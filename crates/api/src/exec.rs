@@ -275,6 +275,8 @@ pub struct CheckOutcome {
     pub response: CheckResponse,
     /// The full static-verifier report.
     pub report: mpress_analyze::Report,
+    /// Certified residency/makespan intervals for the checked plan.
+    pub bounds: mpress_analyze::PlanBounds,
     /// The checked plan.
     pub plan: mpress::MpressPlan,
     /// The lowered job the plan applies to.
@@ -297,6 +299,15 @@ pub fn run_check(req: &PlanRequest, ctx: &ApiContext) -> Result<CheckOutcome, Se
         &plan.instrumentation,
         &plan.device_map,
     );
+    let bounds = ctx.arenas.with(|arena| {
+        mpress_analyze::certify_plan(
+            mpress.machine(),
+            &lowered.graph,
+            &plan.instrumentation,
+            &plan.device_map,
+            arena,
+        )
+    });
     let response = CheckResponse {
         v: SCHEMA_VERSION,
         model: req.model.clone(),
@@ -306,9 +317,15 @@ pub fn run_check(req: &PlanRequest, ctx: &ApiContext) -> Result<CheckOutcome, Se
         clean: report.is_clean(),
         errors: report.error_count() as u64,
         summary: report.summary(),
+        bounds_verdict: bounds.residency.verdict.as_str().to_owned(),
+        makespan_lo_s: bounds.makespan_lo,
+        makespan_hi_s: bounds.makespan_hi,
+        residency_lo_bytes: bounds.residency.lo.iter().map(|b| b.as_u64()).collect(),
+        residency_hi_bytes: bounds.residency.hi.iter().map(|b| b.as_u64()).collect(),
     };
     Ok(CheckOutcome {
         response,
+        bounds,
         report,
         plan,
         lowered,
@@ -491,6 +508,25 @@ mod tests {
         let outcome = run_check(&req, &ctx).unwrap();
         assert!(outcome.response.clean, "{}", outcome.response.summary);
         assert_eq!(outcome.response.stages, 8);
+        // The bounds pass rode along: intervals are populated per GPU
+        // and ordered, and the verdict echoes the typed enum.
+        assert_eq!(outcome.response.residency_lo_bytes.len(), 8);
+        assert_eq!(outcome.response.residency_hi_bytes.len(), 8);
+        for (lo, hi) in outcome
+            .response
+            .residency_lo_bytes
+            .iter()
+            .zip(&outcome.response.residency_hi_bytes)
+        {
+            assert!(lo <= hi, "residency interval inverted: {lo} > {hi}");
+        }
+        assert!(outcome.response.makespan_lo_s > 0.0);
+        assert!(outcome.response.makespan_hi_s >= outcome.response.makespan_lo_s);
+        assert_eq!(
+            outcome.response.bounds_verdict,
+            outcome.bounds.residency.verdict.as_str()
+        );
+        assert_ne!(outcome.response.bounds_verdict, "certified-oom");
     }
 
     #[test]

@@ -353,6 +353,20 @@ pub struct CheckResponse {
     pub errors: u64,
     /// One-line human summary of the diagnostic counts.
     pub summary: String,
+    /// Certified capacity verdict from the bounds pass
+    /// (`certified-fit`, `certified-oom` or `unknown`).
+    pub bounds_verdict: String,
+    /// Certified makespan lower bound, seconds (holds for every non-OOM
+    /// run).
+    pub makespan_lo_s: f64,
+    /// Certified makespan upper bound, seconds (holds for every run).
+    pub makespan_hi_s: f64,
+    /// Certified per-device residency lower bounds, bytes, indexed by
+    /// GPU.
+    pub residency_lo_bytes: Vec<u64>,
+    /// Certified per-device residency upper bounds, bytes, indexed by
+    /// GPU.
+    pub residency_hi_bytes: Vec<u64>,
 }
 
 /// One system row of a `compare` response.
@@ -799,6 +813,11 @@ mod tests {
             clean: true,
             errors: 0,
             summary: "clean".to_owned(),
+            bounds_verdict: "certified-fit".to_owned(),
+            makespan_lo_s: 1.5,
+            makespan_hi_s: 4.0,
+            residency_lo_bytes: vec![1024, 2048],
+            residency_hi_bytes: vec![4096, 8192],
         });
         let line = encode_response_line(5, &Ok(resp.clone()));
         let decoded = decode_response_line(&line).unwrap();

@@ -7,7 +7,8 @@
 //! ```json
 //! {"wall_s": 1.23, "jobs": 4, "emulator_runs": 57, "cache_hits": 12,
 //!  "cache_hits_canonical": 3, "cache_hit_rate": 0.174, "prefilter_skips": 18,
-//!  "verifier_rejections": 0, "delta_replays": 21, "windows_replayed": 84,
+//!  "verifier_rejections": 0, "bounds_pruned": 18, "bounds_certified_fit": 3,
+//!  "delta_replays": 21, "windows_replayed": 84,
 //!  "windows_total": 352, "peak_workers": 4, "refinement_rounds": 9,
 //!  "refine_candidates": [4, 4, 1]}
 //! ```
@@ -72,7 +73,8 @@ fn main() {
     let json = format!(
         "{{\"wall_s\": {:.3}, \"jobs\": {}, \"emulator_runs\": {}, \"cache_hits\": {}, \
          \"cache_hits_canonical\": {}, \"cache_hit_rate\": {:.4}, \"prefilter_skips\": {}, \
-         \"verifier_rejections\": {}, \"delta_replays\": {}, \"windows_replayed\": {}, \
+         \"verifier_rejections\": {}, \"bounds_pruned\": {}, \"bounds_certified_fit\": {}, \
+         \"delta_replays\": {}, \"windows_replayed\": {}, \
          \"windows_total\": {}, \"peak_workers\": {}, \
          \"refinement_rounds\": {}, \"refine_candidates\": [{}]}}\n",
         wall_s,
@@ -83,6 +85,8 @@ fn main() {
         plan.search.cache_hit_rate(),
         plan.search.prefilter_skips,
         plan.search.verifier_rejections,
+        plan.search.bounds_pruned,
+        plan.search.bounds_certified_fit,
         plan.search.delta_replays,
         plan.search.windows_replayed,
         plan.search.windows_total,
@@ -97,12 +101,14 @@ fn main() {
     print!("{json}");
     eprintln!(
         "planner wall {wall_s:.3}s at jobs={} (peak {} workers), \
-         {} emulator runs, {} cache hits (+{} canonical), {} delta replays -> {out_path}",
+         {} emulator runs, {} cache hits (+{} canonical), {} bounds prunes, \
+         {} delta replays -> {out_path}",
         plan.search.jobs,
         plan.search.peak_workers,
         plan.search.emulator_runs,
         plan.search.cache_hits,
         plan.search.cache_hits_canonical,
+        plan.search.bounds_pruned,
         plan.search.delta_replays
     );
 }

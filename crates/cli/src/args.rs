@@ -11,7 +11,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["chart", "gantt", "json"];
+const SWITCHES: &[&str] = &["bounds", "chart", "gantt", "json"];
 // `--trace` takes a path, so it is a value flag, not a switch.
 
 /// Flags whose value is optional: bare `--key` means `--key=DEFAULT`.
@@ -101,9 +101,18 @@ mod tests {
 
     #[test]
     fn parses_pairs_and_switches() {
-        let a = parse(&["--model", "gpt-5.3b", "--chart", "--microbatch", "2"]).unwrap();
+        let a = parse(&[
+            "--model",
+            "gpt-5.3b",
+            "--chart",
+            "--bounds",
+            "--microbatch",
+            "2",
+        ])
+        .unwrap();
         assert_eq!(a.get("model"), Some("gpt-5.3b"));
         assert!(a.switch("chart"));
+        assert!(a.switch("bounds"));
         assert!(!a.switch("gantt"));
         assert_eq!(a.usize_or("microbatch", 12).unwrap(), 2);
         assert_eq!(a.usize_or("microbatches", 16).unwrap(), 16);

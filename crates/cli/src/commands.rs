@@ -59,15 +59,16 @@ fn body_json<T: serde::Serialize>(payload: &T) -> Result<String, CliError> {
         .map_err(|e| CliError::Output(format!("serializing response: {e}")))
 }
 
-/// The human-readable `--metrics` section.
-fn telemetry_table(t: &TelemetryReport) -> String {
-    let mut out = String::from("\ntelemetry:\n");
-    let s = &t.search;
-    let _ = writeln!(
+/// The one `SearchStats` renderer every command shares (`plan` output,
+/// `--metrics` tables), so new counters print consistently everywhere.
+/// `candidates` appends the per-round candidate counts when the caller
+/// tracks them.
+fn search_summary(s: &mpress::SearchStats, indent: &str, candidates: Option<&[usize]>) -> String {
+    let mut out = String::new();
+    let _ = write!(
         out,
-        "  search: {} emulator runs, {} cache hits (+{} canonical, {:.0}% hit rate), \
-         {} prefilter skips, {} verifier rejections, jobs={} (peak {} workers), \
-         candidates/round {:?}",
+        "{indent}search: {} emulator runs, {} cache hits (+{} canonical, {:.0}% hit rate), \
+         {} prefilter skips, {} verifier rejections, jobs={} (peak {} workers)",
         s.emulator_runs,
         s.cache_hits,
         s.cache_hits_canonical,
@@ -76,13 +77,28 @@ fn telemetry_table(t: &TelemetryReport) -> String {
         s.verifier_rejections,
         s.jobs,
         s.peak_workers,
-        t.refine_candidates,
+    );
+    if let Some(c) = candidates {
+        let _ = write!(out, ", candidates/round {c:?}");
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{indent}bounds: {} pruned, {} certified-fit",
+        s.bounds_pruned, s.bounds_certified_fit,
     );
     let _ = writeln!(
         out,
-        "  delta: {} replays, {}/{} windows replayed",
+        "{indent}delta: {} replays, {}/{} windows replayed",
         s.delta_replays, s.windows_replayed, s.windows_total,
     );
+    out
+}
+
+/// The human-readable `--metrics` section.
+fn telemetry_table(t: &TelemetryReport) -> String {
+    let mut out = String::from("\ntelemetry:\n");
+    out.push_str(&search_summary(&t.search, "  ", Some(&t.refine_candidates)));
     let Some(sim) = &t.sim else {
         return out;
     };
@@ -242,25 +258,12 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
     }
     let (plan, lowered) = (&outcome.plan, &outcome.lowered);
     let mut out = format!(
-        "device map: {}\ndirectives: {} (refinement rounds: {})\n\
-         search: {} emulator runs, {} cache hits (+{} canonical, {:.0}% hit rate), \
-         {} prefilter skips, {} verifier rejections, jobs={} (peak {} workers)\n\
-         delta: {} replays, {}/{} windows replayed\n",
+        "device map: {}\ndirectives: {} (refinement rounds: {})\n",
         plan.device_map,
         plan.instrumentation.len(),
         plan.refinement_rounds,
-        plan.search.emulator_runs,
-        plan.search.cache_hits,
-        plan.search.cache_hits_canonical,
-        100.0 * plan.search.cache_hit_rate(),
-        plan.search.prefilter_skips,
-        plan.search.verifier_rejections,
-        plan.search.jobs,
-        plan.search.peak_workers,
-        plan.search.delta_replays,
-        plan.search.windows_replayed,
-        plan.search.windows_total,
     );
+    out.push_str(&search_summary(&plan.search, "", None));
     let savings = plan.savings(lowered);
     let total: f64 = savings.values().map(|b| b.as_f64()).sum();
     for tech in [
@@ -301,16 +304,49 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// The human-readable `--bounds` section of `check`: the certified
+/// makespan interval, verdict, and per-GPU residency envelope.
+fn bounds_table(bounds: &mpress_analyze::PlanBounds) -> String {
+    let mut out = format!(
+        "bounds: {} (makespan within [{:.2}s, {:.2}s])\n",
+        bounds.residency.verdict, bounds.makespan_lo, bounds.makespan_hi,
+    );
+    for (d, (lo, hi)) in bounds
+        .residency
+        .lo
+        .iter()
+        .zip(&bounds.residency.hi)
+        .enumerate()
+    {
+        let _ = writeln!(out, "  gpu{d}: residency within [{lo}, {hi}]");
+    }
+    out
+}
+
 /// `check`: run the planner, then the static verifier (`mpress-analyze`)
 /// on the chosen plan — no simulation. Prints the MP0xx diagnostic table
 /// (or the JSON document under `--json`); any error-severity finding
-/// turns into a non-zero exit.
+/// turns into a non-zero exit. `--bounds` adds the certified
+/// residency/makespan intervals from the abstract-interpretation pass
+/// (one combined JSON document under `--bounds --json`).
 pub fn check(args: &Args) -> Result<String, CliError> {
+    use serde::Serialize as _;
+
     let req = plan_request_from(args)?;
     let outcome = run_check(&req, &ApiContext::new())?;
     let report = &outcome.report;
+    let with_bounds = args.switch("bounds");
     let body = if args.switch("json") {
-        serde_json::to_string_pretty(report)
+        let doc = if with_bounds {
+            // One parseable document: diagnostics plus the intervals.
+            serde_json::Value::Object(vec![
+                ("report".to_owned(), report.to_json()),
+                ("bounds".to_owned(), outcome.bounds.to_json()),
+            ])
+        } else {
+            report.to_json()
+        };
+        serde_json::to_string_pretty(&doc)
             .map(|mut s| {
                 s.push('\n');
                 s
@@ -325,6 +361,9 @@ pub fn check(args: &Args) -> Result<String, CliError> {
         );
         if !report.is_clean() {
             out.push_str(&report.render_table());
+        }
+        if with_bounds {
+            out.push_str(&bounds_table(&outcome.bounds));
         }
         out
     };

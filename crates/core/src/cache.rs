@@ -382,6 +382,85 @@ mod tests {
         assert_eq!(stats.emu_entries, 2);
     }
 
+    /// A structurally-empty plan for exercising the plan level;
+    /// `rounds` tags copies apart so hits are attributable.
+    fn dummy_plan(rounds: usize) -> MpressPlan {
+        MpressPlan {
+            device_map: mpress_sim::DeviceMap::identity(1),
+            instrumentation: mpress_compaction::InstrumentationPlan::new(),
+            spare: crate::mapping::SpareAssignment {
+                per_stage: Vec::new(),
+            },
+            refinement_rounds: rounds,
+            baseline: mpress_sim::SimReport {
+                makespan: 0.0,
+                op_start: Vec::new(),
+                op_end: Vec::new(),
+                device_peak: Vec::new(),
+                host_peak: mpress_hw::Bytes::ZERO,
+                nvme_peak: mpress_hw::Bytes::ZERO,
+                oom: None,
+                d2d_traffic: mpress_hw::Bytes::ZERO,
+                host_traffic: mpress_hw::Bytes::ZERO,
+                nvme_traffic: mpress_hw::Bytes::ZERO,
+                recompute_time: 0.0,
+                timelines: None,
+                trace: None,
+                metrics: None,
+            },
+            search: crate::planner::SearchStats::default(),
+            refine_candidates: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn plan_level_counts_hits_misses_and_evictions() {
+        let cache = PlanCache::with_capacity(2, 8);
+        assert!(cache.plan_lookup(1).is_none());
+        cache.plan_insert(1, &dummy_plan(1));
+        cache.plan_insert(2, &dummy_plan(2));
+        // Touch digest 1 so digest 2 becomes the stalest, then overflow.
+        assert_eq!(cache.plan_lookup(1).map(|p| p.refinement_rounds), Some(1));
+        cache.plan_insert(3, &dummy_plan(3));
+        assert!(cache.plan_lookup(2).is_none(), "2 was the LRU victim");
+        assert_eq!(cache.plan_lookup(3).map(|p| p.refinement_rounds), Some(3));
+        let stats = cache.stats();
+        assert_eq!(stats.plan_hits, 2);
+        assert_eq!(stats.plan_misses, 2);
+        assert_eq!(stats.plan_evictions, 1);
+        assert_eq!(stats.plan_entries, 2);
+        // The plan level never touches the emulation-level counters.
+        assert_eq!(stats.emu_hits, 0);
+        assert_eq!(stats.emu_misses, 0);
+        assert_eq!(stats.emu_evictions, 0);
+    }
+
+    #[test]
+    fn plan_level_first_writer_wins_without_eviction_noise() {
+        let cache = PlanCache::with_capacity(4, 8);
+        cache.plan_insert(9, &dummy_plan(1));
+        cache.plan_insert(9, &dummy_plan(2));
+        // The losing writer neither replaced the plan nor evicted.
+        assert_eq!(cache.plan_lookup(9).map(|p| p.refinement_rounds), Some(1));
+        let stats = cache.stats();
+        assert_eq!(stats.plan_entries, 1);
+        assert_eq!(stats.plan_evictions, 0);
+        assert_eq!(stats.plan_hits, 1);
+    }
+
+    #[test]
+    fn stats_snapshot_is_shared_across_clones() {
+        let cache = PlanCache::with_capacity(4, 4);
+        let clone = cache.clone();
+        assert!(clone.plan_lookup(5).is_none());
+        clone.plan_insert(5, &dummy_plan(7));
+        assert_eq!(cache.plan_lookup(5).map(|p| p.refinement_rounds), Some(7));
+        let stats = cache.stats();
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.plan_hits, 1);
+        assert_eq!(stats.plan_entries, 1);
+    }
+
     #[test]
     fn cancel_token_trips_on_cancel_and_budget() {
         let token = CancelToken::new();

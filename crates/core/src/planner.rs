@@ -18,7 +18,7 @@
 use crate::cache::{CancelToken, PlanCache};
 use crate::mapping::{MappingSearch, SpareAssignment};
 use crate::profiler::{Profile, TensorClass};
-use mpress_analyze::PlanVerifier;
+use mpress_analyze::{BoundsAnalyzer, BoundsVerdict, PlanVerifier};
 use mpress_compaction::{
     CostModel, HostTier, InstrumentationPlan, MemoryDirective, StripePlan, Technique,
 };
@@ -141,6 +141,21 @@ pub struct PlannerConfig {
     /// default honors the [`mpress_obs::ENV_DELTA`] escape hatch
     /// (`MPRESS_DELTA=0` disables).
     pub delta: bool,
+    /// Certified-bounds gate (`mpress_analyze::bounds`): before
+    /// emulating a refinement candidate against a non-OOM incumbent,
+    /// reject candidates whose residency **lower** bound already
+    /// certifies an OOM (MP013 — the emulator could only confirm a loss)
+    /// and candidates whose certified makespan lower bound cannot even
+    /// tie the incumbent; a certified-**fit** verdict additionally lets
+    /// the verifier hook skip its redundant residency re-checks
+    /// (MP007/MP008). Pruning is sound — only candidates the metric
+    /// could never pick are dropped — so the chosen plan is byte-
+    /// identical either way; only [`SearchStats::bounds_pruned`] and
+    /// [`SearchStats::bounds_certified_fit`] change. Supersedes the
+    /// [`PlannerConfig::prefilter`] lower-bound check while on. The
+    /// default honors the [`mpress_obs::ENV_BOUNDS`] escape hatch
+    /// (`MPRESS_BOUNDS=0` disables).
+    pub bounds: bool,
 }
 
 impl Default for PlannerConfig {
@@ -155,6 +170,7 @@ impl Default for PlannerConfig {
             prefilter: prefilter_default(),
             verify: verify_default(),
             delta: delta_default(),
+            bounds: bounds_default(),
         }
     }
 }
@@ -216,6 +232,25 @@ impl PlannerConfig {
         self.delta = on;
         self
     }
+
+    /// Toggles the certified-bounds gate.
+    pub fn bounds(mut self, on: bool) -> Self {
+        self.bounds = on;
+        self
+    }
+}
+
+/// Process-wide default for [`PlannerConfig::bounds`]: on, unless
+/// `MPRESS_BOUNDS` is set to `0`, `false` or `off`. Read once and
+/// cached, like the other [`mpress_obs`] switches.
+fn bounds_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var(mpress_obs::ENV_BOUNDS).as_deref(),
+            Ok("0") | Ok("false") | Ok("off")
+        )
+    })
 }
 
 /// Process-wide default for [`PlannerConfig::delta`]: on, unless
@@ -292,6 +327,15 @@ pub struct SearchStats {
     /// [`SearchStats::windows_replayed`] this measures how much of the
     /// schedule the delta path stitched from the incumbent's run.
     pub windows_total: usize,
+    /// Candidates the certified-bounds gate pruned without emulation:
+    /// certified-OOM residency (MP013) or a certified makespan lower
+    /// bound that cannot even tie the incumbent (see
+    /// [`PlannerConfig::bounds`]).
+    pub bounds_pruned: usize,
+    /// Candidates whose residency upper bound certified a device-
+    /// capacity fit, letting the verifier hook skip its residency
+    /// re-checks (MP007/MP008).
+    pub bounds_certified_fit: usize,
 }
 
 impl SearchStats {
@@ -398,6 +442,13 @@ struct EmulationCache {
     delta_replays: AtomicUsize,
     windows_replayed: AtomicUsize,
     windows_total: AtomicUsize,
+    bounds_pruned: AtomicUsize,
+    bounds_certified_fit: AtomicUsize,
+    /// Memoized residency verdicts `(certified_oom, certified_fit)`
+    /// keyed by the structural [`cache_key`]. Pruned candidates never
+    /// reach the metric caches, so without this memo a rejected trial
+    /// re-derived later in the search would re-pay the directive walk.
+    bounds_memo: Mutex<HashMap<u64, (bool, bool)>>,
 }
 
 /// What one emulator window reports back to the search.
@@ -619,6 +670,10 @@ pub struct Planner<'a> {
     /// The graph-side tables (lifetime sites, happens-before bitset)
     /// are shared by every candidate check, so they are built once.
     verifier: OnceLock<PlanVerifier<'a>>,
+    /// Lazily built certified-bounds analyzer (see
+    /// [`PlannerConfig::bounds`]); its per-stage residency tables are
+    /// likewise shared by every candidate.
+    bounds: OnceLock<BoundsAnalyzer<'a>>,
 }
 
 impl<'a> Planner<'a> {
@@ -639,6 +694,7 @@ impl<'a> Planner<'a> {
             shared: None,
             cancel: None,
             verifier: OnceLock::new(),
+            bounds: OnceLock::new(),
         }
     }
 
@@ -683,6 +739,8 @@ impl<'a> Planner<'a> {
             delta_replays: self.cache.delta_replays.load(Ordering::Relaxed),
             windows_replayed: self.cache.windows_replayed.load(Ordering::Relaxed),
             windows_total: self.cache.windows_total.load(Ordering::Relaxed),
+            bounds_pruned: self.cache.bounds_pruned.load(Ordering::Relaxed),
+            bounds_certified_fit: self.cache.bounds_certified_fit.load(Ordering::Relaxed),
         }
     }
 
@@ -1457,15 +1515,29 @@ impl<'a> Planner<'a> {
                 return Ok(Some(outcome));
             }
         }
+        // Certified residency verdict, computed arena-free and memoized
+        // per structural key; resolved before the verifier so a
+        // certified-fit can skip the residency re-checks inside it.
+        let verdict = self
+            .config
+            .bounds
+            .then(|| self.bounds_verdict(key, plan, device_map));
         if self.config.verify {
-            let report = self
+            let verifier = self
                 .verifier
-                .get_or_init(|| PlanVerifier::new(self.machine, &self.lowered.graph))
-                .verify(plan, device_map);
+                .get_or_init(|| PlanVerifier::new(self.machine, &self.lowered.graph));
+            // A certified-fit residency verdict subsumes MP007/MP008;
+            // skipping them cannot change the rejection below, because
+            // capacity codes are never structural.
+            let report = if matches!(verdict, Some((_, true))) {
+                verifier.verify_assuming_fit(plan, device_map)
+            } else {
+                verifier.verify(plan, device_map)
+            };
             // Only *structural* malformations reject: a predicted OOM
-            // (MP007/MP008) must still reach the emulator, because the
-            // feasibility loop and OOM-vs-OOM comparisons consume the
-            // simulated `OomEvent`.
+            // (MP007/MP008/MP013) must still reach the emulator, because
+            // the feasibility loop and OOM-vs-OOM comparisons consume
+            // the simulated `OomEvent`.
             if report.has_structural_errors() {
                 self.cache
                     .verifier_rejections
@@ -1480,11 +1552,47 @@ impl<'a> Planner<'a> {
                 };
             }
         }
-        if self.config.prefilter {
+        if let Some((certified_oom, certified_fit)) = verdict {
+            if certified_fit {
+                self.cache
+                    .bounds_certified_fit
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             if let Some(best) = incumbent {
                 // Only prune against a feasible incumbent: against an OOM
                 // one, any non-OOM candidate wins regardless of makespan,
-                // and the bound cannot predict feasibility.
+                // and the bounds cannot predict host-pool feasibility.
+                if !best.oom {
+                    // Certified OOM (MP013): emulation is guaranteed to
+                    // report an OOM metric, which `metric_better` can
+                    // never prefer over a non-OOM incumbent.
+                    if certified_oom {
+                        self.cache.bounds_pruned.fetch_add(1, Ordering::Relaxed);
+                        return Ok(None);
+                    }
+                    // Certified makespan lower bound: `metric_better`
+                    // accepts a candidate at up to 1.001x the incumbent
+                    // (the host-traffic tiebreak), so only candidates
+                    // that cannot even tie are pruned.
+                    let lb = self.with_arena(|arena| {
+                        arena.makespan_lower_bound(
+                            self.machine,
+                            &self.lowered.graph,
+                            plan,
+                            device_map,
+                        )
+                    });
+                    if lb > best.makespan * 1.001 {
+                        self.cache.bounds_pruned.fetch_add(1, Ordering::Relaxed);
+                        return Ok(None);
+                    }
+                }
+            }
+        } else if self.config.prefilter {
+            // Legacy analytic pre-filter: the same lower-bound prune,
+            // kept as the fallback when the bounds gate is off (counted
+            // separately so A/B runs stay comparable).
+            if let Some(best) = incumbent {
                 if !best.oom {
                     let lb = self.with_arena(|arena| {
                         arena.makespan_lower_bound(
@@ -1494,9 +1602,6 @@ impl<'a> Planner<'a> {
                             device_map,
                         )
                     });
-                    // `metric_better` accepts a candidate at up to
-                    // 1.001x the incumbent (the host-traffic tiebreak),
-                    // so only candidates that cannot even tie are pruned.
                     if lb > best.makespan * 1.001 {
                         self.cache.prefilter_skips.fetch_add(1, Ordering::Relaxed);
                         return Ok(None);
@@ -1569,6 +1674,41 @@ impl<'a> Planner<'a> {
             },
             report.oom,
         ))
+    }
+
+    /// The `(certified_oom, certified_fit)` residency verdict for one
+    /// candidate, memoized under its structural `key` (see
+    /// `EmulationCache::bounds_memo`). The analyzer itself is built
+    /// lazily once per planner, like the verifier.
+    fn bounds_verdict(
+        &self,
+        key: u64,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+    ) -> (bool, bool) {
+        if let Some(&v) = self
+            .cache
+            .bounds_memo
+            .lock()
+            .expect("bounds lock")
+            .get(&key)
+        {
+            return v;
+        }
+        let analyzer = self
+            .bounds
+            .get_or_init(|| BoundsAnalyzer::new(self.machine, &self.lowered.graph));
+        let verdict = analyzer.certify(plan, device_map).verdict;
+        let v = (
+            verdict == BoundsVerdict::CertifiedOom,
+            verdict == BoundsVerdict::CertifiedFit,
+        );
+        self.cache
+            .bounds_memo
+            .lock()
+            .expect("bounds lock")
+            .insert(key, v);
+        v
     }
 
     /// Captures the refinement incumbent's run as a delta base (one

@@ -201,10 +201,11 @@ impl Mpress {
         h = fnv_u64(h, u64::from(c.striping));
         h = fnv_u64(h, u64::from(c.mapping_search));
         h = fnv_u64(h, u64::from(c.exhaustive_swap));
-        // prefilter/verify/delta are outcome-transparent (the property
-        // suite pins plan identity with them on or off), so they are
-        // deliberately not part of the digest: a plan computed with
-        // delta off answers a request with delta on, and vice versa.
+        // prefilter/verify/delta/bounds are outcome-transparent (the
+        // property suite pins plan identity with them on or off), so
+        // they are deliberately not part of the digest: a plan computed
+        // with delta off answers a request with delta on, and vice
+        // versa.
         h
     }
 
@@ -311,6 +312,7 @@ pub struct MpressBuilder {
     prefilter: Option<bool>,
     verify: Option<bool>,
     delta: Option<bool>,
+    bounds: Option<bool>,
     metrics: bool,
     plan_cache: Option<PlanCache>,
     arena_pool: Option<ArenaPool>,
@@ -381,6 +383,14 @@ impl MpressBuilder {
     /// way — only wall-clock and the delta counters change).
     pub fn delta(mut self, on: bool) -> Self {
         self.delta = Some(on);
+        self
+    }
+
+    /// Toggles the planner's certified-bounds gate (on by default unless
+    /// `MPRESS_BOUNDS=0`; the chosen plan is byte-identical either way —
+    /// only the `bounds_pruned`/`bounds_certified_fit` counters change).
+    pub fn bounds(mut self, on: bool) -> Self {
+        self.bounds = Some(on);
         self
     }
 
@@ -462,6 +472,9 @@ impl MpressBuilder {
         }
         if let Some(d) = self.delta {
             config.delta = d;
+        }
+        if let Some(b) = self.bounds {
+            config.bounds = b;
         }
         Ok(Mpress {
             job,

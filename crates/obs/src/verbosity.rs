@@ -42,6 +42,14 @@ pub const ENV_VERIFY: &str = "MPRESS_VERIFY";
 /// `delta_replays`/`windows_replayed` counters do.
 pub const ENV_DELTA: &str = "MPRESS_DELTA";
 
+/// Disables the planner's certified-bounds gate (MP013 pre-emulation
+/// rejection + sound incumbent pruning) when set to `0`, `false` or
+/// `off`. A/B escape hatch like [`ENV_PREFILTER`]: pruning only drops
+/// candidates the metric could never pick, so the chosen plan must not
+/// change either way — only the `bounds_pruned`/`bounds_certified_fit`
+/// counters and wall-clock do.
+pub const ENV_BOUNDS: &str = "MPRESS_BOUNDS";
+
 /// A parsed [`ENV_TRACE_WINDOW`] filter. Kept outside [`Verbosity`]
 /// (whose `Eq` derive the `f64` bounds would break) and cached the same
 /// way: read once per process.
@@ -130,6 +138,7 @@ mod tests {
         assert_eq!(ENV_PREFILTER, "MPRESS_PREFILTER");
         assert_eq!(ENV_VERIFY, "MPRESS_VERIFY");
         assert_eq!(ENV_DELTA, "MPRESS_DELTA");
+        assert_eq!(ENV_BOUNDS, "MPRESS_BOUNDS");
     }
 
     #[test]

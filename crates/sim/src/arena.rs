@@ -385,7 +385,24 @@ impl SimArena {
 
     /// An analytic lower bound on the makespan of `plan` on `machine`:
     /// no simulated schedule can beat it, because every component is a
-    /// constraint the engine enforces.
+    /// constraint the engine enforces. Thin wrapper over
+    /// [`SimArena::cost_profile`]; see [`CostProfile::makespan_lo`].
+    pub fn makespan_lower_bound(
+        &mut self,
+        machine: &Machine,
+        graph: &TrainingGraph,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+    ) -> Secs {
+        self.cost_profile(machine, graph, plan, device_map)
+            .makespan_lo
+    }
+
+    /// The analytic cost inputs the bounds pass and the planner's
+    /// prefilter share, computed in one walk over the plan.
+    ///
+    /// The lower bound combines two constraints every simulated schedule
+    /// must respect:
     ///
     /// * **Critical path** over the op dependency DAG, where consecutive
     ///   ops on one FIFO stream (compute/comm per stage) and cross-stage
@@ -399,13 +416,23 @@ impl SimArena {
     ///
     /// The bound ignores memory gating, admission windows and evictions,
     /// all of which only *delay* work — so it stays a true lower bound.
-    pub fn makespan_lower_bound(
+    ///
+    /// The upper-bound ingredients mirror the engine's accounting the
+    /// other way: the clock only ever advances to a task's completion
+    /// time, so the makespan cannot exceed the summed duration of every
+    /// task the run can create — the built tasks (ops plus planned swap
+    /// legs, [`CostProfile::total_task_time`]) plus the worst-case
+    /// eviction tasks (the engine caps evictions at `4 * n_tasks`, each
+    /// `try_evict` sweep can add at most one eviction per tensor past
+    /// the cap check, and each eviction pushes at most two legs of at
+    /// most [`CostProfile::max_evict_leg`] each).
+    pub fn cost_profile(
         &mut self,
         machine: &Machine,
         graph: &TrainingGraph,
         plan: &InstrumentationPlan,
         device_map: &DeviceMap,
-    ) -> Secs {
+    ) -> CostProfile {
         self.ensure(graph);
         let pre = self.prebuilt();
         let n_ops = pre.n_ops;
@@ -425,6 +452,7 @@ impl SimArena {
                 }
             }
         }
+        let op_total: Secs = dur.iter().sum();
 
         // DAG longest path via Kahn's algorithm over chain + cross edges.
         let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
@@ -461,10 +489,17 @@ impl SimArena {
         }
 
         // Per-device copy-stream load, mirroring the engine's swap-leg
-        // construction exactly (leg counts, not schedules).
+        // construction exactly (leg counts, not schedules). The same walk
+        // accumulates the upper-bound ingredients: the summed duration
+        // and count of every planned leg, and the worst single eviction
+        // leg (evictions re-export over plain PCIe or the stripe links,
+        // never the NVMe path — matching `evict_tensor`).
         let gpus = machine.gpu_count();
         let mut out_sum = vec![0.0_f64; gpus];
         let mut in_sum = vec![0.0_f64; gpus];
+        let mut leg_total = 0.0_f64;
+        let mut n_legs = 0usize;
+        let mut max_evict_leg = 0.0_f64;
         for (t, d) in plan.iter() {
             let i = t.index();
             let (out_dur, in_dur) = match d {
@@ -481,6 +516,12 @@ impl SimArena {
                 }
                 MemoryDirective::SwapD2d(stripe) => (stripe.one_way_time(), stripe.one_way_time()),
             };
+            let evict_leg = match d {
+                MemoryDirective::Recompute => unreachable!("skipped above"),
+                MemoryDirective::SwapToHost(_) => machine.pcie_transfer_time(pre.bytes[i]),
+                MemoryDirective::SwapD2d(stripe) => stripe.one_way_time(),
+            };
+            max_evict_leg = max_evict_leg.max(evict_leg);
             let dev = device_map.device_of(graph.tensor(t).stage).index();
             if dev >= gpus {
                 continue; // bound stays valid; the run itself will error
@@ -495,13 +536,56 @@ impl SimArena {
                 };
             out_sum[dev] += outs as f64 * out_dur;
             in_sum[dev] += n_cons as f64 * in_dur;
+            leg_total += outs as f64 * out_dur + n_cons as f64 * in_dur;
+            n_legs += outs + n_cons;
         }
         let copy_bound = out_sum
             .iter()
             .chain(in_sum.iter())
             .fold(0.0_f64, |acc, &x| acc.max(x));
 
-        critical_path.max(copy_bound)
+        CostProfile {
+            makespan_lo: critical_path.max(copy_bound),
+            total_task_time: op_total + leg_total,
+            n_tasks: n_ops + n_legs,
+            n_tensors: pre.n_tensors,
+            max_evict_leg,
+        }
+    }
+}
+
+/// Analytic cost inputs shared by the planner's prefilter and the
+/// certified-bounds pass, computed by [`SimArena::cost_profile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProfile {
+    /// Certified makespan lower bound (critical path vs copy-engine
+    /// load). Sound for *completed* runs only: an out-of-memory run
+    /// stops early and may finish below the critical path.
+    pub makespan_lo: Secs,
+    /// Summed duration of every task the engine builds for this plan:
+    /// recomputation-folded op durations plus every planned swap leg.
+    pub total_task_time: Secs,
+    /// Number of built tasks (ops + planned swap legs) — the base of the
+    /// engine's eviction cap.
+    pub n_tasks: usize,
+    /// Tensor count (bounds the eviction overshoot past the cap check:
+    /// one `try_evict` sweep evicts each tensor at most once).
+    pub n_tensors: usize,
+    /// Worst single eviction leg the engine could create: re-exports
+    /// move over plain PCIe (host directives, both tiers) or the stripe
+    /// links (D2D), mirroring `evict_tensor`.
+    pub max_evict_leg: Secs,
+}
+
+impl CostProfile {
+    /// Certified makespan upper bound: the clock only advances to task
+    /// completion times, every completion time is a sum of distinct task
+    /// durations, and the run can create at most
+    /// `2 * (4 * n_tasks + n_tensors)` eviction legs on top of the built
+    /// tasks. Sound for completed *and* out-of-memory runs.
+    pub fn makespan_hi(&self) -> Secs {
+        let evict_legs = 2 * (4 * self.n_tasks + self.n_tensors);
+        self.total_task_time + evict_legs as f64 * self.max_evict_leg
     }
 }
 

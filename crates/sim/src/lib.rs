@@ -29,7 +29,7 @@ pub mod report;
 pub mod trace;
 pub mod viz;
 
-pub use arena::{graph_fingerprint, ArenaPool, SimArena};
+pub use arena::{graph_fingerprint, ArenaPool, CostProfile, SimArena};
 pub use delta::{DeltaRun, RunBase};
 pub use device_map::DeviceMap;
 pub use engine::{SimConfig, SimError, Simulator};

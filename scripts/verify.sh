@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification gate: formatting, release build, test suite, lint,
-# high-worker-count determinism, the telemetry JSON contract, and the
-# planner/emulator/service smoke-runs (write BENCH_planner.json,
-# BENCH_sim.json and BENCH_serve.json at the repo root).
+# high-worker-count determinism, the telemetry JSON contract, the
+# certified-bounds soundness oracle, and the planner/emulator/service
+# smoke-runs (write BENCH_planner.json, BENCH_sim.json, BENCH_serve.json
+# and BENCH_bounds.json at the repo root).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +34,17 @@ echo "== static plan verifier (mpress-cli check) =="
     | ./target/release/json_roundtrip_check
 ./target/release/mpress-cli check --model gpt-10.3b --machine dgx2 --json \
     | ./target/release/json_roundtrip_check
+# --bounds nests the certified-bounds document next to the report; the
+# combined document must still round-trip.
+./target/release/mpress-cli check --model bert-1.67b --bounds --json \
+    | ./target/release/json_roundtrip_check
+
+echo "== certified-bounds soundness oracle (exp_bench_bounds) =="
+# Zoo x {DGX-1, DGX-2} x five directive mutations per case: every
+# emulated makespan and per-device peak must lie inside its certified
+# interval, certified-oom must be confirmed by the engine, and
+# certified-fit forbids device-pool OOM. Exits nonzero on any escape.
+./target/release/exp_bench_bounds --out BENCH_bounds.json
 
 echo "== determinism at MPRESS_JOBS=8 =="
 # The jobs=1 vs jobs=4 contract is in the suite; re-check the planner and

@@ -12,14 +12,14 @@
 //!   stable contract by tooling and CI.
 
 use mpress::Mpress;
-use mpress_analyze::{check_plan, Code};
+use mpress_analyze::{check_plan, BoundsAnalyzer, BoundsVerdict, Code};
 use mpress_bench::jobs::{bert_job, gpt_job};
 use mpress_compaction::{InstrumentationPlan, MemoryDirective, StripePlan};
 use mpress_graph::TensorKind;
 use mpress_hw::{DeviceId, Machine};
 use mpress_model::{zoo, TransformerConfig};
 use mpress_pipeline::PipelineJob;
-use mpress_sim::DeviceMap;
+use mpress_sim::{DeviceMap, SimArena, Simulator};
 
 fn zoo_jobs(machine: &Machine) -> Vec<(String, PipelineJob)> {
     let bert: Vec<TransformerConfig> = zoo::bert_variants();
@@ -155,6 +155,129 @@ fn short_device_map_yields_mp011() {
         "expected MP011:\n{}",
         report.render_table()
     );
+}
+
+/// Soundness of the certified bounds: for every zoo model on both
+/// NVLink machines, the emulated makespan and per-device peaks of the
+/// planner's chosen plan lie inside the certified intervals, and a
+/// `certified-oom` verdict is always confirmed by the engine. (The
+/// bench oracle `exp_bench_bounds` additionally sweeps directive
+/// mutations; this is the tier-1 cut of the same property.)
+#[test]
+fn certified_bounds_contain_emulation_across_zoo_and_machines() {
+    let mut arena = SimArena::new();
+    for machine in [Machine::dgx1(), Machine::dgx2()] {
+        for (name, job) in zoo_jobs(&machine) {
+            let mpress = Mpress::builder().job(job).build();
+            let (plan, lowered) = mpress.plan().expect("planning succeeds");
+            let analyzer = BoundsAnalyzer::new(mpress.machine(), &lowered.graph);
+            let bounds =
+                analyzer.certify_with_arena(&plan.instrumentation, &plan.device_map, &mut arena);
+            let sim = Simulator::new(
+                mpress.machine(),
+                &lowered.graph,
+                &plan.instrumentation,
+                plan.device_map.clone(),
+            )
+            .run_in(&mut arena)
+            .expect("chosen plan emulates");
+            let case = format!("{name} on {}", machine.name());
+            assert!(
+                sim.makespan <= bounds.makespan_hi * (1.0 + 1e-9),
+                "{case}: makespan {} above upper bound {}",
+                sim.makespan,
+                bounds.makespan_hi
+            );
+            for (d, peak) in sim.device_peak.iter().enumerate() {
+                assert!(
+                    *peak <= bounds.residency.hi[d],
+                    "{case}: gpu{d} peak {peak} above upper bound {}",
+                    bounds.residency.hi[d]
+                );
+            }
+            if sim.oom.is_none() {
+                assert!(
+                    sim.makespan >= bounds.makespan_lo * (1.0 - 1e-9),
+                    "{case}: makespan {} below lower bound {}",
+                    sim.makespan,
+                    bounds.makespan_lo
+                );
+                for (d, peak) in sim.device_peak.iter().enumerate() {
+                    assert!(
+                        *peak >= bounds.residency.lo[d],
+                        "{case}: gpu{d} peak {peak} below lower bound {}",
+                        bounds.residency.lo[d]
+                    );
+                }
+            }
+            if bounds.residency.verdict == BoundsVerdict::CertifiedOom {
+                assert!(sim.oom.is_some(), "{case}: certified-oom but completed");
+            }
+        }
+    }
+}
+
+/// A bare plan (no directives) for GPT-15.4B on DGX-1 homes every
+/// static — parameters, gradients, optimizer state — on its stage's
+/// GPU, which is certifiably over the 32 GiB budget before any
+/// emulation. The verdict is `certified-oom` and the report carries
+/// MP013 for the overloaded devices, as a *model-capacity* error, not a
+/// structural one (the plan spec itself is well-formed).
+#[test]
+fn bare_plan_on_gpt_15_4b_is_certified_oom_mp013() {
+    let job = gpt_job(zoo::gpt_15_4b(), Machine::dgx1());
+    let lowered = job.lower().expect("paper job lowers");
+    let machine = Machine::dgx1();
+    let map = DeviceMap::identity(lowered.graph.n_stages());
+    let analyzer = BoundsAnalyzer::new(&machine, &lowered.graph);
+    let bounds = analyzer.certify(&InstrumentationPlan::new(), &map);
+    assert_eq!(bounds.verdict, BoundsVerdict::CertifiedOom);
+    let report = bounds.report(machine.gpu().usable_memory());
+    assert!(
+        report.has_code(Code::CertifiedOom),
+        "expected MP013:\n{}",
+        report.render_table()
+    );
+    assert!(report.error_count() > 0);
+    assert!(!report.has_structural_errors());
+}
+
+/// The bounds gate must be invisible: a bounds-on run's report is
+/// byte-identical to a bounds-off run's (certified-OOM candidates lose
+/// to any non-OOM incumbent anyway, and the certified lower bound only
+/// skips candidates the metric could never prefer). On this pressured
+/// case the gate also demonstrably fires.
+#[test]
+fn bounds_gate_does_not_change_the_chosen_plan() {
+    let run = |bounds: bool| -> String {
+        let report = Mpress::builder()
+            .job(bert_job(zoo::bert_1_67b(), Machine::dgx1()))
+            .bounds(bounds)
+            .build()
+            .train()
+            .expect("valid inputs");
+        if bounds {
+            assert!(
+                report.plan.search.bounds_pruned > 0,
+                "bounds gate never fired: {:?}",
+                report.plan.search
+            );
+        } else {
+            assert_eq!(report.plan.search.bounds_pruned, 0);
+        }
+        format!(
+            "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{}",
+            report.plan.device_map,
+            report.plan.instrumentation,
+            report.plan.refinement_rounds,
+            report.sim.makespan.to_bits(),
+            report.sim.device_peak,
+            report.sim.host_traffic,
+            report.tflops.to_bits(),
+            report.throughput.to_bits(),
+        )
+    };
+    assert_eq!(run(true), run(false));
 }
 
 /// The planner hook must be invisible: a verify-on run's report is

@@ -255,7 +255,9 @@ fn prefilter_is_transparent_to_plan_choice() {
     // The analytic lower-bound prefilter may only skip emulations whose
     // outcome could not have changed the search: with it on, the chosen
     // plan must be identical, while the emulator runs strictly fewer
-    // windows.
+    // windows. Bounds are held off on both arms — the certified-bounds
+    // gate supersedes the prefilter when enabled, so its skips would
+    // land in `bounds_pruned` instead.
     let plan_at = |prefilter: bool| {
         let mpress = Mpress::builder()
             .job(mpress_bench::jobs::bert_job(
@@ -263,6 +265,7 @@ fn prefilter_is_transparent_to_plan_choice() {
                 Machine::dgx1(),
             ))
             .prefilter(prefilter)
+            .bounds(false)
             .build();
         let (plan, _) = mpress.plan().unwrap();
         plan

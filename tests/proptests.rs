@@ -427,6 +427,98 @@ proptest! {
         }
     }
 
+    /// The certified bounds are sound on fuzzed jobs and directive
+    /// masks: every emulated makespan and per-device peak lies inside
+    /// its certified interval (lower bounds only bind on non-OOM runs,
+    /// which assume a completed schedule), and certified verdicts are
+    /// confirmed by the engine.
+    #[test]
+    fn certified_bounds_are_sound(
+        layers in 2usize..10,
+        stages in 2usize..5,
+        mb in 1usize..4,
+        microbatches in 2usize..8,
+        schedule_pick in 0usize..3,
+        directive_mask in 0u64..(1 << 12),
+    ) {
+        prop_assume!(layers >= stages);
+        let schedule = [ScheduleKind::PipeDream, ScheduleKind::Dapple, ScheduleKind::GPipe]
+            [schedule_pick];
+        let job = mpress_pipeline::PipelineJob::builder()
+            .model(
+                TransformerConfig::builder(ModelFamily::Gpt)
+                    .layers(layers)
+                    .hidden(256)
+                    .seq_len(128)
+                    .build(),
+            )
+            .schedule(schedule)
+            .stages(stages)
+            .microbatch_size(mb)
+            .microbatches(microbatches)
+            .precision(PrecisionPolicy::mixed())
+            .build()
+            .unwrap();
+        let lowered = job.lower().unwrap();
+        let mut plan = InstrumentationPlan::new();
+        for t in lowered.graph.tensors() {
+            if t.kind != TensorKind::Activation || t.layer.is_none() {
+                continue;
+            }
+            match (directive_mask >> (t.id.index() % 12)) & 3 {
+                1 => plan.assign(t.id, MemoryDirective::Recompute),
+                2 => plan.assign(t.id, MemoryDirective::SwapToHost(HostTier::Dram)),
+                _ => {}
+            }
+        }
+        let machine = mpress_hw::Machine::dgx1();
+        let map = DeviceMap::identity(stages);
+        let mut arena = SimArena::new();
+        let bounds =
+            mpress_analyze::certify_plan(&machine, &lowered.graph, &plan, &map, &mut arena);
+        let report = Simulator::new(&machine, &lowered.graph, &plan, map)
+            .run_in(&mut arena)
+            .expect("engine must terminate");
+        prop_assert!(
+            report.makespan <= bounds.makespan_hi * (1.0 + 1e-9),
+            "makespan {} above certified upper bound {}",
+            report.makespan,
+            bounds.makespan_hi
+        );
+        for (d, peak) in report.device_peak.iter().enumerate() {
+            prop_assert!(
+                *peak <= bounds.residency.hi[d],
+                "gpu{} peak {} above certified upper bound {}",
+                d, peak, bounds.residency.hi[d]
+            );
+        }
+        if report.oom.is_none() {
+            prop_assert!(
+                bounds.makespan_lo <= report.makespan * (1.0 + 1e-9),
+                "lower bound {} above emulated makespan {}",
+                bounds.makespan_lo,
+                report.makespan
+            );
+            for (d, peak) in report.device_peak.iter().enumerate() {
+                prop_assert!(
+                    *peak >= bounds.residency.lo[d],
+                    "gpu{} peak {} below certified lower bound {}",
+                    d, peak, bounds.residency.lo[d]
+                );
+            }
+        }
+        if bounds.residency.verdict == mpress_analyze::BoundsVerdict::CertifiedOom {
+            prop_assert!(report.oom.is_some(), "certified-oom but the run completed");
+        }
+        if bounds.residency.verdict == mpress_analyze::BoundsVerdict::CertifiedFit {
+            let gpu_oom = report
+                .oom
+                .as_ref()
+                .is_some_and(|e| e.pool == mpress_sim::PoolKind::Gpu);
+            prop_assert!(!gpu_oom, "certified-fit but a GPU pool overflowed");
+        }
+    }
+
     /// Incremental re-emulation is invisible: capturing window
     /// checkpoints does not perturb the base run, and replaying a
     /// seeded single-choice mutation as a delta against that base is
