@@ -9,9 +9,13 @@
 //!  "cache_hits_canonical": 3, "cache_hit_rate": 0.174, "prefilter_skips": 18,
 //!  "verifier_rejections": 0, "bounds_pruned": 18, "bounds_certified_fit": 3,
 //!  "delta_replays": 21, "windows_replayed": 84,
-//!  "windows_total": 352, "peak_workers": 4, "refinement_rounds": 9,
-//!  "refine_candidates": [4, 4, 1]}
+//!  "windows_total": 352, "peak_workers": 4, "steals": 6,
+//!  "speculative_runs": 31, "speculation_wasted": 4, "bound_aborts": 12,
+//!  "refinement_rounds": 9, "refine_candidates": [4, 4, 1]}
 //! ```
+//!
+//! `"jobs"` is the *resolved* pool width the search actually ran with
+//! (after the hardware clamp), not the requested `--jobs` value.
 //!
 //! Pass `--out PATH` to redirect (default `BENCH_planner.json` in the
 //! working directory); `--jobs N` / `MPRESS_JOBS` select the pool size.
@@ -75,7 +79,8 @@ fn main() {
          \"cache_hits_canonical\": {}, \"cache_hit_rate\": {:.4}, \"prefilter_skips\": {}, \
          \"verifier_rejections\": {}, \"bounds_pruned\": {}, \"bounds_certified_fit\": {}, \
          \"delta_replays\": {}, \"windows_replayed\": {}, \
-         \"windows_total\": {}, \"peak_workers\": {}, \
+         \"windows_total\": {}, \"peak_workers\": {}, \"steals\": {}, \
+         \"speculative_runs\": {}, \"speculation_wasted\": {}, \"bound_aborts\": {}, \
          \"refinement_rounds\": {}, \"refine_candidates\": [{}]}}\n",
         wall_s,
         plan.search.jobs,
@@ -91,6 +96,10 @@ fn main() {
         plan.search.windows_replayed,
         plan.search.windows_total,
         plan.search.peak_workers,
+        plan.search.steals,
+        plan.search.speculative_runs,
+        plan.search.speculation_wasted,
+        plan.search.bound_aborts,
         plan.refinement_rounds,
         candidates
     );
@@ -100,15 +109,20 @@ fn main() {
     });
     print!("{json}");
     eprintln!(
-        "planner wall {wall_s:.3}s at jobs={} (peak {} workers), \
+        "planner wall {wall_s:.3}s at jobs={} (peak {} workers, {} steals), \
          {} emulator runs, {} cache hits (+{} canonical), {} bounds prunes, \
-         {} delta replays -> {out_path}",
+         {} delta replays, {} speculative runs ({} wasted), {} bound aborts \
+         -> {out_path}",
         plan.search.jobs,
         plan.search.peak_workers,
+        plan.search.steals,
         plan.search.emulator_runs,
         plan.search.cache_hits,
         plan.search.cache_hits_canonical,
         plan.search.bounds_pruned,
-        plan.search.delta_replays
+        plan.search.delta_replays,
+        plan.search.speculative_runs,
+        plan.search.speculation_wasted,
+        plan.search.bound_aborts
     );
 }

@@ -92,6 +92,11 @@ fn search_summary(s: &mpress::SearchStats, indent: &str, candidates: Option<&[us
         "{indent}delta: {} replays, {}/{} windows replayed",
         s.delta_replays, s.windows_replayed, s.windows_total,
     );
+    let _ = writeln!(
+        out,
+        "{indent}speculation: {} runs ({} wasted), {} steals, {} bound aborts",
+        s.speculative_runs, s.speculation_wasted, s.steals, s.bound_aborts,
+    );
     out
 }
 

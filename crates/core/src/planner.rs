@@ -25,12 +25,13 @@ use mpress_compaction::{
 use mpress_hw::{Bytes, DeviceId, Machine, Secs};
 use mpress_pipeline::{LoweredJob, PipelineJob};
 use mpress_sim::{
-    ArenaPool, DeviceMap, OomEvent, PoolKind, RunBase, SimArena, SimError, SimReport, Simulator,
+    ArenaPool, DeltaOutcome, DeviceMap, OomEvent, PoolKind, RunBase, SimArena, SimError,
+    SimOutcome, SimReport, Simulator,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which techniques the planner may use. Disabling subsets yields the
 /// paper's baselines (recomputation-only, GPU-CPU-swap-only, D2D-only).
@@ -156,6 +157,26 @@ pub struct PlannerConfig {
     /// default honors the [`mpress_obs::ENV_BOUNDS`] escape hatch
     /// (`MPRESS_BOUNDS=0` disables).
     pub bounds: bool,
+    /// Bound-and-abort emulation: refinement candidates run against a
+    /// makespan bound of `incumbent * 1.001` (the acceptance slack),
+    /// and the engine aborts the window the moment its simulated clock
+    /// proves the candidate cannot even tie
+    /// ([`SimOutcome::BoundExceeded`](mpress_sim::SimOutcome)). Sound
+    /// by [`metric_better`]'s rules — an aborted candidate had already
+    /// lost — so the chosen plan is byte-identical either way; only
+    /// wall-clock and [`SearchStats::bound_aborts`] change. Composes
+    /// with the certified-bounds gate: cheap certified prunes fire
+    /// before emulation, expensive losers die early inside it. The
+    /// default honors the [`mpress_obs::ENV_BOUND_ABORT`] escape hatch
+    /// (`MPRESS_BOUND_ABORT=0` disables).
+    pub bound_abort: bool,
+    /// Widened refinement grid: every victim additionally tries
+    /// dropping its directive outright and the opposite host tier,
+    /// roughly doubling the candidate frontier. Unlike the gates above
+    /// this **steers the search** (it joins the plan digest): wider
+    /// grids explore assignments the default walk never visits. Used
+    /// by the `exp_bench_search` scaling grid; off by default.
+    pub explore: bool,
 }
 
 impl Default for PlannerConfig {
@@ -171,6 +192,8 @@ impl Default for PlannerConfig {
             verify: verify_default(),
             delta: delta_default(),
             bounds: bounds_default(),
+            bound_abort: bound_abort_default(),
+            explore: false,
         }
     }
 }
@@ -238,6 +261,18 @@ impl PlannerConfig {
         self.bounds = on;
         self
     }
+
+    /// Toggles bound-and-abort emulation.
+    pub fn bound_abort(mut self, on: bool) -> Self {
+        self.bound_abort = on;
+        self
+    }
+
+    /// Toggles the widened (exploratory) refinement grid.
+    pub fn explore(mut self, on: bool) -> Self {
+        self.explore = on;
+        self
+    }
 }
 
 /// Process-wide default for [`PlannerConfig::bounds`]: on, unless
@@ -248,6 +283,19 @@ fn bounds_default() -> bool {
     *DEFAULT.get_or_init(|| {
         !matches!(
             std::env::var(mpress_obs::ENV_BOUNDS).as_deref(),
+            Ok("0") | Ok("false") | Ok("off")
+        )
+    })
+}
+
+/// Process-wide default for [`PlannerConfig::bound_abort`]: on, unless
+/// `MPRESS_BOUND_ABORT` is set to `0`, `false` or `off`. Read once and
+/// cached, like the other [`mpress_obs`] switches.
+fn bound_abort_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var(mpress_obs::ENV_BOUND_ABORT).as_deref(),
             Ok("0") | Ok("false") | Ok("off")
         )
     })
@@ -336,6 +384,24 @@ pub struct SearchStats {
     /// capacity fit, letting the verifier hook skip its residency
     /// re-checks (MP007/MP008).
     pub bounds_certified_fit: usize,
+    /// Frontier tasks a pool worker claimed from another lane's deque
+    /// (see [`mpress_par::Pool`]). Zero on a serial search.
+    pub steals: usize,
+    /// Candidate evaluations executed speculatively by pool workers
+    /// ahead of adjudication (the adjudicator's own inline evaluations
+    /// are not counted). Zero on a serial search.
+    pub speculative_runs: usize,
+    /// Speculative evaluations whose result was discarded: the frontier
+    /// was invalidated by a commit before adjudication reached them, or
+    /// the incumbent they raced against had already been replaced
+    /// (stale-threshold re-evaluation). `speculative_runs -
+    /// speculation_wasted` is the useful speculation.
+    pub speculation_wasted: usize,
+    /// Emulator windows aborted by the bound-and-abort gate: the
+    /// simulated clock passed `incumbent * 1.001` mid-window, proving
+    /// the candidate lost without finishing it (see
+    /// [`PlannerConfig::bound_abort`]).
+    pub bound_aborts: usize,
 }
 
 impl SearchStats {
@@ -371,10 +437,10 @@ pub struct MpressPlan {
     pub baseline: SimReport,
     /// Emulator/cache/pool counters for this search.
     pub search: SearchStats,
-    /// Candidate plans emulated per refinement round, in round order
-    /// (victim rounds first, then the portfolio checks). Feasibility
-    /// iterations are not included, so the sum is at most
-    /// `refinement_rounds`.
+    /// Candidates adjudicated per frontier commit window, in commit
+    /// order (one trailing entry for candidates after the last commit,
+    /// then the portfolio checks). Feasibility iterations are not
+    /// included, so the sum is at most `refinement_rounds`.
     pub refine_candidates: Vec<usize>,
 }
 
@@ -449,6 +515,15 @@ struct EmulationCache {
     /// reach the metric caches, so without this memo a rejected trial
     /// re-derived later in the search would re-pay the directive walk.
     bounds_memo: Mutex<HashMap<u64, (bool, bool)>>,
+    /// Memoized analytic makespan lower bounds keyed by [`cache_key`],
+    /// used to order the refinement frontier. Orthogonal to the pruning
+    /// memo above: the frontier needs the bound for *every* candidate,
+    /// including ones the gates never see.
+    lb_memo: Mutex<HashMap<u64, Secs>>,
+    bound_aborts: AtomicUsize,
+    spec_runs: AtomicUsize,
+    spec_wasted: AtomicUsize,
+    steals: AtomicUsize,
 }
 
 /// What one emulator window reports back to the search.
@@ -645,6 +720,97 @@ struct RefineTrial {
     budgets: Option<Vec<Vec<(DeviceId, u32, Bytes)>>>,
 }
 
+/// A refinement candidate on the adjudicator's priority frontier:
+/// everything needed to adopt it on commit. The frontier key it sits
+/// under — `(lb_bits, canon_key, exact_key, seq)` — orders candidates
+/// by certified makespan lower bound first (most promising = lowest
+/// bound), and the digest tie-breaks make the order a pure function of
+/// the candidate set, never of evaluation timing.
+struct FrontierEntry {
+    victim: usize,
+    choice: Vec<Choice>,
+    budgets: Option<Vec<Vec<(DeviceId, u32, Bytes)>>>,
+    plan: Arc<InstrumentationPlan>,
+    key: u64,
+}
+
+/// State shared between the refinement adjudicator (lane 0) and the
+/// speculative pool workers. Workers only ever *read* candidates and
+/// *write* evaluation slots; every search decision is taken by the
+/// adjudicator, in frontier order, so outcomes cannot depend on worker
+/// timing.
+struct SpecShared {
+    /// Evaluable candidates by structural key. Cleared on every commit
+    /// (queued evaluations of invalidated candidates become no-ops) and
+    /// at search end (post-search deque drains stop doing work).
+    jobs: Mutex<HashMap<u64, Arc<InstrumentationPlan>>>,
+    /// Evaluation slots: claimed (in flight) or done. A slot is claimed
+    /// exactly once, so no candidate is ever emulated twice
+    /// concurrently.
+    results: Mutex<HashMap<u64, SpecState>>,
+    /// The incumbent metric and delta base speculative evaluations race
+    /// against. Updated by the adjudicator on commit; a stale snapshot
+    /// only makes a speculative verdict *inconclusive* (see
+    /// [`SpecResult::Lost`]), never wrong.
+    incumbent: Mutex<(Metric, Option<Arc<RunBase>>)>,
+}
+
+/// One evaluation slot in [`SpecShared::results`].
+enum SpecState {
+    Claimed,
+    Done(SpecResult),
+}
+
+/// The verdict of one candidate evaluation. `Outcome`, `Rejected` and
+/// `CertifiedLoss` are *conclusive*: they are pure functions of the
+/// candidate (and for `CertifiedLoss` of the incumbent's OOM-freeness,
+/// which never regresses), so the adjudicator can consume them no
+/// matter which incumbent the evaluation raced against. `Lost` is
+/// threshold-relative: it is conclusive only while the incumbent's
+/// acceptance threshold has not *tightened* past the one the evaluation
+/// saw (commits may raise the makespan by up to the 1.001x tiebreak
+/// slack); a stale `Lost` is re-evaluated inline and the speculative
+/// run counted as wasted.
+#[derive(Clone)]
+enum SpecResult {
+    /// Full emulation completed. The OOM event is deliberately dropped:
+    /// adjudication only compares [`Metric`]s (the feasibility loop,
+    /// which does consume OOM events, runs before the frontier search).
+    Outcome(Metric),
+    /// Static verifier found a structural malformation.
+    Rejected,
+    /// Certified-OOM residency bound against a non-OOM incumbent.
+    CertifiedLoss,
+    /// Pruned by the certified lower bound or aborted past the makespan
+    /// bound while `threshold` was the acceptance bar.
+    Lost { threshold: Secs },
+    /// The evaluation itself failed (cancellation, bad plan).
+    Failed(SimError),
+}
+
+/// What one (possibly bounded) emulator window produced.
+enum RunOut {
+    Done(Outcome),
+    /// The simulated clock passed the makespan bound; no usable metric.
+    Aborted,
+}
+
+/// How one candidate fared against the gate chain, for callers that
+/// need to distinguish *why* no outcome was produced (the speculative
+/// search does; [`Planner::emulate_bounded`] flattens this to an
+/// `Option`).
+enum Gated {
+    Outcome(Metric, Option<OomEvent>),
+    /// Structural verifier rejection (only with an incumbent; without
+    /// one the rejection is an error).
+    Rejected,
+    /// Certified-OOM residency verdict against a non-OOM incumbent.
+    CertifiedLoss,
+    /// Lower-bound prune or bound-and-abort: the candidate provably
+    /// cannot beat the incumbent it was gated against.
+    Lost,
+}
+
 /// Assigns compaction techniques to one job's tensor classes.
 #[derive(Debug)]
 pub struct Planner<'a> {
@@ -733,7 +899,7 @@ impl<'a> Planner<'a> {
             cache_hits: self.cache.hits.load(Ordering::Relaxed),
             prefilter_skips: self.cache.prefilter_skips.load(Ordering::Relaxed),
             verifier_rejections: self.cache.verifier_rejections.load(Ordering::Relaxed),
-            jobs: mpress_par::jobs(),
+            jobs: mpress_par::pool_width(),
             peak_workers: mpress_par::stats().peak_workers,
             cache_hits_canonical: self.cache.canon_hits.load(Ordering::Relaxed),
             delta_replays: self.cache.delta_replays.load(Ordering::Relaxed),
@@ -741,6 +907,10 @@ impl<'a> Planner<'a> {
             windows_total: self.cache.windows_total.load(Ordering::Relaxed),
             bounds_pruned: self.cache.bounds_pruned.load(Ordering::Relaxed),
             bounds_certified_fit: self.cache.bounds_certified_fit.load(Ordering::Relaxed),
+            steals: self.cache.steals.load(Ordering::Relaxed),
+            speculative_runs: self.cache.spec_runs.load(Ordering::Relaxed),
+            speculation_wasted: self.cache.spec_wasted.load(Ordering::Relaxed),
+            bound_aborts: self.cache.bound_aborts.load(Ordering::Relaxed),
         }
     }
 
@@ -1075,20 +1245,22 @@ impl<'a> Planner<'a> {
             // candidate below replay only its divergent suffix. The
             // base is refreshed whenever the incumbent changes so diffs
             // stay single-choice; an OOM incumbent has no usable base.
-            let mut delta_base: Option<RunBase> = if self.config.delta && !best_metric.oom {
-                self.capture_base(&best_plan, &device_map)?
+            let mut delta_base: Option<Arc<RunBase>> = if self.config.delta && !best_metric.oom {
+                self.capture_base(&best_plan, &device_map)?.map(Arc::new)
             } else {
                 None
             };
             // Class-wide trials (every instance of a tensor class flips
             // at once) can pin the divergence bound so early that every
             // replay falls back — then each base capture is pure
-            // overhead. After `DELTA_DRY_ROUNDS` consecutive rounds
-            // whose delta-eligible emulations all fell back, stop
-            // capturing for the rest of this search. The decision reads
-            // counters only after the round's workers have joined, so it
-            // is identical at any worker count.
-            let mut dry_rounds = 0usize;
+            // overhead. After `DELTA_DRY_ROUNDS` consecutive commit
+            // windows whose delta-eligible emulations all fell back,
+            // stop capturing for the rest of this search. Capture
+            // decisions only steer wall-clock (delta replay is byte-
+            // identical), so reading the racy counter here cannot
+            // change the chosen plan at any worker count.
+            let mut dry_commits = 0usize;
+            let mut replays_mark = self.cache.delta_replays.load(Ordering::Relaxed);
             // Every assigned class is a replacement candidate: estimated
             // overheads order them, but queuing delays the estimates miss
             // are caught by the emulator, so zero-estimate classes are
@@ -1103,144 +1275,262 @@ impl<'a> Planner<'a> {
                     .expect("finite overheads")
                     .then(classes[b].peak_saving().cmp(&classes[a].peak_saving()))
             });
-            for i in victims.into_iter().take(self.config.refine_iters) {
-                let stage = classes[i].stage;
-                // The up-to-4 replacement candidates for this victim are
-                // built serially (fixed order) and emulated concurrently.
-                // The winner is the best metric, ties broken by the lowest
-                // candidate index, so `jobs=1` and `jobs=N` accept the
-                // exact same trial.
-                let mut trials: Vec<RefineTrial> = Vec::with_capacity(4);
-                // Candidate: a minted donor offload that turned out to
-                // cost critical-path time can simply be undone (the
-                // emulator rejects the trial if the memory was needed).
-                if minted.contains(&i) {
-                    let mut trial_choice = choice.clone();
-                    trial_choice[i] = Choice::None;
-                    trials.push(RefineTrial {
-                        choice: trial_choice,
-                        budgets: None,
-                    });
-                }
-                // Candidate: re-route through NVLink to spare peers.
-                if opts.d2d && classes[i].swappable {
-                    let mut trial_budgets = budgets.clone();
-                    if reserve_budget(&classes[i], &mut trial_budgets[stage]) {
-                        let mut trial_choice = choice.clone();
-                        trial_choice[i] = Choice::D2d;
-                        trials.push(RefineTrial {
-                            choice: trial_choice,
-                            budgets: Some(trial_budgets),
-                        });
-                    }
-                }
-                // Candidate: a queued host swap may lose to recomputation.
-                if opts.recompute
-                    && classes[i].recomputable()
-                    && matches!(choice[i], Choice::HostSwap { .. })
-                {
-                    let mut trial_choice = choice.clone();
-                    trial_choice[i] = Choice::Recompute {
-                        overhead: cost.recompute(classes[i].recompute_time).overhead,
-                    };
-                    trials.push(RefineTrial {
-                        choice: trial_choice,
-                        budgets: None,
-                    });
-                }
-                // Candidate: the reverse — recomputation contending with
-                // backward compute may lose to an overlappable host swap.
-                if opts.host_swap
-                    && classes[i].swappable
-                    && matches!(choice[i], Choice::Recompute { .. })
-                {
-                    let tier = self.host_tier_for(&classes[i]);
-                    let c = match tier {
-                        HostTier::Dram => cost
-                            .gpu_cpu_swap(classes[i].bytes_per_instance, classes[i].live_interval),
-                        HostTier::Nvme => {
-                            cost.nvme_swap(classes[i].bytes_per_instance, classes[i].live_interval)
+            let victims: Vec<usize> = victims.into_iter().take(self.config.refine_iters).collect();
+            // --- Speculative best-first frontier search -------------------
+            // The adjudicator (this thread, lane 0) owns a priority
+            // frontier of candidates ordered by certified makespan lower
+            // bound; persistent pool workers speculatively evaluate
+            // frontier candidates from per-lane deques (stealing when
+            // their own runs dry) against an atomic incumbent snapshot.
+            // Candidates are *adjudicated* strictly in frontier order
+            // regardless of completion order, and inconclusive
+            // speculative verdicts are re-evaluated inline, so the
+            // chosen plan is byte-identical across any worker count. A
+            // commit invalidates the whole frontier (its candidates were
+            // built on the replaced incumbent's choice vector) and
+            // regenerates trials for the unconsumed victims.
+            let mut consumed: Vec<bool> = vec![false; classes.len()];
+            let shared = SpecShared {
+                jobs: Mutex::new(HashMap::new()),
+                results: Mutex::new(HashMap::new()),
+                incumbent: Mutex::new((best_metric, delta_base.clone())),
+            };
+            let width = mpress_par::pool_width();
+            let spec_before = self.cache.spec_runs.load(Ordering::Relaxed);
+            let max_adjudications = self.config.refine_iters.saturating_mul(4);
+            let used_spec: Result<usize, SimError> = mpress_par::Pool::scope(
+                width,
+                |pool, lane| loop {
+                    let epoch = pool.epoch();
+                    match pool.next_task(lane) {
+                        Some(key) => {
+                            self.speculate(&shared, &device_map, key);
+                            pool.notify();
                         }
-                    };
-                    let mut trial_choice = choice.clone();
-                    trial_choice[i] = Choice::HostSwap {
-                        overhead: c.overhead,
-                        tier,
-                    };
-                    trials.push(RefineTrial {
-                        choice: trial_choice,
-                        budgets: None,
-                    });
-                }
-                if trials.is_empty() {
-                    continue;
-                }
-                // Pruned trials (`None` metric) lost to the incumbent by
-                // construction; they stay in the result vector so trial
-                // indices (and the tie-break order) are unchanged.
-                let round_incumbent = best_metric;
-                let replays_before = self.cache.delta_replays.load(Ordering::Relaxed);
-                let evaluated: Vec<Result<(InstrumentationPlan, Option<Metric>), SimError>> =
-                    mpress_par::par_map(&trials, |trial| {
-                        let trial_plan = self.emit(
-                            classes,
-                            &trial.choice,
-                            trial.budgets.as_deref().unwrap_or(&budgets),
-                            &device_map,
-                        )?;
-                        let metric = self
-                            .emulate_bounded_with(
-                                &trial_plan,
-                                &device_map,
-                                Some(round_incumbent),
-                                delta_base.as_ref(),
-                            )?
-                            .map(|(m, _)| m);
-                        Ok((trial_plan, metric))
-                    });
-                rounds += trials.len();
-                refine_candidates.push(trials.len());
-                if delta_base.is_some() {
-                    if self.cache.delta_replays.load(Ordering::Relaxed) == replays_before {
-                        dry_rounds += 1;
-                        if dry_rounds >= DELTA_DRY_ROUNDS {
-                            delta_base = None;
+                        None if pool.shutdown_requested() => break,
+                        None => pool.wait_epoch(epoch),
+                    }
+                },
+                |pool| {
+                    let mut frontier: BTreeMap<(u64, u64, u64, u64), FrontierEntry> =
+                        BTreeMap::new();
+                    let mut seen: HashSet<u64> = HashSet::new();
+                    let mut submitted: HashSet<u64> = HashSet::new();
+                    let mut seq = 0u64;
+                    let mut used_spec = 0usize;
+                    let mut since_commit = 0usize;
+                    let mut adjudicated = 0usize;
+                    // Generates trials for every unconsumed victim
+                    // against the current incumbent and enqueues the
+                    // structurally new ones on the frontier (and, when
+                    // workers exist, in the shared job table).
+                    let enqueue_victims =
+                        |frontier: &mut BTreeMap<(u64, u64, u64, u64), FrontierEntry>,
+                         seen: &mut HashSet<u64>,
+                         seq: &mut u64,
+                         choice: &[Choice],
+                         budgets: &[Vec<(DeviceId, u32, Bytes)>],
+                         consumed: &[bool]|
+                         -> Result<(), SimError> {
+                            for &i in &victims {
+                                if consumed[i] {
+                                    continue;
+                                }
+                                for trial in self.refine_trials(
+                                    opts, &cost, classes, &minted, i, choice, budgets,
+                                ) {
+                                    let plan = self.emit(
+                                        classes,
+                                        &trial.choice,
+                                        trial.budgets.as_deref().unwrap_or(budgets),
+                                        &device_map,
+                                    )?;
+                                    let key = cache_key(&plan, &device_map);
+                                    if !seen.insert(key) {
+                                        continue;
+                                    }
+                                    let lb = self.frontier_lb(key, &plan, &device_map);
+                                    let ckey = canon_key(&plan, &device_map);
+                                    let plan = Arc::new(plan);
+                                    if width > 1 {
+                                        shared
+                                            .jobs
+                                            .lock()
+                                            .expect("spec jobs lock")
+                                            .insert(key, Arc::clone(&plan));
+                                    }
+                                    frontier.insert(
+                                        (lb.to_bits(), ckey, key, *seq),
+                                        FrontierEntry {
+                                            victim: i,
+                                            choice: trial.choice,
+                                            budgets: trial.budgets,
+                                            plan,
+                                            key,
+                                        },
+                                    );
+                                    *seq += 1;
+                                }
+                            }
+                            Ok(())
+                        };
+                    enqueue_victims(
+                        &mut frontier,
+                        &mut seen,
+                        &mut seq,
+                        &choice,
+                        &budgets,
+                        &consumed,
+                    )?;
+                    if width > 1 {
+                        for entry in frontier.values() {
+                            if submitted.insert(entry.key) {
+                                pool.push(entry.key);
+                            }
                         }
-                    } else {
-                        dry_rounds = 0;
                     }
-                }
-                let mut results = Vec::with_capacity(evaluated.len());
-                for outcome in evaluated {
-                    results.push(outcome?);
-                }
-                let mut winner: Option<usize> = None;
-                for (idx, (_, metric)) in results.iter().enumerate() {
-                    let Some(metric) = metric else {
-                        continue; // pruned: cannot beat any incumbent
-                    };
-                    let incumbent =
-                        winner.map_or(best_metric, |w| results[w].1.expect("winner was emulated"));
-                    if metric_better(*metric, incumbent) {
-                        winner = Some(idx);
+                    while adjudicated < max_adjudications {
+                        let Some((_, entry)) = frontier.pop_first() else {
+                            break;
+                        };
+                        adjudicated += 1;
+                        since_commit += 1;
+                        rounds += 1;
+                        let (verdict, was_spec) =
+                            self.take_result(&shared, pool, &device_map, entry.key, &entry.plan);
+                        // Conclusiveness: a speculative `Lost` is only
+                        // valid while the acceptance bar it raced
+                        // against is at least as tight as today's
+                        // (commits may raise the makespan within the
+                        // tiebreak slack). Stale verdicts re-evaluate
+                        // inline; the speculative run was wasted.
+                        let now_threshold = if best_metric.oom {
+                            f64::INFINITY
+                        } else {
+                            best_metric.makespan * 1.001
+                        };
+                        let (verdict, was_spec) = match verdict {
+                            SpecResult::Lost { threshold } if threshold < now_threshold => {
+                                let fresh = self.evaluate_candidate(
+                                    &entry.plan,
+                                    &device_map,
+                                    best_metric,
+                                    delta_base.as_deref(),
+                                );
+                                (fresh, false)
+                            }
+                            other => (other, was_spec),
+                        };
+                        if was_spec {
+                            used_spec += 1;
+                        }
+                        match verdict {
+                            SpecResult::Failed(e) => {
+                                if width > 1 {
+                                    shared.jobs.lock().expect("spec jobs lock").clear();
+                                }
+                                return Err(e);
+                            }
+                            SpecResult::Outcome(metric) if metric_better(metric, best_metric) => {
+                                // ---- Commit (deterministic: frontier
+                                // order decided who got here first) ----
+                                let FrontierEntry {
+                                    victim,
+                                    choice: winner_choice,
+                                    budgets: winner_budgets,
+                                    plan: winner_plan,
+                                    ..
+                                } = entry;
+                                choice = winner_choice;
+                                if let Some(b) = winner_budgets {
+                                    budgets = b;
+                                }
+                                best_plan = (*winner_plan).clone();
+                                best_metric = metric;
+                                consumed[victim] = true;
+                                refine_candidates.push(since_commit);
+                                since_commit = 0;
+                                if delta_base.is_some() {
+                                    if self.cache.delta_replays.load(Ordering::Relaxed)
+                                        == replays_mark
+                                    {
+                                        dry_commits += 1;
+                                    } else {
+                                        dry_commits = 0;
+                                    }
+                                }
+                                if self.config.delta
+                                    && !best_metric.oom
+                                    && dry_commits < DELTA_DRY_ROUNDS
+                                {
+                                    delta_base =
+                                        self.capture_base(&best_plan, &device_map)?.map(Arc::new);
+                                } else {
+                                    // Past the dry-spell cutoff (or OOM
+                                    // incumbent): drop the base entirely
+                                    // so later candidates take the
+                                    // scratch path instead of paying the
+                                    // delta machinery's always-fallback
+                                    // replay against a stale base.
+                                    delta_base = None;
+                                }
+                                replays_mark = self.cache.delta_replays.load(Ordering::Relaxed);
+                                *shared.incumbent.lock().expect("spec incumbent lock") =
+                                    (best_metric, delta_base.clone());
+                                // Invalidate the speculative frontier:
+                                // every queued candidate was built on
+                                // the replaced incumbent.
+                                frontier.clear();
+                                if width > 1 {
+                                    shared.jobs.lock().expect("spec jobs lock").clear();
+                                }
+                                enqueue_victims(
+                                    &mut frontier,
+                                    &mut seen,
+                                    &mut seq,
+                                    &choice,
+                                    &budgets,
+                                    &consumed,
+                                )?;
+                                if width > 1 {
+                                    for entry in frontier.values() {
+                                        if submitted.insert(entry.key) {
+                                            pool.push(entry.key);
+                                        }
+                                    }
+                                }
+                            }
+                            // Lost / rejected / pruned / not better:
+                            // the incumbent stands.
+                            _ => {}
+                        }
                     }
-                }
-                if let Some(w) = winner {
-                    // `swap_remove` is safe: trials/results are dropped
-                    // right after, only the winner survives.
-                    let (trial_plan, metric) = results.swap_remove(w);
-                    let trial = trials.swap_remove(w);
-                    choice = trial.choice;
-                    if let Some(trial_budgets) = trial.budgets {
-                        budgets = trial_budgets;
+                    if since_commit > 0 {
+                        refine_candidates.push(since_commit);
                     }
-                    best_plan = trial_plan;
-                    best_metric = metric.expect("winner was emulated");
-                    if self.config.delta && !best_metric.oom && dry_rounds < DELTA_DRY_ROUNDS {
-                        delta_base = self.capture_base(&best_plan, &device_map)?;
+                    // Stop speculation before the workers drain their
+                    // remaining (now stale) deque entries.
+                    if width > 1 {
+                        shared.jobs.lock().expect("spec jobs lock").clear();
                     }
-                }
-            }
+                    self.cache
+                        .steals
+                        .fetch_add(pool.steals() as usize, Ordering::Relaxed);
+                    Ok(used_spec)
+                },
+            );
+            let used_spec = used_spec?;
+            // Speculative runs whose verdicts were never consumed —
+            // invalidated by a commit before adjudication, or stale-
+            // threshold re-evaluations — were wasted work.
+            let spec_total = self
+                .cache
+                .spec_runs
+                .load(Ordering::Relaxed)
+                .saturating_sub(spec_before);
+            self.cache
+                .spec_wasted
+                .fetch_add(spec_total.saturating_sub(used_spec), Ordering::Relaxed);
             // Portfolio check A: minting donor space may not have paid
             // off at all — try the plan with every unswitched minted
             // offload stripped.
@@ -1257,7 +1547,7 @@ impl<'a> Planner<'a> {
                         &trial_plan,
                         &device_map,
                         Some(best_metric),
-                        delta_base.as_ref(),
+                        delta_base.as_deref(),
                     )?;
                     rounds += 1;
                     refine_candidates.push(1);
@@ -1290,7 +1580,7 @@ impl<'a> Planner<'a> {
                         &rec_plan,
                         &device_map,
                         Some(best_metric),
-                        delta_base.as_ref(),
+                        delta_base.as_deref(),
                     )?;
                     rounds += 1;
                     refine_candidates.push(1);
@@ -1495,13 +1785,33 @@ impl<'a> Planner<'a> {
         incumbent: Option<Metric>,
         base: Option<&RunBase>,
     ) -> Result<Option<(Metric, Option<OomEvent>)>, SimError> {
+        match self.emulate_gated(plan, device_map, incumbent, base)? {
+            Gated::Outcome(metric, oom) => Ok(Some((metric, oom))),
+            Gated::Rejected | Gated::CertifiedLoss | Gated::Lost => Ok(None),
+        }
+    }
+
+    /// The full candidate gate chain — memoization caches, certified
+    /// bounds, static verifier, lower-bound prune, then a (possibly
+    /// bound-and-abort) emulator window — reporting *which* gate
+    /// resolved the candidate. Aborted windows are never cached: an
+    /// abort certifies a loss against the gating incumbent, not an
+    /// outcome, and caching it would make cache contents depend on
+    /// evaluation timing.
+    fn emulate_gated(
+        &self,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+        incumbent: Option<Metric>,
+        base: Option<&RunBase>,
+    ) -> Result<Gated, SimError> {
         let key = cache_key(plan, device_map);
-        if let Some(outcome) = self.cache.lookup(key) {
-            return Ok(Some(outcome));
+        if let Some((metric, oom)) = self.cache.lookup(key) {
+            return Ok(Gated::Outcome(metric, oom));
         }
         let ckey = canon_key(plan, device_map);
-        if let Some(outcome) = self.cache.lookup_canon(ckey, key, device_map) {
-            return Ok(Some(outcome));
+        if let Some((metric, oom)) = self.cache.lookup_canon(ckey, key, device_map) {
+            return Ok(Gated::Outcome(metric, oom));
         }
         // Process-global view: outcomes another search computed for this
         // exact (job scope, structural key). A hit is promoted into the
@@ -1512,7 +1822,7 @@ impl<'a> Planner<'a> {
             if let Some(outcome) = shared.emu_lookup(*scope, key) {
                 self.cache.hits.fetch_add(1, Ordering::Relaxed);
                 self.cache.insert(key, outcome);
-                return Ok(Some(outcome));
+                return Ok(Gated::Outcome(outcome.0, outcome.1));
             }
         }
         // Certified residency verdict, computed arena-free and memoized
@@ -1543,7 +1853,7 @@ impl<'a> Planner<'a> {
                     .verifier_rejections
                     .fetch_add(1, Ordering::Relaxed);
                 return if incumbent.is_some() {
-                    Ok(None)
+                    Ok(Gated::Rejected)
                 } else {
                     Err(SimError::BadPlan(format!(
                         "static verifier rejected plan: {}",
@@ -1568,23 +1878,16 @@ impl<'a> Planner<'a> {
                     // never prefer over a non-OOM incumbent.
                     if certified_oom {
                         self.cache.bounds_pruned.fetch_add(1, Ordering::Relaxed);
-                        return Ok(None);
+                        return Ok(Gated::CertifiedLoss);
                     }
                     // Certified makespan lower bound: `metric_better`
                     // accepts a candidate at up to 1.001x the incumbent
                     // (the host-traffic tiebreak), so only candidates
                     // that cannot even tie are pruned.
-                    let lb = self.with_arena(|arena| {
-                        arena.makespan_lower_bound(
-                            self.machine,
-                            &self.lowered.graph,
-                            plan,
-                            device_map,
-                        )
-                    });
+                    let lb = self.frontier_lb(key, plan, device_map);
                     if lb > best.makespan * 1.001 {
                         self.cache.bounds_pruned.fetch_add(1, Ordering::Relaxed);
-                        return Ok(None);
+                        return Ok(Gated::Lost);
                     }
                 }
             }
@@ -1594,28 +1897,32 @@ impl<'a> Planner<'a> {
             // separately so A/B runs stay comparable).
             if let Some(best) = incumbent {
                 if !best.oom {
-                    let lb = self.with_arena(|arena| {
-                        arena.makespan_lower_bound(
-                            self.machine,
-                            &self.lowered.graph,
-                            plan,
-                            device_map,
-                        )
-                    });
+                    let lb = self.frontier_lb(key, plan, device_map);
                     if lb > best.makespan * 1.001 {
                         self.cache.prefilter_skips.fetch_add(1, Ordering::Relaxed);
-                        return Ok(None);
+                        return Ok(Gated::Lost);
                     }
                 }
             }
         }
-        let outcome = self.emulate_uncached_with(plan, device_map, base)?;
-        self.cache.insert(key, outcome);
-        self.cache.insert_canon(ckey, outcome, device_map);
-        if let Some((shared, scope)) = &self.shared {
-            shared.emu_insert(*scope, key, outcome);
+        // Bound-and-abort: against a feasible incumbent the emulator
+        // only needs to run far enough to prove a loss — anything past
+        // the acceptance slack is unobservable to `metric_better`.
+        let bound = match incumbent {
+            Some(best) if self.config.bound_abort && !best.oom => Some(best.makespan * 1.001),
+            _ => None,
+        };
+        match self.emulate_uncached_bounded(plan, device_map, base, bound)? {
+            RunOut::Aborted => Ok(Gated::Lost),
+            RunOut::Done(outcome) => {
+                self.cache.insert(key, outcome);
+                self.cache.insert_canon(ckey, outcome, device_map);
+                if let Some((shared, scope)) = &self.shared {
+                    shared.emu_insert(*scope, key, outcome);
+                }
+                Ok(Gated::Outcome(outcome.0, outcome.1))
+            }
         }
-        Ok(Some(outcome))
     }
 
     /// [`Planner::emulate`] without the memoization layer — one real
@@ -1642,38 +1949,334 @@ impl<'a> Planner<'a> {
         device_map: &DeviceMap,
         base: Option<&RunBase>,
     ) -> Result<(Metric, Option<OomEvent>), SimError> {
+        match self.emulate_uncached_bounded(plan, device_map, base, None)? {
+            RunOut::Done(outcome) => Ok(outcome),
+            RunOut::Aborted => unreachable!("an unbounded emulator run cannot exceed a bound"),
+        }
+    }
+
+    /// One real simulator window under an optional makespan bound: the
+    /// engine aborts the moment its simulated clock passes `bound` (see
+    /// [`PlannerConfig::bound_abort`]), which the caller must treat as
+    /// a certified loss against the incumbent that produced the bound —
+    /// never as an outcome.
+    fn emulate_uncached_bounded(
+        &self,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+        base: Option<&RunBase>,
+        bound: Option<Secs>,
+    ) -> Result<RunOut, SimError> {
         self.charge_cancel()?;
         self.cache.runs.fetch_add(1, Ordering::Relaxed);
         let report = match base {
             Some(base) => {
-                let delta = self.with_arena(|arena| {
+                let outcome = self.with_arena(|arena| {
                     Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())
-                        .run_in_delta(arena, base)
+                        .run_in_delta_bounded(arena, base, bound)
                 })?;
-                self.cache
-                    .windows_total
-                    .fetch_add(delta.windows_total, Ordering::Relaxed);
-                self.cache
-                    .windows_replayed
-                    .fetch_add(delta.windows_replayed, Ordering::Relaxed);
-                if delta.used_delta {
-                    self.cache.delta_replays.fetch_add(1, Ordering::Relaxed);
+                match outcome {
+                    DeltaOutcome::Completed(delta) => {
+                        self.cache
+                            .windows_total
+                            .fetch_add(delta.windows_total, Ordering::Relaxed);
+                        self.cache
+                            .windows_replayed
+                            .fetch_add(delta.windows_replayed, Ordering::Relaxed);
+                        if delta.used_delta {
+                            self.cache.delta_replays.fetch_add(1, Ordering::Relaxed);
+                        }
+                        delta.report
+                    }
+                    DeltaOutcome::BoundExceeded {
+                        windows_total,
+                        windows_replayed,
+                        ..
+                    } => {
+                        self.cache
+                            .windows_total
+                            .fetch_add(windows_total, Ordering::Relaxed);
+                        self.cache
+                            .windows_replayed
+                            .fetch_add(windows_replayed, Ordering::Relaxed);
+                        if windows_replayed < windows_total {
+                            self.cache.delta_replays.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.cache.bound_aborts.fetch_add(1, Ordering::Relaxed);
+                        return Ok(RunOut::Aborted);
+                    }
                 }
-                delta.report
             }
-            None => self.with_arena(|arena| {
-                Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())
-                    .run_in(arena)
-            })?,
+            None => {
+                let outcome = self.with_arena(|arena| {
+                    Simulator::new(self.machine, &self.lowered.graph, plan, device_map.clone())
+                        .run_in_bounded(arena, bound)
+                })?;
+                match outcome {
+                    SimOutcome::Completed(report) => report,
+                    SimOutcome::BoundExceeded { .. } => {
+                        self.cache.bound_aborts.fetch_add(1, Ordering::Relaxed);
+                        return Ok(RunOut::Aborted);
+                    }
+                }
+            }
         };
-        Ok((
+        Ok(RunOut::Done((
             Metric {
                 oom: report.oom.is_some(),
                 makespan: report.makespan,
                 host_traffic: report.host_traffic,
             },
             report.oom,
-        ))
+        )))
+    }
+
+    /// The analytic makespan lower bound for one candidate, memoized
+    /// under its structural `key`. Shared by the frontier ordering
+    /// (every candidate needs it) and the pruning gates (so a candidate
+    /// never pays the cost-profile walk twice).
+    fn frontier_lb(&self, key: u64, plan: &InstrumentationPlan, device_map: &DeviceMap) -> Secs {
+        if let Some(&lb) = self.cache.lb_memo.lock().expect("lb lock").get(&key) {
+            return lb;
+        }
+        let lb = self.with_arena(|arena| {
+            arena.makespan_lower_bound(self.machine, &self.lowered.graph, plan, device_map)
+        });
+        self.cache.lb_memo.lock().expect("lb lock").insert(key, lb);
+        lb
+    }
+
+    /// Evaluates one refinement candidate against a (possibly stale)
+    /// incumbent snapshot, mapping the gate verdict into the
+    /// speculative-result taxonomy. Pure modulo the memoization caches:
+    /// re-running with the same snapshot yields the same verdict.
+    fn evaluate_candidate(
+        &self,
+        plan: &InstrumentationPlan,
+        device_map: &DeviceMap,
+        incumbent: Metric,
+        base: Option<&RunBase>,
+    ) -> SpecResult {
+        let threshold = if incumbent.oom {
+            f64::INFINITY
+        } else {
+            incumbent.makespan * 1.001
+        };
+        match self.emulate_gated(plan, device_map, Some(incumbent), base) {
+            Ok(Gated::Outcome(metric, _)) => SpecResult::Outcome(metric),
+            Ok(Gated::Rejected) => SpecResult::Rejected,
+            Ok(Gated::CertifiedLoss) => SpecResult::CertifiedLoss,
+            Ok(Gated::Lost) => SpecResult::Lost { threshold },
+            Err(e) => SpecResult::Failed(e),
+        }
+    }
+
+    /// One speculative worker step: claim the candidate's evaluation
+    /// slot, evaluate it against the current incumbent snapshot, and
+    /// publish the verdict. A cleared job table (commit or search end)
+    /// or an already-claimed slot makes this a no-op.
+    fn speculate(&self, shared: &SpecShared, device_map: &DeviceMap, key: u64) {
+        let Some(plan) = shared
+            .jobs
+            .lock()
+            .expect("spec jobs lock")
+            .get(&key)
+            .cloned()
+        else {
+            return;
+        };
+        {
+            let mut results = shared.results.lock().expect("spec results lock");
+            if results.contains_key(&key) {
+                return;
+            }
+            results.insert(key, SpecState::Claimed);
+        }
+        let (incumbent, base) = shared
+            .incumbent
+            .lock()
+            .expect("spec incumbent lock")
+            .clone();
+        let verdict = self.evaluate_candidate(&plan, device_map, incumbent, base.as_deref());
+        self.cache.spec_runs.fetch_add(1, Ordering::Relaxed);
+        shared
+            .results
+            .lock()
+            .expect("spec results lock")
+            .insert(key, SpecState::Done(verdict));
+    }
+
+    /// Resolves one popped frontier candidate: consume a speculative
+    /// verdict if a worker produced one, wait (helping with other
+    /// frontier tasks) if one is in flight, or evaluate inline. Returns
+    /// the verdict and whether it came from a speculative run.
+    fn take_result(
+        &self,
+        shared: &SpecShared,
+        pool: &mpress_par::Pool,
+        device_map: &DeviceMap,
+        key: u64,
+        plan: &InstrumentationPlan,
+    ) -> (SpecResult, bool) {
+        loop {
+            let epoch = pool.epoch();
+            {
+                let mut results = shared.results.lock().expect("spec results lock");
+                match results.get(&key) {
+                    Some(SpecState::Done(verdict)) => return (verdict.clone(), true),
+                    Some(SpecState::Claimed) => {}
+                    None => {
+                        results.insert(key, SpecState::Claimed);
+                        drop(results);
+                        let (incumbent, base) = shared
+                            .incumbent
+                            .lock()
+                            .expect("spec incumbent lock")
+                            .clone();
+                        let verdict =
+                            self.evaluate_candidate(plan, device_map, incumbent, base.as_deref());
+                        shared
+                            .results
+                            .lock()
+                            .expect("spec results lock")
+                            .insert(key, SpecState::Done(verdict.clone()));
+                        return (verdict, false);
+                    }
+                }
+            }
+            // In flight on a worker: help with other frontier tasks
+            // while waiting, or sleep until something completes.
+            match pool.next_task(0) {
+                Some(other) => {
+                    self.speculate(shared, device_map, other);
+                    pool.notify();
+                }
+                None => pool.wait_epoch(epoch),
+            }
+        }
+    }
+
+    /// Builds the emulator-verified replacement trials for one
+    /// refinement victim, in a fixed deterministic order (the frontier
+    /// tie-breaks take over from there). With
+    /// [`PlannerConfig::explore`] the grid widens: the victim's
+    /// directive is also dropped outright, and host swaps try the
+    /// opposite tier.
+    #[allow(clippy::too_many_arguments)]
+    fn refine_trials(
+        &self,
+        opts: OptimizationSet,
+        cost: &CostModel,
+        classes: &[TensorClass],
+        minted: &[usize],
+        i: usize,
+        choice: &[Choice],
+        budgets: &[Vec<(DeviceId, u32, Bytes)>],
+    ) -> Vec<RefineTrial> {
+        let stage = classes[i].stage;
+        let mut trials: Vec<RefineTrial> = Vec::with_capacity(6);
+        // Candidate: a minted donor offload that turned out to cost
+        // critical-path time can simply be undone (the emulator rejects
+        // the trial if the memory was needed).
+        if minted.contains(&i) {
+            let mut trial_choice = choice.to_vec();
+            trial_choice[i] = Choice::None;
+            trials.push(RefineTrial {
+                choice: trial_choice,
+                budgets: None,
+            });
+        }
+        // Candidate: re-route through NVLink to spare peers.
+        if opts.d2d && classes[i].swappable {
+            let mut trial_budgets = budgets.to_vec();
+            if reserve_budget(&classes[i], &mut trial_budgets[stage]) {
+                let mut trial_choice = choice.to_vec();
+                trial_choice[i] = Choice::D2d;
+                trials.push(RefineTrial {
+                    choice: trial_choice,
+                    budgets: Some(trial_budgets),
+                });
+            }
+        }
+        // Candidate: a queued host swap may lose to recomputation.
+        if opts.recompute
+            && classes[i].recomputable()
+            && matches!(choice[i], Choice::HostSwap { .. })
+        {
+            let mut trial_choice = choice.to_vec();
+            trial_choice[i] = Choice::Recompute {
+                overhead: cost.recompute(classes[i].recompute_time).overhead,
+            };
+            trials.push(RefineTrial {
+                choice: trial_choice,
+                budgets: None,
+            });
+        }
+        // Candidate: the reverse — recomputation contending with
+        // backward compute may lose to an overlappable host swap.
+        if opts.host_swap && classes[i].swappable && matches!(choice[i], Choice::Recompute { .. }) {
+            let tier = self.host_tier_for(&classes[i]);
+            let c = match tier {
+                HostTier::Dram => {
+                    cost.gpu_cpu_swap(classes[i].bytes_per_instance, classes[i].live_interval)
+                }
+                HostTier::Nvme => {
+                    cost.nvme_swap(classes[i].bytes_per_instance, classes[i].live_interval)
+                }
+            };
+            let mut trial_choice = choice.to_vec();
+            trial_choice[i] = Choice::HostSwap {
+                overhead: c.overhead,
+                tier,
+            };
+            trials.push(RefineTrial {
+                choice: trial_choice,
+                budgets: None,
+            });
+        }
+        if self.config.explore {
+            // Exploratory candidate: drop the directive outright — the
+            // emulator arbitrates whether the memory was really needed
+            // (minted victims already get this trial above).
+            if !minted.contains(&i) && choice[i].is_assigned() {
+                let mut trial_choice = choice.to_vec();
+                trial_choice[i] = Choice::None;
+                trials.push(RefineTrial {
+                    choice: trial_choice,
+                    budgets: None,
+                });
+            }
+            // Exploratory candidate: the opposite host tier (NVMe only
+            // when the machine has one to model).
+            if opts.host_swap && classes[i].swappable {
+                if let Choice::HostSwap { tier, .. } = choice[i] {
+                    let flipped = match tier {
+                        HostTier::Dram => HostTier::Nvme,
+                        HostTier::Nvme => HostTier::Dram,
+                    };
+                    if flipped == HostTier::Dram || self.machine.nvme().is_some() {
+                        let c = match flipped {
+                            HostTier::Dram => cost.gpu_cpu_swap(
+                                classes[i].bytes_per_instance,
+                                classes[i].live_interval,
+                            ),
+                            HostTier::Nvme => cost
+                                .nvme_swap(classes[i].bytes_per_instance, classes[i].live_interval),
+                        };
+                        let mut trial_choice = choice.to_vec();
+                        trial_choice[i] = Choice::HostSwap {
+                            overhead: c.overhead,
+                            tier: flipped,
+                        };
+                        trials.push(RefineTrial {
+                            choice: trial_choice,
+                            budgets: None,
+                        });
+                    }
+                }
+            }
+        }
+        trials
     }
 
     /// The `(certified_oom, certified_fit)` residency verdict for one

@@ -201,11 +201,15 @@ impl Mpress {
         h = fnv_u64(h, u64::from(c.striping));
         h = fnv_u64(h, u64::from(c.mapping_search));
         h = fnv_u64(h, u64::from(c.exhaustive_swap));
-        // prefilter/verify/delta/bounds are outcome-transparent (the
-        // property suite pins plan identity with them on or off), so
-        // they are deliberately not part of the digest: a plan computed
-        // with delta off answers a request with delta on, and vice
-        // versa.
+        // The widened refinement grid visits assignments the default
+        // walk never proposes, so it steers the search and must split
+        // the digest.
+        h = fnv_u64(h, u64::from(c.explore));
+        // prefilter/verify/delta/bounds/bound_abort are outcome-
+        // transparent (the property suite pins plan identity with them
+        // on or off), so they are deliberately not part of the digest:
+        // a plan computed with delta off answers a request with delta
+        // on, and vice versa.
         h
     }
 
@@ -313,6 +317,8 @@ pub struct MpressBuilder {
     verify: Option<bool>,
     delta: Option<bool>,
     bounds: Option<bool>,
+    bound_abort: Option<bool>,
+    explore: Option<bool>,
     metrics: bool,
     plan_cache: Option<PlanCache>,
     arena_pool: Option<ArenaPool>,
@@ -391,6 +397,23 @@ impl MpressBuilder {
     /// only the `bounds_pruned`/`bounds_certified_fit` counters change).
     pub fn bounds(mut self, on: bool) -> Self {
         self.bounds = Some(on);
+        self
+    }
+
+    /// Toggles the planner's bound-and-abort emulation (on by default
+    /// unless `MPRESS_BOUND_ABORT=0`; the chosen plan is byte-identical
+    /// either way — only wall-clock and the `bound_aborts` counter
+    /// change).
+    pub fn bound_abort(mut self, on: bool) -> Self {
+        self.bound_abort = Some(on);
+        self
+    }
+
+    /// Toggles the planner's widened (exploratory) refinement grid.
+    /// Unlike the transparent gates above this steers the search, so it
+    /// joins [`Mpress::plan_digest`].
+    pub fn explore(mut self, on: bool) -> Self {
+        self.explore = Some(on);
         self
     }
 
@@ -475,6 +498,12 @@ impl MpressBuilder {
         }
         if let Some(b) = self.bounds {
             config.bounds = b;
+        }
+        if let Some(a) = self.bound_abort {
+            config.bound_abort = a;
+        }
+        if let Some(x) = self.explore {
+            config.explore = x;
         }
         Ok(Mpress {
             job,

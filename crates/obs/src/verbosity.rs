@@ -50,6 +50,14 @@ pub const ENV_DELTA: &str = "MPRESS_DELTA";
 /// counters and wall-clock do.
 pub const ENV_BOUNDS: &str = "MPRESS_BOUNDS";
 
+/// Disables the planner's bound-and-abort emulation (candidates abort
+/// the moment their simulated clock proves they lose to the incumbent)
+/// when set to `0`, `false` or `off`. A/B escape hatch like
+/// [`ENV_PREFILTER`]: an aborted candidate had already lost by
+/// `metric_better`'s rules, so the chosen plan must not change either
+/// way — only wall-clock and the `bound_aborts` counter do.
+pub const ENV_BOUND_ABORT: &str = "MPRESS_BOUND_ABORT";
+
 /// A parsed [`ENV_TRACE_WINDOW`] filter. Kept outside [`Verbosity`]
 /// (whose `Eq` derive the `f64` bounds would break) and cached the same
 /// way: read once per process.
@@ -139,6 +147,7 @@ mod tests {
         assert_eq!(ENV_VERIFY, "MPRESS_VERIFY");
         assert_eq!(ENV_DELTA, "MPRESS_DELTA");
         assert_eq!(ENV_BOUNDS, "MPRESS_BOUNDS");
+        assert_eq!(ENV_BOUND_ABORT, "MPRESS_BOUND_ABORT");
     }
 
     #[test]

@@ -327,18 +327,58 @@ impl std::fmt::Debug for SimArena {
 #[derive(Debug, Default, Clone)]
 pub struct ArenaPool {
     free: std::sync::Arc<std::sync::Mutex<Vec<SimArena>>>,
+    /// Lane-affine slots: pool/`par_run` worker threads carry a stable
+    /// lane id (`mpress_par::current_lane`), and a lane that keeps
+    /// checking out *the same* arena keeps its graph tables and task
+    /// buffers cache-warm across speculative emulations. Slots are
+    /// `try_lock`ed — when two concurrent searches collide on a lane id
+    /// the loser silently falls back to the free list, so affinity is
+    /// purely a wall-clock optimization.
+    lanes: std::sync::Arc<Vec<std::sync::Mutex<Option<SimArena>>>>,
 }
+
+/// Lane slots held by an [`ArenaPool`]; lanes at or above this fall
+/// back to the shared free list. Generously above any realistic
+/// `MPRESS_JOBS` width.
+const LANE_SLOTS: usize = 64;
 
 impl ArenaPool {
     /// An empty pool; arenas materialize on first checkout.
     pub fn new() -> Self {
-        ArenaPool::default()
+        ArenaPool {
+            free: std::sync::Arc::default(),
+            lanes: std::sync::Arc::new(
+                (0..LANE_SLOTS)
+                    .map(|_| std::sync::Mutex::new(None))
+                    .collect(),
+            ),
+        }
     }
 
     /// Checks an arena out (or makes a fresh one), runs `f`, and returns
-    /// the arena to the free list for the next window. Concurrent calls
-    /// check out distinct arenas, so `f` never contends on arena state.
+    /// the arena for the next window. Concurrent calls check out
+    /// distinct arenas, so `f` never contends on arena state. Threads
+    /// with a pool lane identity get a lane-affine arena (see
+    /// [`ArenaPool::lanes`]); everyone else shares the free list.
     pub fn with<T>(&self, f: impl FnOnce(&mut SimArena) -> T) -> T {
+        if let Some(lane) = mpress_par::current_lane() {
+            if let Some(slot) = self.lanes.get(lane) {
+                if let Ok(mut held) = slot.try_lock() {
+                    let mut arena = match held.take() {
+                        Some(arena) => arena,
+                        None => self
+                            .free
+                            .lock()
+                            .expect("arena pool lock")
+                            .pop()
+                            .unwrap_or_default(),
+                    };
+                    let out = f(&mut arena);
+                    *held = Some(arena);
+                    return out;
+                }
+            }
+        }
         let mut arena = self
             .free
             .lock()

@@ -57,7 +57,8 @@
 use crate::arena::{Buffers, SimArena};
 use crate::device_map::DeviceMap;
 use crate::engine::{
-    plan_legs, sid, CompletionKey, EngineState, LegSpec, Loc, SimConfig, SimError, Simulator, Task,
+    plan_legs, sid, CompletionKey, EngineState, LegSpec, Loc, SimConfig, SimError, SimOutcome,
+    Simulator, Task,
 };
 use crate::memory::MemoryTracker;
 use crate::report::SimReport;
@@ -265,6 +266,32 @@ pub struct DeltaRun {
     pub windows_replayed: usize,
 }
 
+/// Outcome of [`Simulator::run_in_delta_bounded`]: the delta analogue
+/// of [`SimOutcome`], carrying the replay-window accounting in both
+/// arms so bounded and unbounded searches report the same counters.
+// Unboxed for the same reason as `SimOutcome`: transient hot-path
+// return, consumed immediately.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum DeltaOutcome {
+    /// The (replayed or fallen-back) run finished normally.
+    Completed(DeltaRun),
+    /// The simulated clock passed the bound mid-replay (or mid-
+    /// fallback); see [`SimOutcome::BoundExceeded`] for the soundness
+    /// argument — replays commit completions in the same nondecreasing
+    /// time order as from-scratch runs.
+    BoundExceeded {
+        /// The makespan bound the run was launched with.
+        bound: Secs,
+        /// The completion time that first exceeded it.
+        exceeded_at: Secs,
+        /// The base's window count (denominator for replay accounting).
+        windows_total: usize,
+        /// Windows the replay was re-simulating when it aborted.
+        windows_replayed: usize,
+    },
+}
+
 /// Configs the delta path supports: the planner's plain emulation mode.
 /// Timelines/trace/metrics accumulate history the checkpoints don't
 /// carry; `reference_scan` is the slow path by design; non-strict OOM
@@ -322,7 +349,7 @@ impl<'a> Simulator<'a> {
         )?;
         let n_build = state.tasks.len();
         let mut cap = CaptureState::new(windows, n_build);
-        state.run_loop(self.config.strict_oom, 4 * n_build, Some(&mut cap));
+        state.run_loop(self.config.strict_oom, 4 * n_build, Some(&mut cap), None);
         let folded_base: Vec<Secs> = state.tasks[..n_ops].iter().map(|t| t.duration).collect();
         let leg_starts: Vec<Secs> = state.tasks[n_ops..n_build]
             .iter()
@@ -367,6 +394,32 @@ impl<'a> Simulator<'a> {
     ///
     /// Same as [`run_in`](Self::run_in).
     pub fn run_in_delta(&self, arena: &mut SimArena, base: &RunBase) -> Result<DeltaRun, SimError> {
+        match self.run_in_delta_bounded(arena, base, None)? {
+            DeltaOutcome::Completed(run) => Ok(run),
+            DeltaOutcome::BoundExceeded { .. } => {
+                unreachable!("an unbounded delta run cannot exceed a bound")
+            }
+        }
+    }
+
+    /// [`run_in_delta`](Self::run_in_delta) with an optional makespan
+    /// bound (see [`Simulator::run_in_bounded`]): the replayed suffix —
+    /// or the from-scratch fallback — aborts the moment its simulated
+    /// clock passes the bound. Because the base is the *incumbent's*
+    /// run and search bounds always sit at or above the incumbent's
+    /// makespan, the stitched prefix can never itself exceed the bound;
+    /// an abort is only possible in re-simulated events, where the
+    /// from-scratch soundness argument applies unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_in`](Self::run_in).
+    pub fn run_in_delta_bounded(
+        &self,
+        arena: &mut SimArena,
+        base: &RunBase,
+        bound: Option<Secs>,
+    ) -> Result<DeltaOutcome, SimError> {
         self.plan.validate(self.graph)?;
         arena.ensure(self.graph);
         self.validate_inputs(arena.prebuilt())?;
@@ -375,23 +428,35 @@ impl<'a> Simulator<'a> {
             && self.device_map == base.device_map
             && arena.prebuilt().fingerprint == base.graph_fp;
         if compatible {
-            if let Some(outcome) = self.delta_replay(arena, base) {
+            if let Some(outcome) = self.delta_replay(arena, base, bound) {
                 return outcome;
             }
         }
-        let report = self.run_in(arena)?;
-        Ok(DeltaRun {
-            report,
-            used_delta: false,
-            windows_total: base.windows,
-            windows_replayed: base.windows,
-        })
+        match self.run_in_bounded(arena, bound)? {
+            SimOutcome::Completed(report) => Ok(DeltaOutcome::Completed(DeltaRun {
+                report,
+                used_delta: false,
+                windows_total: base.windows,
+                windows_replayed: base.windows,
+            })),
+            SimOutcome::BoundExceeded { bound, exceeded_at } => Ok(DeltaOutcome::BoundExceeded {
+                bound,
+                exceeded_at,
+                windows_total: base.windows,
+                windows_replayed: base.windows,
+            }),
+        }
     }
 
     /// The replay fast path. `None` means "unsupported diff or
     /// checkpoint unusable — take the from-scratch fallback".
     #[allow(clippy::too_many_lines)]
-    fn delta_replay(&self, arena: &SimArena, base: &RunBase) -> Option<Result<DeltaRun, SimError>> {
+    fn delta_replay(
+        &self,
+        arena: &SimArena,
+        base: &RunBase,
+        bound: Option<Secs>,
+    ) -> Option<Result<DeltaOutcome, SimError>> {
         let pre = arena.prebuilt();
         let n_ops = base.n_ops;
         // --- Plan diff -------------------------------------------------
@@ -849,7 +914,17 @@ impl<'a> Simulator<'a> {
         };
         // A scratch build of the candidate would cap evictions at 4x
         // its (smaller, dead-free) task count.
-        state.run_loop(true, 4 * (n_build - dead.len()), None);
+        if let Some(exceeded_at) = state.run_loop(true, 4 * (n_build - dead.len()), None, bound) {
+            if let Ok(mut slot) = base.template.lock() {
+                *slot = Some(state.recycle());
+            }
+            return Some(Ok(DeltaOutcome::BoundExceeded {
+                bound: bound.unwrap_or(f64::INFINITY),
+                exceeded_at,
+                windows_total: base.windows,
+                windows_replayed: base.windows - cp.window,
+            }));
+        }
         let (result, out_bufs) = state.into_report(self.graph);
         if let Ok(mut slot) = base.template.lock() {
             *slot = Some(out_bufs);
@@ -866,11 +941,11 @@ impl<'a> Simulator<'a> {
             }
             Err(e) => return Some(Err(e)),
         };
-        Some(Ok(DeltaRun {
+        Some(Ok(DeltaOutcome::Completed(DeltaRun {
             report,
             used_delta: true,
             windows_total: base.windows,
             windows_replayed: base.windows - cp.window,
-        }))
+        })))
     }
 }

@@ -162,6 +162,36 @@ impl From<PlanValidationError> for SimError {
     }
 }
 
+/// Result of a *bounded* simulation ([`Simulator::run_in_bounded`]).
+///
+/// `BoundExceeded` is deliberately **not** a [`SimError`]: the run was
+/// healthy, it just proved it cannot finish by the caller's deadline.
+/// Planner searches use the incumbent's makespan (plus the acceptance
+/// slack) as the bound — a candidate whose simulated clock passes it
+/// has *already* lost, so finishing the window would only burn time.
+/// This is also distinct from [`SimError::Cancelled`], which reflects
+/// an external abort (budget/token), not a property of the plan.
+// Not boxed despite the size skew: outcomes are transient returns on
+// the emulation hot path, consumed immediately by the caller — an
+// allocation per window would cost more than the move.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum SimOutcome {
+    /// The run finished; the report is byte-identical to what the
+    /// unbounded [`Simulator::run_in`] would have produced.
+    Completed(SimReport),
+    /// The simulated clock passed `bound` before the run finished. The
+    /// final makespan is provably `>= exceeded_at > bound`: task
+    /// completions commit in nondecreasing time order, so the first
+    /// completion past the bound is a floor on every later one.
+    BoundExceeded {
+        /// The makespan bound the run was launched with.
+        bound: Secs,
+        /// The completion time that first exceeded it.
+        exceeded_at: Secs,
+    },
+}
+
 /// Total-ordered wrapper for event times (panics on NaN by construction).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct OrdTime(pub(crate) Secs);
@@ -372,6 +402,31 @@ impl<'a> Simulator<'a> {
     ///
     /// Same as [`run`](Self::run).
     pub fn run_in(&self, arena: &mut SimArena) -> Result<SimReport, SimError> {
+        match self.run_in_bounded(arena, None)? {
+            SimOutcome::Completed(report) => Ok(report),
+            SimOutcome::BoundExceeded { .. } => {
+                unreachable!("an unbounded run cannot exceed a bound")
+            }
+        }
+    }
+
+    /// [`run_in`](Self::run_in) with an optional makespan bound: the
+    /// moment the simulated clock would commit a completion time past
+    /// `bound`, the run aborts with [`SimOutcome::BoundExceeded`]
+    /// instead of finishing the window. Aborting is *sound* for
+    /// best-cost searches — completions commit in nondecreasing time
+    /// order, so the final makespan of the aborted run is provably
+    /// above the bound — and the abort recycles the arena buffers
+    /// exactly like a completed run. `None` behaves like `run_in`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_in`](Self::run_in).
+    pub fn run_in_bounded(
+        &self,
+        arena: &mut SimArena,
+        bound: Option<Secs>,
+    ) -> Result<SimOutcome, SimError> {
         self.plan.validate(self.graph)?;
         arena.ensure(self.graph);
         self.validate_inputs(arena.prebuilt())?;
@@ -385,10 +440,14 @@ impl<'a> Simulator<'a> {
             self.config,
             bufs,
         )?;
-        state.run(self.config.strict_oom);
+        if let Some(exceeded_at) = state.run(self.config.strict_oom, bound) {
+            arena.put_buffers(state.recycle());
+            let bound = bound.unwrap_or(f64::INFINITY);
+            return Ok(SimOutcome::BoundExceeded { bound, exceeded_at });
+        }
         let (result, bufs) = state.into_report(self.graph);
         arena.put_buffers(bufs);
-        result
+        result.map(SimOutcome::Completed)
     }
 
     pub(crate) fn validate_inputs(&self, pre: &Prebuilt) -> Result<(), SimError> {
@@ -944,12 +1003,12 @@ impl<'p> EngineState<'p> {
         })
     }
 
-    fn run(&mut self, strict_oom: bool) {
+    fn run(&mut self, strict_oom: bool, bound: Option<Secs>) -> Option<Secs> {
         // Snapshot: evictions append tasks, so a cap computed on the live
         // length would recede forever and allow an unbounded evict/refetch
         // loop under hopeless memory pressure.
         let eviction_cap = 4 * self.tasks.len();
-        self.run_loop(strict_oom, eviction_cap, None);
+        self.run_loop(strict_oom, eviction_cap, None, bound)
     }
 
     /// The event loop, parameterized for delta replay: the eviction cap
@@ -957,12 +1016,19 @@ impl<'p> EngineState<'p> {
     /// not the padded one) and an optional capture hook snapshots window
     /// checkpoints plus stall/eviction times. The hooks observe only —
     /// a captured run is byte-identical to a plain one.
+    ///
+    /// A `bound` turns the loop into a bound-and-abort run: the first
+    /// completion event whose time exceeds the bound stops the loop
+    /// *before* committing the clock, and its time is returned. The
+    /// prefix executed up to that point is byte-identical to the
+    /// unbounded run's prefix — the bound is only ever *read*.
     pub(crate) fn run_loop(
         &mut self,
         strict_oom: bool,
         eviction_cap: usize,
         mut capture: Option<&mut crate::delta::CaptureState>,
-    ) {
+        bound: Option<Secs>,
+    ) -> Option<Secs> {
         loop {
             self.start_pass();
             if strict_oom && self.memory.oom().is_some() {
@@ -974,6 +1040,11 @@ impl<'p> EngineState<'p> {
                 }
             }
             if let Some(Reverse(key)) = self.heap.pop() {
+                if let Some(b) = bound {
+                    if key.time.0 > b {
+                        return Some(key.time.0);
+                    }
+                }
                 self.clock = key.time.0;
                 self.complete_task(key.seq);
                 continue;
@@ -1022,6 +1093,7 @@ impl<'p> EngineState<'p> {
             self.memory.record_stall_oom(dev, need, self.clock);
             break;
         }
+        None
     }
 
     /// Starts everything startable at the current clock. Tasks whose
@@ -1617,6 +1689,43 @@ impl<'p> EngineState<'p> {
             self.note_ready(d);
         }
         self.tasks[tid].dependents = dependents;
+    }
+
+    /// Consumes a bound-aborted state into its recycled buffers only:
+    /// no report exists (the run did not finish and is not a deadlock),
+    /// but the allocations must still flow back to the arena.
+    pub(crate) fn recycle(self) -> Buffers {
+        let EngineState {
+            tasks,
+            streams,
+            dirty,
+            ready_set,
+            heap,
+            residency,
+            triggers,
+            home,
+            stage_device,
+            active_swaps,
+            runnable_swaps,
+            scratch_alloc,
+            specs,
+            ..
+        } = self;
+        Buffers {
+            tasks,
+            streams,
+            dirty,
+            ready_set,
+            heap,
+            residency,
+            triggers,
+            home,
+            stage_device,
+            active_swaps,
+            runnable_swaps,
+            scratch_alloc,
+            specs,
+        }
     }
 
     /// Consumes the state into a report, handing the recycled buffers

@@ -30,9 +30,9 @@ pub mod trace;
 pub mod viz;
 
 pub use arena::{graph_fingerprint, ArenaPool, CostProfile, SimArena};
-pub use delta::{DeltaRun, RunBase};
+pub use delta::{DeltaOutcome, DeltaRun, RunBase};
 pub use device_map::DeviceMap;
-pub use engine::{SimConfig, SimError, Simulator};
+pub use engine::{SimConfig, SimError, SimOutcome, Simulator};
 pub use metrics::{DeviceMetrics, LinkMetrics, SimMetrics, StreamBusy};
 pub use report::{OomEvent, PoolKind, SimReport};
 pub use trace::{TraceEvent, TraceKind};

@@ -142,3 +142,62 @@ fn fig7_row_is_identical_at_jobs_1_and_4() {
     };
     assert_eq!(row(1), row(4));
 }
+
+#[test]
+fn speculative_search_is_identical_on_oversubscribed_pool() {
+    // The frontier search's strongest configuration — widened explore
+    // grid, bound-and-abort emulation, and a pool oversubscribed past
+    // the hardware clamp so steals and speculation really happen — must
+    // still choose the jobs=1 plan byte-for-byte. Candidates are
+    // adjudicated in frontier order regardless of which worker finished
+    // them, so worker interleaving cannot leak into the outcome.
+    let run = |jobs: usize, unclamped: bool| -> String {
+        mpress_par::set_pool_unclamped(unclamped);
+        mpress_par::set_jobs(jobs);
+        let report = Mpress::builder()
+            .job(bert_job(zoo::bert_1_67b(), Machine::dgx1()))
+            .explore(true)
+            .bound_abort(true)
+            .build()
+            .train()
+            .expect("valid inputs");
+        mpress_par::set_jobs(0);
+        mpress_par::set_pool_unclamped(false);
+        format!(
+            "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}",
+            report.plan.device_map,
+            report.plan.instrumentation,
+            report.plan.refinement_rounds,
+            report.plan.refine_candidates,
+            report.sim.makespan.to_bits(),
+            report.sim.host_traffic,
+            report.tflops.to_bits(),
+        )
+    };
+    assert_eq!(run(1, false), run(8, true));
+}
+
+#[test]
+fn cancel_mid_search_reports_cancelled_not_bound_exceeded() {
+    // A tripped CancelToken must surface as `SimError::Cancelled` even
+    // with bound-and-abort emulation on: an exhausted budget and a
+    // bound-exceeded window travel different paths (the former is an
+    // error, the latter a conclusive "candidate lost" verdict that is
+    // never reported to the caller).
+    use mpress::{CancelToken, MpressError};
+    use mpress_sim::SimError;
+    for budget in [1usize, 3, 8, 21] {
+        let err = Mpress::builder()
+            .job(bert_job(zoo::bert_1_67b(), Machine::dgx1()))
+            .explore(true)
+            .bound_abort(true)
+            .cancel(CancelToken::with_run_budget(budget))
+            .build()
+            .plan()
+            .expect_err("the run budget trips mid-search");
+        match err {
+            MpressError::Simulation(SimError::Cancelled) => {}
+            other => panic!("budget {budget}: expected Cancelled, got {other:?}"),
+        }
+    }
+}

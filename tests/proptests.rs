@@ -674,3 +674,50 @@ proptest! {
         prop_assert!(stats.emulator_runs >= 2, "expected real runs: {stats:?}");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Bound-and-abort emulation is outcome-transparent: for any paper
+    /// model on either reference machine, a planner allowed to abort
+    /// losing candidates mid-window chooses exactly the plan a planner
+    /// running every window to completion chooses. (An aborted candidate
+    /// had already lost by `metric_better`'s rules — the abort only
+    /// saves the wall-clock of confirming it.) Exercised through the
+    /// builder flag so the test does not mutate process-global env
+    /// state; `MPRESS_BOUND_ABORT=0` is the same switch.
+    #[test]
+    fn bound_abort_does_not_change_the_chosen_plan(
+        model_idx in 0usize..10,
+        machine_pick in 0usize..2,
+    ) {
+        use mpress_bench::jobs::{bert_job, gpt_job};
+        use mpress_model::zoo;
+        let machine = if machine_pick == 1 {
+            mpress_hw::Machine::dgx2()
+        } else {
+            mpress_hw::Machine::dgx1()
+        };
+        let job = if model_idx < 5 {
+            bert_job(zoo::bert_variants()[model_idx].clone(), machine.clone())
+        } else {
+            gpt_job(zoo::gpt_variants()[model_idx - 5].clone(), machine.clone())
+        };
+        let run = |abort: bool| -> String {
+            let (plan, _) = mpress::Mpress::builder()
+                .job(job.clone())
+                .bound_abort(abort)
+                .build()
+                .plan()
+                .unwrap();
+            format!(
+                "{:?}|{:?}|{}|{:?}",
+                plan.device_map,
+                plan.instrumentation,
+                plan.refinement_rounds,
+                plan.refine_candidates,
+            )
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
